@@ -1,0 +1,452 @@
+//! PEEGA — the paper's Practical, Effective and Efficient black-box GNN
+//! Attacker (Sec. III).
+//!
+//! PEEGA reads only the adjacency matrix `A` and the node features `X`. It
+//! maximizes the single-level objective of Def. 3,
+//!
+//! ```text
+//!   max_{Â, X̂}  Σ_v ‖Â_n²[v] X̂ − A_n²[v] X‖_p
+//!             + λ Σ_v Σ_{u ∈ N_v} ‖Â_n²[v] X̂ − A_n²[u] X‖_p
+//!   s.t.  ‖Â − A‖₀ + β‖X̂ − X‖₀ ≤ δ,
+//! ```
+//!
+//! with the greedy gradient-scored loop of Alg. 1: at each step the
+//! gradients of the objective with respect to the (relaxed, dense) `Â` and
+//! `X̂` are multiplied elementwise with the candidate direction matrices
+//! `A_t = −2Â + 1` and `X_f = −2X̂ + 1`, and the highest-scoring flip is
+//! committed. The surrogate depth (2 hops above) is configurable for the
+//! Fig. 7(b) experiment, and the feature-cost weight `β` implements the
+//! Sec. V-D1 ablation.
+
+use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
+use bbgnn_autodiff::{Tape, TensorId};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_graph::Graph;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// Which perturbation types PEEGA may use (Fig. 5a ablation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AttackSpace {
+    /// Topology modifications and feature perturbations (TM+FP).
+    #[default]
+    Both,
+    /// Topology modifications only (TM).
+    TopologyOnly,
+    /// Feature perturbations only (FP).
+    FeatureOnly,
+}
+
+/// Which nodes the Def. 3 sums range over.
+///
+/// The paper follows Metattack and "compute[s] the objective on training
+/// nodes" (Sec. V-A3): concentrating the representation drift on the
+/// labeled nodes corrupts exactly what the victim learns from, which makes
+/// the poisoning attack markedly stronger than spreading it uniformly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum ObjectiveNodes {
+    /// Sum over the training split (the paper's setting).
+    #[default]
+    Train,
+    /// Sum over every node.
+    All,
+    /// Sum over a custom node set.
+    Custom(Vec<usize>),
+}
+
+/// PEEGA configuration. Defaults follow the paper's tuned values on Cora
+/// (`λ = 0.01`, `p = 2`, 2-hop surrogate, β = 1, objective on train nodes).
+#[derive(Clone, Debug)]
+pub struct PeegaConfig {
+    /// Perturbation rate `r`; the budget is `δ = r · ‖A‖₀`.
+    pub rate: f64,
+    /// Trade-off `λ` between the self view and the global view.
+    pub lambda: f64,
+    /// Norm order `p ∈ {1, 2, 3}`.
+    pub p: f64,
+    /// Surrogate propagation depth `l` (paper default 2).
+    pub hops: usize,
+    /// Relative cost `β` of one feature flip (Sec. V-D1).
+    pub beta: f64,
+    /// Perturbation types allowed.
+    pub space: AttackSpace,
+    /// Accessible nodes.
+    pub attacker_nodes: AttackerNodes,
+    /// Nodes the objective sums over (Sec. V-A3).
+    pub objective_nodes: ObjectiveNodes,
+}
+
+impl Default for PeegaConfig {
+    fn default() -> Self {
+        Self {
+            rate: 0.1,
+            lambda: 0.01,
+            p: 2.0,
+            hops: 2,
+            beta: 1.0,
+            space: AttackSpace::Both,
+            attacker_nodes: AttackerNodes::All,
+            objective_nodes: ObjectiveNodes::Train,
+        }
+    }
+}
+
+/// The PEEGA attacker. See the module docs for the algorithm.
+#[derive(Clone, Debug)]
+pub struct Peega {
+    /// Configuration.
+    pub config: PeegaConfig,
+}
+
+impl Peega {
+    /// Creates a PEEGA attacker.
+    pub fn new(config: PeegaConfig) -> Self {
+        Self { config }
+    }
+
+    /// Builds the Def. 3 objective on a tape over the current relaxed
+    /// `Â` / `X̂` and returns `(objective, a_id, x_id)`.
+    ///
+    /// `row_mask` restricts the node sums (Sec. V-A3) — rows outside the
+    /// objective set are zeroed before the norms, and `masked_adj` holds
+    /// only the original edges whose source is in the objective set.
+    #[allow(clippy::too_many_arguments)]
+    fn objective(
+        &self,
+        tape: &mut Tape,
+        a_hat: &DenseMatrix,
+        x_hat: &DenseMatrix,
+        clean_prop: &Rc<DenseMatrix>,
+        masked_adj: &Rc<CsrMatrix>,
+        eye: &Rc<DenseMatrix>,
+        row_mask: &Rc<DenseMatrix>,
+    ) -> (TensorId, TensorId, TensorId) {
+        let a = tape.var(a_hat.clone());
+        let x = tape.var(x_hat.clone());
+        // GCN normalization chain on the dense adjacency variable.
+        let a_loop = tape.add_const(a, Rc::clone(eye));
+        let deg = tape.row_sum(a_loop);
+        let dinv = tape.pow_scalar(deg, -0.5);
+        let scaled = tape.scale_rows(a_loop, dinv);
+        let an = tape.scale_cols(scaled, dinv);
+        // Â_nˡ X̂ via repeated (n×n)(n×d) products (cheaper than Â_nˡ).
+        let mut h = x;
+        for _ in 0..self.config.hops {
+            h = tape.matmul(an, h);
+        }
+        // Self view (Eq. 5), restricted to the objective nodes.
+        let diff = tape.sub_const(h, clean_prop);
+        let masked_diff = tape.hadamard_const(diff, Rc::clone(row_mask));
+        let self_view = tape.row_lp_norm_sum(masked_diff, self.config.p);
+        // Global view (Eq. 6) over the ORIGINAL topology's edges whose
+        // source node is in the objective set.
+        let objective = if self.config.lambda != 0.0 {
+            let global = tape.neighbor_lp_norm_sum(
+                h,
+                Rc::clone(masked_adj),
+                Rc::clone(clean_prop),
+                self.config.p,
+            );
+            let weighted = tape.scalar_mul(global, self.config.lambda);
+            tape.add(self_view, weighted)
+        } else {
+            self_view
+        };
+        (objective, a, x)
+    }
+
+    /// The node set the objective sums over.
+    fn objective_node_set(&self, g: &Graph) -> Vec<usize> {
+        match &self.config.objective_nodes {
+            ObjectiveNodes::Train => g.split.train.clone(),
+            ObjectiveNodes::All => (0..g.num_nodes()).collect(),
+            ObjectiveNodes::Custom(v) => v.clone(),
+        }
+    }
+}
+
+/// A greedy candidate: either an edge flip or a feature flip.
+#[derive(Clone, Copy, Debug)]
+enum Candidate {
+    Edge(usize, usize),
+    Feature(usize, usize),
+}
+
+impl Attacker for Peega {
+    fn name(&self) -> &'static str {
+        "PEEGA"
+    }
+
+    fn attack(&mut self, g: &Graph) -> AttackResult {
+        let start = Instant::now();
+        let cfg = &self.config;
+        assert!(cfg.hops >= 1, "surrogate needs at least one hop");
+        assert!(cfg.beta > 0.0, "feature cost must be positive");
+        let n = g.num_nodes();
+        let budget = budget_for(g, cfg.rate) as f64;
+        let clean_prop = Rc::new(g.propagate(cfg.hops));
+        let eye = Rc::new(DenseMatrix::identity(n));
+        // Objective-node restriction (Sec. V-A3).
+        let obj_nodes = self.objective_node_set(g);
+        assert!(!obj_nodes.is_empty(), "objective node set is empty");
+        let mut row_mask = DenseMatrix::zeros(n, g.feature_dim());
+        for &v in &obj_nodes {
+            for x in row_mask.row_mut(v) {
+                *x = 1.0;
+            }
+        }
+        let row_mask = Rc::new(row_mask);
+        let in_objective: std::collections::HashSet<usize> = obj_nodes.iter().copied().collect();
+        let masked_adj = Rc::new(CsrMatrix::from_triplets(
+            n,
+            n,
+            g.edges().flat_map(|(u, v)| {
+                let mut t = Vec::with_capacity(2);
+                if in_objective.contains(&u) {
+                    t.push((u, v, 1.0));
+                }
+                if in_objective.contains(&v) {
+                    t.push((v, u, 1.0));
+                }
+                t
+            }),
+        ));
+
+        let mut poisoned = g.clone();
+        let mut a_hat = g.adjacency_dense();
+        let mut x_hat = g.features.clone();
+        let mut spent = 0.0;
+        // Each candidate is committed at most once: revisiting a flipped
+        // entry would refund budget and can cycle forever when the
+        // post-flip gradient reverses sign (greedy overshoot).
+        let mut touched_edges = std::collections::HashSet::new();
+        let mut touched_features = std::collections::HashSet::new();
+
+        let allow_topology = cfg.space != AttackSpace::FeatureOnly;
+        let allow_features = cfg.space != AttackSpace::TopologyOnly;
+
+        loop {
+            // Affordability of each move class (a flip that reverts a prior
+            // perturbation refunds budget, so cost deltas are signed).
+            let can_edge = allow_topology && spent + 1.0 <= budget + 1e-9;
+            let can_feat = allow_features && spent + cfg.beta <= budget + 1e-9;
+            if !can_edge && !can_feat {
+                break;
+            }
+
+            let mut tape = Tape::new();
+            let (obj, a_id, x_id) = self.objective(
+                &mut tape, &a_hat, &x_hat, &clean_prop, &masked_adj, &eye, &row_mask,
+            );
+            tape.backward(obj);
+            let grad_a = tape.grad(a_id).expect("adjacency gradient");
+            let grad_x = tape.grad(x_id).expect("feature gradient");
+
+            // Best topology candidate: score of flipping the undirected
+            // pair {u, v} combines both directed entries (Â is symmetric).
+            let mut best: Option<(f64, Candidate)> = None;
+            if can_edge {
+                for u in 0..n {
+                    for v in (u + 1)..n {
+                        if touched_edges.contains(&(u, v))
+                            || !cfg.attacker_nodes.edge_allowed(u, v)
+                        {
+                            continue;
+                        }
+                        let dir = 1.0 - 2.0 * a_hat.get(u, v);
+                        let score = (grad_a.get(u, v) + grad_a.get(v, u)) * dir;
+                        if best.map_or(true, |(b, _)| score > b) {
+                            best = Some((score, Candidate::Edge(u, v)));
+                        }
+                    }
+                }
+            }
+            if can_feat {
+                for v in 0..n {
+                    if !cfg.attacker_nodes.contains(v) {
+                        continue;
+                    }
+                    let gr = grad_x.row(v);
+                    let xr = x_hat.row(v);
+                    for (i, (&gg, &xx)) in gr.iter().zip(xr).enumerate() {
+                        if touched_features.contains(&(v, i)) {
+                            continue;
+                        }
+                        // Normalized by β as in Sec. V-D1: S_f = S_f / β.
+                        let score = gg * (1.0 - 2.0 * xx) / cfg.beta;
+                        if best.map_or(true, |(b, _)| score > b) {
+                            best = Some((score, Candidate::Feature(v, i)));
+                        }
+                    }
+                }
+            }
+            let Some((_, cand)) = best else { break };
+            match cand {
+                Candidate::Edge(u, v) => {
+                    touched_edges.insert((u, v));
+                    let existed_now = poisoned.has_edge(u, v);
+                    poisoned.flip_edge(u, v);
+                    let new_val = if existed_now { 0.0 } else { 1.0 };
+                    a_hat.set(u, v, new_val);
+                    a_hat.set(v, u, new_val);
+                    spent += 1.0;
+                }
+                Candidate::Feature(v, i) => {
+                    touched_features.insert((v, i));
+                    let new_val = poisoned.flip_feature(v, i);
+                    x_hat.set(v, i, new_val);
+                    spent += cfg.beta;
+                }
+            }
+        }
+
+        AttackResult {
+            edge_flips: g.edge_difference(&poisoned),
+            feature_flips: g.feature_difference(&poisoned),
+            elapsed: start.elapsed(),
+            poisoned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbgnn_graph::datasets::DatasetSpec;
+    use bbgnn_graph::metrics::edge_diff_breakdown;
+    use bbgnn_gnn::gcn::Gcn;
+    use bbgnn_gnn::train::TrainConfig;
+    use bbgnn_gnn::NodeClassifier;
+
+    fn small_graph() -> bbgnn_graph::Graph {
+        DatasetSpec::CoraLike.generate(0.04, 51)
+    }
+
+    #[test]
+    fn respects_budget() {
+        let g = small_graph();
+        let mut atk = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+        let r = atk.attack(&g);
+        let budget = budget_for(&g, 0.1);
+        assert!(
+            r.edge_flips + r.feature_flips <= budget,
+            "spent {} + {} > budget {budget}",
+            r.edge_flips,
+            r.feature_flips
+        );
+        assert!(r.edge_flips + r.feature_flips > 0, "attack must do something");
+    }
+
+    #[test]
+    fn does_not_mutate_input() {
+        let g = small_graph();
+        let edges_before = g.num_edges();
+        let feats_before = g.features.clone();
+        let mut atk = Peega::new(PeegaConfig::default());
+        let _ = atk.attack(&g);
+        assert_eq!(g.num_edges(), edges_before);
+        assert_eq!(g.features, feats_before);
+    }
+
+    #[test]
+    fn topology_only_never_touches_features() {
+        let g = small_graph();
+        let mut atk = Peega::new(PeegaConfig {
+            space: AttackSpace::TopologyOnly,
+            ..Default::default()
+        });
+        let r = atk.attack(&g);
+        assert_eq!(r.feature_flips, 0);
+        assert!(r.edge_flips > 0);
+    }
+
+    #[test]
+    fn feature_only_never_touches_topology() {
+        let g = small_graph();
+        let mut atk = Peega::new(PeegaConfig {
+            space: AttackSpace::FeatureOnly,
+            ..Default::default()
+        });
+        let r = atk.attack(&g);
+        assert_eq!(r.edge_flips, 0);
+        assert!(r.feature_flips > 0);
+    }
+
+    #[test]
+    fn attacker_subset_is_respected() {
+        let g = small_graph();
+        let subset = AttackerNodes::random_subset(g.num_nodes(), 0.2, 3);
+        let allowed = subset.clone();
+        let mut atk = Peega::new(PeegaConfig {
+            attacker_nodes: subset,
+            ..Default::default()
+        });
+        let r = atk.attack(&g);
+        // Every modified edge has an accessible endpoint; every modified
+        // feature row is accessible.
+        for (u, v) in r.poisoned.edges() {
+            if !g.has_edge(u, v) {
+                assert!(allowed.edge_allowed(u, v), "illegal edge add ({u},{v})");
+            }
+        }
+        for (u, v) in g.edges() {
+            if !r.poisoned.has_edge(u, v) {
+                assert!(allowed.edge_allowed(u, v), "illegal edge delete ({u},{v})");
+            }
+        }
+        for v in 0..g.num_nodes() {
+            for i in 0..g.feature_dim() {
+                if g.features.get(v, i) != r.poisoned.features.get(v, i) {
+                    assert!(allowed.contains(v), "illegal feature flip at node {v}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degrades_gcn_accuracy() {
+        let g = DatasetSpec::CoraLike.generate(0.08, 52);
+        let mut clean_gcn = Gcn::paper_default(TrainConfig::fast_test());
+        clean_gcn.fit(&g);
+        let clean_acc = clean_gcn.test_accuracy(&g);
+
+        let mut atk = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+        let r = atk.attack(&g);
+        let mut poisoned_gcn = Gcn::paper_default(TrainConfig::fast_test());
+        poisoned_gcn.fit(&r.poisoned);
+        let poisoned_acc = poisoned_gcn.test_accuracy(&r.poisoned);
+        assert!(
+            poisoned_acc < clean_acc - 0.02,
+            "PEEGA must degrade accuracy: clean {clean_acc} vs poisoned {poisoned_acc}"
+        );
+    }
+
+    #[test]
+    fn tends_to_add_cross_label_edges() {
+        // The Sec. IV-A insight: attackers mostly ADD edges between nodes
+        // with DIFFERENT labels.
+        let g = DatasetSpec::CoraLike.generate(0.06, 53);
+        let mut atk = Peega::new(PeegaConfig { rate: 0.15, ..Default::default() });
+        let r = atk.attack(&g);
+        let d = edge_diff_breakdown(&g, &r.poisoned);
+        assert!(
+            d.add_diff > d.add_same,
+            "cross-label additions {0} should dominate same-label {1}",
+            d.add_diff,
+            d.add_same
+        );
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let g = small_graph();
+        let mut a1 = Peega::new(PeegaConfig::default());
+        let mut a2 = Peega::new(PeegaConfig::default());
+        let r1 = a1.attack(&g);
+        let r2 = a2.attack(&g);
+        let e1: Vec<_> = r1.poisoned.edges().collect();
+        let e2: Vec<_> = r2.poisoned.edges().collect();
+        assert_eq!(e1, e2);
+        assert_eq!(r1.poisoned.features, r2.poisoned.features);
+    }
+}

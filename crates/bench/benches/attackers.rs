@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the Table VII attacker comparison.
+//!
+//! Each attacker poisons the same small Cora-like graph at rate 0.05.
+//! The relative ordering (PEEGA fastest effective attacker, Metattack and
+//! GF-Attack slowest) is the reproduction target.
+
+use bbgnn::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_graph() -> Graph {
+    DatasetSpec::CoraLike.generate(0.05, 7)
+}
+
+fn bench_attackers(c: &mut Criterion) {
+    let g = bench_graph();
+    let mut group = c.benchmark_group("attackers");
+    group.sample_size(10);
+
+    group.bench_function("peega", |b| {
+        b.iter(|| {
+            let mut atk = Peega::new(PeegaConfig { rate: 0.05, ..Default::default() });
+            std::hint::black_box(atk.attack(&g))
+        })
+    });
+    group.bench_function("pgd", |b| {
+        b.iter(|| {
+            let mut atk = PgdAttack::new(PgdConfig {
+                rate: 0.05,
+                ascent_steps: 30,
+                ..Default::default()
+            });
+            std::hint::black_box(atk.attack(&g))
+        })
+    });
+    group.bench_function("minmax", |b| {
+        b.iter(|| {
+            let mut atk = MinMaxAttack::new(MinMaxConfig {
+                rate: 0.05,
+                ascent_steps: 30,
+                ..Default::default()
+            });
+            std::hint::black_box(atk.attack(&g))
+        })
+    });
+    group.bench_function("metattack", |b| {
+        b.iter(|| {
+            let mut atk = Metattack::new(MetattackConfig {
+                rate: 0.05,
+                retrain_every: 5,
+                ..Default::default()
+            });
+            std::hint::black_box(atk.attack(&g))
+        })
+    });
+    group.bench_function("gf_attack", |b| {
+        b.iter(|| {
+            let mut atk = GfAttack::new(GfAttackConfig { rate: 0.05, ..Default::default() });
+            std::hint::black_box(atk.attack(&g))
+        })
+    });
+    group.bench_function("random", |b| {
+        b.iter(|| {
+            let mut atk = RandomAttack::new(RandomAttackConfig { rate: 0.05, ..Default::default() });
+            std::hint::black_box(atk.attack(&g))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attackers);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the Table VIII defender training-time
+//! comparison.
+//!
+//! Each model trains on the same small clean Cora-like graph with a fixed
+//! 60-epoch budget (no early stopping) so the numbers compare per-epoch
+//! cost. Reproduction target: GCN cheapest, GNAT a small constant above
+//! it, Pro-GNN far above everything.
+
+use bbgnn::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_defenders(c: &mut Criterion) {
+    let g = DatasetSpec::CoraLike.generate(0.05, 7);
+    let train = TrainConfig { epochs: 60, patience: 0, dropout: 0.5, ..Default::default() };
+    let mut group = c.benchmark_group("defenders");
+    group.sample_size(10);
+
+    let mut kinds: Vec<(&str, DefenderKind)> = vec![
+        ("gcn", DefenderKind::Gcn),
+        ("gat", DefenderKind::Gat),
+        ("gcn_jaccard", DefenderKind::GcnJaccard(GcnJaccardConfig::default())),
+        ("gcn_svd", DefenderKind::GcnSvd(GcnSvdConfig::default())),
+        ("rgcn", DefenderKind::Rgcn(RgcnConfig::default())),
+        ("simpgcn", DefenderKind::SimPGcn(SimPGcnConfig::default())),
+        ("gnat", DefenderKind::Gnat(GnatConfig::default())),
+    ];
+    // Pro-GNN with a reduced outer budget so the benchmark terminates in
+    // reasonable time — it is still the slowest by a wide margin.
+    kinds.push((
+        "prognn",
+        DefenderKind::ProGnn(ProGnnConfig { outer_epochs: 10, inner_epochs: 3, ..Default::default() }),
+    ));
+
+    for (name, kind) in kinds {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut model = kind.build(train.clone());
+                model.fit(&g);
+                std::hint::black_box(model.predict(&g))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenders);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks for the substrate kernels every experiment
+//! runs on: dense matmul, sparse SpMM, the GCN normalization, the
+//! autodiff forward/backward of a 2-layer GCN, SVD, and Lanczos.
+
+use bbgnn::linalg::eigen::lanczos_topk;
+use bbgnn::linalg::svd::{jacobi_svd, randomized_svd};
+use bbgnn::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::rc::Rc;
+
+fn bench_kernels(c: &mut Criterion) {
+    let g = DatasetSpec::CoraLike.generate(0.1, 7);
+    let n = g.num_nodes();
+    let a = DenseMatrix::uniform(256, 256, 1.0, 1);
+    let b = DenseMatrix::uniform(256, 256, 1.0, 2);
+    let an = g.normalized_adjacency();
+    let x = g.features.clone();
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(20);
+
+    group.bench_function("dense_matmul_256", |bch| {
+        bch.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+    group.bench_function("spmm_adjacency", |bch| {
+        bch.iter(|| std::hint::black_box(an.spmm(&x)))
+    });
+    group.bench_function("gcn_normalize", |bch| {
+        let adj = g.adjacency_csr();
+        bch.iter(|| std::hint::black_box(adj.gcn_normalize()))
+    });
+    group.bench_function("gcn_forward_backward", |bch| {
+        let an = Rc::new(an.clone());
+        let w0 = DenseMatrix::glorot(g.feature_dim(), 16, 3);
+        let w1 = DenseMatrix::glorot(16, g.num_classes, 4);
+        let labels = Rc::new(g.labels.clone());
+        let rows = Rc::new(g.split.train.clone());
+        bch.iter(|| {
+            let mut t = bbgnn::autodiff::Tape::new();
+            let w0t = t.var(w0.clone());
+            let w1t = t.var(w1.clone());
+            let xc = t.constant(x.clone());
+            let xw = t.matmul(xc, w0t);
+            let h = t.spmm(Rc::clone(&an), xw);
+            let h = t.relu(h);
+            let hw = t.matmul(h, w1t);
+            let logits = t.spmm(Rc::clone(&an), hw);
+            let loss = t.cross_entropy(logits, Rc::clone(&labels), Rc::clone(&rows));
+            t.backward(loss);
+            std::hint::black_box(t.grad(w0t).is_some())
+        })
+    });
+    group.bench_function("jacobi_svd_64", |bch| {
+        let m = DenseMatrix::uniform(64, 64, 1.0, 5);
+        bch.iter(|| std::hint::black_box(jacobi_svd(&m)))
+    });
+    group.bench_function("randomized_svd_rank16", |bch| {
+        let m = g.adjacency_dense();
+        bch.iter(|| std::hint::black_box(randomized_svd(&m, 16, 8, 2, 1)))
+    });
+    group.bench_function(format!("lanczos_top32_n{n}"), |bch| {
+        let adj = g.normalized_adjacency();
+        bch.iter(|| std::hint::black_box(lanczos_topk(&adj, 32, 1)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

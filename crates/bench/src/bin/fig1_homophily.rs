@@ -1,0 +1,53 @@
+//! Fig. 1 — the proportion of edges whose endpoints share a label.
+//!
+//! The paper reports > 70.43% on five real datasets; our calibrated
+//! generators must land on the same homophily levels, since both PEEGA's
+//! global view and GNAT's augmentations rely on them. Two extra synthetic
+//! datasets bracket the realistic range.
+
+use bbgnn::prelude::*;
+use bbgnn_bench::{config::ExpConfig, report::Table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("{}", cfg.banner("fig1_homophily"));
+
+    let mut table = Table::new(&["dataset", "nodes", "edges", "classes", "same-label edge %"]);
+    let mut specs = DatasetSpec::paper_datasets();
+    specs.push(DatasetSpec::Custom(SbmParams {
+        nodes: 800,
+        edges: 2400,
+        classes: 3,
+        homophily: 0.75,
+        feature_dim: 128,
+        active_features: 10,
+        feature_purity: 0.8,
+        train_frac: 0.1,
+        valid_frac: 0.1,
+    }));
+    specs.push(DatasetSpec::Custom(SbmParams {
+        nodes: 600,
+        edges: 3000,
+        classes: 4,
+        homophily: 0.88,
+        feature_dim: 96,
+        active_features: 8,
+        feature_purity: 0.85,
+        train_frac: 0.1,
+        valid_frac: 0.1,
+    }));
+    let names = ["cora", "citeseer", "polblogs", "synthetic-a", "synthetic-b"];
+    for (spec, name) in specs.iter().zip(names) {
+        let scale = if matches!(spec, DatasetSpec::Custom(_)) { 1.0 } else { cfg.scale };
+        let g = spec.generate(scale, cfg.seed);
+        table.push_row(vec![
+            name.to_string(),
+            g.num_nodes().to_string(),
+            g.num_edges().to_string(),
+            g.num_classes.to_string(),
+            format!("{:.2}", 100.0 * edge_homophily(&g)),
+        ]);
+    }
+    table.emit(&cfg.out_dir, "fig1_homophily");
+    println!("\npaper: all five real datasets exceed 70.43% same-label edges.");
+}

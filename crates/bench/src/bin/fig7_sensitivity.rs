@@ -1,0 +1,92 @@
+//! Fig. 7 — (a) sensitivity to the rate of accessible attacker nodes;
+//! (b) sensitivity to the surrogate depth of PEEGA vs. the victim depth.
+//!
+//! Reproduction targets: (a) GCN accuracy falls as the attacker controls
+//! more nodes, and PEEGA ≤ Metattack at equal access; (b) PEEGA_2 is the
+//! strongest surrogate depth, PEEGA_1 clearly weaker, and PEEGA_{2,3,4}
+//! are competitive with Metattack/MinMax across victim depths.
+
+use bbgnn::prelude::*;
+use bbgnn_bench::{config::ExpConfig, report::Table};
+
+fn gcn_acc_with_layers(g: &Graph, layers: usize, runs: usize, seed: u64) -> MeanStd {
+    let accs: Vec<f64> = (0..runs)
+        .map(|r| {
+            let cfg = TrainConfig { seed: seed + r as u64, ..Default::default() };
+            let mut gcn = Gcn::new(vec![16; layers.saturating_sub(1)], cfg);
+            gcn.fit(g);
+            gcn.test_accuracy(g)
+        })
+        .collect();
+    MeanStd::of(&accs)
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("{}", cfg.banner("fig7_sensitivity"));
+    let g = DatasetSpec::CoraLike.generate(cfg.scale, cfg.seed);
+
+    // ---- (a) attacker-node rate sweep ------------------------------------
+    println!("\n--- Fig 7(a): accessible-node rate sweep (GCN victim) ---\n");
+    let mut table_a = Table::new(&["node rate", "GCN+P", "GCN+M"]);
+    for &node_rate in &[0.1, 0.25, 0.5, 0.75, 1.0] {
+        let subset = if node_rate >= 1.0 {
+            AttackerNodes::All
+        } else {
+            AttackerNodes::random_subset(g.num_nodes(), node_rate, cfg.seed)
+        };
+        let mut peega = Peega::new(PeegaConfig {
+            rate: cfg.rate,
+            attacker_nodes: subset.clone(),
+            ..Default::default()
+        });
+        let mut meta = Metattack::new(MetattackConfig {
+            rate: cfg.rate,
+            retrain_every: 5,
+            attacker_nodes: subset,
+            ..Default::default()
+        });
+        let acc_p = gcn_acc_with_layers(&peega.attack(&g).poisoned, 2, cfg.runs, cfg.seed);
+        let acc_m = gcn_acc_with_layers(&meta.attack(&g).poisoned, 2, cfg.runs, cfg.seed);
+        table_a.push_row(vec![format!("{node_rate}"), acc_p.to_string(), acc_m.to_string()]);
+        eprintln!("[node rate {node_rate} done]");
+    }
+    table_a.emit(&cfg.out_dir, "fig7a_attacker_nodes");
+
+    // ---- (b) surrogate depth vs victim depth ------------------------------
+    println!("\n--- Fig 7(b): PEEGA_l surrogate depth vs GCN victim depth ---\n");
+    let mut headers = vec!["victim layers".to_string()];
+    for l in 1..=4 {
+        headers.push(format!("PEEGA_{l}"));
+    }
+    headers.push("Metattack".to_string());
+    headers.push("MinMax".to_string());
+    let mut table_b = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    // Poison once per attacker variant.
+    let mut poisons: Vec<(String, Graph)> = (1..=4)
+        .map(|l| {
+            let mut atk = Peega::new(PeegaConfig { rate: cfg.rate, hops: l, ..Default::default() });
+            (format!("PEEGA_{l}"), atk.attack(&g).poisoned)
+        })
+        .collect();
+    let mut meta = Metattack::new(MetattackConfig {
+        rate: cfg.rate,
+        retrain_every: 5,
+        ..Default::default()
+    });
+    poisons.push(("Metattack".to_string(), meta.attack(&g).poisoned));
+    let mut minmax = MinMaxAttack::new(MinMaxConfig { rate: cfg.rate, ..Default::default() });
+    poisons.push(("MinMax".to_string(), minmax.attack(&g).poisoned));
+
+    for victim_layers in 2..=4 {
+        let mut cells = vec![victim_layers.to_string()];
+        for (_, poisoned) in &poisons {
+            cells.push(gcn_acc_with_layers(poisoned, victim_layers, cfg.runs, cfg.seed).to_string());
+        }
+        table_b.push_row(cells);
+        eprintln!("[victim depth {victim_layers} done]");
+    }
+    table_b.emit(&cfg.out_dir, "fig7b_layer_sweep");
+    println!("\npaper: more accessible nodes = stronger attack; PEEGA_2 is the best depth.");
+}

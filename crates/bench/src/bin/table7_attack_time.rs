@@ -1,0 +1,36 @@
+//! Table VII — wall-clock poison-graph generation time (seconds) of every
+//! attacker on the three datasets at perturbation rate 0.1.
+//!
+//! Reproduction targets: PEEGA is the fastest (or near-fastest) effective
+//! attacker; GF-Attack and Metattack are the slowest; absolute numbers
+//! differ from the paper's GPU testbed.
+
+use bbgnn::prelude::*;
+use bbgnn_bench::{config::ExpConfig, report::Table};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("{}", cfg.banner("table7_attack_time"));
+
+    let specs = DatasetSpec::paper_datasets();
+    let mut headers = vec!["Attacker".to_string()];
+    headers.extend(specs.iter().map(|s| format!("{} (s)", s.name())));
+    let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let graphs: Vec<Graph> = specs.iter().map(|s| s.generate(cfg.scale, cfg.seed)).collect();
+    for kind in AttackerKind::paper_rows(cfg.rate) {
+        let mut cells = vec![kind.name().to_string()];
+        for g in &graphs {
+            let mut secs = Vec::with_capacity(cfg.runs);
+            for _ in 0..cfg.runs {
+                let mut attacker = kind.build();
+                secs.push(attacker.attack(g).elapsed.as_secs_f64());
+            }
+            let stats = MeanStd::of(&secs);
+            cells.push(format!("{:.2}±{:.2}", stats.mean, stats.std));
+        }
+        table.push_row(cells);
+    }
+    table.emit(&cfg.out_dir, "table7_attack_time");
+    println!("\npaper ordering: PEEGA < PGD < MinMax << Metattack, GF-Attack.");
+}

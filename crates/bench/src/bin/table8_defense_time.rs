@@ -1,0 +1,50 @@
+//! Table VIII — defender training time (seconds) on the clean graphs.
+//!
+//! Reproduction targets: GCN is fastest; GNAT costs only a small constant
+//! factor over GCN (one GCN per augmented view); Pro-GNN is slower than
+//! everything else by an order of magnitude or more.
+
+use bbgnn::prelude::*;
+use bbgnn_bench::{config::ExpConfig, report::Table, runner::evaluate_defender_timed};
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("{}", cfg.banner("table8_defense_time"));
+
+    let specs = DatasetSpec::paper_datasets();
+    let mut headers = vec!["Model".to_string()];
+    headers.extend(specs.iter().map(|s| format!("{} (s)", s.name())));
+    let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+
+    let graphs: Vec<(DatasetSpec, Graph)> = specs
+        .iter()
+        .map(|s| (s.clone(), s.generate(cfg.scale, cfg.seed)))
+        .collect();
+
+    // Union of all model names; cells are filled when the model applies to
+    // the dataset (GCN-Jaccard / GNAT's feature view skip Polblogs).
+    let all_columns = DefenderKind::paper_columns(false);
+    for kind in &all_columns {
+        let mut cells = vec![kind.name()];
+        for (spec, g) in &graphs {
+            let applicable = DefenderKind::paper_columns(spec.identity_features())
+                .iter()
+                .any(|k| k.name() == kind.name() || (kind.name() == "GNAT" && k.name().starts_with("GNAT")));
+            if !applicable {
+                cells.push("-".to_string());
+                continue;
+            }
+            let concrete = if kind.name() == "GNAT" && spec.identity_features() {
+                DefenderKind::Gnat(GnatConfig::without_feature_view())
+            } else {
+                kind.clone()
+            };
+            let (_, secs) = evaluate_defender_timed(&concrete, g, cfg.runs, cfg.seed);
+            cells.push(format!("{:.2}±{:.2}", secs.mean, secs.std));
+        }
+        table.push_row(cells);
+    }
+    table.emit(&cfg.out_dir, "table8_defense_time");
+    println!("\npaper ordering: GCN < GNAT < GCN-Jaccard ≈ RGCN < GAT ≈ SimPGCN");
+    println!("< GCN-SVD << Pro-GNN.");
+}

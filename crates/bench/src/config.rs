@@ -1,0 +1,113 @@
+//! Experiment configuration from CLI flags and environment variables.
+
+/// Shared experiment knobs.
+///
+/// Resolution order per field: CLI flag (`--scale 0.2`) > environment
+/// variable (`BBGNN_SCALE=0.2`) > default. The defaults are sized so each
+/// experiment binary finishes on a laptop CPU in minutes; pass a larger
+/// `--scale` to approach the paper's full dataset sizes.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Dataset scale factor in `(0, 1]` (fraction of Table III sizes).
+    pub scale: f64,
+    /// Repeated runs per cell (the paper uses 10).
+    pub runs: usize,
+    /// Perturbation rate `r` (the paper's headline tables use 0.1).
+    pub rate: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Optional dataset filter (`--dataset cora|citeseer|polblogs`).
+    pub dataset: Option<String>,
+    /// Directory for CSV/JSON result dumps.
+    pub out_dir: String,
+}
+
+impl Default for ExpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 0.12,
+            runs: 3,
+            rate: 0.1,
+            seed: 7,
+            dataset: None,
+            out_dir: "results".to_string(),
+        }
+    }
+}
+
+impl ExpConfig {
+    /// Parses the process arguments and environment.
+    ///
+    /// # Panics
+    /// Panics with a usage message on malformed flags.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        if let Ok(v) = std::env::var("BBGNN_SCALE") {
+            cfg.scale = v.parse().expect("BBGNN_SCALE must be a float");
+        }
+        if let Ok(v) = std::env::var("BBGNN_RUNS") {
+            cfg.runs = v.parse().expect("BBGNN_RUNS must be an integer");
+        }
+        if let Ok(v) = std::env::var("BBGNN_RATE") {
+            cfg.rate = v.parse().expect("BBGNN_RATE must be a float");
+        }
+        if let Ok(v) = std::env::var("BBGNN_SEED") {
+            cfg.seed = v.parse().expect("BBGNN_SEED must be an integer");
+        }
+        if let Ok(v) = std::env::var("BBGNN_OUT") {
+            cfg.out_dir = v;
+        }
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut next = |what: &str| -> &str {
+                it.next().unwrap_or_else(|| panic!("{flag} requires a value ({what})"))
+            };
+            match flag.as_str() {
+                "--scale" => cfg.scale = next("float").parse().expect("bad --scale"),
+                "--runs" => cfg.runs = next("int").parse().expect("bad --runs"),
+                "--rate" => cfg.rate = next("float").parse().expect("bad --rate"),
+                "--seed" => cfg.seed = next("int").parse().expect("bad --seed"),
+                "--dataset" => cfg.dataset = Some(next("name").to_string()),
+                "--out" => cfg.out_dir = next("dir").to_string(),
+                "--help" | "-h" => {
+                    eprintln!(
+                        "flags: --scale F --runs N --rate F --seed N --dataset NAME --out DIR"
+                    );
+                    std::process::exit(0);
+                }
+                other => panic!("unknown flag {other}; see --help"),
+            }
+        }
+        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must be in (0, 1]");
+        assert!(cfg.runs >= 1, "need at least one run");
+        cfg
+    }
+
+    /// Banner line echoed at the top of every experiment's output.
+    pub fn banner(&self, experiment: &str) -> String {
+        format!(
+            "== {experiment} | scale {} | runs {} | rate {} | seed {} ==",
+            self.scale, self.runs, self.rate, self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ExpConfig::default();
+        assert!(c.scale > 0.0 && c.scale <= 1.0);
+        assert!(c.runs >= 1);
+        assert!(c.rate > 0.0);
+    }
+
+    #[test]
+    fn banner_mentions_experiment() {
+        let c = ExpConfig::default();
+        assert!(c.banner("table4").contains("table4"));
+    }
+}

@@ -1,0 +1,20 @@
+//! Experiment harness for the paper reproduction.
+//!
+//! Every table and figure of the evaluation section has a dedicated binary
+//! in `src/bin/` (see `DESIGN.md` §2 for the full index). The harness
+//! provides the shared pieces:
+//!
+//! * [`config::ExpConfig`] — scale / runs / rate / seed, from CLI flags or
+//!   `BBGNN_*` environment variables;
+//! * [`runner`] — attack generation and repeated-run defender evaluation;
+//! * [`report`] — fixed-width table printing plus CSV/JSON dumps under
+//!   `results/`.
+//!
+//! All binaries print the same rows/series the paper reports and write a
+//! machine-readable copy next to them.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod report;
+pub mod runner;

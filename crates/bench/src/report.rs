@@ -1,0 +1,177 @@
+//! Table rendering and result persistence.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+/// A printable table with a header row and string cells, plus CSV dumping.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells (ragged rows are padded when printed).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders with fixed-width columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for r in &self.rows {
+            measure(&mut widths, r);
+        }
+        let mut out = String::new();
+        let fmt_row = |out: &mut String, cells: &[String]| {
+            for (i, w) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let pad = w - cell.chars().count();
+                if i == 0 {
+                    let _ = write!(out, "{cell}{}", " ".repeat(pad));
+                } else {
+                    let _ = write!(out, "  {}{cell}", " ".repeat(pad));
+                }
+            }
+            out.push('\n');
+        };
+        fmt_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for r in &self.rows {
+            fmt_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Renders to CSV.
+    pub fn to_csv(&self) -> String {
+        let esc = |s: &str| {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}",
+            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+        );
+        for r in &self.rows {
+            let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        out
+    }
+
+    /// Prints the table and writes `<out_dir>/<name>.csv`.
+    pub fn emit(&self, out_dir: &str, name: &str) {
+        print!("{}", self.render());
+        let dir = Path::new(out_dir);
+        if fs::create_dir_all(dir).is_ok() {
+            let path = dir.join(format!("{name}.csv"));
+            if let Err(e) = fs::write(&path, self.to_csv()) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[csv written to {}]", path.display());
+            }
+        }
+    }
+}
+
+/// Marks the best (extreme) numeric cell per row among `candidate_cols`
+/// with the given bracket, mimicking the paper's bold/parenthesis marks.
+/// `maximize` selects whether the largest or the smallest value wins.
+pub fn mark_extreme(table: &mut Table, candidate_cols: &[usize], maximize: bool, brackets: (&str, &str)) {
+    for row in &mut table.rows {
+        let mut best: Option<(usize, f64)> = None;
+        for &c in candidate_cols {
+            if let Some(cell) = row.get(c) {
+                let parsed = cell.split('±').next().and_then(|s| s.trim().parse::<f64>().ok());
+                if let Some(v) = parsed {
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => {
+                            if maximize {
+                                v > b
+                            } else {
+                                v < b
+                            }
+                        }
+                    };
+                    if better {
+                        best = Some((c, v));
+                    }
+                }
+            }
+        }
+        if let Some((c, _)) = best {
+            row[c] = format!("{}{}{}", brackets.0, row[c], brackets.1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut t = Table::new(&["name", "value"]);
+        t.push_row(vec!["a".into(), "1".into()]);
+        t.push_row(vec!["long-name".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("long-name"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let mut t = Table::new(&["a,b"]);
+        t.push_row(vec!["x\"y".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"x\"\"y\""));
+    }
+
+    #[test]
+    fn mark_extreme_marks_max() {
+        let mut t = Table::new(&["row", "m1", "m2"]);
+        t.push_row(vec!["r".into(), "75.31±0.75".into(), "83.12±0.43".into()]);
+        mark_extreme(&mut t, &[1, 2], true, ("(", ")"));
+        assert_eq!(t.rows[0][2], "(83.12±0.43)");
+        assert_eq!(t.rows[0][1], "75.31±0.75");
+    }
+
+    #[test]
+    fn mark_extreme_marks_min() {
+        let mut t = Table::new(&["row", "m1", "m2"]);
+        t.push_row(vec!["r".into(), "75.31".into(), "83.12".into()]);
+        mark_extreme(&mut t, &[1, 2], false, ("**", "**"));
+        assert_eq!(t.rows[0][1], "**75.31**");
+    }
+}

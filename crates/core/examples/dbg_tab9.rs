@@ -1,0 +1,26 @@
+use bbgnn::prelude::*;
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let purity: f64 = args[1].parse().unwrap();
+    let active: usize = args[2].parse().unwrap();
+    let mut p = DatasetSpec::CoraLike.scaled_params(0.12);
+    p.feature_purity = purity;
+    p.active_features = active;
+    let g = DatasetSpec::Custom(p).generate(1.0, 7);
+    let mut atk = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+    let gp = atk.attack(&g).poisoned;
+    let acc = |views: Vec<View>, merged: bool, gr: &Graph| {
+        let mut m = Gnat::new(GnatConfig { views, merged, ..Default::default() });
+        m.fit(gr); m.test_accuracy(gr)
+    };
+    let mut gcn = Gcn::paper_default(TrainConfig::default());
+    gcn.fit(&g);
+    let clean = gcn.test_accuracy(&g);
+    let mut gcnp = Gcn::paper_default(TrainConfig::default());
+    gcnp.fit(&gp);
+    use View::*;
+    println!("purity {purity} active {active}: GCNclean {clean:.3} GCNpois {:.3} | t {:.3} f {:.3} e {:.3} tfe {:.3} merged-tfe {:.3}",
+        gcnp.test_accuracy(&gp),
+        acc(vec![Topology], false, &gp), acc(vec![Feature], false, &gp), acc(vec![Ego], false, &gp),
+        acc(vec![Topology, Feature, Ego], false, &gp), acc(vec![Topology, Feature, Ego], true, &gp));
+}

@@ -1,0 +1,281 @@
+//! Pro-GNN (Jin et al. 2020) — joint graph-structure learning defense.
+//!
+//! Pro-GNN learns a purified dense adjacency `S` jointly with the GCN
+//! parameters by alternating optimization of
+//!
+//! ```text
+//!   min_{θ, S}  γ L_gnn(θ, S) + μ ‖S − Â‖_F² + α ‖S‖₁ + β ‖S‖_*
+//!             + λ tr(X̂ᵀ L_S X̂)
+//! ```
+//!
+//! subject to `S ∈ [0,1]^{n×n}` symmetric. Each outer epoch (a) trains the
+//! GCN a few inner epochs on the current `S`, (b) takes a gradient step on
+//! the differentiable terms — the GNN loss gradient flows through the GCN
+//! normalization of the dense `S` variable; the fidelity and feature-
+//! smoothness gradients are analytic — and (c) applies the proximal
+//! operators: ℓ1 soft-thresholding and singular-value shrinkage (the
+//! nuclear-norm prox, via randomized SVD), followed by projection onto the
+//! symmetric box. The repeated SVDs make Pro-GNN by far the slowest
+//! defender, exactly as Table VIII reports.
+
+use crate::Defender;
+use bbgnn_autodiff::Tape;
+use bbgnn_linalg::svd::singular_value_shrink;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_graph::Graph;
+use bbgnn_gnn::gcn::Gcn;
+use bbgnn_gnn::train::{TrainConfig, TrainReport};
+use bbgnn_gnn::NodeClassifier;
+use std::rc::Rc;
+
+/// Pro-GNN configuration. Defaults follow the reference implementation's
+/// Cora settings scaled to this workspace's graph sizes.
+#[derive(Clone, Debug)]
+pub struct ProGnnConfig {
+    /// Outer (structure-learning) epochs.
+    pub outer_epochs: usize,
+    /// Inner GCN epochs per outer epoch.
+    pub inner_epochs: usize,
+    /// Structure learning rate.
+    pub lr_s: f64,
+    /// ℓ1 sparsity weight `α`.
+    pub alpha: f64,
+    /// Nuclear-norm weight `β`.
+    pub beta: f64,
+    /// GNN-loss weight `γ`.
+    pub gamma: f64,
+    /// Feature-smoothness weight `λ`.
+    pub lambda_smooth: f64,
+    /// Fidelity weight `μ` on `‖S − Â‖_F²`.
+    pub mu: f64,
+    /// Apply the (expensive) nuclear prox every this many outer epochs.
+    pub svd_every: usize,
+    /// Rank budget of the randomized SVD inside the nuclear prox (clamped
+    /// to `n`; keep it near `n` — aggressive truncation destroys the
+    /// learned structure rather than regularizing it).
+    pub svd_rank: usize,
+    /// Training configuration (inner and final GCN fits).
+    pub train: TrainConfig,
+}
+
+impl Default for ProGnnConfig {
+    fn default() -> Self {
+        Self {
+            outer_epochs: 12,
+            inner_epochs: 5,
+            lr_s: 0.5,
+            alpha: 1e-3,
+            beta: 0.05,
+            gamma: 5.0,
+            lambda_smooth: 5e-3,
+            mu: 0.1,
+            svd_every: 4,
+            svd_rank: usize::MAX,
+            train: TrainConfig::default(),
+        }
+    }
+}
+
+/// The Pro-GNN defender.
+pub struct ProGnn {
+    /// Configuration.
+    pub config: ProGnnConfig,
+    gcn: Gcn,
+    learned_an: Option<Rc<CsrMatrix>>,
+}
+
+impl ProGnn {
+    /// Creates an untrained Pro-GNN defender.
+    pub fn new(config: ProGnnConfig) -> Self {
+        let inner = TrainConfig {
+            epochs: config.inner_epochs,
+            patience: 0,
+            dropout: 0.0,
+            ..config.train.clone()
+        };
+        let gcn = Gcn::paper_default(inner);
+        Self { config, gcn, learned_an: None }
+    }
+
+    /// Pairwise squared feature distances `D[u][v] = ‖x_u − x_v‖²` — the
+    /// (constant) gradient of the feature-smoothness term.
+    fn feature_distance_matrix(x: &DenseMatrix) -> DenseMatrix {
+        // ‖x_u − x_v‖² = ‖x_u‖² + ‖x_v‖² − 2 x_u·x_v.
+        let gram = x.matmul_nt(x);
+        let sq: Vec<f64> = (0..x.rows()).map(|i| gram.get(i, i)).collect();
+        let n = x.rows();
+        let mut d = DenseMatrix::zeros(n, n);
+        for u in 0..n {
+            for v in 0..n {
+                d.set(u, v, (sq[u] + sq[v] - 2.0 * gram.get(u, v)).max(0.0));
+            }
+        }
+        d
+    }
+
+    /// Gradient of the GNN loss with respect to the dense structure `S`,
+    /// holding the current GCN weights fixed.
+    fn gnn_loss_grad(&self, s: &DenseMatrix, g: &Graph) -> DenseMatrix {
+        let w = self.gcn.weights();
+        let n = g.num_nodes();
+        let mut tape = Tape::new();
+        let sv = tape.var(s.clone());
+        let eye = Rc::new(DenseMatrix::identity(n));
+        let a_loop = tape.add_const(sv, eye);
+        let deg = tape.row_sum(a_loop);
+        let dinv = tape.pow_scalar(deg, -0.5);
+        let scaled = tape.scale_rows(a_loop, dinv);
+        let an = tape.scale_cols(scaled, dinv);
+        let xw0 = tape.constant(g.features.matmul(&w[0]));
+        let h1 = tape.matmul(an, xw0);
+        let h1 = tape.relu(h1);
+        let w1 = tape.constant(w[1].clone());
+        let hw = tape.matmul(h1, w1);
+        let logits = tape.matmul(an, hw);
+        let loss = tape.cross_entropy(
+            logits,
+            Rc::new(g.labels.clone()),
+            Rc::new(g.split.train.clone()),
+        );
+        tape.backward(loss);
+        tape.grad(sv).expect("structure gradient").clone()
+    }
+
+    /// The learned purified adjacency (normalized), if fitted.
+    pub fn learned_adjacency(&self) -> Option<&Rc<CsrMatrix>> {
+        self.learned_an.as_ref()
+    }
+}
+
+impl NodeClassifier for ProGnn {
+    fn fit(&mut self, g: &Graph) -> TrainReport {
+        let cfg = self.config.clone();
+        let n = g.num_nodes();
+        let a_hat = g.adjacency_dense();
+        let mut s = a_hat.clone();
+        let smooth_grad = Self::feature_distance_matrix(&g.features);
+        let mut last_report = None;
+
+        for outer in 0..cfg.outer_epochs {
+            // (a) Inner GCN fit on the current structure.
+            let an = Rc::new(CsrMatrix::from_dense(&s, 1e-4).gcn_normalize());
+            last_report = Some(self.gcn.fit_on(g, Rc::clone(&an)));
+
+            // (b) Gradient step on the differentiable terms.
+            let mut grad = self.gnn_loss_grad(&s, g).scale(cfg.gamma);
+            // Fidelity: ∇ μ‖S − Â‖² = 2μ(S − Â).
+            grad.axpy(2.0 * cfg.mu, &s.sub(&a_hat));
+            // Smoothness: ∇ λ tr(XᵀL_S X) = (λ/2) D.
+            grad.axpy(0.5 * cfg.lambda_smooth, &smooth_grad);
+            s.axpy(-cfg.lr_s, &grad);
+
+            // (c) Proximal operators and projection.
+            let shrink = cfg.lr_s * cfg.alpha;
+            s.map_inplace(|v| {
+                // ℓ1 soft threshold then box projection.
+                let shrunk = if v > shrink {
+                    v - shrink
+                } else if v < -shrink {
+                    v + shrink
+                } else {
+                    0.0
+                };
+                shrunk.clamp(0.0, 1.0)
+            });
+            if cfg.svd_every > 0 && (outer + 1) % cfg.svd_every == 0 {
+                s = singular_value_shrink(
+                    &s,
+                    cfg.lr_s * cfg.beta,
+                    cfg.svd_rank.min(n),
+                    cfg.train.seed.wrapping_add(outer as u64),
+                );
+                s.map_inplace(|v| v.clamp(0.0, 1.0));
+            }
+            s.symmetrize();
+            for i in 0..n {
+                s.set(i, i, 0.0);
+            }
+        }
+
+        // Final full GCN fit on the learned structure.
+        let an = Rc::new(CsrMatrix::from_dense(&s, 1e-4).gcn_normalize());
+        self.learned_an = Some(Rc::clone(&an));
+        let mut final_gcn = Gcn::paper_default(cfg.train.clone());
+        let report = final_gcn.fit_on(g, an);
+        self.gcn = final_gcn;
+        let _ = last_report;
+        report
+    }
+
+    fn predict(&self, g: &Graph) -> Vec<usize> {
+        let an = self.learned_an.as_ref().expect("model is not trained");
+        self.gcn.logits_on(&g.features, an).row_argmax()
+    }
+}
+
+impl Defender for ProGnn {
+    fn name(&self) -> String {
+        "Pro-GNN".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbgnn_graph::datasets::DatasetSpec;
+
+    fn small_cfg() -> ProGnnConfig {
+        // Miniature graphs (~150 nodes, 15 train labels) give the GNN-loss
+        // gradient little signal; gentler structure-learning dynamics than
+        // the experiment-scale defaults keep the test meaningful.
+        ProGnnConfig {
+            outer_epochs: 8,
+            inner_epochs: 3,
+            svd_every: 4,
+            lr_s: 0.05,
+            alpha: 5e-4,
+            gamma: 1.0,
+            lambda_smooth: 1e-3,
+            mu: 1.0,
+            train: TrainConfig::fast_test(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn feature_distance_matrix_is_correct() {
+        let x = DenseMatrix::from_rows(&[&[0.0, 0.0], &[3.0, 4.0]]);
+        let d = ProGnn::feature_distance_matrix(&x);
+        assert_eq!(d.get(0, 0), 0.0);
+        assert!((d.get(0, 1) - 25.0).abs() < 1e-12);
+        assert!((d.get(1, 0) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_clean_graph() {
+        let g = DatasetSpec::CoraLike.generate(0.05, 141);
+        let mut p = ProGnn::new(small_cfg());
+        p.fit(&g);
+        let acc = p.test_accuracy(&g);
+        assert!(acc > 0.5, "Pro-GNN clean accuracy {acc} too low");
+    }
+
+    #[test]
+    fn recovers_accuracy_on_poisoned_graph() {
+        use bbgnn_attack::peega::{Peega, PeegaConfig};
+        use bbgnn_attack::Attacker;
+        let g = DatasetSpec::CoraLike.generate(0.06, 142);
+        let mut atk = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+        let poisoned = atk.attack(&g).poisoned;
+        let mut gcn = Gcn::paper_default(TrainConfig::fast_test());
+        gcn.fit(&poisoned);
+        let gcn_acc = gcn.test_accuracy(&poisoned);
+        let mut p = ProGnn::new(small_cfg());
+        p.fit(&poisoned);
+        let pro_acc = p.test_accuracy(&poisoned);
+        assert!(
+            pro_acc > gcn_acc - 0.05,
+            "Pro-GNN ({pro_acc}) should not collapse below GCN ({gcn_acc})"
+        );
+    }
+}

@@ -1,0 +1,121 @@
+//! GCN-SVD (Entezari et al. 2020) — low-rank preprocessing defense.
+//!
+//! Adversarial edge perturbations concentrate in the high-rank tail of the
+//! adjacency spectrum, so GCN-SVD replaces the poisoned adjacency with its
+//! rank-`k` approximation (negative entries clamped to zero) and trains a
+//! GCN over the resulting weighted graph.
+
+use crate::Defender;
+use bbgnn_linalg::svd::randomized_svd;
+use bbgnn_linalg::CsrMatrix;
+use bbgnn_graph::Graph;
+use bbgnn_gnn::gcn::Gcn;
+use bbgnn_gnn::train::{TrainConfig, TrainReport};
+use bbgnn_gnn::NodeClassifier;
+use std::rc::Rc;
+
+/// GCN-SVD configuration.
+#[derive(Clone, Debug)]
+pub struct GcnSvdConfig {
+    /// Reduced rank (the paper tunes `{5, 10, 15, 50, 100, 200}`).
+    pub rank: usize,
+    /// Entries of the low-rank adjacency below this magnitude are dropped
+    /// when rebuilding the sparse propagation matrix.
+    pub sparsify_tol: f64,
+    /// Training configuration of the downstream GCN.
+    pub train: TrainConfig,
+}
+
+impl Default for GcnSvdConfig {
+    fn default() -> Self {
+        Self { rank: 15, sparsify_tol: 1e-3, train: TrainConfig::default() }
+    }
+}
+
+/// The GCN-SVD defender.
+pub struct GcnSvd {
+    /// Configuration.
+    pub config: GcnSvdConfig,
+    gcn: Gcn,
+    purified_an: Option<Rc<CsrMatrix>>,
+}
+
+impl GcnSvd {
+    /// Creates an untrained GCN-SVD defender.
+    pub fn new(config: GcnSvdConfig) -> Self {
+        let gcn = Gcn::paper_default(config.train.clone());
+        Self { config, gcn, purified_an: None }
+    }
+
+    /// Rank-`k` purified adjacency of `g` (non-negative, weighted).
+    pub fn purify(&self, g: &Graph) -> CsrMatrix {
+        let a = g.adjacency_dense();
+        let svd = randomized_svd(&a, self.config.rank, 8, 2, self.config.train.seed);
+        let mut low = svd.reconstruct();
+        low.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
+        CsrMatrix::from_dense(&low, self.config.sparsify_tol)
+    }
+}
+
+impl NodeClassifier for GcnSvd {
+    fn fit(&mut self, g: &Graph) -> TrainReport {
+        let an = Rc::new(self.purify(g).gcn_normalize());
+        self.purified_an = Some(Rc::clone(&an));
+        self.gcn.fit_on(g, an)
+    }
+
+    fn predict(&self, g: &Graph) -> Vec<usize> {
+        let an = self.purified_an.as_ref().expect("model is not trained");
+        self.gcn.logits_on(&g.features, an).row_argmax()
+    }
+}
+
+impl Defender for GcnSvd {
+    fn name(&self) -> String {
+        "GCN-SVD".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbgnn_graph::datasets::DatasetSpec;
+
+    #[test]
+    fn purified_adjacency_is_nonnegative_low_rank() {
+        let g = DatasetSpec::CoraLike.generate(0.05, 121);
+        let d = GcnSvd::new(GcnSvdConfig { rank: 10, ..Default::default() });
+        let purified = d.purify(&g);
+        for u in 0..purified.rows() {
+            for (_, w) in purified.row_iter(u) {
+                assert!(w >= 0.0, "negative weight survived clamping");
+            }
+        }
+    }
+
+    #[test]
+    fn trains_and_predicts() {
+        let g = DatasetSpec::CoraLike.generate(0.06, 122);
+        let mut d = GcnSvd::new(GcnSvdConfig {
+            rank: 20,
+            train: TrainConfig::fast_test(),
+            ..Default::default()
+        });
+        d.fit(&g);
+        let acc = d.test_accuracy(&g);
+        // Low-rank truncation costs some clean accuracy (cf. Table IV where
+        // GCN-SVD is the weakest on the clean graph) but stays usable.
+        assert!(acc > 0.4, "GCN-SVD accuracy {acc} too low");
+    }
+
+    #[test]
+    fn higher_rank_preserves_more_signal() {
+        let g = DatasetSpec::CoraLike.generate(0.06, 123);
+        let d5 = GcnSvd::new(GcnSvdConfig { rank: 5, ..Default::default() });
+        let d50 = GcnSvd::new(GcnSvdConfig { rank: 50, ..Default::default() });
+        let a = g.adjacency_dense();
+        let e5 = d5.purify(&g).to_dense().sub(&a).frobenius_norm();
+        let e50 = d50.purify(&g).to_dense().sub(&a).frobenius_norm();
+        assert!(e50 < e5, "rank 50 must approximate better than rank 5");
+    }
+}

@@ -1,0 +1,82 @@
+//! Accuracy and repeated-run statistics.
+
+/// Fraction of `nodes` where `preds` matches `labels`.
+///
+/// # Panics
+/// Panics if `nodes` is empty or contains out-of-range indices.
+pub fn accuracy(preds: &[usize], labels: &[usize], nodes: &[usize]) -> f64 {
+    assert!(!nodes.is_empty(), "accuracy over an empty node set");
+    let correct = nodes.iter().filter(|&&v| preds[v] == labels[v]).count();
+    correct as f64 / nodes.len() as f64
+}
+
+/// Mean and (population) standard deviation of repeated-run results — the
+/// `Accuracy±Std` format of the paper's tables.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MeanStd {
+    /// Mean over runs.
+    pub mean: f64,
+    /// Population standard deviation over runs.
+    pub std: f64,
+}
+
+impl MeanStd {
+    /// Computes mean ± std of `values`.
+    ///
+    /// # Panics
+    /// Panics on an empty slice.
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "MeanStd of an empty slice");
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
+        Self { mean, std: var.sqrt() }
+    }
+}
+
+impl std::fmt::Display for MeanStd {
+    /// Formats as percentage with two decimals, e.g. `83.36±0.19`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}±{:.2}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches_on_subset() {
+        let preds = vec![0, 1, 2, 0];
+        let labels = vec![0, 1, 0, 1];
+        assert_eq!(accuracy(&preds, &labels, &[0, 1, 2, 3]), 0.5);
+        assert_eq!(accuracy(&preds, &labels, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&preds, &labels, &[2, 3]), 0.0);
+    }
+
+    #[test]
+    fn mean_std_of_constant_is_zero_std() {
+        let s = MeanStd::of(&[0.5, 0.5, 0.5]);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn mean_std_known_values() {
+        let s = MeanStd::of(&[0.0, 1.0]);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(s.std, 0.5);
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        let s = MeanStd { mean: 0.8336, std: 0.0019 };
+        assert_eq!(s.to_string(), "83.36±0.19");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty node set")]
+    fn accuracy_empty_panics() {
+        let _ = accuracy(&[0], &[0], &[]);
+    }
+}

@@ -1,0 +1,198 @@
+//! The Kipf–Welling graph convolutional network (Eq. 1–2 of the paper).
+
+use crate::train::{train_node_classifier, TrainConfig, TrainReport};
+use crate::NodeClassifier;
+use bbgnn_autodiff::{Tape, TensorId};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_graph::Graph;
+use std::rc::Rc;
+
+/// A GCN with `layers.len() + 1` weight matrices:
+/// `Z = softmax(A_n σ(A_n … σ(A_n X W⁰) …) W^L)`.
+///
+/// The paper's victim model is the 2-layer instance with 16 hidden units;
+/// [`Gcn::paper_default`] builds exactly that. Depth is configurable for
+/// the Fig. 7(b) layer-sensitivity experiment.
+pub struct Gcn {
+    /// Hidden layer widths (one entry per hidden layer).
+    pub hidden: Vec<usize>,
+    /// Training configuration.
+    pub config: TrainConfig,
+    weights: Vec<DenseMatrix>,
+    trained_on: Option<Rc<CsrMatrix>>,
+}
+
+impl Gcn {
+    /// Creates an untrained GCN with the given hidden widths.
+    pub fn new(hidden: Vec<usize>, config: TrainConfig) -> Self {
+        Self { hidden, config, weights: Vec::new(), trained_on: None }
+    }
+
+    /// The paper's victim: 2 layers, 16 hidden units.
+    pub fn paper_default(config: TrainConfig) -> Self {
+        Self::new(vec![16], config)
+    }
+
+    /// Trained weights (empty before [`NodeClassifier::fit`]).
+    pub fn weights(&self) -> &[DenseMatrix] {
+        &self.weights
+    }
+
+    fn init_weights(&self, in_dim: usize, num_classes: usize) -> Vec<DenseMatrix> {
+        let mut dims = vec![in_dim];
+        dims.extend(&self.hidden);
+        dims.push(num_classes);
+        dims.windows(2)
+            .enumerate()
+            .map(|(i, w)| DenseMatrix::glorot(w[0], w[1], self.config.seed.wrapping_add(i as u64)))
+            .collect()
+    }
+
+    /// Builds the forward pass on `tape`: registers weights as variables
+    /// and returns `(logits, weight_ids)`. `epoch == usize::MAX` disables
+    /// dropout (inference).
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        weights: &[DenseMatrix],
+        an: &Rc<CsrMatrix>,
+        x: &DenseMatrix,
+        dropout: f64,
+        epoch: usize,
+    ) -> (TensorId, Vec<TensorId>) {
+        let ids: Vec<TensorId> = weights.iter().map(|w| tape.var(w.clone())).collect();
+        let mut h = tape.constant(x.clone());
+        let last = ids.len() - 1;
+        for (l, &w) in ids.iter().enumerate() {
+            // Dropout on the input of every layer (as in the reference
+            // implementation) during training only.
+            if dropout > 0.0 && epoch != usize::MAX {
+                let seed = self
+                    .config
+                    .seed
+                    .wrapping_add(1000)
+                    .wrapping_add((epoch as u64) * 31 + l as u64);
+                h = tape.dropout(h, dropout, seed);
+            }
+            let hw = tape.matmul(h, w);
+            h = tape.spmm(Rc::clone(an), hw);
+            if l < last {
+                h = tape.relu(h);
+            }
+        }
+        (h, ids)
+    }
+
+    /// Trains on `g` but propagates over a caller-supplied (possibly
+    /// weighted or purified) normalized adjacency — the entry point used by
+    /// preprocessing defenders like GCN-SVD.
+    pub fn fit_on(&mut self, g: &Graph, an: Rc<CsrMatrix>) -> TrainReport {
+        assert_eq!(an.rows(), g.num_nodes(), "adjacency size mismatch");
+        self.trained_on = Some(Rc::clone(&an));
+        let mut weights = self.init_weights(g.feature_dim(), g.num_classes);
+        let dropout = self.config.dropout;
+        let x = g.features.clone();
+        let cfg = self.config.clone();
+        let this = &*self;
+        let report = train_node_classifier(&mut weights, g, &cfg, |tape, params, epoch| {
+            this.forward(tape, params, &an, &x, dropout, epoch)
+        });
+        self.weights = weights;
+        report
+    }
+
+    /// Logits using the trained weights over a caller-supplied normalized
+    /// adjacency.
+    pub fn logits_on(&self, features: &DenseMatrix, an: &Rc<CsrMatrix>) -> DenseMatrix {
+        assert!(!self.weights.is_empty(), "model is not trained");
+        let mut tape = Tape::new();
+        let (out, _) = self.forward(&mut tape, &self.weights, an, features, 0.0, usize::MAX);
+        tape.value(out).clone()
+    }
+
+    /// Logits for an arbitrary graph using the trained weights.
+    pub fn logits(&self, g: &Graph) -> DenseMatrix {
+        let an = Rc::new(g.normalized_adjacency());
+        self.logits_on(&g.features, &an)
+    }
+
+    /// The adjacency this model was trained on, if any.
+    pub fn trained_adjacency(&self) -> Option<&Rc<CsrMatrix>> {
+        self.trained_on.as_ref()
+    }
+}
+
+impl NodeClassifier for Gcn {
+    fn fit(&mut self, g: &Graph) -> TrainReport {
+        self.fit_on(g, Rc::new(g.normalized_adjacency()))
+    }
+
+    fn predict(&self, g: &Graph) -> Vec<usize> {
+        self.logits(g).row_argmax()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bbgnn_graph::datasets::DatasetSpec;
+
+    #[test]
+    fn gcn_learns_homophilous_sbm() {
+        let g = DatasetSpec::CoraLike.generate(0.08, 21);
+        let mut gcn = Gcn::paper_default(TrainConfig::fast_test());
+        let report = gcn.fit(&g);
+        assert!(report.final_loss.is_finite());
+        let acc = gcn.test_accuracy(&g);
+        assert!(acc > 0.6, "GCN accuracy {acc} too low on a clean homophilous graph");
+    }
+
+    #[test]
+    fn gcn_beats_majority_on_identity_features() {
+        // Polblogs-like: only the topology is informative.
+        let g = DatasetSpec::PolblogsLike.generate(0.15, 22);
+        let mut gcn = Gcn::paper_default(TrainConfig::fast_test());
+        gcn.fit(&g);
+        let acc = gcn.test_accuracy(&g);
+        assert!(acc > 0.75, "GCN accuracy {acc} too low on polblogs-like");
+    }
+
+    #[test]
+    fn deeper_gcn_still_trains() {
+        let g = DatasetSpec::CoraLike.generate(0.05, 23);
+        let mut gcn = Gcn::new(vec![16, 16, 16], TrainConfig::fast_test());
+        gcn.fit(&g);
+        let acc = gcn.test_accuracy(&g);
+        assert!(acc > 0.35, "3-hidden-layer GCN accuracy {acc} unexpectedly low");
+    }
+
+    #[test]
+    fn logits_shape_and_prediction_range() {
+        let g = DatasetSpec::CiteseerLike.generate(0.05, 24);
+        let mut gcn = Gcn::paper_default(TrainConfig::fast_test());
+        gcn.fit(&g);
+        let logits = gcn.logits(&g);
+        assert_eq!(logits.shape(), (g.num_nodes(), g.num_classes));
+        for p in gcn.predict(&g) {
+            assert!(p < g.num_classes);
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic_given_seed() {
+        let g = DatasetSpec::CoraLike.generate(0.05, 25);
+        let mut a = Gcn::paper_default(TrainConfig::fast_test());
+        let mut b = Gcn::paper_default(TrainConfig::fast_test());
+        a.fit(&g);
+        b.fit(&g);
+        assert_eq!(a.predict(&g), b.predict(&g));
+    }
+
+    #[test]
+    #[should_panic(expected = "not trained")]
+    fn predict_before_fit_panics() {
+        let g = DatasetSpec::CoraLike.generate(0.05, 26);
+        let gcn = Gcn::paper_default(TrainConfig::fast_test());
+        let _ = gcn.predict(&g);
+    }
+}

@@ -1,0 +1,172 @@
+//! Plain-text dataset persistence.
+//!
+//! Format (one directory per dataset):
+//!
+//! * `meta.txt` — `nodes classes feature_dim` on one line;
+//! * `edges.txt` — one `u v` pair per line (undirected, any order);
+//! * `features.txt` — per node, the indices of its active feature bits
+//!   (space-separated; empty line = no active bits). `identity` on the
+//!   first line means identity features;
+//! * `labels.txt` — one label per line;
+//! * `split.txt` — three lines: train, valid, test node indices.
+//!
+//! This is deliberately simple so the real Cora/Citeseer/Polblogs data can
+//! be exported from DeepRobust with a few lines of Python and dropped in.
+
+use crate::splits::Split;
+use crate::Graph;
+use bbgnn_linalg::DenseMatrix;
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Saves `g` into directory `dir` (created if missing).
+pub fn save(g: &Graph, dir: &Path) -> io::Result<()> {
+    fs::create_dir_all(dir)?;
+    fs::write(
+        dir.join("meta.txt"),
+        format!("{} {} {}\n", g.num_nodes(), g.num_classes, g.feature_dim()),
+    )?;
+    let mut edges = String::new();
+    for (u, v) in g.edges() {
+        writeln!(edges, "{u} {v}").unwrap();
+    }
+    fs::write(dir.join("edges.txt"), edges)?;
+
+    let identity = is_identity(&g.features);
+    let mut feats = String::new();
+    if identity {
+        feats.push_str("identity\n");
+    } else {
+        for v in 0..g.num_nodes() {
+            let active: Vec<String> = g
+                .features
+                .row(v)
+                .iter()
+                .enumerate()
+                .filter(|(_, &x)| x != 0.0)
+                .map(|(j, _)| j.to_string())
+                .collect();
+            writeln!(feats, "{}", active.join(" ")).unwrap();
+        }
+    }
+    fs::write(dir.join("features.txt"), feats)?;
+
+    let labels: String = g.labels.iter().map(|y| format!("{y}\n")).collect();
+    fs::write(dir.join("labels.txt"), labels)?;
+
+    let mut split = String::new();
+    for set in [&g.split.train, &g.split.valid, &g.split.test] {
+        let line: Vec<String> = set.iter().map(|v| v.to_string()).collect();
+        writeln!(split, "{}", line.join(" ")).unwrap();
+    }
+    fs::write(dir.join("split.txt"), split)?;
+    Ok(())
+}
+
+/// Loads a graph previously written by [`save`] (or exported externally in
+/// the same format).
+pub fn load(dir: &Path) -> io::Result<Graph> {
+    let meta = fs::read_to_string(dir.join("meta.txt"))?;
+    let mut it = meta.split_whitespace();
+    let parse_err = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}"));
+    let n: usize = it.next().ok_or_else(|| parse_err("meta"))?.parse().map_err(|_| parse_err("meta"))?;
+    let classes: usize =
+        it.next().ok_or_else(|| parse_err("meta"))?.parse().map_err(|_| parse_err("meta"))?;
+    let dim: usize =
+        it.next().ok_or_else(|| parse_err("meta"))?.parse().map_err(|_| parse_err("meta"))?;
+
+    let mut edges = Vec::new();
+    for line in fs::read_to_string(dir.join("edges.txt"))?.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut p = line.split_whitespace();
+        let u: usize = p.next().ok_or_else(|| parse_err("edge"))?.parse().map_err(|_| parse_err("edge"))?;
+        let v: usize = p.next().ok_or_else(|| parse_err("edge"))?.parse().map_err(|_| parse_err("edge"))?;
+        edges.push((u, v));
+    }
+
+    let feats_text = fs::read_to_string(dir.join("features.txt"))?;
+    let features = if feats_text.trim_start().starts_with("identity") {
+        DenseMatrix::identity(n)
+    } else {
+        let mut x = DenseMatrix::zeros(n, dim);
+        for (v, line) in feats_text.lines().enumerate().take(n) {
+            for tok in line.split_whitespace() {
+                let j: usize = tok.parse().map_err(|_| parse_err("feature"))?;
+                x.set(v, j, 1.0);
+            }
+        }
+        x
+    };
+
+    let labels: Vec<usize> = fs::read_to_string(dir.join("labels.txt"))?
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| l.trim().parse().map_err(|_| parse_err("label")))
+        .collect::<io::Result<_>>()?;
+
+    let split_text = fs::read_to_string(dir.join("split.txt"))?;
+    let mut sets = split_text.lines().map(|line| {
+        line.split_whitespace()
+            .map(|t| t.parse::<usize>().map_err(|_| parse_err("split")))
+            .collect::<io::Result<Vec<usize>>>()
+    });
+    let train = sets.next().transpose()?.unwrap_or_default();
+    let valid = sets.next().transpose()?.unwrap_or_default();
+    let test = sets.next().transpose()?.unwrap_or_default();
+
+    Ok(Graph::new(n, &edges, features, labels, classes, Split { train, valid, test }))
+}
+
+fn is_identity(m: &DenseMatrix) -> bool {
+    if m.rows() != m.cols() {
+        return false;
+    }
+    for i in 0..m.rows() {
+        for (j, &v) in m.row(i).iter().enumerate() {
+            if (i == j && v != 1.0) || (i != j && v != 0.0) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::DatasetSpec;
+
+    #[test]
+    fn roundtrip_preserves_graph() {
+        let g = DatasetSpec::CoraLike.generate(0.05, 9);
+        let dir = std::env::temp_dir().join("bbgnn_io_roundtrip");
+        save(&g, &dir).unwrap();
+        let h = load(&dir).unwrap();
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        assert_eq!(g.num_edges(), h.num_edges());
+        assert_eq!(g.labels, h.labels);
+        assert_eq!(g.features, h.features);
+        assert_eq!(g.split.train, h.split.train);
+        assert_eq!(g.split.test, h.split.test);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn roundtrip_identity_features() {
+        let g = DatasetSpec::PolblogsLike.generate(0.05, 9);
+        let dir = std::env::temp_dir().join("bbgnn_io_roundtrip_id");
+        save(&g, &dir).unwrap();
+        let h = load(&dir).unwrap();
+        assert_eq!(g.features, h.features);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_missing_dir_errors() {
+        assert!(load(Path::new("/nonexistent/bbgnn")).is_err());
+    }
+}

@@ -1,0 +1,27 @@
+//! Graph container, edit operations, robustness metrics, and dataset
+//! substrate for the `bbgnn` workspace.
+//!
+//! The paper's setting is semi-supervised node classification on an
+//! undirected graph with binary node features ([`Graph`]). This crate
+//! provides:
+//!
+//! * [`Graph`] — adjacency (undirected, unweighted), binary features,
+//!   labels, and train/valid/test splits, plus the edit operations that
+//!   attackers ([`Graph::flip_edge`]) and defenders
+//!   ([`Graph::with_adjacency`]) perform;
+//! * [`metrics`] — homophily (Fig. 1), edge-difference breakdowns
+//!   (Fig. 2), and cross-label neighborhood similarity (Fig. 3);
+//! * [`datasets`] — synthetic generators calibrated to the statistics of
+//!   Cora, Citeseer, and Polblogs (Table III) plus a plain-text loader for
+//!   user-provided real datasets.
+
+#![deny(missing_docs)]
+
+pub mod datasets;
+pub mod graph;
+pub mod metrics;
+pub mod metrics_utility;
+pub mod splits;
+
+pub use graph::Graph;
+pub use splits::Split;

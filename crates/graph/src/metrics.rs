@@ -1,0 +1,255 @@
+//! Robustness metrics used by the paper's analysis figures.
+//!
+//! * [`edge_homophily`] — the proportion of edges whose endpoints share a
+//!   label (Fig. 1);
+//! * [`edge_diff_breakdown`] — the Add/Del × Same/Diff classification of
+//!   topology modifications (Fig. 2);
+//! * [`cross_label_similarity`] — the cross-label neighborhood similarity
+//!   matrix of Ma et al. (Fig. 3).
+
+use crate::Graph;
+use bbgnn_linalg::dense::cosine_similarity;
+use bbgnn_linalg::DenseMatrix;
+
+/// Proportion of edges whose endpoints have the same label (Fig. 1).
+/// Returns 0 on an edgeless graph.
+pub fn edge_homophily(g: &Graph) -> f64 {
+    let mut same = 0usize;
+    let mut total = 0usize;
+    for (u, v) in g.edges() {
+        total += 1;
+        if g.labels[u] == g.labels[v] {
+            same += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        same as f64 / total as f64
+    }
+}
+
+/// Edge-difference breakdown between a clean graph and a poisoned graph
+/// (Fig. 2): additions/deletions split by whether the endpoints share a
+/// label. Labels are taken from the clean graph.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EdgeDiffBreakdown {
+    /// Edges added between same-label endpoints.
+    pub add_same: usize,
+    /// Edges added between different-label endpoints.
+    pub add_diff: usize,
+    /// Edges deleted between same-label endpoints.
+    pub del_same: usize,
+    /// Edges deleted between different-label endpoints.
+    pub del_diff: usize,
+}
+
+impl EdgeDiffBreakdown {
+    /// Total modified edges.
+    pub fn total(&self) -> usize {
+        self.add_same + self.add_diff + self.del_same + self.del_diff
+    }
+}
+
+/// Computes the Fig. 2 breakdown of `poisoned` relative to `clean`.
+///
+/// # Panics
+/// Panics if the graphs have different node counts.
+pub fn edge_diff_breakdown(clean: &Graph, poisoned: &Graph) -> EdgeDiffBreakdown {
+    assert_eq!(clean.num_nodes(), poisoned.num_nodes(), "node count mismatch");
+    let mut out = EdgeDiffBreakdown::default();
+    for (u, v) in poisoned.edges() {
+        if !clean.has_edge(u, v) {
+            if clean.labels[u] == clean.labels[v] {
+                out.add_same += 1;
+            } else {
+                out.add_diff += 1;
+            }
+        }
+    }
+    for (u, v) in clean.edges() {
+        if !poisoned.has_edge(u, v) {
+            if clean.labels[u] == clean.labels[v] {
+                out.del_same += 1;
+            } else {
+                out.del_diff += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Cross-label neighborhood similarity (Fig. 3): entry `(y_i, y_j)` is the
+/// mean cosine similarity between the normalized 1-hop neighbor label
+/// histograms of nodes labeled `y_i` and nodes labeled `y_j`.
+///
+/// Nodes without neighbors contribute a zero histogram. The diagonal is the
+/// intra-label similarity; off-diagonals are inter-label similarities.
+pub fn cross_label_similarity(g: &Graph) -> DenseMatrix {
+    let k = g.num_classes;
+    let n = g.num_nodes();
+    // Normalized label histogram of each node's neighborhood.
+    let mut hist = DenseMatrix::zeros(n, k);
+    for v in 0..n {
+        let deg = g.degree(v);
+        if deg == 0 {
+            continue;
+        }
+        for u in g.neighbors(v) {
+            hist.add_at(v, g.labels[u], 1.0 / deg as f64);
+        }
+    }
+    let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (v, &y) in g.labels.iter().enumerate() {
+        by_class[y].push(v);
+    }
+    let mut sim = DenseMatrix::zeros(k, k);
+    for yi in 0..k {
+        for yj in yi..k {
+            let mut acc = 0.0;
+            let mut count = 0usize;
+            for &v in &by_class[yi] {
+                for &u in &by_class[yj] {
+                    if yi == yj && v == u {
+                        continue;
+                    }
+                    acc += cosine_similarity(hist.row(v), hist.row(u));
+                    count += 1;
+                }
+            }
+            let value = if count == 0 { 0.0 } else { acc / count as f64 };
+            sim.set(yi, yj, value);
+            sim.set(yj, yi, value);
+        }
+    }
+    sim
+}
+
+/// Mean intra-label (diagonal) and inter-label (off-diagonal) similarity of
+/// a [`cross_label_similarity`] matrix.
+pub fn intra_inter_similarity(sim: &DenseMatrix) -> (f64, f64) {
+    let k = sim.rows();
+    let intra: f64 = (0..k).map(|i| sim.get(i, i)).sum::<f64>() / k as f64;
+    if k < 2 {
+        return (intra, 0.0);
+    }
+    let mut inter = 0.0;
+    for i in 0..k {
+        for j in 0..k {
+            if i != j {
+                inter += sim.get(i, j);
+            }
+        }
+    }
+    (intra, inter / (k * (k - 1)) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splits::Split;
+    use bbgnn_linalg::DenseMatrix;
+
+    /// Two triangles joined by one cross edge; labels = triangle id.
+    fn two_triangles() -> Graph {
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        Graph::new(
+            6,
+            &edges,
+            DenseMatrix::identity(6),
+            vec![0, 0, 0, 1, 1, 1],
+            2,
+            Split::trivial(6),
+        )
+    }
+
+    #[test]
+    fn homophily_of_two_triangles() {
+        let g = two_triangles();
+        // 6 intra edges, 1 inter edge.
+        assert!((edge_homophily(&g) - 6.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn homophily_extremes() {
+        let same = Graph::new(
+            3,
+            &[(0, 1), (1, 2)],
+            DenseMatrix::identity(3),
+            vec![0, 0, 0],
+            1,
+            Split::trivial(3),
+        );
+        assert_eq!(edge_homophily(&same), 1.0);
+        let diff = Graph::new(
+            2,
+            &[(0, 1)],
+            DenseMatrix::identity(2),
+            vec![0, 1],
+            2,
+            Split::trivial(2),
+        );
+        assert_eq!(edge_homophily(&diff), 0.0);
+    }
+
+    #[test]
+    fn edge_diff_classifies_all_four_cases() {
+        let clean = two_triangles();
+        let mut poison = clean.clone();
+        poison.flip_edge(0, 3); // add diff
+        poison.flip_edge(0, 4); // add diff
+        poison.flip_edge(1, 2); // del same
+        poison.flip_edge(2, 3); // del diff
+        let d = edge_diff_breakdown(&clean, &poison);
+        assert_eq!(d, EdgeDiffBreakdown { add_same: 0, add_diff: 2, del_same: 1, del_diff: 1 });
+        assert_eq!(d.total(), 4);
+    }
+
+    #[test]
+    fn clean_graph_has_no_diff() {
+        let g = two_triangles();
+        assert_eq!(edge_diff_breakdown(&g, &g).total(), 0);
+    }
+
+    #[test]
+    fn cross_label_similarity_is_high_intra_on_homophilous_graph() {
+        let g = two_triangles();
+        let sim = cross_label_similarity(&g);
+        let (intra, inter) = intra_inter_similarity(&sim);
+        assert!(intra > inter, "intra {intra} must exceed inter {inter}");
+        assert_eq!(sim.get(0, 1), sim.get(1, 0), "similarity matrix is symmetric");
+    }
+
+    #[test]
+    fn adding_cross_label_edges_raises_inter_similarity() {
+        let clean = two_triangles();
+        let mut poison = clean.clone();
+        // Blur the context: connect every cross pair.
+        for u in 0..3 {
+            for v in 3..6 {
+                poison.add_edge(u, v);
+            }
+        }
+        let (_, inter_clean) = intra_inter_similarity(&cross_label_similarity(&clean));
+        let (_, inter_poison) = intra_inter_similarity(&cross_label_similarity(&poison));
+        assert!(
+            inter_poison > inter_clean,
+            "cross-label additions must blur contexts: {inter_poison} <= {inter_clean}"
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_contribute_zero_histograms() {
+        let g = Graph::new(
+            3,
+            &[(0, 1)],
+            DenseMatrix::identity(3),
+            vec![0, 0, 1],
+            2,
+            Split::trivial(3),
+        );
+        let sim = cross_label_similarity(&g);
+        // Class 1 has a single isolated node: zero histogram, similarity 0.
+        assert_eq!(sim.get(1, 1), 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Graph-utility statistics for the privacy-publication scenario: when a
+//! platform perturbs a graph before release (the paper's introduction),
+//! these summaries quantify how much analytic utility the published graph
+//! retains.
+
+use crate::Graph;
+
+/// Summary statistics of a graph's topology.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Global (mean local) clustering coefficient.
+    pub clustering: f64,
+    /// Fraction of isolated nodes.
+    pub isolated_fraction: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &Graph) -> GraphStats {
+    let n = g.num_nodes();
+    let degrees: Vec<usize> = (0..n).map(|v| g.degree(v)).collect();
+    let mean_degree = degrees.iter().sum::<usize>() as f64 / n as f64;
+    let max_degree = degrees.iter().copied().max().unwrap_or(0);
+    let isolated = degrees.iter().filter(|&&d| d == 0).count();
+    GraphStats {
+        nodes: n,
+        edges: g.num_edges(),
+        mean_degree,
+        max_degree,
+        clustering: average_clustering(g),
+        isolated_fraction: isolated as f64 / n as f64,
+    }
+}
+
+/// Mean local clustering coefficient: for each node with degree ≥ 2, the
+/// fraction of neighbor pairs that are themselves connected; nodes with
+/// degree < 2 contribute 0 (the networkx convention).
+pub fn average_clustering(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for v in 0..n {
+        let neigh: Vec<usize> = g.neighbors(v).collect();
+        let d = neigh.len();
+        if d < 2 {
+            continue;
+        }
+        let mut closed = 0usize;
+        for i in 0..d {
+            for j in (i + 1)..d {
+                if g.has_edge(neigh[i], neigh[j]) {
+                    closed += 1;
+                }
+            }
+        }
+        total += closed as f64 / (d * (d - 1) / 2) as f64;
+    }
+    total / n as f64
+}
+
+/// Relative utility drift between an original graph and its published
+/// (perturbed) version: mean absolute relative change across edge count,
+/// mean degree, and clustering. 0 = identical utility profile.
+pub fn utility_drift(original: &Graph, published: &Graph) -> f64 {
+    let a = graph_stats(original);
+    let b = graph_stats(published);
+    let rel = |x: f64, y: f64| {
+        if x == 0.0 && y == 0.0 {
+            0.0
+        } else {
+            (x - y).abs() / x.abs().max(y.abs())
+        }
+    };
+    (rel(a.edges as f64, b.edges as f64)
+        + rel(a.mean_degree, b.mean_degree)
+        + rel(a.clustering, b.clustering))
+        / 3.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::splits::Split;
+    use bbgnn_linalg::DenseMatrix;
+
+    fn triangle_plus_tail() -> Graph {
+        // Triangle 0-1-2 plus pendant 3 and isolated 4.
+        Graph::new(
+            5,
+            &[(0, 1), (1, 2), (0, 2), (2, 3)],
+            DenseMatrix::identity(5),
+            vec![0; 5],
+            1,
+            Split::trivial(5),
+        )
+    }
+
+    #[test]
+    fn clustering_of_known_graph() {
+        let g = triangle_plus_tail();
+        // Nodes 0, 1: coefficient 1 (their 2 neighbors are connected).
+        // Node 2: neighbors {0,1,3}; of 3 pairs, only (0,1) closed => 1/3.
+        // Nodes 3, 4: degree < 2 => 0.
+        let expected = (1.0 + 1.0 + 1.0 / 3.0) / 5.0;
+        assert!((average_clustering(&g) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_known_graph() {
+        let s = graph_stats(&triangle_plus_tail());
+        assert_eq!(s.nodes, 5);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.max_degree, 3);
+        assert!((s.mean_degree - 8.0 / 5.0).abs() < 1e-12);
+        assert!((s.isolated_fraction - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn utility_drift_zero_for_identical_graphs() {
+        let g = triangle_plus_tail();
+        assert_eq!(utility_drift(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn utility_drift_grows_with_perturbation() {
+        let g = triangle_plus_tail();
+        let mut light = g.clone();
+        light.flip_edge(3, 4);
+        // Heavy: dismantle the triangle entirely (clustering 0.47 -> 0).
+        let mut heavy = light.clone();
+        heavy.flip_edge(0, 1);
+        heavy.flip_edge(1, 2);
+        heavy.flip_edge(0, 2);
+        assert!(utility_drift(&g, &light) < utility_drift(&g, &heavy));
+    }
+
+    #[test]
+    fn clustering_of_complete_graph_is_one() {
+        let edges: Vec<(usize, usize)> =
+            (0..5).flat_map(|i| ((i + 1)..5).map(move |j| (i, j))).collect();
+        let g = Graph::new(
+            5,
+            &edges,
+            DenseMatrix::identity(5),
+            vec![0; 5],
+            1,
+            Split::trivial(5),
+        );
+        assert!((average_clustering(&g) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,94 @@
+//! Train/valid/test node splits.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Disjoint train/valid/test node index sets.
+///
+/// The paper follows the 10% / 10% / 80% convention of Zügner et al.; use
+/// [`Split::random`] with `(0.1, 0.1)` to reproduce it.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Split {
+    /// Labeled training nodes `V^la`.
+    pub train: Vec<usize>,
+    /// Validation nodes.
+    pub valid: Vec<usize>,
+    /// Test nodes (labels hidden from black-box components).
+    pub test: Vec<usize>,
+}
+
+impl Split {
+    /// A degenerate split where every node is in every set — convenient for
+    /// unit tests that don't care about splits.
+    pub fn trivial(n: usize) -> Self {
+        let all: Vec<usize> = (0..n).collect();
+        Self { train: all.clone(), valid: all.clone(), test: all }
+    }
+
+    /// Random split with the given train/valid fractions (the rest is
+    /// test), deterministic in `seed`.
+    ///
+    /// # Panics
+    /// Panics if the fractions are not in `(0, 1)` or sum to ≥ 1.
+    pub fn random(n: usize, train_frac: f64, valid_frac: f64, seed: u64) -> Self {
+        assert!(train_frac > 0.0 && valid_frac > 0.0, "fractions must be positive");
+        assert!(train_frac + valid_frac < 1.0, "train+valid must leave room for test");
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        idx.shuffle(&mut rng);
+        let n_train = ((n as f64) * train_frac).round().max(1.0) as usize;
+        let n_valid = ((n as f64) * valid_frac).round().max(1.0) as usize;
+        let mut train = idx[..n_train].to_vec();
+        let mut valid = idx[n_train..n_train + n_valid].to_vec();
+        let mut test = idx[n_train + n_valid..].to_vec();
+        train.sort_unstable();
+        valid.sort_unstable();
+        test.sort_unstable();
+        Self { train, valid, test }
+    }
+
+    /// Number of nodes covered by the three sets.
+    pub fn total(&self) -> usize {
+        self.train.len() + self.valid.len() + self.test.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn random_split_is_a_partition() {
+        let s = Split::random(100, 0.1, 0.1, 7);
+        assert_eq!(s.train.len(), 10);
+        assert_eq!(s.valid.len(), 10);
+        assert_eq!(s.test.len(), 80);
+        let all: HashSet<usize> = s
+            .train
+            .iter()
+            .chain(&s.valid)
+            .chain(&s.test)
+            .copied()
+            .collect();
+        assert_eq!(all.len(), 100, "sets must be disjoint and cover all nodes");
+    }
+
+    #[test]
+    fn random_split_is_deterministic() {
+        assert_eq!(Split::random(50, 0.2, 0.2, 3).train, Split::random(50, 0.2, 0.2, 3).train);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Split::random(200, 0.1, 0.1, 1).train, Split::random(200, 0.1, 0.1, 2).train);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave room for test")]
+    fn overfull_split_panics() {
+        let _ = Split::random(10, 0.6, 0.5, 0);
+    }
+}

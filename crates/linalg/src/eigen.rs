@@ -1,0 +1,257 @@
+//! Symmetric eigendecomposition.
+//!
+//! * [`jacobi_eigen`] — cyclic Jacobi rotations; exact, cubic cost, used for
+//!   small/medium symmetric matrices.
+//! * [`lanczos_topk`] — Lanczos iteration with full reorthogonalization for
+//!   the extremal eigenpairs of large sparse symmetric matrices; used by
+//!   GF-Attack, which scores edge flips with the top of the normalized
+//!   adjacency spectrum.
+
+use crate::qr::thin_qr;
+use crate::{CsrMatrix, DenseMatrix};
+
+/// Eigendecomposition `A = Q Λ Q^T` of a symmetric matrix, eigenvalues
+/// sorted descending.
+#[derive(Clone, Debug)]
+pub struct Eigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, in the same order as `values`.
+    pub vectors: DenseMatrix,
+}
+
+impl Eigen {
+    /// Reconstructs `Q Λ Q^T`.
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let qs = self.vectors.scale_cols(&self.values);
+        qs.matmul_nt(&self.vectors)
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// # Panics
+/// Panics if `a` is not square. Symmetry is assumed, not checked (the upper
+/// triangle is used).
+pub fn jacobi_eigen(a: &DenseMatrix) -> Eigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "jacobi_eigen requires a square matrix");
+    let mut m = a.clone();
+    let mut q = DenseMatrix::identity(n);
+    let max_sweeps = 60;
+    let eps = 1e-12;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for r in (p + 1)..n {
+                off += m.get(p, r) * m.get(p, r);
+            }
+        }
+        if off.sqrt() <= eps * a.frobenius_norm().max(1e-300) {
+            break;
+        }
+        for p in 0..n {
+            for r in (p + 1)..n {
+                let apr = m.get(p, r);
+                if apr == 0.0 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let arr = m.get(r, r);
+                let tau = (arr - app) / (2.0 * apr);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                // M <- J^T M J where J rotates plane (p, r).
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkr = m.get(k, r);
+                    m.set(k, p, c * mkp - s * mkr);
+                    m.set(k, r, s * mkp + c * mkr);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mrk = m.get(r, k);
+                    m.set(p, k, c * mpk - s * mrk);
+                    m.set(r, k, s * mpk + c * mrk);
+                }
+                for k in 0..n {
+                    let qkp = q.get(k, p);
+                    let qkr = q.get(k, r);
+                    q.set(k, p, c * qkp - s * qkr);
+                    q.set(k, r, s * qkp + c * qkr);
+                }
+            }
+        }
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap());
+    let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
+    let mut vectors = DenseMatrix::zeros(n, n);
+    for (out_col, &i) in order.iter().enumerate() {
+        for k in 0..n {
+            vectors.set(k, out_col, q.get(k, i));
+        }
+    }
+    Eigen { values, vectors }
+}
+
+/// Lanczos iteration with full reorthogonalization: returns the `k`
+/// algebraically largest eigenpairs of the symmetric sparse matrix `a`.
+///
+/// `k` is clamped to `n`. The Krylov dimension is `min(n, max(3k, k + 30))`.
+/// Deterministic given `seed`.
+pub fn lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> Eigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "lanczos_topk requires a square matrix");
+    let k = k.min(n);
+    let dim = n.min((3 * k).max(k + 30));
+    // Build Krylov basis.
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(dim);
+    let mut alphas = Vec::with_capacity(dim);
+    let mut betas = Vec::with_capacity(dim);
+    let v0 = DenseMatrix::gaussian(n, 1, 1.0, seed).into_vec();
+    let norm0 = v0.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let mut v: Vec<f64> = v0.iter().map(|x| x / norm0).collect();
+    let mut v_prev = vec![0.0; n];
+    let mut beta_prev = 0.0;
+    for _j in 0..dim {
+        basis.push(v.clone());
+        let mut w = a.spmv(&v);
+        let alpha: f64 = w.iter().zip(&v).map(|(&x, &y)| x * y).sum();
+        for i in 0..n {
+            w[i] -= alpha * v[i] + beta_prev * v_prev[i];
+        }
+        // Full reorthogonalization (twice for stability).
+        for _ in 0..2 {
+            for b in &basis {
+                let proj: f64 = w.iter().zip(b).map(|(&x, &y)| x * y).sum();
+                for i in 0..n {
+                    w[i] -= proj * b[i];
+                }
+            }
+        }
+        alphas.push(alpha);
+        let beta = w.iter().map(|x| x * x).sum::<f64>().sqrt();
+        betas.push(beta);
+        if beta < 1e-12 {
+            break;
+        }
+        v_prev = std::mem::replace(&mut v, w.iter().map(|x| x / beta).collect());
+        beta_prev = beta;
+    }
+    let m = basis.len();
+    // Tridiagonal matrix in the Krylov basis.
+    let mut t = DenseMatrix::zeros(m, m);
+    for j in 0..m {
+        t.set(j, j, alphas[j]);
+        if j + 1 < m {
+            t.set(j, j + 1, betas[j]);
+            t.set(j + 1, j, betas[j]);
+        }
+    }
+    let tri = jacobi_eigen(&t);
+    let kk = k.min(m);
+    let mut vectors = DenseMatrix::zeros(n, kk);
+    for c in 0..kk {
+        for (j, b) in basis.iter().enumerate() {
+            let w = tri.vectors.get(j, c);
+            if w != 0.0 {
+                for (i, &bi) in b.iter().enumerate() {
+                    vectors.add_at(i, c, w * bi);
+                }
+            }
+        }
+    }
+    // Re-orthonormalize the Ritz vectors (cheap, kk columns).
+    let vectors = thin_qr(&vectors).q;
+    Eigen { values: tri.values[..kk].to_vec(), vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_symmetric(n: usize, seed: u64) -> DenseMatrix {
+        let mut a = DenseMatrix::uniform(n, n, 1.0, seed);
+        a.symmetrize();
+        a
+    }
+
+    #[test]
+    fn jacobi_eigen_reconstructs() {
+        let a = random_symmetric(10, 41);
+        let e = jacobi_eigen(&a);
+        assert!(e.reconstruct().max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn jacobi_eigen_orthonormal_and_sorted() {
+        let a = random_symmetric(8, 42);
+        let e = jacobi_eigen(&a);
+        let gram = e.vectors.matmul_tn(&e.vectors);
+        assert!(gram.max_abs_diff(&DenseMatrix::identity(8)) < 1e-9);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigen_known_spectrum() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_eigen(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn trace_is_eigenvalue_sum() {
+        let a = random_symmetric(12, 43);
+        let e = jacobi_eigen(&a);
+        let trace: f64 = (0..12).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lanczos_matches_jacobi_on_top_eigenpairs() {
+        let dense = random_symmetric(30, 44);
+        let sparse = CsrMatrix::from_dense(&dense, 0.0);
+        let full = jacobi_eigen(&dense);
+        let top = lanczos_topk(&sparse, 5, 7);
+        for i in 0..5 {
+            assert!(
+                (full.values[i] - top.values[i]).abs() < 1e-6,
+                "eigenvalue {i}: {} vs {}",
+                full.values[i],
+                top.values[i]
+            );
+        }
+        // Eigenvectors match up to sign.
+        for c in 0..5 {
+            let dot: f64 = (0..30)
+                .map(|i| full.vectors.get(i, c) * top.vectors.get(i, c))
+                .sum();
+            assert!(dot.abs() > 1.0 - 1e-5, "eigenvector {c} mismatch, |dot| = {}", dot.abs());
+        }
+    }
+
+    #[test]
+    fn lanczos_on_path_graph_spectrum() {
+        // Path graph adjacency eigenvalues are 2cos(k*pi/(n+1)).
+        let n = 20;
+        let mut trips = Vec::new();
+        for i in 0..n - 1 {
+            trips.push((i, i + 1, 1.0));
+            trips.push((i + 1, i, 1.0));
+        }
+        let a = CsrMatrix::from_triplets(n, n, trips);
+        let e = lanczos_topk(&a, 3, 2);
+        let pi = std::f64::consts::PI;
+        for (i, &val) in e.values.iter().enumerate() {
+            let expected = 2.0 * ((i + 1) as f64 * pi / (n + 1) as f64).cos();
+            assert!((val - expected).abs() < 1e-8, "{val} vs {expected}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Dense and sparse linear-algebra substrate for the `bbgnn` workspace.
+//!
+//! This crate deliberately depends on nothing but `rand`: every kernel the
+//! paper reproduction needs — dense matrix algebra, CSR sparse products,
+//! singular value decomposition, symmetric eigendecomposition — is
+//! implemented here from scratch so the whole system is auditable and
+//! portable.
+//!
+//! The central types are:
+//!
+//! * [`DenseMatrix`] — row-major `f64` matrix with the elementwise,
+//!   reduction, and BLAS-3-style operations used by the autodiff tape.
+//! * [`CsrMatrix`] — compressed sparse row matrix used for graph
+//!   propagation (`SpMM`) and adjacency bookkeeping.
+//! * [`svd`] — one-sided Jacobi SVD (exact, small matrices) and randomized
+//!   truncated SVD (rank-k approximation for defenses like GCN-SVD).
+//! * [`eigen`] — cyclic Jacobi eigendecomposition and Lanczos iteration for
+//!   symmetric matrices (GF-Attack spectra).
+//!
+//! All routines are deterministic given a seed; randomized algorithms take
+//! an explicit `u64` seed rather than global RNG state.
+
+#![deny(missing_docs)]
+
+pub mod dense;
+pub mod eigen;
+pub mod qr;
+pub mod sparse;
+pub mod svd;
+
+pub use dense::DenseMatrix;
+pub use sparse::CsrMatrix;
+
+/// Numerical tolerance used as a default convergence threshold across the
+/// iterative routines in this crate.
+pub const DEFAULT_TOL: f64 = 1e-10;
+
+/// Returns `true` when `a` and `b` agree to within `tol` absolutely or
+/// relatively (whichever is looser), the comparison used by this crate's
+/// test-suites.
+pub fn approx_eq(a: f64, b: f64, tol: f64) -> bool {
+    let diff = (a - b).abs();
+    diff <= tol || diff <= tol * a.abs().max(b.abs())
+}

@@ -1,0 +1,128 @@
+//! Thin QR factorization via modified Gram–Schmidt.
+//!
+//! Used by the randomized SVD range finder and the Lanczos
+//! reorthogonalization step. Modified Gram–Schmidt with a single
+//! reorthogonalization pass is numerically adequate for the modest matrix
+//! sizes (`n ≤ a few thousand`, `k ≤ a few hundred`) in this workspace.
+
+use crate::DenseMatrix;
+
+/// Result of a thin QR factorization `A = Q R` with `Q` (m×k) having
+/// orthonormal columns and `R` (k×k) upper-triangular.
+#[derive(Clone, Debug)]
+pub struct ThinQr {
+    /// Orthonormal factor, `m × k`.
+    pub q: DenseMatrix,
+    /// Upper-triangular factor, `k × k`.
+    pub r: DenseMatrix,
+}
+
+/// Computes the thin QR factorization of `a` (m×k, m ≥ k) by modified
+/// Gram–Schmidt with one reorthogonalization pass.
+///
+/// Columns that become numerically zero (rank deficiency) are replaced by
+/// zero columns in `Q` with a zero diagonal in `R`.
+pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
+    let (m, k) = a.shape();
+    // Work column-wise: store Q^T so columns are contiguous.
+    let mut qt = a.transpose(); // k × m, row j = column j of A
+    let mut r = DenseMatrix::zeros(k, k);
+    for j in 0..k {
+        // Two orthogonalization passes against previous columns.
+        for _pass in 0..2 {
+            for i in 0..j {
+                let proj = dot_rows(&qt, i, j, m);
+                if proj != 0.0 {
+                    subtract_scaled_row(&mut qt, j, i, proj, m);
+                    r.add_at(i, j, proj);
+                }
+            }
+        }
+        let norm = norm_row(&qt, j, m);
+        r.set(j, j, norm);
+        if norm > 1e-14 {
+            scale_row(&mut qt, j, 1.0 / norm, m);
+        } else {
+            zero_row(&mut qt, j, m);
+        }
+    }
+    ThinQr { q: qt.transpose(), r }
+}
+
+fn dot_rows(qt: &DenseMatrix, i: usize, j: usize, m: usize) -> f64 {
+    let ri = &qt.as_slice()[i * m..(i + 1) * m];
+    let rj = &qt.as_slice()[j * m..(j + 1) * m];
+    ri.iter().zip(rj).map(|(&a, &b)| a * b).sum()
+}
+
+fn subtract_scaled_row(qt: &mut DenseMatrix, j: usize, i: usize, alpha: f64, m: usize) {
+    // row j -= alpha * row i ; rows are disjoint because i < j.
+    let data = qt.as_mut_slice();
+    let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+    let (left, right) = data.split_at_mut(hi * m);
+    let row_i = &left[lo * m..(lo + 1) * m];
+    let row_j = &mut right[..m];
+    for (x, &y) in row_j.iter_mut().zip(row_i) {
+        *x -= alpha * y;
+    }
+}
+
+fn norm_row(qt: &DenseMatrix, j: usize, m: usize) -> f64 {
+    qt.as_slice()[j * m..(j + 1) * m].iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn scale_row(qt: &mut DenseMatrix, j: usize, alpha: f64, m: usize) {
+    for v in &mut qt.as_mut_slice()[j * m..(j + 1) * m] {
+        *v *= alpha;
+    }
+}
+
+fn zero_row(qt: &mut DenseMatrix, j: usize, m: usize) {
+    for v in &mut qt.as_mut_slice()[j * m..(j + 1) * m] {
+        *v = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = DenseMatrix::uniform(20, 5, 1.0, 11);
+        let ThinQr { q, r } = thin_qr(&a);
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let a = DenseMatrix::uniform(30, 8, 2.0, 3);
+        let ThinQr { q, .. } = thin_qr(&a);
+        let gram = q.matmul_tn(&q);
+        assert!(gram.max_abs_diff(&DenseMatrix::identity(8)) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = DenseMatrix::uniform(10, 6, 1.0, 4);
+        let ThinQr { r, .. } = thin_qr(&a);
+        for i in 0..6 {
+            for j in 0..i {
+                assert_eq!(r.get(i, j), 0.0, "R[{i}][{j}] must be 0");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input_yields_zero_columns() {
+        // Two identical columns.
+        let mut a = DenseMatrix::zeros(5, 2);
+        for i in 0..5 {
+            a.set(i, 0, (i + 1) as f64);
+            a.set(i, 1, (i + 1) as f64);
+        }
+        let ThinQr { q, r } = thin_qr(&a);
+        assert!(r.get(1, 1).abs() < 1e-12);
+        assert!(q.matmul(&r).max_abs_diff(&a) < 1e-10);
+    }
+}

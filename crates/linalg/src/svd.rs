@@ -1,0 +1,285 @@
+//! Singular value decomposition.
+//!
+//! Two algorithms are provided:
+//!
+//! * [`jacobi_svd`] — exact one-sided Jacobi SVD. Cubic cost but very
+//!   robust; used on small/medium matrices and as the inner solver of the
+//!   randomized method.
+//! * [`randomized_svd`] — Halko-Martinsson-Tropp randomized truncated SVD
+//!   with power iterations. Used by the GCN-SVD defense and Pro-GNN's
+//!   nuclear-norm proximal step, where only a rank-`k` approximation is
+//!   needed.
+
+use crate::qr::thin_qr;
+use crate::DenseMatrix;
+
+/// A (possibly truncated) singular value decomposition `A ≈ U Σ V^T`.
+#[derive(Clone, Debug)]
+pub struct Svd {
+    /// Left singular vectors, `m × k` (columns).
+    pub u: DenseMatrix,
+    /// Singular values, descending, length `k`.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `n × k` (columns).
+    pub v: DenseMatrix,
+}
+
+impl Svd {
+    /// Reconstructs `U Σ V^T`.
+    pub fn reconstruct(&self) -> DenseMatrix {
+        let us = self.u.scale_cols(&self.sigma);
+        us.matmul_nt(&self.v)
+    }
+
+    /// Truncates to the top `k` singular triplets.
+    pub fn truncate(&self, k: usize) -> Svd {
+        let k = k.min(self.sigma.len());
+        Svd {
+            u: take_cols(&self.u, k),
+            sigma: self.sigma[..k].to_vec(),
+            v: take_cols(&self.v, k),
+        }
+    }
+}
+
+fn take_cols(m: &DenseMatrix, k: usize) -> DenseMatrix {
+    let mut out = DenseMatrix::zeros(m.rows(), k);
+    for i in 0..m.rows() {
+        out.row_mut(i).copy_from_slice(&m.row(i)[..k]);
+    }
+    out
+}
+
+/// Exact one-sided Jacobi SVD of `a` (m×n, any shape).
+///
+/// Rotates pairs of columns of a working copy of `A` until all column pairs
+/// are orthogonal; column norms then give `Σ`, normalized columns give `U`,
+/// and accumulated rotations give `V`. Converges quadratically; the sweep
+/// limit is generous and asserted in debug builds.
+pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
+    let (m, n) = a.shape();
+    if m < n {
+        // Work on the transpose and swap U/V.
+        let svd = jacobi_svd(&a.transpose());
+        return Svd { u: svd.v, sigma: svd.sigma, v: svd.u };
+    }
+    // Column-major working copy: row j of `wt` is column j of the work matrix.
+    let mut wt = a.transpose(); // n × m
+    let mut vt = DenseMatrix::identity(n); // row j = column j of V
+    let eps = 1e-12;
+    let max_sweeps = 60;
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0_f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let (app, aqq, apq) = {
+                    let rp = wt.row(p);
+                    let rq = wt.row(q);
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for k in 0..m {
+                        app += rp[k] * rp[k];
+                        aqq += rq[k] * rq[k];
+                        apq += rp[k] * rq[k];
+                    }
+                    (app, aqq, apq)
+                };
+                if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                    continue;
+                }
+                off = off.max(apq.abs());
+                // Jacobi rotation zeroing the (p,q) Gram entry.
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+                rotate_rows(&mut wt, p, q, c, s);
+                rotate_rows(&mut vt, p, q, c, s);
+            }
+        }
+        if off <= eps {
+            break;
+        }
+    }
+    // Extract singular values and U.
+    let mut triplets: Vec<(f64, usize)> = (0..n)
+        .map(|j| (wt.row(j).iter().map(|v| v * v).sum::<f64>().sqrt(), j))
+        .collect();
+    triplets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    let mut u = DenseMatrix::zeros(m, n);
+    let mut v = DenseMatrix::zeros(n, n);
+    let mut sigma = Vec::with_capacity(n);
+    for (out_col, &(s, j)) in triplets.iter().enumerate() {
+        sigma.push(s);
+        if s > 1e-300 {
+            let col = wt.row(j);
+            for (i, &c) in col.iter().enumerate() {
+                u.set(i, out_col, c / s);
+            }
+        }
+        let vrow = vt.row(j);
+        for (i, &vi) in vrow.iter().enumerate() {
+            v.set(i, out_col, vi);
+        }
+    }
+    Svd { u, sigma, v }
+}
+
+/// Applies the Givens rotation `[c -s; s c]` to rows `p`, `q` of `m`
+/// (interpreted as columns of the untransposed matrix).
+fn rotate_rows(m: &mut DenseMatrix, p: usize, q: usize, c: f64, s: f64) {
+    let cols = m.cols();
+    let data = m.as_mut_slice();
+    let (lo, hi) = if p < q { (p, q) } else { (q, p) };
+    let (left, right) = data.split_at_mut(hi * cols);
+    let row_lo = &mut left[lo * cols..(lo + 1) * cols];
+    let row_hi = &mut right[..cols];
+    // Note: rotation is defined on (p, q) order; swap sign if reordered.
+    let (c, s) = if p < q { (c, s) } else { (c, -s) };
+    for k in 0..cols {
+        let a = row_lo[k];
+        let b = row_hi[k];
+        row_lo[k] = c * a - s * b;
+        row_hi[k] = s * a + c * b;
+    }
+}
+
+/// Randomized truncated SVD (rank `k`, `oversample` extra columns,
+/// `power_iters` subspace iterations), deterministic given `seed`.
+///
+/// Accuracy improves sharply with `power_iters` when the spectrum decays
+/// slowly; 2 iterations suffice for the adjacency-like matrices used here.
+pub fn randomized_svd(
+    a: &DenseMatrix,
+    k: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Svd {
+    let (m, n) = a.shape();
+    let l = (k + oversample).min(n).min(m);
+    let omega = DenseMatrix::gaussian(n, l, 1.0, seed);
+    let mut y = a.matmul(&omega); // m × l
+    let mut q = thin_qr(&y).q;
+    for _ in 0..power_iters {
+        let z = a.matmul_tn(&q); // n × l  (A^T Q)
+        let qz = thin_qr(&z).q;
+        y = a.matmul(&qz);
+        q = thin_qr(&y).q;
+    }
+    let b = q.matmul_tn(a); // Q^T A, l × n
+    let small = jacobi_svd(&b);
+    let u = q.matmul(&small.u);
+    let svd = Svd { u, sigma: small.sigma, v: small.v };
+    svd.truncate(k)
+}
+
+/// Rank-`k` approximation of `a` via randomized SVD — the operation used by
+/// the GCN-SVD defense.
+pub fn low_rank_approximation(a: &DenseMatrix, k: usize, seed: u64) -> DenseMatrix {
+    let svd = randomized_svd(a, k, 8, 2, seed);
+    svd.reconstruct()
+}
+
+/// Singular value soft-thresholding `prox_{t||.||_*}(A)`: shrinks every
+/// singular value by `t` and clamps at zero. Used by Pro-GNN's nuclear-norm
+/// proximal operator. `rank_budget` bounds the number of singular triplets
+/// computed (the remainder is assumed shrunk to zero).
+pub fn singular_value_shrink(a: &DenseMatrix, t: f64, rank_budget: usize, seed: u64) -> DenseMatrix {
+    let min_dim = a.rows().min(a.cols());
+    // Near-full budgets: the randomized sketch would be as large as the
+    // matrix itself; exact Jacobi is cheaper and exact.
+    let svd = if rank_budget * 4 >= min_dim * 3 {
+        jacobi_svd(a).truncate(rank_budget)
+    } else {
+        randomized_svd(a, rank_budget, 8, 2, seed)
+    };
+    let shrunk: Vec<f64> = svd.sigma.iter().map(|&s| (s - t).max(0.0)).collect();
+    let us = svd.u.scale_cols(&shrunk);
+    us.matmul_nt(&svd.v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_svd_valid(a: &DenseMatrix, svd: &Svd, tol: f64) {
+        assert!(svd.reconstruct().max_abs_diff(a) < tol, "reconstruction failed");
+        let k = svd.sigma.len();
+        let gram_u = svd.u.matmul_tn(&svd.u);
+        let gram_v = svd.v.matmul_tn(&svd.v);
+        // Only the leading non-degenerate part must be orthonormal.
+        assert!(gram_u.max_abs_diff(&DenseMatrix::identity(k)) < 1e-6, "U not orthonormal");
+        assert!(gram_v.max_abs_diff(&DenseMatrix::identity(k)) < 1e-6, "V not orthonormal");
+        for w in svd.sigma.windows(2) {
+            assert!(w[0] >= w[1] - 1e-12, "singular values not sorted");
+        }
+    }
+
+    #[test]
+    fn jacobi_svd_square() {
+        let a = DenseMatrix::uniform(12, 12, 1.0, 21);
+        let svd = jacobi_svd(&a);
+        assert_svd_valid(&a, &svd, 1e-8);
+    }
+
+    #[test]
+    fn jacobi_svd_tall_and_wide() {
+        let tall = DenseMatrix::uniform(15, 6, 1.0, 22);
+        assert_svd_valid(&tall, &jacobi_svd(&tall), 1e-8);
+        let wide = DenseMatrix::uniform(6, 15, 1.0, 23);
+        assert_svd_valid(&wide, &jacobi_svd(&wide), 1e-8);
+    }
+
+    #[test]
+    fn jacobi_svd_diagonal_matrix() {
+        let mut a = DenseMatrix::zeros(4, 4);
+        for (i, &s) in [4.0, 3.0, 2.0, 1.0].iter().enumerate() {
+            a.set(i, i, s);
+        }
+        let svd = jacobi_svd(&a);
+        for (i, &s) in [4.0, 3.0, 2.0, 1.0].iter().enumerate() {
+            assert!((svd.sigma[i] - s).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn singular_values_match_gram_eigenvalues() {
+        let a = DenseMatrix::uniform(8, 5, 1.0, 24);
+        let svd = jacobi_svd(&a);
+        // Σ σ_i² = ||A||_F².
+        let sum_sq: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        assert!((sum_sq - a.frobenius_norm().powi(2)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn randomized_svd_recovers_low_rank_matrix() {
+        // Rank-3 matrix.
+        let u = DenseMatrix::uniform(40, 3, 1.0, 31);
+        let v = DenseMatrix::uniform(25, 3, 1.0, 32);
+        let a = u.matmul_nt(&v);
+        let svd = randomized_svd(&a, 3, 8, 2, 1);
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-8);
+    }
+
+    #[test]
+    fn low_rank_approximation_reduces_error_with_rank() {
+        let a = DenseMatrix::uniform(30, 30, 1.0, 33);
+        let e2 = a.sub(&low_rank_approximation(&a, 2, 5)).frobenius_norm();
+        let e10 = a.sub(&low_rank_approximation(&a, 10, 5)).frobenius_norm();
+        let e29 = a.sub(&low_rank_approximation(&a, 29, 5)).frobenius_norm();
+        assert!(e10 < e2);
+        assert!(e29 < e10);
+    }
+
+    #[test]
+    fn shrink_zeroes_small_singular_values() {
+        let mut a = DenseMatrix::zeros(5, 5);
+        a.set(0, 0, 10.0);
+        a.set(1, 1, 0.5);
+        let s = singular_value_shrink(&a, 1.0, 5, 3);
+        assert!((s.get(0, 0) - 9.0).abs() < 1e-6);
+        assert!(s.get(1, 1).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use bbgnn_linalg::svd::jacobi_svd;
+use bbgnn_linalg::{dense::lp_norm, CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a small matrix with bounded entries.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    prop::collection::vec(-10.0f64..10.0, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: a symmetric 0/1 adjacency matrix without self loops.
+fn adjacency(n: usize) -> impl Strategy<Value = DenseMatrix> {
+    prop::collection::vec(prop::bool::ANY, n * n).prop_map(move |bits| {
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if bits[i * n + j] {
+                    a.set(i, j, 1.0);
+                    a.set(j, i, 1.0);
+                }
+            }
+        }
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_is_associative(a in matrix(4, 3), b in matrix(3, 5), c in matrix(5, 2)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-8);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in matrix(4, 4), b in matrix(4, 4), c in matrix(4, 4)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(a in matrix(3, 4), b in matrix(4, 5)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn csr_roundtrip_preserves_matrix(a in matrix(5, 7)) {
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        prop_assert!(csr.to_dense().max_abs_diff(&a) < 1e-15);
+    }
+
+    #[test]
+    fn spmm_agrees_with_dense_matmul(a in matrix(5, 5), x in matrix(5, 3)) {
+        let csr = CsrMatrix::from_dense(&a, 0.0);
+        prop_assert!(csr.spmm(&x).max_abs_diff(&a.matmul(&x)) < 1e-9);
+    }
+
+    #[test]
+    fn gcn_normalization_is_symmetric_and_bounded(a in adjacency(6)) {
+        let csr = CsrMatrix::from_dense(&a, 0.5);
+        let n = csr.gcn_normalize();
+        prop_assert!(n.asymmetry() < 1e-12);
+        // Spectral radius of the GCN-normalized adjacency is <= 1, so every
+        // entry is also bounded by 1.
+        let d = n.to_dense();
+        prop_assert!(d.max_abs() <= 1.0 + 1e-12);
+        // Rows with self-loop: every row sum is positive.
+        for s in n.row_sums() {
+            prop_assert!(s > 0.0);
+        }
+    }
+
+    #[test]
+    fn svd_reconstructs_and_norms_match(a in matrix(6, 4)) {
+        let svd = jacobi_svd(&a);
+        prop_assert!(svd.reconstruct().max_abs_diff(&a) < 1e-7);
+        let sigma_norm: f64 = svd.sigma.iter().map(|s| s * s).sum::<f64>().sqrt();
+        prop_assert!((sigma_norm - a.frobenius_norm()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lp_norm_triangle_inequality(
+        a in prop::collection::vec(-10.0f64..10.0, 8),
+        b in prop::collection::vec(-10.0f64..10.0, 8),
+        p in prop::sample::select(vec![1.0f64, 2.0, 3.0]),
+    ) {
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        prop_assert!(lp_norm(&sum, p) <= lp_norm(&a, p) + lp_norm(&b, p) + 1e-9);
+    }
+
+    #[test]
+    fn lp_norm_scaling(v in prop::collection::vec(-5.0f64..5.0, 6), c in -3.0f64..3.0) {
+        let scaled: Vec<f64> = v.iter().map(|x| c * x).collect();
+        let lhs = lp_norm(&scaled, 2.0);
+        let rhs = c.abs() * lp_norm(&v, 2.0);
+        prop_assert!((lhs - rhs).abs() < 1e-9);
+    }
+
+    #[test]
+    fn select_rows_matches_gets(a in matrix(6, 3), idx in prop::collection::vec(0usize..6, 1..5)) {
+        let s = a.select_rows(&idx);
+        for (k, &i) in idx.iter().enumerate() {
+            prop_assert_eq!(s.row(k), a.row(i));
+        }
+    }
+}

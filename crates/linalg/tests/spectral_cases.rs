@@ -1,0 +1,130 @@
+//! Spectral edge cases: known spectra, degenerate inputs, truncation.
+
+use bbgnn_linalg::eigen::{jacobi_eigen, lanczos_topk};
+use bbgnn_linalg::svd::{jacobi_svd, low_rank_approximation, randomized_svd};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+
+#[test]
+fn zero_matrix_svd() {
+    let z = DenseMatrix::zeros(5, 3);
+    let svd = jacobi_svd(&z);
+    for s in &svd.sigma {
+        assert_eq!(*s, 0.0);
+    }
+    assert!(svd.reconstruct().max_abs_diff(&z) < 1e-15);
+}
+
+#[test]
+fn rank_one_matrix_has_one_singular_value() {
+    let u = DenseMatrix::from_vec(4, 1, vec![1.0, 2.0, 3.0, 4.0]);
+    let v = DenseMatrix::from_vec(3, 1, vec![1.0, 0.0, -1.0]);
+    let a = u.matmul_nt(&v);
+    let svd = jacobi_svd(&a);
+    assert!(svd.sigma[0] > 1.0);
+    for &s in &svd.sigma[1..] {
+        assert!(s < 1e-10, "extra singular value {s}");
+    }
+}
+
+#[test]
+fn svd_truncate_keeps_leading_triplets() {
+    let a = DenseMatrix::uniform(8, 8, 1.0, 1);
+    let svd = jacobi_svd(&a);
+    let t = svd.truncate(3);
+    assert_eq!(t.sigma.len(), 3);
+    assert_eq!(t.u.cols(), 3);
+    assert_eq!(t.v.cols(), 3);
+    assert_eq!(t.sigma, svd.sigma[..3].to_vec());
+}
+
+#[test]
+fn truncate_beyond_rank_is_noop() {
+    let a = DenseMatrix::uniform(4, 3, 1.0, 2);
+    let svd = jacobi_svd(&a);
+    let t = svd.truncate(99);
+    assert_eq!(t.sigma.len(), svd.sigma.len());
+}
+
+#[test]
+fn eigen_of_identity() {
+    let e = jacobi_eigen(&DenseMatrix::identity(6));
+    for &v in &e.values {
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn eigen_of_diagonal_sorts_descending() {
+    let mut d = DenseMatrix::zeros(4, 4);
+    for (i, &v) in [3.0, -1.0, 7.0, 0.0].iter().enumerate() {
+        d.set(i, i, v);
+    }
+    let e = jacobi_eigen(&d);
+    assert_eq!(e.values, vec![7.0, 3.0, 0.0, -1.0]);
+}
+
+#[test]
+fn complete_graph_spectrum() {
+    // K_n adjacency has eigenvalues n-1 (once) and -1 (n-1 times).
+    let n = 8;
+    let mut trips = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                trips.push((i, j, 1.0));
+            }
+        }
+    }
+    let a = CsrMatrix::from_triplets(n, n, trips);
+    let e = lanczos_topk(&a, 3, 5);
+    assert!((e.values[0] - (n as f64 - 1.0)).abs() < 1e-8);
+    assert!((e.values[1] + 1.0).abs() < 1e-8);
+}
+
+#[test]
+fn gcn_normalized_spectrum_is_bounded_by_one() {
+    // The symmetric GCN normalization has spectral radius exactly 1 with
+    // eigenvector D^{1/2} 1.
+    let mut trips = Vec::new();
+    for i in 0..9usize {
+        let j = (i + 1) % 9;
+        trips.push((i, j, 1.0));
+        trips.push((j, i, 1.0));
+    }
+    let a = CsrMatrix::from_triplets(9, 9, trips).gcn_normalize();
+    let e = lanczos_topk(&a, 2, 3);
+    assert!((e.values[0] - 1.0).abs() < 1e-8, "top eigenvalue {}", e.values[0]);
+    assert!(e.values[1] < 1.0);
+}
+
+#[test]
+fn randomized_svd_respects_rank_argument() {
+    let a = DenseMatrix::uniform(20, 20, 1.0, 4);
+    let svd = randomized_svd(&a, 5, 4, 2, 9);
+    assert_eq!(svd.sigma.len(), 5);
+    assert_eq!(svd.u.shape(), (20, 5));
+    assert_eq!(svd.v.shape(), (20, 5));
+}
+
+#[test]
+fn low_rank_of_block_diagonal_recovers_blocks() {
+    // Two disconnected cliques => adjacency is exactly rank 2 (plus sign
+    // structure); rank-2 approximation should be near-exact.
+    let n = 10;
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..5 {
+        for j in 0..5 {
+            a.set(i, j, 1.0);
+            a.set(i + 5, j + 5, 1.0);
+        }
+    }
+    let approx = low_rank_approximation(&a, 2, 3);
+    assert!(approx.max_abs_diff(&a) < 1e-6);
+}
+
+#[test]
+fn lanczos_handles_k_larger_than_n() {
+    let a = CsrMatrix::from_triplets(3, 3, vec![(0, 1, 1.0), (1, 0, 1.0)]);
+    let e = lanczos_topk(&a, 10, 1);
+    assert!(e.values.len() <= 3);
+}

@@ -1,0 +1,52 @@
+//! Defend a social (blog) network against a black-box attack.
+//!
+//! Polblogs-style scenario: two communities, identity features (only the
+//! topology is informative). PEEGA poisons the graph; every defender of
+//! Table VI is trained on the poisoned graph and compared. Feature-based
+//! defenses (GCN-Jaccard, GNAT's feature view) are inapplicable here —
+//! exactly the situation the paper notes for Polblogs.
+//!
+//! ```sh
+//! cargo run --release --example social_defense
+//! ```
+
+use bbgnn::prelude::*;
+
+fn main() {
+    let graph = DatasetSpec::PolblogsLike.generate(0.2, 3);
+    println!(
+        "blog network: {} nodes, {} edges, homophily {:.2} (identity features)\n",
+        graph.num_nodes(),
+        graph.num_edges(),
+        edge_homophily(&graph)
+    );
+
+    let mut attacker = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+    let result = attacker.attack(&graph);
+    println!(
+        "PEEGA poisoned the graph: {} edge flips in {:.2}s\n",
+        result.edge_flips,
+        result.elapsed.as_secs_f64()
+    );
+    let poisoned = result.poisoned;
+
+    println!("{:<12} {:>10} {:>10} {:>9}", "model", "clean", "poisoned", "train(s)");
+    for kind in DefenderKind::paper_columns(true) {
+        let mut on_clean = kind.build(TrainConfig::default());
+        on_clean.fit(&graph);
+        let clean_acc = on_clean.test_accuracy(&graph);
+
+        let mut on_poisoned = kind.build(TrainConfig::default());
+        let report = on_poisoned.fit(&poisoned);
+        let poisoned_acc = on_poisoned.test_accuracy(&poisoned);
+        println!(
+            "{:<12} {:>10.4} {:>10.4} {:>9.2}",
+            kind.name(),
+            clean_acc,
+            poisoned_acc,
+            report.seconds
+        );
+    }
+    println!("\nGNAT (here GNAT-t+e, feature view disabled) should hold the highest");
+    println!("poisoned-graph accuracy at near-GCN training cost (Tables VI & VIII).");
+}

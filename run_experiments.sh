@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper (DESIGN.md section 2).
+# Each binary also writes CSV into results/. Logs go to results/logs/.
+set -u
+cd "$(dirname "$0")"
+BINS="fig1_homophily fig2_edge_diff fig3_sim_label table7_attack_time fig5_attack_ablation fig8_lambda_p fig9_gnat_params table9_gnat_ablation ext_extensions ext_targeted ext_evasion_transfer ext_sweep_scale table8_defense_time fig7_sensitivity tables_main fig6_ptb_sweep"
+for bin in $BINS; do
+    echo "=== $bin start $(date +%H:%M:%S) ==="
+    # The two heaviest bins (Pro-GNN appears in every cell/series) run with
+    # 2 repeats by default; pass --runs to override.
+    extra=""
+    case "$bin" in
+        tables_main|fig6_ptb_sweep) extra="--runs 2" ;;
+    esac
+    timeout 4500 cargo run -p bbgnn-bench --release --bin "$bin" -- $extra "$@" \
+        > "results/logs/$bin.log" 2>&1
+    status=$?
+    echo "=== $bin done (exit $status) $(date +%H:%M:%S) ==="
+done

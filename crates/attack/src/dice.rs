@@ -28,7 +28,12 @@ pub struct DiceConfig {
 
 impl Default for DiceConfig {
     fn default() -> Self {
-        Self { rate: 0.1, delete_prob: 0.5, attacker_nodes: AttackerNodes::All, seed: 0 }
+        Self {
+            rate: 0.1,
+            delete_prob: 0.5,
+            attacker_nodes: AttackerNodes::All,
+            seed: 0,
+        }
     }
 }
 
@@ -108,7 +113,10 @@ mod tests {
     #[test]
     fn respects_budget_and_pattern() {
         let g = DatasetSpec::CoraLike.generate(0.05, 621);
-        let mut atk = Dice::new(DiceConfig { rate: 0.1, ..Default::default() });
+        let mut atk = Dice::new(DiceConfig {
+            rate: 0.1,
+            ..Default::default()
+        });
         let r = atk.attack(&g);
         assert!(r.edge_flips <= budget_for(&g, 0.1));
         let d = edge_diff_breakdown(&g, &r.poisoned);
@@ -121,10 +129,16 @@ mod tests {
     #[test]
     fn delete_prob_extremes() {
         let g = DatasetSpec::CoraLike.generate(0.05, 622);
-        let mut only_add = Dice::new(DiceConfig { delete_prob: 0.0, ..Default::default() });
+        let mut only_add = Dice::new(DiceConfig {
+            delete_prob: 0.0,
+            ..Default::default()
+        });
         let d = edge_diff_breakdown(&g, &only_add.attack(&g).poisoned);
         assert_eq!(d.del_same + d.del_diff, 0);
-        let mut only_del = Dice::new(DiceConfig { delete_prob: 1.0, ..Default::default() });
+        let mut only_del = Dice::new(DiceConfig {
+            delete_prob: 1.0,
+            ..Default::default()
+        });
         let d = edge_diff_breakdown(&g, &only_del.attack(&g).poisoned);
         assert_eq!(d.add_same + d.add_diff, 0);
     }
@@ -133,7 +147,10 @@ mod tests {
     fn is_deterministic() {
         let g = DatasetSpec::CoraLike.generate(0.05, 623);
         let run = || {
-            let mut atk = Dice::new(DiceConfig { seed: 9, ..Default::default() });
+            let mut atk = Dice::new(DiceConfig {
+                seed: 9,
+                ..Default::default()
+            });
             atk.attack(&g).poisoned.edges().collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

@@ -23,9 +23,9 @@
 //!   flip selection. Used by the fast test-suite.
 
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
+use bbgnn_graph::Graph;
 use bbgnn_linalg::eigen::lanczos_topk;
 use bbgnn_linalg::CsrMatrix;
-use bbgnn_graph::Graph;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -79,7 +79,10 @@ impl Default for GfAttackConfig {
 impl GfAttackConfig {
     /// Fast configuration using the first-order scoring backend.
     pub fn fast() -> Self {
-        Self { scoring: GfScoring::FirstOrder, ..Self::default() }
+        Self {
+            scoring: GfScoring::FirstOrder,
+            ..Self::default()
+        }
     }
 }
 
@@ -235,7 +238,10 @@ mod tests {
     #[test]
     fn first_order_uses_exactly_the_budget() {
         let g = DatasetSpec::CoraLike.generate(0.05, 91);
-        let mut atk = GfAttack::new(GfAttackConfig { rate: 0.1, ..GfAttackConfig::fast() });
+        let mut atk = GfAttack::new(GfAttackConfig {
+            rate: 0.1,
+            ..GfAttackConfig::fast()
+        });
         let r = atk.attack(&g);
         assert_eq!(r.edge_flips, budget_for(&g, 0.1));
         assert_eq!(r.feature_flips, 0);
@@ -259,7 +265,10 @@ mod tests {
         // The whole point of the two backends: the paper-faithful exact
         // rescoring pays a per-candidate spectral recomputation.
         let g = DatasetSpec::CoraLike.generate(0.04, 95);
-        let mut fast = GfAttack::new(GfAttackConfig { rate: 0.1, ..GfAttackConfig::fast() });
+        let mut fast = GfAttack::new(GfAttackConfig {
+            rate: 0.1,
+            ..GfAttackConfig::fast()
+        });
         let mut exact = GfAttack::new(GfAttackConfig {
             rate: 0.1,
             top_eigens: 8,

@@ -117,8 +117,15 @@ mod tests {
     #[test]
     fn budget_follows_rate() {
         let g = DatasetSpec::CoraLike.generate(0.05, 1);
-        assert_eq!(budget_for(&g, 0.1), ((g.num_edges() as f64) * 0.1).round() as usize);
-        assert_eq!(budget_for(&g, 0.0), 1, "budget is floored at one modification");
+        assert_eq!(
+            budget_for(&g, 0.1),
+            ((g.num_edges() as f64) * 0.1).round() as usize
+        );
+        assert_eq!(
+            budget_for(&g, 0.0),
+            1,
+            "budget is floored at one modification"
+        );
     }
 
     #[test]

@@ -17,11 +17,11 @@
 
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_autodiff::Tape;
-use bbgnn_linalg::DenseMatrix;
-use bbgnn_graph::Graph;
 use bbgnn_gnn::linear_gcn::LinearGcn;
 use bbgnn_gnn::train::TrainConfig;
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
+use bbgnn_linalg::DenseMatrix;
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -47,7 +47,12 @@ impl Default for MetattackConfig {
             rate: 0.1,
             hops: 2,
             retrain_every: 1,
-            train: TrainConfig { epochs: 100, patience: 0, dropout: 0.0, ..Default::default() },
+            train: TrainConfig {
+                epochs: 100,
+                patience: 0,
+                dropout: 0.0,
+                ..Default::default()
+            },
             attacker_nodes: AttackerNodes::All,
         }
     }
@@ -154,14 +159,17 @@ impl Attacker for Metattack {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bbgnn_gnn::gcn::Gcn;
     use bbgnn_graph::datasets::DatasetSpec;
     use bbgnn_graph::metrics::edge_diff_breakdown;
-    use bbgnn_gnn::gcn::Gcn;
 
     #[test]
     fn respects_budget_and_purity() {
         let g = DatasetSpec::CoraLike.generate(0.04, 61);
-        let mut atk = Metattack::new(MetattackConfig { rate: 0.1, ..Default::default() });
+        let mut atk = Metattack::new(MetattackConfig {
+            rate: 0.1,
+            ..Default::default()
+        });
         let r = atk.attack(&g);
         assert!(r.edge_flips <= budget_for(&g, 0.1));
         assert!(r.edge_flips > 0);
@@ -199,6 +207,9 @@ mod tests {
         });
         let r = atk.attack(&g);
         let d = edge_diff_breakdown(&g, &r.poisoned);
-        assert!(d.add_diff > d.add_same, "Fig. 2 pattern: Add+Diff dominates");
+        assert!(
+            d.add_diff > d.add_same,
+            "Fig. 2 pattern: Add+Diff dominates"
+        );
     }
 }

@@ -9,10 +9,10 @@
 
 use crate::pgd::{pgd_optimize, top_k_flips};
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
-use bbgnn_graph::Graph;
 use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::TrainConfig;
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
 use std::time::Instant;
 
 /// MinMax attack configuration.
@@ -47,7 +47,12 @@ impl Default for MinMaxConfig {
             sample_trials: 20,
             retrain_every: 10,
             inner_epochs: 30,
-            train: TrainConfig { epochs: 100, patience: 0, dropout: 0.0, ..Default::default() },
+            train: TrainConfig {
+                epochs: 100,
+                patience: 0,
+                dropout: 0.0,
+                ..Default::default()
+            },
             attacker_nodes: AttackerNodes::All,
             seed: 0,
         }

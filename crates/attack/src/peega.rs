@@ -20,8 +20,8 @@
 
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use bbgnn_graph::Graph;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -236,7 +236,13 @@ impl Attacker for Peega {
 
             let mut tape = Tape::new();
             let (obj, a_id, x_id) = self.objective(
-                &mut tape, &a_hat, &x_hat, &clean_prop, &masked_adj, &eye, &row_mask,
+                &mut tape,
+                &a_hat,
+                &x_hat,
+                &clean_prop,
+                &masked_adj,
+                &eye,
+                &row_mask,
             );
             tape.backward(obj);
             let grad_a = tape.grad(a_id).expect("adjacency gradient");
@@ -248,8 +254,7 @@ impl Attacker for Peega {
             if can_edge {
                 for u in 0..n {
                     for v in (u + 1)..n {
-                        if touched_edges.contains(&(u, v))
-                            || !cfg.attacker_nodes.edge_allowed(u, v)
+                        if touched_edges.contains(&(u, v)) || !cfg.attacker_nodes.edge_allowed(u, v)
                         {
                             continue;
                         }
@@ -312,11 +317,11 @@ impl Attacker for Peega {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bbgnn_graph::datasets::DatasetSpec;
-    use bbgnn_graph::metrics::edge_diff_breakdown;
     use bbgnn_gnn::gcn::Gcn;
     use bbgnn_gnn::train::TrainConfig;
     use bbgnn_gnn::NodeClassifier;
+    use bbgnn_graph::datasets::DatasetSpec;
+    use bbgnn_graph::metrics::edge_diff_breakdown;
 
     fn small_graph() -> bbgnn_graph::Graph {
         DatasetSpec::CoraLike.generate(0.04, 51)
@@ -325,7 +330,10 @@ mod tests {
     #[test]
     fn respects_budget() {
         let g = small_graph();
-        let mut atk = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.1,
+            ..Default::default()
+        });
         let r = atk.attack(&g);
         let budget = budget_for(&g, 0.1);
         assert!(
@@ -334,7 +342,10 @@ mod tests {
             r.edge_flips,
             r.feature_flips
         );
-        assert!(r.edge_flips + r.feature_flips > 0, "attack must do something");
+        assert!(
+            r.edge_flips + r.feature_flips > 0,
+            "attack must do something"
+        );
     }
 
     #[test]
@@ -410,7 +421,10 @@ mod tests {
         clean_gcn.fit(&g);
         let clean_acc = clean_gcn.test_accuracy(&g);
 
-        let mut atk = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
         let r = atk.attack(&g);
         let mut poisoned_gcn = Gcn::paper_default(TrainConfig::fast_test());
         poisoned_gcn.fit(&r.poisoned);
@@ -426,7 +440,10 @@ mod tests {
         // The Sec. IV-A insight: attackers mostly ADD edges between nodes
         // with DIFFERENT labels.
         let g = DatasetSpec::CoraLike.generate(0.06, 53);
-        let mut atk = Peega::new(PeegaConfig { rate: 0.15, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.15,
+            ..Default::default()
+        });
         let r = atk.attack(&g);
         let d = edge_diff_breakdown(&g, &r.poisoned);
         assert!(

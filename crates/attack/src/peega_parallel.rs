@@ -24,8 +24,8 @@
 use crate::peega::{AttackSpace, ObjectiveNodes};
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_autodiff::Tape;
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use bbgnn_graph::Graph;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
@@ -171,7 +171,10 @@ impl Attacker for PeegaParallel {
 
         // Logits start very negative so the initial relaxed graph is
         // essentially the clean graph (probability σ(-12/τ) ≈ 0).
-        let mut params = [DenseMatrix::filled(n, n, -6.0), DenseMatrix::filled(n, d, -6.0)];
+        let mut params = [
+            DenseMatrix::filled(n, n, -6.0),
+            DenseMatrix::filled(n, d, -6.0),
+        ];
 
         for _step in 0..cfg.steps {
             let mut tape = Tape::new();
@@ -213,8 +216,12 @@ impl Attacker for PeegaParallel {
             let masked = tape.hadamard_const(diff, Rc::clone(&row_mask));
             let self_view = tape.row_lp_norm_sum(masked, cfg.p);
             let obj = if cfg.lambda != 0.0 {
-                let global =
-                    tape.neighbor_lp_norm_sum(h, Rc::clone(&masked_adj), Rc::clone(&clean_prop), cfg.p);
+                let global = tape.neighbor_lp_norm_sum(
+                    h,
+                    Rc::clone(&masked_adj),
+                    Rc::clone(&clean_prop),
+                    cfg.p,
+                );
                 let w = tape.scalar_mul(global, cfg.lambda);
                 tape.add(self_view, w)
             } else {
@@ -285,10 +292,10 @@ impl Attacker for PeegaParallel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bbgnn_graph::datasets::DatasetSpec;
     use bbgnn_gnn::gcn::Gcn;
     use bbgnn_gnn::train::TrainConfig;
     use bbgnn_gnn::NodeClassifier;
+    use bbgnn_graph::datasets::DatasetSpec;
 
     #[test]
     fn respects_budget() {
@@ -338,7 +345,10 @@ mod tests {
         let mut victim = Gcn::paper_default(TrainConfig::fast_test());
         victim.fit(&poisoned);
         let acc = victim.test_accuracy(&poisoned);
-        assert!(acc < clean_acc, "PEEGA-P must degrade accuracy: {clean_acc} -> {acc}");
+        assert!(
+            acc < clean_acc,
+            "PEEGA-P must degrade accuracy: {clean_acc} -> {acc}"
+        );
     }
 
     #[test]

@@ -13,11 +13,11 @@
 
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
-use bbgnn_graph::Graph;
 use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::TrainConfig;
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
@@ -49,7 +49,12 @@ impl Default for PgdConfig {
             ascent_steps: 80,
             lr: 0.5,
             sample_trials: 20,
-            train: TrainConfig { epochs: 100, patience: 0, dropout: 0.0, ..Default::default() },
+            train: TrainConfig {
+                epochs: 100,
+                patience: 0,
+                dropout: 0.0,
+                ..Default::default()
+            },
             attacker_nodes: AttackerNodes::All,
             seed: 0,
         }
@@ -117,7 +122,10 @@ pub(crate) fn project_budget(s: &mut DenseMatrix, budget: f64) {
         }
     }
     let clip_sum = |mu: f64| -> f64 {
-        entries.iter().map(|&(_, _, x)| (x - mu).clamp(0.0, 1.0)).sum()
+        entries
+            .iter()
+            .map(|&(_, _, x)| (x - mu).clamp(0.0, 1.0))
+            .sum()
     };
     let mu = if clip_sum(0.0) <= budget {
         0.0
@@ -222,7 +230,11 @@ pub(crate) fn top_k_flips(s: &DenseMatrix, k: usize) -> Vec<(usize, usize)> {
         }
     }
     entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
-    entries.into_iter().take(k).map(|(_, u, v)| (u, v)).collect()
+    entries
+        .into_iter()
+        .take(k)
+        .map(|(_, u, v)| (u, v))
+        .collect()
 }
 
 /// Shared PGD ascent loop; `retrain` is invoked before each ascent step so
@@ -281,7 +293,8 @@ pub(crate) fn pgd_optimize(
             best = Some((loss, flips));
         }
     }
-    best.map(|(_, f)| f).unwrap_or_else(|| top_k_flips(&s, budget))
+    best.map(|(_, f)| f)
+        .unwrap_or_else(|| top_k_flips(&s, budget))
 }
 
 impl Attacker for PgdAttack {

@@ -22,7 +22,11 @@ pub struct RandomAttackConfig {
 
 impl Default for RandomAttackConfig {
     fn default() -> Self {
-        Self { rate: 0.1, attacker_nodes: AttackerNodes::All, seed: 0 }
+        Self {
+            rate: 0.1,
+            attacker_nodes: AttackerNodes::All,
+            seed: 0,
+        }
     }
 }
 
@@ -91,8 +95,14 @@ mod tests {
     #[test]
     fn seeded_runs_agree() {
         let g = DatasetSpec::CoraLike.generate(0.05, 96);
-        let mut a = RandomAttack::new(RandomAttackConfig { seed: 5, ..Default::default() });
-        let mut b = RandomAttack::new(RandomAttackConfig { seed: 5, ..Default::default() });
+        let mut a = RandomAttack::new(RandomAttackConfig {
+            seed: 5,
+            ..Default::default()
+        });
+        let mut b = RandomAttack::new(RandomAttackConfig {
+            seed: 5,
+            ..Default::default()
+        });
         let e1: Vec<_> = a.attack(&g).poisoned.edges().collect();
         let e2: Vec<_> = b.attack(&g).poisoned.edges().collect();
         assert_eq!(e1, e2);

@@ -11,8 +11,8 @@
 
 use crate::peega::{ObjectiveNodes, Peega, PeegaConfig};
 use crate::{AttackResult, Attacker};
-use bbgnn_graph::Graph;
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
 use std::time::Instant;
 
 /// Targeted-PEEGA configuration.
@@ -32,7 +32,11 @@ impl TargetedPeegaConfig {
     /// The Nettack budget convention: `deg(t) + 2` modifications per
     /// victim, configured per target when the attack runs.
     pub fn degree_budget(targets: Vec<usize>, base: PeegaConfig) -> Self {
-        Self { targets, budget_per_target: 0, base }
+        Self {
+            targets,
+            budget_per_target: 0,
+            base,
+        }
     }
 }
 
@@ -65,7 +69,10 @@ impl Attacker for TargetedPeega {
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
         let start = Instant::now();
-        assert!(!self.config.targets.is_empty(), "no victim nodes configured");
+        assert!(
+            !self.config.targets.is_empty(),
+            "no victim nodes configured"
+        );
         let mut poisoned = g.clone();
         for &t in &self.config.targets {
             assert!(t < g.num_nodes(), "victim {t} out of range");
@@ -101,9 +108,9 @@ pub fn target_success_rate(model: &dyn NodeClassifier, g: &Graph, targets: &[usi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bbgnn_graph::datasets::DatasetSpec;
     use bbgnn_gnn::gcn::Gcn;
     use bbgnn_gnn::train::TrainConfig;
+    use bbgnn_graph::datasets::DatasetSpec;
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
 

@@ -66,5 +66,8 @@ pub fn assert_gradients(
     f: impl Fn(&mut Tape, &[TensorId]) -> TensorId,
 ) {
     let err = max_gradient_error(inputs, 1e-5, f);
-    assert!(err < tol, "gradient check failed: max error {err} >= tol {tol}");
+    assert!(
+        err < tol,
+        "gradient check failed: max error {err} >= tol {tol}"
+    );
 }

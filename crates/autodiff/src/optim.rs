@@ -27,9 +27,24 @@ pub struct Adam {
 impl Adam {
     /// Creates an Adam optimizer for a parameter set with the given shapes.
     pub fn new(lr: f64, weight_decay: f64, params: &[DenseMatrix]) -> Self {
-        let m = params.iter().map(|p| DenseMatrix::zeros(p.rows(), p.cols())).collect();
-        let v = params.iter().map(|p| DenseMatrix::zeros(p.rows(), p.cols())).collect();
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay, m, v, t: 0 }
+        let m = params
+            .iter()
+            .map(|p| DenseMatrix::zeros(p.rows(), p.cols()))
+            .collect();
+        let v = params
+            .iter()
+            .map(|p| DenseMatrix::zeros(p.rows(), p.cols()))
+            .collect();
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            m,
+            v,
+            t: 0,
+        }
     }
 
     /// Applies one Adam update. `grads[i]` may be `None` when a parameter

@@ -101,11 +101,18 @@ impl Default for Tape {
 impl Tape {
     /// Creates an empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), grads: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            grads: Vec::new(),
+        }
     }
 
     fn push(&mut self, op: Op, value: DenseMatrix, is_const: bool) -> TensorId {
-        self.nodes.push(Node { op, value, is_const });
+        self.nodes.push(Node {
+            op,
+            value,
+            is_const,
+        });
         self.grads.push(None);
         TensorId(self.nodes.len() - 1)
     }
@@ -200,7 +207,9 @@ impl Tape {
 
     /// Leaky ReLU with negative slope `slope`.
     pub fn leaky_relu(&mut self, a: TensorId, slope: f64) -> TensorId {
-        let v = self.nodes[a.0].value.map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.nodes[a.0]
+            .value
+            .map(|x| if x > 0.0 { x } else { slope * x });
         self.push(Op::LeakyRelu(a, slope), v, false)
     }
 
@@ -317,7 +326,10 @@ impl Tape {
     /// Inverted dropout with keep-scaling baked into the generated mask.
     /// `p` is the drop probability; training determinism comes from `seed`.
     pub fn dropout(&mut self, a: TensorId, p: f64, seed: u64) -> TensorId {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0, 1)"
+        );
         let (r, c) = self.shape(a);
         let mask = if p == 0.0 {
             DenseMatrix::filled(r, c, 1.0)
@@ -373,7 +385,11 @@ impl Tape {
     pub fn row_lp_norm_sum(&mut self, x: TensorId, p: f64) -> TensorId {
         let xv = &self.nodes[x.0].value;
         let s: f64 = (0..xv.rows()).map(|i| xv.row_lp_norm(i, p)).sum();
-        self.push(Op::RowLpNormSum(x, p), DenseMatrix::from_vec(1, 1, vec![s]), false)
+        self.push(
+            Op::RowLpNormSum(x, p),
+            DenseMatrix::from_vec(1, 1, vec![s]),
+            false,
+        )
     }
 
     /// Scalar `Σ_{(v,u) ∈ E(adj)} ‖x[v,:] − c[u,:]‖_p` — PEEGA's global-view
@@ -387,7 +403,11 @@ impl Tape {
         p: f64,
     ) -> TensorId {
         let xv = &self.nodes[x.0].value;
-        assert_eq!(xv.cols(), c.cols(), "neighbor_lp_norm_sum: feature dims differ");
+        assert_eq!(
+            xv.cols(),
+            c.cols(),
+            "neighbor_lp_norm_sum: feature dims differ"
+        );
         let mut s = 0.0;
         let mut diff = vec![0.0; xv.cols()];
         for v in 0..adj.rows() {
@@ -433,13 +453,19 @@ impl Tape {
     /// # Panics
     /// Panics if `output` is not `1 × 1`.
     pub fn backward(&mut self, output: TensorId) {
-        assert_eq!(self.shape(output), (1, 1), "backward requires a scalar output");
+        assert_eq!(
+            self.shape(output),
+            (1, 1),
+            "backward requires a scalar output"
+        );
         for g in &mut self.grads {
             *g = None;
         }
         self.grads[output.0] = Some(DenseMatrix::from_vec(1, 1, vec![1.0]));
         for idx in (0..=output.0).rev() {
-            let Some(grad) = self.grads[idx].take() else { continue };
+            let Some(grad) = self.grads[idx].take() else {
+                continue;
+            };
             self.propagate(idx, &grad);
             self.grads[idx] = Some(grad);
         }
@@ -491,7 +517,10 @@ impl Tape {
                 Op::LeakyRelu(a, slope) => {
                     let av = &self.nodes[a.0].value;
                     let s = *slope;
-                    Delta::One(*a, g.zip_with(av, move |gg, x| if x > 0.0 { gg } else { s * gg }))
+                    Delta::One(
+                        *a,
+                        g.zip_with(av, move |gg, x| if x > 0.0 { gg } else { s * gg }),
+                    )
                 }
                 Op::Sigmoid(a) => {
                     let y = &node.value;
@@ -862,7 +891,12 @@ mod tests {
         let s = t.sum_all(a);
         t.backward(s);
         t.backward(s);
-        assert!(t.grad(a).unwrap().max_abs_diff(&DenseMatrix::filled(2, 2, 1.0)) < 1e-12);
+        assert!(
+            t.grad(a)
+                .unwrap()
+                .max_abs_diff(&DenseMatrix::filled(2, 2, 1.0))
+                < 1e-12
+        );
     }
 
     #[test]

@@ -211,7 +211,14 @@ fn grad_neighbor_lp_norm_sum() {
     let adj = Rc::new(CsrMatrix::from_triplets(
         4,
         4,
-        vec![(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (3, 0, 1.0), (0, 3, 1.0)],
+        vec![
+            (0, 1, 1.0),
+            (1, 0, 1.0),
+            (1, 2, 1.0),
+            (2, 1, 1.0),
+            (3, 0, 1.0),
+            (0, 3, 1.0),
+        ],
     ));
     let c = Rc::new(m(4, 3, 30));
     for &p in &[1.0, 2.0, 3.0] {
@@ -284,17 +291,21 @@ fn grad_through_gat_attention_path() {
     let labels = Rc::new(vec![0, 1, 0, 1]);
     let rows = Rc::new(vec![0, 1, 2, 3]);
     // Inputs: W (3x2), a_src (2x1), a_dst (2x1).
-    assert_gradients(&[m(3, 2, 41), m(2, 1, 42), m(2, 1, 43)], 1e-4, move |t, ids| {
-        let xc = t.constant((*x).clone());
-        let hw = t.matmul(xc, ids[0]);
-        let src = t.matmul(hw, ids[1]);
-        let dst = t.matmul(hw, ids[2]);
-        let e = t.add_outer(src, dst);
-        let e = t.leaky_relu(e, 0.2);
-        let alpha = t.masked_softmax_rows(e, Rc::clone(&mask));
-        let out = t.matmul(alpha, hw);
-        t.cross_entropy(out, Rc::clone(&labels), Rc::clone(&rows))
-    });
+    assert_gradients(
+        &[m(3, 2, 41), m(2, 1, 42), m(2, 1, 43)],
+        1e-4,
+        move |t, ids| {
+            let xc = t.constant((*x).clone());
+            let hw = t.matmul(xc, ids[0]);
+            let src = t.matmul(hw, ids[1]);
+            let dst = t.matmul(hw, ids[2]);
+            let e = t.add_outer(src, dst);
+            let e = t.leaky_relu(e, 0.2);
+            let alpha = t.masked_softmax_rows(e, Rc::clone(&mask));
+            let out = t.matmul(alpha, hw);
+            t.cross_entropy(out, Rc::clone(&labels), Rc::clone(&rows))
+        },
+    );
 }
 
 /// End-to-end composite: PEEGA's full Def. 3 objective — normalization

@@ -67,7 +67,11 @@ fn cross_entropy_without_rows_panics() {
 #[test]
 fn relu_then_spmm_composition() {
     let mut t = Tape::new();
-    let s = Rc::new(CsrMatrix::from_triplets(2, 2, vec![(0, 1, 1.0), (1, 0, 1.0)]));
+    let s = Rc::new(CsrMatrix::from_triplets(
+        2,
+        2,
+        vec![(0, 1, 1.0), (1, 0, 1.0)],
+    ));
     let x = t.var(DenseMatrix::from_rows(&[&[-1.0, 2.0], &[3.0, -4.0]]));
     let r = t.relu(x);
     let y = t.spmm(s, r);
@@ -142,7 +146,10 @@ fn gradcheck_utility_detects_wrong_gradient() {
             t.sum_all(sq)
         },
     );
-    assert!(err > 1.0, "checker must flag the broken gradient, err = {err}");
+    assert!(
+        err > 1.0,
+        "checker must flag the broken gradient, err = {err}"
+    );
 }
 
 #[test]

@@ -18,7 +18,10 @@ fn bench_attackers(c: &mut Criterion) {
 
     group.bench_function("peega", |b| {
         b.iter(|| {
-            let mut atk = Peega::new(PeegaConfig { rate: 0.05, ..Default::default() });
+            let mut atk = Peega::new(PeegaConfig {
+                rate: 0.05,
+                ..Default::default()
+            });
             std::hint::black_box(atk.attack(&g))
         })
     });
@@ -54,13 +57,19 @@ fn bench_attackers(c: &mut Criterion) {
     });
     group.bench_function("gf_attack", |b| {
         b.iter(|| {
-            let mut atk = GfAttack::new(GfAttackConfig { rate: 0.05, ..Default::default() });
+            let mut atk = GfAttack::new(GfAttackConfig {
+                rate: 0.05,
+                ..Default::default()
+            });
             std::hint::black_box(atk.attack(&g))
         })
     });
     group.bench_function("random", |b| {
         b.iter(|| {
-            let mut atk = RandomAttack::new(RandomAttackConfig { rate: 0.05, ..Default::default() });
+            let mut atk = RandomAttack::new(RandomAttackConfig {
+                rate: 0.05,
+                ..Default::default()
+            });
             std::hint::black_box(atk.attack(&g))
         })
     });

@@ -11,14 +11,22 @@ use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_defenders(c: &mut Criterion) {
     let g = DatasetSpec::CoraLike.generate(0.05, 7);
-    let train = TrainConfig { epochs: 60, patience: 0, dropout: 0.5, ..Default::default() };
+    let train = TrainConfig {
+        epochs: 60,
+        patience: 0,
+        dropout: 0.5,
+        ..Default::default()
+    };
     let mut group = c.benchmark_group("defenders");
     group.sample_size(10);
 
     let mut kinds: Vec<(&str, DefenderKind)> = vec![
         ("gcn", DefenderKind::Gcn),
         ("gat", DefenderKind::Gat),
-        ("gcn_jaccard", DefenderKind::GcnJaccard(GcnJaccardConfig::default())),
+        (
+            "gcn_jaccard",
+            DefenderKind::GcnJaccard(GcnJaccardConfig::default()),
+        ),
         ("gcn_svd", DefenderKind::GcnSvd(GcnSvdConfig::default())),
         ("rgcn", DefenderKind::Rgcn(RgcnConfig::default())),
         ("simpgcn", DefenderKind::SimPGcn(SimPGcnConfig::default())),
@@ -28,7 +36,11 @@ fn bench_defenders(c: &mut Criterion) {
     // reasonable time — it is still the slowest by a wide margin.
     kinds.push((
         "prognn",
-        DefenderKind::ProGnn(ProGnnConfig { outer_epochs: 10, inner_epochs: 3, ..Default::default() }),
+        DefenderKind::ProGnn(ProGnnConfig {
+            outer_epochs: 10,
+            inner_epochs: 3,
+            ..Default::default()
+        }),
     ));
 
     for (name, kind) in kinds {

@@ -22,13 +22,19 @@ fn main() {
     println!("\n--- (a) evasion vs poisoning (GCN, PEEGA) ---\n");
     let mut table_a = Table::new(&["rate", "clean", "evasion", "poisoning"]);
     for &rate in &[0.05, 0.1, 0.2] {
-        let mut atk = Peega::new(PeegaConfig { rate, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate,
+            ..Default::default()
+        });
         let poisoned = atk.attack(&g).poisoned;
         let mut clean_accs = Vec::new();
         let mut evasion_accs = Vec::new();
         let mut poison_accs = Vec::new();
         for r in 0..cfg.runs {
-            let train = TrainConfig { seed: cfg.seed + r as u64, ..Default::default() };
+            let train = TrainConfig {
+                seed: cfg.seed + r as u64,
+                ..Default::default()
+            };
             let mut clean_model = Gcn::paper_default(train.clone());
             clean_model.fit(&g);
             clean_accs.push(clean_model.test_accuracy(&g));
@@ -51,7 +57,10 @@ fn main() {
 
     // ---- (b) cross-architecture transfer ----------------------------------
     println!("\n--- (b) PEEGA poison transfer across victim architectures ---\n");
-    let mut atk = Peega::new(PeegaConfig { rate: cfg.rate, ..Default::default() });
+    let mut atk = Peega::new(PeegaConfig {
+        rate: cfg.rate,
+        ..Default::default()
+    });
     let poisoned = atk.attack(&g).poisoned;
     let mut table_b = Table::new(&["victim", "clean", "poisoned", "drop"]);
     type Builder = Box<dyn Fn(TrainConfig) -> Box<dyn NodeClassifier>>;
@@ -65,7 +74,10 @@ fn main() {
         let mut clean_accs = Vec::new();
         let mut poison_accs = Vec::new();
         for r in 0..cfg.runs {
-            let train = TrainConfig { seed: cfg.seed + r as u64, ..Default::default() };
+            let train = TrainConfig {
+                seed: cfg.seed + r as u64,
+                ..Default::default()
+            };
             let mut on_clean = build(train.clone());
             on_clean.fit(&g);
             clean_accs.push(on_clean.test_accuracy(&g));

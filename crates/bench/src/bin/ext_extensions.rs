@@ -29,11 +29,17 @@ fn main() {
         "PEEGA-P time(s)",
     ]);
     for &rate in &[0.05, 0.1, 0.2] {
-        let mut seq = Peega::new(PeegaConfig { rate, ..Default::default() });
+        let mut seq = Peega::new(PeegaConfig {
+            rate,
+            ..Default::default()
+        });
         let r_seq = seq.attack(&g);
         let acc_seq = evaluate_defender(&DefenderKind::Gcn, &r_seq.poisoned, cfg.runs, cfg.seed);
 
-        let mut par = PeegaParallel::new(PeegaParallelConfig { rate, ..Default::default() });
+        let mut par = PeegaParallel::new(PeegaParallelConfig {
+            rate,
+            ..Default::default()
+        });
         let r_par = par.attack(&g);
         let acc_par = evaluate_defender(&DefenderKind::Gcn, &r_par.poisoned, cfg.runs, cfg.seed);
 
@@ -53,7 +59,10 @@ fn main() {
     let mut table_b = Table::new(&["attacker", "GCN", "GNAT", "GNAT+prune"]);
     let attacks: Vec<(&str, Graph)> = vec![
         ("PEEGA", {
-            let mut a = Peega::new(PeegaConfig { rate: cfg.rate, ..Default::default() });
+            let mut a = Peega::new(PeegaConfig {
+                rate: cfg.rate,
+                ..Default::default()
+            });
             a.attack(&g).poisoned
         }),
         ("Metattack", {

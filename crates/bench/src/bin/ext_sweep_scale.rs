@@ -33,13 +33,19 @@ fn main() {
             clean.to_string(),
         ]);
         let attackers: Vec<AttackerKind> = vec![
-            AttackerKind::Peega(PeegaConfig { rate: cfg.rate, ..Default::default() }),
+            AttackerKind::Peega(PeegaConfig {
+                rate: cfg.rate,
+                ..Default::default()
+            }),
             AttackerKind::Metattack(MetattackConfig {
                 rate: cfg.rate,
                 retrain_every: 5,
                 ..Default::default()
             }),
-            AttackerKind::Pgd(PgdConfig { rate: cfg.rate, ..Default::default() }),
+            AttackerKind::Pgd(PgdConfig {
+                rate: cfg.rate,
+                ..Default::default()
+            }),
         ];
         for kind in attackers {
             let mut attacker = kind.build();

@@ -23,8 +23,13 @@ fn main() {
 
     // Victims: random test nodes with degree ≥ 2.
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
-    let mut pool: Vec<usize> =
-        g.split.test.iter().copied().filter(|&v| g.degree(v) >= 2).collect();
+    let mut pool: Vec<usize> = g
+        .split
+        .test
+        .iter()
+        .copied()
+        .filter(|&v| g.degree(v) >= 2)
+        .collect();
     pool.shuffle(&mut rng);
     let targets: Vec<usize> = pool.into_iter().take(15).collect();
     let total_budget: usize = targets.iter().map(|&t| g.degree(t) + 2).sum();
@@ -34,8 +39,10 @@ fn main() {
         let mut success = Vec::new();
         let mut acc = Vec::new();
         for r in 0..cfg.runs {
-            let mut gcn =
-                Gcn::paper_default(TrainConfig { seed: cfg.seed + r as u64, ..Default::default() });
+            let mut gcn = Gcn::paper_default(TrainConfig {
+                seed: cfg.seed + r as u64,
+                ..Default::default()
+            });
             gcn.fit(graph);
             success.push(target_success_rate(&gcn, graph, &targets));
             acc.push(gcn.test_accuracy(graph));
@@ -52,7 +59,11 @@ fn main() {
         ..Default::default()
     });
     let (s, a) = eval(&random.attack(&g).poisoned);
-    table.push_row(vec!["random (equal budget)".into(), s.to_string(), a.to_string()]);
+    table.push_row(vec![
+        "random (equal budget)".into(),
+        s.to_string(),
+        a.to_string(),
+    ]);
 
     let mut targeted = TargetedPeega::new(TargetedPeegaConfig::degree_budget(
         targets.clone(),

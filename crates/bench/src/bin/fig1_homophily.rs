@@ -38,7 +38,11 @@ fn main() {
     }));
     let names = ["cora", "citeseer", "polblogs", "synthetic-a", "synthetic-b"];
     for (spec, name) in specs.iter().zip(names) {
-        let scale = if matches!(spec, DatasetSpec::Custom(_)) { 1.0 } else { cfg.scale };
+        let scale = if matches!(spec, DatasetSpec::Custom(_)) {
+            1.0
+        } else {
+            cfg.scale
+        };
         let g = spec.generate(scale, cfg.seed);
         table.push_row(vec![
             name.to_string(),

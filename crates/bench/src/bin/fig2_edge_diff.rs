@@ -41,7 +41,10 @@ fn main() {
     }
     // Reference row: the label-aware DICE heuristic produces the Add+Diff /
     // Del+Same pattern by construction.
-    let mut dice = Dice::new(DiceConfig { rate: cfg.rate, ..Default::default() });
+    let mut dice = Dice::new(DiceConfig {
+        rate: cfg.rate,
+        ..Default::default()
+    });
     let d = edge_diff_breakdown(&g, &dice.attack(&g).poisoned);
     table.push_row(vec![
         "DICE (ref)".to_string(),

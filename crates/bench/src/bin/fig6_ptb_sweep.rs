@@ -5,11 +5,21 @@
 //! trained on the Metattack poison graph, GNAT+P is GNAT on the PEEGA
 //! poison graph, and so on.
 //!
+//! Cells are fault-isolated and checkpointed to
+//! `results/fig6_ptb_sweep.checkpoint.json`; a killed sweep resumes from
+//! the last completed cell (and skips re-poisoning rates whose cells are
+//! all done), reproducing the uninterrupted output byte for byte.
+//!
 //! Reproduction targets: all series fall as r grows; the GNAT series stay
 //! on top; PEEGA's curves sit below Metattack's on Citeseer/Polblogs.
 
 use bbgnn::prelude::*;
-use bbgnn_bench::{config::ExpConfig, report::Table, runner::evaluate_defender};
+use bbgnn_bench::{
+    config::ExpConfig,
+    fault::{CellValue, FaultRunner},
+    report::Table,
+    runner::evaluate_defender_checked,
+};
 
 fn main() {
     let cfg = ExpConfig::from_args();
@@ -18,21 +28,25 @@ fn main() {
         .into_iter()
         .filter(|s| cfg.dataset.as_deref().map_or(true, |d| d == s.name()))
         .collect();
+    let mut harness = FaultRunner::new(&cfg, "fig6_ptb_sweep");
 
     for spec in specs {
         let g = spec.generate(cfg.scale, cfg.seed);
         println!("\n### {} ###\n", spec.name());
         let defenders: Vec<(&str, DefenderKind)> = vec![
             ("GCN", DefenderKind::Gcn),
-            ("ProGNN", DefenderKind::ProGnn(ProGnnConfig {
-                // Reduced outer budget: this bin trains Pro-GNN 30 times
-                // (5 rates x 2 attackers x runs); the full default budget
-                // would dominate the whole suite's wall-clock.
-                outer_epochs: 12,
-                inner_epochs: 4,
-                svd_every: 4,
-                ..Default::default()
-            })),
+            (
+                "ProGNN",
+                DefenderKind::ProGnn(ProGnnConfig {
+                    // Reduced outer budget: this bin trains Pro-GNN 30 times
+                    // (5 rates x 2 attackers x runs); the full default budget
+                    // would dominate the whole suite's wall-clock.
+                    outer_epochs: 12,
+                    inner_epochs: 4,
+                    svd_every: 4,
+                    ..Default::default()
+                }),
+            ),
             (
                 "GNAT",
                 DefenderKind::Gnat(if spec.identity_features() {
@@ -50,7 +64,11 @@ fn main() {
         let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
         for &rate in &[0.0, 0.05, 0.1, 0.15, 0.2] {
-            let (meta_graph, peega_graph) = if rate == 0.0 {
+            let key_of = |dname: &str, atk: &str| format!("{}/r{rate}/{dname}+{atk}", spec.name());
+            let rate_done = defenders
+                .iter()
+                .all(|(d, _)| harness.is_done(&key_of(d, "M")) && harness.is_done(&key_of(d, "P")));
+            let (meta_graph, peega_graph) = if rate == 0.0 || rate_done {
                 (g.clone(), g.clone())
             } else {
                 let mut meta = Metattack::new(MetattackConfig {
@@ -58,18 +76,32 @@ fn main() {
                     retrain_every: 5,
                     ..Default::default()
                 });
-                let mut peega = Peega::new(PeegaConfig { rate, ..Default::default() });
+                let mut peega = Peega::new(PeegaConfig {
+                    rate,
+                    ..Default::default()
+                });
                 (meta.attack(&g).poisoned, peega.attack(&g).poisoned)
             };
             let mut cells = vec![format!("{rate}")];
-            for (_, kind) in &defenders {
-                cells.push(evaluate_defender(kind, &meta_graph, cfg.runs, cfg.seed).to_string());
-                cells.push(evaluate_defender(kind, &peega_graph, cfg.runs, cfg.seed).to_string());
+            for (dname, kind) in &defenders {
+                for (atk, graph) in [("M", &meta_graph), ("P", &peega_graph)] {
+                    cells.push(harness.cell(&key_of(dname, atk), cfg.seed, |seed| {
+                        let (stats, health) =
+                            evaluate_defender_checked(kind, graph, cfg.runs, seed);
+                        let text = stats.to_string();
+                        Ok(if health.is_degraded() {
+                            CellValue::degraded(text)
+                        } else {
+                            CellValue::clean(text)
+                        })
+                    }));
+                }
             }
             eprintln!("[{} r={rate} done]", spec.name());
             table.push_row(cells);
         }
         table.emit(&cfg.out_dir, &format!("fig6_ptb_sweep_{}", spec.name()));
     }
-    println!("\npaper: accuracy falls with r; GNAT (green) stays above Pro-GNN and GCN.");
+    println!("\n{}", harness.summary());
+    println!("paper: accuracy falls with r; GNAT (green) stays above Pro-GNN and GCN.");
 }

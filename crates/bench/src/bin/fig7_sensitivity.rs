@@ -1,18 +1,31 @@
 //! Fig. 7 — (a) sensitivity to the rate of accessible attacker nodes;
 //! (b) sensitivity to the surrogate depth of PEEGA vs. the victim depth.
 //!
+//! Part (a)'s cells each contain their own attack run, so the whole
+//! attack+evaluate unit is fault-isolated and checkpointed
+//! (`results/fig7_sensitivity.checkpoint.json`); part (b) shares one
+//! poison set across victim depths and skips re-poisoning once every
+//! dependent cell is checkpointed.
+//!
 //! Reproduction targets: (a) GCN accuracy falls as the attacker controls
 //! more nodes, and PEEGA ≤ Metattack at equal access; (b) PEEGA_2 is the
 //! strongest surrogate depth, PEEGA_1 clearly weaker, and PEEGA_{2,3,4}
 //! are competitive with Metattack/MinMax across victim depths.
 
 use bbgnn::prelude::*;
-use bbgnn_bench::{config::ExpConfig, report::Table};
+use bbgnn_bench::{
+    config::ExpConfig,
+    fault::{CellValue, FaultRunner},
+    report::Table,
+};
 
 fn gcn_acc_with_layers(g: &Graph, layers: usize, runs: usize, seed: u64) -> MeanStd {
     let accs: Vec<f64> = (0..runs)
         .map(|r| {
-            let cfg = TrainConfig { seed: seed + r as u64, ..Default::default() };
+            let cfg = TrainConfig {
+                seed: seed + r as u64,
+                ..Default::default()
+            };
             let mut gcn = Gcn::new(vec![16; layers.saturating_sub(1)], cfg);
             gcn.fit(g);
             gcn.test_accuracy(g)
@@ -25,6 +38,7 @@ fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("fig7_sensitivity"));
     let g = DatasetSpec::CoraLike.generate(cfg.scale, cfg.seed);
+    let mut harness = FaultRunner::new(&cfg, "fig7_sensitivity");
 
     // ---- (a) attacker-node rate sweep ------------------------------------
     println!("\n--- Fig 7(a): accessible-node rate sweep (GCN victim) ---\n");
@@ -35,58 +49,93 @@ fn main() {
         } else {
             AttackerNodes::random_subset(g.num_nodes(), node_rate, cfg.seed)
         };
-        let mut peega = Peega::new(PeegaConfig {
-            rate: cfg.rate,
-            attacker_nodes: subset.clone(),
-            ..Default::default()
+        let acc_p = harness.cell(&format!("a/nodes{node_rate}/PEEGA"), cfg.seed, |seed| {
+            let mut peega = Peega::new(PeegaConfig {
+                rate: cfg.rate,
+                attacker_nodes: subset.clone(),
+                ..Default::default()
+            });
+            let acc = gcn_acc_with_layers(&peega.attack(&g).poisoned, 2, cfg.runs, seed);
+            Ok(CellValue::clean(acc.to_string()))
         });
-        let mut meta = Metattack::new(MetattackConfig {
-            rate: cfg.rate,
-            retrain_every: 5,
-            attacker_nodes: subset,
-            ..Default::default()
+        let acc_m = harness.cell(&format!("a/nodes{node_rate}/Metattack"), cfg.seed, |seed| {
+            let mut meta = Metattack::new(MetattackConfig {
+                rate: cfg.rate,
+                retrain_every: 5,
+                attacker_nodes: subset.clone(),
+                ..Default::default()
+            });
+            let acc = gcn_acc_with_layers(&meta.attack(&g).poisoned, 2, cfg.runs, seed);
+            Ok(CellValue::clean(acc.to_string()))
         });
-        let acc_p = gcn_acc_with_layers(&peega.attack(&g).poisoned, 2, cfg.runs, cfg.seed);
-        let acc_m = gcn_acc_with_layers(&meta.attack(&g).poisoned, 2, cfg.runs, cfg.seed);
-        table_a.push_row(vec![format!("{node_rate}"), acc_p.to_string(), acc_m.to_string()]);
+        table_a.push_row(vec![format!("{node_rate}"), acc_p, acc_m]);
         eprintln!("[node rate {node_rate} done]");
     }
     table_a.emit(&cfg.out_dir, "fig7a_attacker_nodes");
 
     // ---- (b) surrogate depth vs victim depth ------------------------------
     println!("\n--- Fig 7(b): PEEGA_l surrogate depth vs GCN victim depth ---\n");
+    let attacker_names: Vec<String> = (1..=4)
+        .map(|l| format!("PEEGA_{l}"))
+        .chain(["Metattack".to_string(), "MinMax".to_string()])
+        .collect();
     let mut headers = vec!["victim layers".to_string()];
-    for l in 1..=4 {
-        headers.push(format!("PEEGA_{l}"));
-    }
-    headers.push("Metattack".to_string());
-    headers.push("MinMax".to_string());
+    headers.extend(attacker_names.iter().cloned());
     let mut table_b = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
-    // Poison once per attacker variant.
-    let mut poisons: Vec<(String, Graph)> = (1..=4)
-        .map(|l| {
-            let mut atk = Peega::new(PeegaConfig { rate: cfg.rate, hops: l, ..Default::default() });
-            (format!("PEEGA_{l}"), atk.attack(&g).poisoned)
-        })
-        .collect();
-    let mut meta = Metattack::new(MetattackConfig {
-        rate: cfg.rate,
-        retrain_every: 5,
-        ..Default::default()
+    let part_b_done = (2..=4).all(|layers| {
+        attacker_names
+            .iter()
+            .all(|n| harness.is_done(&format!("b/layers{layers}/{n}")))
     });
-    poisons.push(("Metattack".to_string(), meta.attack(&g).poisoned));
-    let mut minmax = MinMaxAttack::new(MinMaxConfig { rate: cfg.rate, ..Default::default() });
-    poisons.push(("MinMax".to_string(), minmax.attack(&g).poisoned));
+    // Poison once per attacker variant (skipped entirely on a completed
+    // resume — the clean graph stands in and no cell evaluates it).
+    let poisons: Vec<(String, Graph)> = if part_b_done {
+        attacker_names
+            .iter()
+            .map(|n| (n.clone(), g.clone()))
+            .collect()
+    } else {
+        let mut poisons: Vec<(String, Graph)> = (1..=4)
+            .map(|l| {
+                let mut atk = Peega::new(PeegaConfig {
+                    rate: cfg.rate,
+                    hops: l,
+                    ..Default::default()
+                });
+                (format!("PEEGA_{l}"), atk.attack(&g).poisoned)
+            })
+            .collect();
+        let mut meta = Metattack::new(MetattackConfig {
+            rate: cfg.rate,
+            retrain_every: 5,
+            ..Default::default()
+        });
+        poisons.push(("Metattack".to_string(), meta.attack(&g).poisoned));
+        let mut minmax = MinMaxAttack::new(MinMaxConfig {
+            rate: cfg.rate,
+            ..Default::default()
+        });
+        poisons.push(("MinMax".to_string(), minmax.attack(&g).poisoned));
+        poisons
+    };
 
     for victim_layers in 2..=4 {
         let mut cells = vec![victim_layers.to_string()];
-        for (_, poisoned) in &poisons {
-            cells.push(gcn_acc_with_layers(poisoned, victim_layers, cfg.runs, cfg.seed).to_string());
+        for (name, poisoned) in &poisons {
+            cells.push(harness.cell(
+                &format!("b/layers{victim_layers}/{name}"),
+                cfg.seed,
+                |seed| {
+                    let acc = gcn_acc_with_layers(poisoned, victim_layers, cfg.runs, seed);
+                    Ok(CellValue::clean(acc.to_string()))
+                },
+            ));
         }
         table_b.push_row(cells);
         eprintln!("[victim depth {victim_layers} done]");
     }
     table_b.emit(&cfg.out_dir, "fig7b_layer_sweep");
-    println!("\npaper: more accessible nodes = stronger attack; PEEGA_2 is the best depth.");
+    println!("\n{}", harness.summary());
+    println!("paper: more accessible nodes = stronger attack; PEEGA_2 is the best depth.");
 }

@@ -26,7 +26,11 @@ fn main() {
     for &lambda in &[0.0, 0.005, 0.01, 0.015, 0.02, 0.025, 0.03] {
         let mut cells = vec![format!("{lambda}")];
         for (_, g) in &graphs {
-            let mut atk = Peega::new(PeegaConfig { rate: cfg.rate, lambda, ..Default::default() });
+            let mut atk = Peega::new(PeegaConfig {
+                rate: cfg.rate,
+                lambda,
+                ..Default::default()
+            });
             let poisoned = atk.attack(g).poisoned;
             cells.push(gcn_accuracy(&poisoned, cfg.runs, cfg.seed).to_string());
         }
@@ -42,7 +46,11 @@ fn main() {
     for &p in &[1.0, 2.0, 3.0] {
         let mut cells = vec![format!("{p}")];
         for (_, g) in &graphs {
-            let mut atk = Peega::new(PeegaConfig { rate: cfg.rate, p, ..Default::default() });
+            let mut atk = Peega::new(PeegaConfig {
+                rate: cfg.rate,
+                p,
+                ..Default::default()
+            });
             let poisoned = atk.attack(g).poisoned;
             cells.push(gcn_accuracy(&poisoned, cfg.runs, cfg.seed).to_string());
         }

@@ -17,7 +17,10 @@ fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("fig9_gnat_params"));
     let g = DatasetSpec::CiteseerLike.generate(cfg.scale, cfg.seed);
-    let mut atk = Peega::new(PeegaConfig { rate: cfg.rate, ..Default::default() });
+    let mut atk = Peega::new(PeegaConfig {
+        rate: cfg.rate,
+        ..Default::default()
+    });
     let poisoned = atk.attack(&g).poisoned;
     println!("poisoned citeseer-like graph ready\n");
 
@@ -28,8 +31,15 @@ fn main() {
     // k_t sweep.
     let mut t_kt = Table::new(&["k_t", "GNAT-t", "GNAT-t+f+e"]);
     for &k_t in &[1usize, 2, 3] {
-        let single = eval(GnatConfig { k_t, views: vec![View::Topology], ..Default::default() });
-        let full = eval(GnatConfig { k_t, ..Default::default() });
+        let single = eval(GnatConfig {
+            k_t,
+            views: vec![View::Topology],
+            ..Default::default()
+        });
+        let full = eval(GnatConfig {
+            k_t,
+            ..Default::default()
+        });
         t_kt.push_row(vec![k_t.to_string(), single.to_string(), full.to_string()]);
         eprintln!("[k_t {k_t} done]");
     }
@@ -38,8 +48,15 @@ fn main() {
     // k_f sweep.
     let mut t_kf = Table::new(&["k_f", "GNAT-f", "GNAT-t+f+e"]);
     for &k_f in &[5usize, 10, 15, 20] {
-        let single = eval(GnatConfig { k_f, views: vec![View::Feature], ..Default::default() });
-        let full = eval(GnatConfig { k_f, ..Default::default() });
+        let single = eval(GnatConfig {
+            k_f,
+            views: vec![View::Feature],
+            ..Default::default()
+        });
+        let full = eval(GnatConfig {
+            k_f,
+            ..Default::default()
+        });
         t_kf.push_row(vec![k_f.to_string(), single.to_string(), full.to_string()]);
         eprintln!("[k_f {k_f} done]");
     }
@@ -48,8 +65,15 @@ fn main() {
     // k_e sweep.
     let mut t_ke = Table::new(&["k_e", "GNAT-e", "GNAT-t+f+e"]);
     for &k_e in &[1.0, 5.0, 10.0, 15.0, 20.0] {
-        let single = eval(GnatConfig { k_e, views: vec![View::Ego], ..Default::default() });
-        let full = eval(GnatConfig { k_e, ..Default::default() });
+        let single = eval(GnatConfig {
+            k_e,
+            views: vec![View::Ego],
+            ..Default::default()
+        });
+        let full = eval(GnatConfig {
+            k_e,
+            ..Default::default()
+        });
         t_ke.push_row(vec![format!("{k_e}"), single.to_string(), full.to_string()]);
         eprintln!("[k_e {k_e} done]");
     }

@@ -17,7 +17,10 @@ fn main() {
     headers.extend(specs.iter().map(|s| format!("{} (s)", s.name())));
     let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
-    let graphs: Vec<Graph> = specs.iter().map(|s| s.generate(cfg.scale, cfg.seed)).collect();
+    let graphs: Vec<Graph> = specs
+        .iter()
+        .map(|s| s.generate(cfg.scale, cfg.seed))
+        .collect();
     for kind in AttackerKind::paper_rows(cfg.rate) {
         let mut cells = vec![kind.name().to_string()];
         for g in &graphs {

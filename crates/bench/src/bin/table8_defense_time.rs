@@ -1,15 +1,25 @@
 //! Table VIII — defender training time (seconds) on the clean graphs.
 //!
+//! Cells run fault-isolated and checkpoint to
+//! `results/table8_defense_time.checkpoint.json` (timings resume verbatim,
+//! so a resumed table matches the interrupted run byte for byte).
+//!
 //! Reproduction targets: GCN is fastest; GNAT costs only a small constant
 //! factor over GCN (one GCN per augmented view); Pro-GNN is slower than
 //! everything else by an order of magnitude or more.
 
 use bbgnn::prelude::*;
-use bbgnn_bench::{config::ExpConfig, report::Table, runner::evaluate_defender_timed};
+use bbgnn_bench::{
+    config::ExpConfig,
+    fault::{CellValue, FaultRunner},
+    report::Table,
+    runner::evaluate_defender_timed,
+};
 
 fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("table8_defense_time"));
+    let mut harness = FaultRunner::new(&cfg, "table8_defense_time");
 
     let specs = DatasetSpec::paper_datasets();
     let mut headers = vec!["Model".to_string()];
@@ -29,7 +39,10 @@ fn main() {
         for (spec, g) in &graphs {
             let applicable = DefenderKind::paper_columns(spec.identity_features())
                 .iter()
-                .any(|k| k.name() == kind.name() || (kind.name() == "GNAT" && k.name().starts_with("GNAT")));
+                .any(|k| {
+                    k.name() == kind.name()
+                        || (kind.name() == "GNAT" && k.name().starts_with("GNAT"))
+                });
             if !applicable {
                 cells.push("-".to_string());
                 continue;
@@ -39,12 +52,19 @@ fn main() {
             } else {
                 kind.clone()
             };
-            let (_, secs) = evaluate_defender_timed(&concrete, g, cfg.runs, cfg.seed);
-            cells.push(format!("{:.2}±{:.2}", secs.mean, secs.std));
+            let key = format!("{}/{}", spec.name(), kind.name());
+            cells.push(harness.cell(&key, cfg.seed, |seed| {
+                let (_, secs) = evaluate_defender_timed(&concrete, g, cfg.runs, seed);
+                Ok(CellValue::clean(format!(
+                    "{:.2}±{:.2}",
+                    secs.mean, secs.std
+                )))
+            }));
         }
         table.push_row(cells);
     }
     table.emit(&cfg.out_dir, "table8_defense_time");
-    println!("\npaper ordering: GCN < GNAT < GCN-Jaccard ≈ RGCN < GAT ≈ SimPGCN");
+    println!("\n{}", harness.summary());
+    println!("paper ordering: GCN < GNAT < GCN-Jaccard ≈ RGCN < GAT ≈ SimPGCN");
     println!("< GCN-SVD << Pro-GNN.");
 }

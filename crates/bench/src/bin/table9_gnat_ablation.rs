@@ -6,11 +6,20 @@
 //! skipped on Polblogs (identity features), exactly as the paper's
 //! dashes.
 //!
+//! Cells are fault-isolated and checkpointed to
+//! `results/table9_gnat_ablation.checkpoint.json`; datasets whose cells
+//! are all complete are not re-poisoned on resume.
+//!
 //! Reproduction targets: multi-view combinations beat their single views;
 //! each multi-view variant beats its merged counterpart; t+f+e is best.
 
 use bbgnn::prelude::*;
-use bbgnn_bench::{config::ExpConfig, report::Table, runner::evaluate_defender};
+use bbgnn_bench::{
+    config::ExpConfig,
+    fault::{CellValue, FaultRunner},
+    report::Table,
+    runner::evaluate_defender_checked,
+};
 
 fn variants() -> Vec<(&'static str, Vec<View>, bool)> {
     use View::{Ego as E, Feature as F, Topology as T};
@@ -32,26 +41,39 @@ fn variants() -> Vec<(&'static str, Vec<View>, bool)> {
 fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("table9_gnat_ablation"));
+    let mut harness = FaultRunner::new(&cfg, "table9_gnat_ablation");
 
     let specs = DatasetSpec::paper_datasets();
     let mut headers = vec!["Variant".to_string()];
     headers.extend(specs.iter().map(|s| s.name().to_string()));
     let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
-    // Poison each dataset once with PEEGA.
+    // Poison each dataset once with PEEGA — unless every one of its cells
+    // is already checkpointed, in which case the clean graph stands in (no
+    // cell will evaluate it).
     let poisoned: Vec<(bool, Graph)> = specs
         .iter()
         .map(|s| {
             let g = s.generate(cfg.scale, cfg.seed);
-            let mut atk = Peega::new(PeegaConfig { rate: cfg.rate, ..Default::default() });
-            (s.identity_features(), atk.attack(&g).poisoned)
+            let dataset_done = variants()
+                .iter()
+                .all(|(name, _, _)| harness.is_done(&format!("{}/{name}", s.name())));
+            if dataset_done {
+                (s.identity_features(), g)
+            } else {
+                let mut atk = Peega::new(PeegaConfig {
+                    rate: cfg.rate,
+                    ..Default::default()
+                });
+                (s.identity_features(), atk.attack(&g).poisoned)
+            }
         })
         .collect();
 
     for (name, views, merged) in variants() {
         let uses_features = views.contains(&View::Feature);
         let mut cells = vec![name.to_string()];
-        for (identity, g) in &poisoned {
+        for (spec, (identity, g)) in specs.iter().zip(&poisoned) {
             if uses_features && *identity {
                 cells.push("-".to_string());
                 continue;
@@ -63,12 +85,21 @@ fn main() {
                 k_t: if *identity { 1 } else { 2 },
                 ..Default::default()
             });
-            let stats = evaluate_defender(&kind, g, cfg.runs, cfg.seed);
-            cells.push(stats.to_string());
+            let key = format!("{}/{name}", spec.name());
+            cells.push(harness.cell(&key, cfg.seed, |seed| {
+                let (stats, health) = evaluate_defender_checked(&kind, g, cfg.runs, seed);
+                let text = stats.to_string();
+                Ok(if health.is_degraded() {
+                    CellValue::degraded(text)
+                } else {
+                    CellValue::clean(text)
+                })
+            }));
         }
         eprintln!("[{name} done]");
         table.push_row(cells);
     }
     table.emit(&cfg.out_dir, "table9_gnat_ablation");
-    println!("\npaper: multi-view > single view; multi-view > merged; t+f+e best.");
+    println!("\n{}", harness.summary());
+    println!("paper: multi-view > single view; multi-view > merged; t+f+e best.");
 }

@@ -5,6 +5,12 @@
 //! without the flag. The best model per row is marked `(...)` like the
 //! paper; the strongest attacker per column is implicit in the numbers.
 //!
+//! Every cell runs fault-isolated (panic boundary + deterministic seed
+//! retries) and is checkpointed to `results/tables_main.checkpoint.json`
+//! as soon as it completes: kill this binary mid-sweep and re-invoke it
+//! with the same flags to resume where it stopped, with byte-identical
+//! output.
+//!
 //! Reproduction targets (shape, not absolute numbers):
 //! * every attacker reduces raw-GNN accuracy; GF-Attack barely does;
 //! * Metattack and PEEGA are the strongest rows;
@@ -13,8 +19,9 @@
 use bbgnn::prelude::*;
 use bbgnn_bench::{
     config::ExpConfig,
+    fault::{CellValue, FaultRunner},
     report::{mark_extreme, Table},
-    runner::{evaluate_defender, AttackRow},
+    runner::{evaluate_defender_checked, AttackRow},
 };
 
 fn main() {
@@ -24,7 +31,11 @@ fn main() {
         .into_iter()
         .filter(|s| cfg.dataset.as_deref().map_or(true, |d| d == s.name()))
         .collect();
-    assert!(!specs.is_empty(), "unknown --dataset; use cora|citeseer|polblogs");
+    assert!(
+        !specs.is_empty(),
+        "unknown --dataset; use cora|citeseer|polblogs"
+    );
+    let mut harness = FaultRunner::new(&cfg, "tables_main");
 
     for spec in specs {
         let g = spec.generate(cfg.scale, cfg.seed);
@@ -41,7 +52,18 @@ fn main() {
         let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
         for row in AttackRow::paper_rows(cfg.rate) {
-            let (poisoned, result) = row.poison(&g);
+            let keys: Vec<String> = columns
+                .iter()
+                .map(|c| format!("{}/{}/{}", spec.name(), row.name(), c.name()))
+                .collect();
+            // Poisoning is the expensive shared setup of a row; skip it
+            // entirely when resuming past a fully checkpointed row.
+            let row_done = keys.iter().all(|k| harness.is_done(k));
+            let (poisoned, result) = if row_done {
+                (g.clone(), None)
+            } else {
+                row.poison(&g)
+            };
             if let Some(r) = &result {
                 eprintln!(
                     "[{}: {} edge flips, {} feature flips, {:.1}s]",
@@ -52,10 +74,18 @@ fn main() {
                 );
             }
             let mut cells = vec![row.name()];
-            for col in &columns {
-                let stats = evaluate_defender(col, &poisoned, cfg.runs, cfg.seed);
-                cells.push(stats.to_string());
-                eprintln!("  {} x {} = {}", row.name(), col.name(), stats);
+            for (col, key) in columns.iter().zip(&keys) {
+                let value = harness.cell(key, cfg.seed, |seed| {
+                    let (stats, health) = evaluate_defender_checked(col, &poisoned, cfg.runs, seed);
+                    let text = stats.to_string();
+                    Ok(if health.is_degraded() {
+                        CellValue::degraded(text)
+                    } else {
+                        CellValue::clean(text)
+                    })
+                });
+                eprintln!("  {} x {} = {value}", row.name(), col.name());
+                cells.push(value);
             }
             table.push_row(cells);
         }
@@ -63,6 +93,7 @@ fn main() {
         mark_extreme(&mut table, &value_cols, true, ("(", ")"));
         table.emit(&cfg.out_dir, &format!("table_main_{}", spec.name()));
     }
-    println!("\npaper: GNAT holds the highest accuracy on clean and poisoned graphs;");
+    println!("\n{}", harness.summary());
+    println!("paper: GNAT holds the highest accuracy on clean and poisoned graphs;");
     println!("Metattack and PEEGA are the strongest attack rows, GF-Attack the weakest.");
 }

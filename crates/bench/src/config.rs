@@ -1,5 +1,7 @@
 //! Experiment configuration from CLI flags and environment variables.
 
+use bbgnn_errors::{BbgnnError, BbgnnResult};
+
 /// Shared experiment knobs.
 ///
 /// Resolution order per field: CLI flag (`--scale 0.2`) > environment
@@ -35,53 +37,116 @@ impl Default for ExpConfig {
     }
 }
 
+/// `InvalidConfig` naming the flag or environment variable at fault.
+fn invalid(what: &str, message: impl Into<String>) -> BbgnnError {
+    BbgnnError::InvalidConfig {
+        what: what.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Parses one value, naming its source (`--scale`, `BBGNN_SCALE`, ...) and
+/// the expected shape on failure.
+fn parse_value<T: std::str::FromStr>(
+    value: Option<&str>,
+    what: &str,
+    expected: &str,
+) -> BbgnnResult<T> {
+    let value = value.ok_or_else(|| invalid(what, format!("requires a value ({expected})")))?;
+    value
+        .parse()
+        .map_err(|_| invalid(what, format!("expected {expected}, got {value:?}")))
+}
+
 impl ExpConfig {
-    /// Parses the process arguments and environment.
-    ///
-    /// # Panics
-    /// Panics with a usage message on malformed flags.
+    /// Parses the process arguments and environment, exiting with a usage
+    /// message on malformed input. Experiment binaries call this; library
+    /// code and tests use [`try_from_args`](Self::try_from_args).
     pub fn from_args() -> Self {
+        match Self::try_from_args() {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}");
+                eprintln!("see --help for usage");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses the process arguments and environment, reporting malformed
+    /// input as [`BbgnnError::InvalidConfig`] naming the offending flag or
+    /// environment variable.
+    pub fn try_from_args() -> BbgnnResult<Self> {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::try_parse(&args, |name| std::env::var(name).ok())
+    }
+
+    /// Testable core of [`try_from_args`](Self::try_from_args): explicit
+    /// argument list and environment lookup.
+    pub fn try_parse(args: &[String], env: impl Fn(&str) -> Option<String>) -> BbgnnResult<Self> {
         let mut cfg = Self::default();
-        if let Ok(v) = std::env::var("BBGNN_SCALE") {
-            cfg.scale = v.parse().expect("BBGNN_SCALE must be a float");
+        if let Some(v) = env("BBGNN_SCALE") {
+            cfg.scale = parse_value(Some(&v), "BBGNN_SCALE", "a float")?;
         }
-        if let Ok(v) = std::env::var("BBGNN_RUNS") {
-            cfg.runs = v.parse().expect("BBGNN_RUNS must be an integer");
+        if let Some(v) = env("BBGNN_RUNS") {
+            cfg.runs = parse_value(Some(&v), "BBGNN_RUNS", "an integer")?;
         }
-        if let Ok(v) = std::env::var("BBGNN_RATE") {
-            cfg.rate = v.parse().expect("BBGNN_RATE must be a float");
+        if let Some(v) = env("BBGNN_RATE") {
+            cfg.rate = parse_value(Some(&v), "BBGNN_RATE", "a float")?;
         }
-        if let Ok(v) = std::env::var("BBGNN_SEED") {
-            cfg.seed = v.parse().expect("BBGNN_SEED must be an integer");
+        if let Some(v) = env("BBGNN_SEED") {
+            cfg.seed = parse_value(Some(&v), "BBGNN_SEED", "an integer")?;
         }
-        if let Ok(v) = std::env::var("BBGNN_OUT") {
+        if let Some(v) = env("BBGNN_OUT") {
             cfg.out_dir = v;
         }
-        let args: Vec<String> = std::env::args().skip(1).collect();
-        let mut it = args.iter();
-        while let Some(flag) = it.next() {
-            let mut next = |what: &str| -> &str {
-                it.next().unwrap_or_else(|| panic!("{flag} requires a value ({what})"))
-            };
-            match flag.as_str() {
-                "--scale" => cfg.scale = next("float").parse().expect("bad --scale"),
-                "--runs" => cfg.runs = next("int").parse().expect("bad --runs"),
-                "--rate" => cfg.rate = next("float").parse().expect("bad --rate"),
-                "--seed" => cfg.seed = next("int").parse().expect("bad --seed"),
-                "--dataset" => cfg.dataset = Some(next("name").to_string()),
-                "--out" => cfg.out_dir = next("dir").to_string(),
+        let mut i = 0;
+        while i < args.len() {
+            let flag = args[i].as_str();
+            let value = args.get(i + 1).map(String::as_str);
+            match flag {
+                "--scale" => cfg.scale = parse_value(value, flag, "a float")?,
+                "--runs" => cfg.runs = parse_value(value, flag, "an integer")?,
+                "--rate" => cfg.rate = parse_value(value, flag, "a float")?,
+                "--seed" => cfg.seed = parse_value(value, flag, "an integer")?,
+                "--dataset" => {
+                    cfg.dataset = Some(
+                        value
+                            .ok_or_else(|| invalid(flag, "requires a value (name)"))?
+                            .to_string(),
+                    )
+                }
+                "--out" => {
+                    cfg.out_dir = value
+                        .ok_or_else(|| invalid(flag, "requires a value (dir)"))?
+                        .to_string()
+                }
                 "--help" | "-h" => {
                     eprintln!(
                         "flags: --scale F --runs N --rate F --seed N --dataset NAME --out DIR"
                     );
                     std::process::exit(0);
                 }
-                other => panic!("unknown flag {other}; see --help"),
+                other => return Err(invalid(other, "unknown flag; see --help")),
             }
+            i += 2;
         }
-        assert!(cfg.scale > 0.0 && cfg.scale <= 1.0, "scale must be in (0, 1]");
-        assert!(cfg.runs >= 1, "need at least one run");
-        cfg
+        if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
+            return Err(invalid(
+                "--scale / BBGNN_SCALE",
+                format!("must be in (0, 1], got {}", cfg.scale),
+            ));
+        }
+        if cfg.runs < 1 {
+            return Err(invalid("--runs / BBGNN_RUNS", "need at least one run"));
+        }
+        if !(cfg.rate >= 0.0 && cfg.rate <= 1.0) {
+            return Err(invalid(
+                "--rate / BBGNN_RATE",
+                format!("must be in [0, 1], got {}", cfg.rate),
+            ));
+        }
+        Ok(cfg)
     }
 
     /// Banner line echoed at the top of every experiment's output.
@@ -91,11 +156,33 @@ impl ExpConfig {
             self.scale, self.runs, self.rate, self.seed
         )
     }
+
+    /// Checkpoint fingerprint: a resumed run must have identical knobs, or
+    /// the old checkpoint is discarded (see
+    /// [`Checkpoint`](crate::checkpoint::Checkpoint)).
+    pub fn fingerprint(&self, experiment: &str) -> String {
+        format!(
+            "{experiment}|scale={}|runs={}|rate={}|seed={}|dataset={}",
+            self.scale,
+            self.runs,
+            self.rate,
+            self.seed,
+            self.dataset.as_deref().unwrap_or("all")
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
 
     #[test]
     fn defaults_are_sane() {
@@ -109,5 +196,69 @@ mod tests {
     fn banner_mentions_experiment() {
         let c = ExpConfig::default();
         assert!(c.banner("table4").contains("table4"));
+    }
+
+    #[test]
+    fn flags_override_env_override_defaults() {
+        let env = |name: &str| (name == "BBGNN_SCALE").then(|| "0.3".to_string());
+        let c = ExpConfig::try_parse(&argv(&["--runs", "5"]), env).unwrap();
+        assert_eq!(c.scale, 0.3);
+        assert_eq!(c.runs, 5);
+        assert_eq!(c.rate, ExpConfig::default().rate);
+    }
+
+    #[test]
+    fn malformed_flag_names_the_flag() {
+        let err = ExpConfig::try_parse(&argv(&["--scale", "big"]), no_env).unwrap_err();
+        match err {
+            BbgnnError::InvalidConfig { what, message } => {
+                assert_eq!(what, "--scale");
+                assert!(
+                    message.contains("\"big\""),
+                    "message must quote the value: {message}"
+                );
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_env_names_the_variable() {
+        let env = |name: &str| (name == "BBGNN_SEED").then(|| "7.5".to_string());
+        let err = ExpConfig::try_parse(&[], env).unwrap_err();
+        match err {
+            BbgnnError::InvalidConfig { what, .. } => assert_eq!(what, "BBGNN_SEED"),
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_value_and_unknown_flag_are_reported() {
+        assert!(matches!(
+            ExpConfig::try_parse(&argv(&["--seed"]), no_env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "--seed"
+        ));
+        assert!(matches!(
+            ExpConfig::try_parse(&argv(&["--frobnicate", "1"]), no_env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "--frobnicate"
+        ));
+    }
+
+    #[test]
+    fn out_of_range_values_are_rejected() {
+        assert!(ExpConfig::try_parse(&argv(&["--scale", "1.5"]), no_env).is_err());
+        assert!(ExpConfig::try_parse(&argv(&["--runs", "0"]), no_env).is_err());
+        assert!(ExpConfig::try_parse(&argv(&["--rate", "-0.1"]), no_env).is_err());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_configs() {
+        let a = ExpConfig::default();
+        let b = ExpConfig {
+            seed: 8,
+            ..Default::default()
+        };
+        assert_ne!(a.fingerprint("t"), b.fingerprint("t"));
+        assert_ne!(a.fingerprint("t4"), a.fingerprint("t5"));
     }
 }

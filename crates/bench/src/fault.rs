@@ -1,0 +1,355 @@
+//! Fault-isolated execution of experiment cells.
+//!
+//! [`FaultRunner`] wraps every table/figure cell in a panic boundary
+//! ([`std::panic::catch_unwind`]) and the workspace
+//! [`RetryPolicy`]: a cell that panics or returns a retryable
+//! [`BbgnnError`] is re-run with a deterministically perturbed seed; a cell
+//! that exhausts its budget is recorded as `failed` with its cause and the
+//! sweep continues — one pathological cell can no longer take down an
+//! entire table run. Completed cells go straight into the
+//! [`Checkpoint`], so a killed sweep resumes where it stopped.
+//!
+//! Outcome vocabulary (per cell, persisted in the checkpoint):
+//!
+//! * `ok` — first attempt succeeded;
+//! * `retried` — a later attempt succeeded after panic/divergence;
+//! * `degraded` — the cell produced a value but on a fallback path (e.g.
+//!   training rolled back through divergence recoveries);
+//! * `failed` — every attempt failed; the cell renders as `n/a`.
+
+use crate::checkpoint::{CellRecord, Checkpoint};
+use crate::config::ExpConfig;
+use bbgnn_errors::{BbgnnError, RetryPolicy};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Placeholder rendered into the report for a cell whose every attempt
+/// failed.
+pub const FAILED_CELL: &str = "n/a";
+
+/// What one cell evaluation produced: the formatted value plus whether a
+/// degraded/fallback path was taken to get it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CellValue {
+    /// Formatted cell text (goes into the table verbatim).
+    pub text: String,
+    /// True when the value came from a recovery path (e.g. training needed
+    /// divergence rollbacks) and should be flagged in the outcome summary.
+    pub degraded: bool,
+}
+
+impl CellValue {
+    /// A clean (non-degraded) value.
+    pub fn clean(text: impl Into<String>) -> Self {
+        CellValue {
+            text: text.into(),
+            degraded: false,
+        }
+    }
+
+    /// A value obtained via a fallback/recovery path.
+    pub fn degraded(text: impl Into<String>) -> Self {
+        CellValue {
+            text: text.into(),
+            degraded: true,
+        }
+    }
+}
+
+impl From<String> for CellValue {
+    fn from(text: String) -> Self {
+        CellValue::clean(text)
+    }
+}
+
+/// Running outcome counters for one sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CellStats {
+    /// Cells replayed from the checkpoint.
+    pub cached: usize,
+    /// Cells that succeeded first try.
+    pub ok: usize,
+    /// Cells that needed at least one retry.
+    pub retried: usize,
+    /// Cells that returned a degraded value.
+    pub degraded: usize,
+    /// Cells that exhausted their retry budget.
+    pub failed: usize,
+}
+
+impl CellStats {
+    /// Total cells seen.
+    pub fn total(&self) -> usize {
+        self.cached + self.ok + self.retried + self.degraded + self.failed
+    }
+}
+
+/// Fault-isolating, checkpointing cell executor for one experiment binary.
+pub struct FaultRunner {
+    checkpoint: Checkpoint,
+    policy: RetryPolicy,
+    stats: CellStats,
+}
+
+impl FaultRunner {
+    /// Standard construction for an experiment binary: checkpoint under
+    /// `cfg.out_dir`, fingerprinted by `cfg` + `experiment`, default retry
+    /// policy.
+    pub fn new(cfg: &ExpConfig, experiment: &str) -> Self {
+        Self::with_policy(cfg, experiment, RetryPolicy::default())
+    }
+
+    /// Construction with an explicit retry policy (tests, time-sensitive
+    /// tables).
+    pub fn with_policy(cfg: &ExpConfig, experiment: &str, policy: RetryPolicy) -> Self {
+        let checkpoint = Checkpoint::open(&cfg.out_dir, experiment, &cfg.fingerprint(experiment));
+        if checkpoint.resumed_cells() > 0 {
+            eprintln!(
+                "resuming {} completed cell(s) from {}",
+                checkpoint.resumed_cells(),
+                checkpoint.path().display()
+            );
+        }
+        FaultRunner {
+            checkpoint,
+            policy,
+            stats: CellStats::default(),
+        }
+    }
+
+    /// Whether `key` already completed (useful to skip expensive shared
+    /// setup — e.g. re-poisoning a graph — when every dependent cell is
+    /// already checkpointed).
+    pub fn is_done(&self, key: &str) -> bool {
+        self.checkpoint.contains(key)
+    }
+
+    /// Outcome counters so far.
+    pub fn stats(&self) -> CellStats {
+        self.stats
+    }
+
+    /// Runs one cell and returns its formatted value.
+    ///
+    /// If the cell is already checkpointed its stored value is returned
+    /// verbatim (byte-identical resume). Otherwise `f` is invoked with the
+    /// attempt's seed — attempt 0 uses `base_seed` unchanged, so an
+    /// untroubled run is identical to one without the harness — inside a
+    /// panic boundary. Panics and retryable errors consume retry budget;
+    /// non-retryable errors and an exhausted budget record the cell as
+    /// `failed` and return [`FAILED_CELL`].
+    pub fn cell(
+        &mut self,
+        key: &str,
+        base_seed: u64,
+        mut f: impl FnMut(u64) -> Result<CellValue, BbgnnError>,
+    ) -> String {
+        if let Some(done) = self.checkpoint.get(key) {
+            self.stats.cached += 1;
+            return done.value.clone();
+        }
+        let mut last_cause = String::new();
+        for attempt in 0..=self.policy.max_retries {
+            let seed = RetryPolicy::seed_for_attempt(base_seed, attempt);
+            let outcome = catch_unwind(AssertUnwindSafe(|| f(seed)));
+            let error = match outcome {
+                Ok(Ok(value)) => {
+                    let tag = if value.degraded {
+                        self.stats.degraded += 1;
+                        "degraded"
+                    } else if attempt > 0 {
+                        self.stats.retried += 1;
+                        "retried"
+                    } else {
+                        self.stats.ok += 1;
+                        "ok"
+                    };
+                    self.persist(key, &value.text, tag, attempt + 1, None);
+                    return value.text;
+                }
+                Ok(Err(e)) => e,
+                // A panic is treated like a retryable fault: most panics
+                // under adversarial perturbation are numerical blowups, and
+                // the perturbed-seed retry is cheap and deterministic.
+                Err(payload) => BbgnnError::ExperimentAborted {
+                    cell: key.to_string(),
+                    cause: format!("panic: {}", panic_message(&payload)),
+                },
+            };
+            last_cause = error.to_string();
+            let retryable =
+                error.is_retryable() || matches!(error, BbgnnError::ExperimentAborted { .. });
+            if !retryable || attempt == self.policy.max_retries {
+                break;
+            }
+            if error.wants_backoff() {
+                std::thread::sleep(self.policy.backoff_for_attempt(attempt + 1));
+            }
+            eprintln!(
+                "cell {key}: attempt {} failed ({last_cause}); retrying",
+                attempt + 1
+            );
+        }
+        eprintln!("cell {key}: giving up ({last_cause})");
+        self.stats.failed += 1;
+        self.persist(
+            key,
+            FAILED_CELL,
+            "failed",
+            self.policy.max_retries + 1,
+            Some(&last_cause),
+        );
+        FAILED_CELL.to_string()
+    }
+
+    /// One-line outcome summary for the end of a sweep, e.g.
+    /// `cells: 12 (3 cached, 8 ok, 1 retried, 0 degraded, 0 failed)`.
+    pub fn summary(&self) -> String {
+        let s = self.stats;
+        format!(
+            "cells: {} ({} cached, {} ok, {} retried, {} degraded, {} failed)",
+            s.total(),
+            s.cached,
+            s.ok,
+            s.retried,
+            s.degraded,
+            s.failed
+        )
+    }
+
+    fn persist(
+        &mut self,
+        key: &str,
+        value: &str,
+        outcome: &str,
+        attempts: usize,
+        detail: Option<&str>,
+    ) {
+        let record = CellRecord {
+            value: value.to_string(),
+            outcome: outcome.to_string(),
+            attempts,
+            detail: detail.map(str::to_string),
+        };
+        // Checkpointing is best-effort: an unwritable results dir should
+        // not kill the sweep, only the ability to resume it.
+        if let Err(e) = self.checkpoint.record(key, record) {
+            eprintln!("warning: could not checkpoint cell {key}: {e}");
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn test_cfg(tag: &str) -> ExpConfig {
+        let out = std::env::temp_dir().join(format!("bbgnn_fault_{tag}"));
+        let _ = std::fs::remove_dir_all(&out);
+        ExpConfig {
+            out_dir: out.display().to_string(),
+            ..ExpConfig::default()
+        }
+    }
+
+    fn fast_policy(retries: usize) -> RetryPolicy {
+        RetryPolicy {
+            max_retries: retries,
+            backoff_base: Duration::ZERO,
+            backoff_max: Duration::ZERO,
+        }
+    }
+
+    #[test]
+    fn panicking_cell_is_retried_with_perturbed_seed() {
+        let cfg = test_cfg("panic");
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(2));
+        let mut seeds = Vec::new();
+        let v = r.cell("cell", 7, |seed| {
+            seeds.push(seed);
+            if seeds.len() == 1 {
+                panic!("synthetic numerical blowup");
+            }
+            Ok(CellValue::clean("42.0"))
+        });
+        assert_eq!(v, "42.0");
+        assert_eq!(seeds[0], 7, "first attempt must use the base seed");
+        assert_eq!(seeds[1], RetryPolicy::seed_for_attempt(7, 1));
+        assert_eq!(r.stats().retried, 1);
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn exhausted_budget_records_failed_and_continues() {
+        let cfg = test_cfg("exhaust");
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(1));
+        let v = r.cell("doomed", 0, |_| -> Result<CellValue, BbgnnError> {
+            Err(BbgnnError::NumericalDivergence {
+                what: "loss".into(),
+                value: f64::NAN,
+            })
+        });
+        assert_eq!(v, FAILED_CELL);
+        assert_eq!(r.stats().failed, 1);
+        // The sweep keeps going: a later cell still runs normally.
+        let v2 = r.cell("fine", 0, |_| Ok(CellValue::clean("1.0")));
+        assert_eq!(v2, "1.0");
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn non_retryable_error_fails_without_retry() {
+        let cfg = test_cfg("nonretry");
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(5));
+        let mut calls = 0;
+        let v = r.cell("cfgbad", 0, |_| -> Result<CellValue, BbgnnError> {
+            calls += 1;
+            Err(BbgnnError::InvalidConfig {
+                what: "--rate".into(),
+                message: "negative".into(),
+            })
+        });
+        assert_eq!(v, FAILED_CELL);
+        assert_eq!(calls, 1, "caller errors must not burn retry budget");
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn resume_replays_checkpointed_cells_without_rerunning() {
+        let cfg = test_cfg("resume");
+        {
+            let mut r = FaultRunner::new(&cfg, "t");
+            r.cell("a", 1, |_| Ok(CellValue::clean("0.81±0.02")));
+        }
+        // Second process: same config, the closure must never run.
+        let mut r = FaultRunner::new(&cfg, "t");
+        assert!(r.is_done("a"));
+        let v = r.cell("a", 1, |_| -> Result<CellValue, BbgnnError> {
+            panic!("cached cell must not be re-evaluated")
+        });
+        assert_eq!(v, "0.81±0.02");
+        assert_eq!(r.stats().cached, 1);
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn degraded_values_are_tagged() {
+        let cfg = test_cfg("degraded");
+        let mut r = FaultRunner::new(&cfg, "t");
+        let v = r.cell("d", 0, |_| Ok(CellValue::degraded("0.5")));
+        assert_eq!(v, "0.5");
+        assert_eq!(r.stats().degraded, 1);
+        assert!(r.summary().contains("1 degraded"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+}

@@ -5,8 +5,14 @@
 //! provides the shared pieces:
 //!
 //! * [`config::ExpConfig`] — scale / runs / rate / seed, from CLI flags or
-//!   `BBGNN_*` environment variables;
+//!   `BBGNN_*` environment variables (malformed input surfaces as
+//!   [`InvalidConfig`](bbgnn_errors::BbgnnError::InvalidConfig) naming the
+//!   offending flag);
 //! * [`runner`] — attack generation and repeated-run defender evaluation;
+//! * [`fault`] — per-cell panic isolation, deterministic seed-perturbed
+//!   retries, and ok/retried/degraded/failed outcome accounting;
+//! * [`checkpoint`] — crash-safe `results/*.checkpoint.json` cell stores so
+//!   a killed sweep resumes byte-identically;
 //! * [`report`] — fixed-width table printing plus CSV/JSON dumps under
 //!   `results/`.
 //!
@@ -14,7 +20,13 @@
 //! machine-readable copy next to them.
 
 #![deny(missing_docs)]
+// The harness is the fault boundary for every experiment: it must report
+// and checkpoint failures, never crash on them (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod checkpoint;
 pub mod config;
+pub mod fault;
+pub mod json;
 pub mod report;
 pub mod runner;

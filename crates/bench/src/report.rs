@@ -16,7 +16,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given headers.
     pub fn new(headers: &[&str]) -> Self {
-        Self { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -78,10 +81,18 @@ impl Table {
         let _ = writeln!(
             out,
             "{}",
-            self.headers.iter().map(|h| esc(h)).collect::<Vec<_>>().join(",")
+            self.headers
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(",")
         );
         for r in &self.rows {
-            let _ = writeln!(out, "{}", r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            let _ = writeln!(
+                out,
+                "{}",
+                r.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",")
+            );
         }
         out
     }
@@ -104,12 +115,20 @@ impl Table {
 /// Marks the best (extreme) numeric cell per row among `candidate_cols`
 /// with the given bracket, mimicking the paper's bold/parenthesis marks.
 /// `maximize` selects whether the largest or the smallest value wins.
-pub fn mark_extreme(table: &mut Table, candidate_cols: &[usize], maximize: bool, brackets: (&str, &str)) {
+pub fn mark_extreme(
+    table: &mut Table,
+    candidate_cols: &[usize],
+    maximize: bool,
+    brackets: (&str, &str),
+) {
     for row in &mut table.rows {
         let mut best: Option<(usize, f64)> = None;
         for &c in candidate_cols {
             if let Some(cell) = row.get(c) {
-                let parsed = cell.split('±').next().and_then(|s| s.trim().parse::<f64>().ok());
+                let parsed = cell
+                    .split('±')
+                    .next()
+                    .and_then(|s| s.trim().parse::<f64>().ok());
                 if let Some(v) = parsed {
                     let better = match best {
                         None => true,

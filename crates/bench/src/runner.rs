@@ -15,7 +15,11 @@ impl AttackRow {
     /// Clean row plus the five paper attackers at `rate`.
     pub fn paper_rows(rate: f64) -> Vec<AttackRow> {
         let mut rows = vec![AttackRow::Clean];
-        rows.extend(AttackerKind::paper_rows(rate).into_iter().map(AttackRow::Kind));
+        rows.extend(
+            AttackerKind::paper_rows(rate)
+                .into_iter()
+                .map(AttackRow::Kind),
+        );
         rows
     }
 
@@ -41,18 +45,55 @@ impl AttackRow {
     }
 }
 
+/// Aggregate training health across the repeated runs of one cell,
+/// gathered from the per-run [`TrainReport`]s.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EvalHealth {
+    /// Total divergence rollbacks across all runs (recovered: the run still
+    /// produced a model, on a halved learning rate).
+    pub divergence_recoveries: usize,
+    /// Runs whose training aborted at the divergence-recovery cap and kept
+    /// the last-good parameters.
+    pub diverged_runs: usize,
+}
+
+impl EvalHealth {
+    /// Whether any run needed a recovery path (the cell's value stands, but
+    /// it should be reported as degraded).
+    pub fn is_degraded(&self) -> bool {
+        self.divergence_recoveries > 0 || self.diverged_runs > 0
+    }
+}
+
 /// Trains `kind` on `g` over `runs` seeds and returns the test-accuracy
 /// mean ± std — one cell of Tables IV–VI.
 pub fn evaluate_defender(kind: &DefenderKind, g: &Graph, runs: usize, base_seed: u64) -> MeanStd {
-    let accs: Vec<f64> = (0..runs)
-        .map(|r| {
-            let train = TrainConfig { seed: base_seed + r as u64, ..TrainConfig::default() };
-            let mut model = kind.build(train);
-            model.fit(g);
-            model.test_accuracy(g)
-        })
-        .collect();
-    MeanStd::of(&accs)
+    evaluate_defender_checked(kind, g, runs, base_seed).0
+}
+
+/// Like [`evaluate_defender`] but also surfaces the training-health
+/// aggregate, so the fault-isolated harness can tag cells that only
+/// survived via divergence rollback as `degraded`.
+pub fn evaluate_defender_checked(
+    kind: &DefenderKind,
+    g: &Graph,
+    runs: usize,
+    base_seed: u64,
+) -> (MeanStd, EvalHealth) {
+    let mut accs = Vec::with_capacity(runs);
+    let mut health = EvalHealth::default();
+    for r in 0..runs {
+        let train = TrainConfig {
+            seed: base_seed + r as u64,
+            ..TrainConfig::default()
+        };
+        let mut model = kind.build(train);
+        let report = model.fit(g);
+        health.divergence_recoveries += report.divergence_recoveries;
+        health.diverged_runs += usize::from(report.diverged);
+        accs.push(model.test_accuracy(g));
+    }
+    (MeanStd::of(&accs), health)
 }
 
 /// Like [`evaluate_defender`] but also returns the mean training seconds
@@ -66,7 +107,10 @@ pub fn evaluate_defender_timed(
     let mut accs = Vec::with_capacity(runs);
     let mut secs = Vec::with_capacity(runs);
     for r in 0..runs {
-        let train = TrainConfig { seed: base_seed + r as u64, ..TrainConfig::default() };
+        let train = TrainConfig {
+            seed: base_seed + r as u64,
+            ..TrainConfig::default()
+        };
         let mut model = kind.build(train);
         let start = std::time::Instant::now();
         model.fit(g);

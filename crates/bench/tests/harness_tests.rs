@@ -37,8 +37,16 @@ fn different_seeds_produce_run_variance() {
 #[test]
 fn rendered_table_contains_all_cells() {
     let mut t = Table::new(&["Attacker", "GCN", "GNAT"]);
-    t.push_row(vec!["Clean".into(), "83.36±0.19".into(), "85.52±0.15".into()]);
-    t.push_row(vec!["PEEGA".into(), "75.31±0.75".into(), "83.12±0.43".into()]);
+    t.push_row(vec![
+        "Clean".into(),
+        "83.36±0.19".into(),
+        "85.52±0.15".into(),
+    ]);
+    t.push_row(vec![
+        "PEEGA".into(),
+        "75.31±0.75".into(),
+        "83.12±0.43".into(),
+    ]);
     mark_extreme(&mut t, &[1, 2], true, ("(", ")"));
     let rendered = t.render();
     assert!(rendered.contains("(85.52±0.15)"));
@@ -52,5 +60,8 @@ fn rendered_table_contains_all_cells() {
 fn clean_row_then_attack_rows_ordering() {
     let rows = AttackRow::paper_rows(0.05);
     let names: Vec<String> = rows.iter().map(|r| r.name()).collect();
-    assert_eq!(names, vec!["Clean", "PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA"]);
+    assert_eq!(
+        names,
+        vec!["Clean", "PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA"]
+    );
 }

@@ -7,11 +7,19 @@ fn main() {
     p.feature_purity = purity;
     p.active_features = active;
     let g = DatasetSpec::Custom(p).generate(1.0, 7);
-    let mut atk = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+    let mut atk = Peega::new(PeegaConfig {
+        rate: 0.1,
+        ..Default::default()
+    });
     let gp = atk.attack(&g).poisoned;
     let acc = |views: Vec<View>, merged: bool, gr: &Graph| {
-        let mut m = Gnat::new(GnatConfig { views, merged, ..Default::default() });
-        m.fit(gr); m.test_accuracy(gr)
+        let mut m = Gnat::new(GnatConfig {
+            views,
+            merged,
+            ..Default::default()
+        });
+        m.fit(gr);
+        m.test_accuracy(gr)
     };
     let mut gcn = Gcn::paper_default(TrainConfig::default());
     gcn.fit(&g);

@@ -33,6 +33,8 @@
 //!
 //! ## Crate map
 //!
+//! * [`bbgnn_errors`] — structured error taxonomy and retry policies
+//!   shared by every layer;
 //! * [`bbgnn_linalg`] — dense/sparse matrices, SVD, eigendecomposition;
 //! * [`bbgnn_autodiff`] — the reverse-mode tape every model trains on;
 //! * [`bbgnn_graph`] — graph container, metrics, dataset generators;
@@ -46,6 +48,7 @@
 pub use bbgnn_attack as attack;
 pub use bbgnn_autodiff as autodiff;
 pub use bbgnn_defense as defense;
+pub use bbgnn_errors as error;
 pub use bbgnn_gnn as gnn;
 pub use bbgnn_graph as graph;
 pub use bbgnn_linalg as linalg;
@@ -61,9 +64,9 @@ pub mod prelude {
     pub use bbgnn_attack::minmax::{MinMaxAttack, MinMaxConfig};
     pub use bbgnn_attack::peega::{AttackSpace, ObjectiveNodes, Peega, PeegaConfig};
     pub use bbgnn_attack::peega_parallel::{PeegaParallel, PeegaParallelConfig};
-    pub use bbgnn_attack::targeted::{target_success_rate, TargetedPeega, TargetedPeegaConfig};
     pub use bbgnn_attack::pgd::{PgdAttack, PgdConfig};
     pub use bbgnn_attack::random::{RandomAttack, RandomAttackConfig};
+    pub use bbgnn_attack::targeted::{target_success_rate, TargetedPeega, TargetedPeegaConfig};
     pub use bbgnn_attack::{budget_for, AttackResult, Attacker, AttackerNodes};
     pub use bbgnn_defense::gnat::{Gnat, GnatConfig, View};
     pub use bbgnn_defense::jaccard::{GcnJaccard, GcnJaccardConfig};
@@ -72,6 +75,7 @@ pub mod prelude {
     pub use bbgnn_defense::simpgcn::{SimPGcn, SimPGcnConfig};
     pub use bbgnn_defense::svd_defense::{GcnSvd, GcnSvdConfig};
     pub use bbgnn_defense::Defender;
+    pub use bbgnn_errors::{BbgnnError, BbgnnResult, ErrorContext, RetryPolicy};
     pub use bbgnn_gnn::eval::{accuracy, MeanStd};
     pub use bbgnn_gnn::gat::Gat;
     pub use bbgnn_gnn::gcn::Gcn;
@@ -80,10 +84,12 @@ pub mod prelude {
     pub use bbgnn_gnn::train::{TrainConfig, TrainReport};
     pub use bbgnn_gnn::NodeClassifier;
     pub use bbgnn_graph::datasets::{DatasetSpec, SbmParams};
-    pub use bbgnn_graph::metrics_utility::{average_clustering, graph_stats, utility_drift, GraphStats};
     pub use bbgnn_graph::metrics::{
         cross_label_similarity, edge_diff_breakdown, edge_homophily, intra_inter_similarity,
         EdgeDiffBreakdown,
+    };
+    pub use bbgnn_graph::metrics_utility::{
+        average_clustering, graph_stats, utility_drift, GraphStats,
     };
     pub use bbgnn_graph::{Graph, Split};
     pub use bbgnn_linalg::{CsrMatrix, DenseMatrix};

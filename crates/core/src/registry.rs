@@ -43,15 +43,27 @@ impl AttackerKind {
     /// laptop-scale graphs.
     pub fn paper_rows(rate: f64) -> Vec<AttackerKind> {
         vec![
-            AttackerKind::Pgd(PgdConfig { rate, ..Default::default() }),
-            AttackerKind::MinMax(MinMaxConfig { rate, ..Default::default() }),
+            AttackerKind::Pgd(PgdConfig {
+                rate,
+                ..Default::default()
+            }),
+            AttackerKind::MinMax(MinMaxConfig {
+                rate,
+                ..Default::default()
+            }),
             AttackerKind::Metattack(MetattackConfig {
                 rate,
                 retrain_every: 5,
                 ..Default::default()
             }),
-            AttackerKind::GfAttack(GfAttackConfig { rate, ..Default::default() }),
-            AttackerKind::Peega(PeegaConfig { rate, ..Default::default() }),
+            AttackerKind::GfAttack(GfAttackConfig {
+                rate,
+                ..Default::default()
+            }),
+            AttackerKind::Peega(PeegaConfig {
+                rate,
+                ..Default::default()
+            }),
         ]
     }
 
@@ -117,7 +129,10 @@ impl DefenderKind {
         cols.push(DefenderKind::Gnat(if identity_features {
             // Dense identity-feature graphs (Polblogs): 2-hop reachability
             // saturates, so the topology view uses 1 hop.
-            GnatConfig { k_t: 1, ..GnatConfig::without_feature_view() }
+            GnatConfig {
+                k_t: 1,
+                ..GnatConfig::without_feature_view()
+            }
         } else {
             GnatConfig::default()
         }));
@@ -167,7 +182,10 @@ mod tests {
     fn paper_rows_cover_all_five_attackers() {
         let rows = AttackerKind::paper_rows(0.1);
         let names: Vec<&str> = rows.iter().map(|r| r.name()).collect();
-        assert_eq!(names, vec!["PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA"]);
+        assert_eq!(
+            names,
+            vec!["PGD", "MinMax", "Metattack", "GF-Attack", "PEEGA"]
+        );
     }
 
     #[test]
@@ -194,7 +212,10 @@ mod tests {
 
     #[test]
     fn built_defender_trains_end_to_end() {
-        let g = DatasetSpec::CoraLike.generate(0.05, 161);
+        // Scale 0.08: at 0.05 the graph is small enough that accuracy
+        // swings with the RNG stream (the vendored PRNG differs from
+        // upstream rand's), making the threshold flaky.
+        let g = DatasetSpec::CoraLike.generate(0.08, 161);
         let mut d = DefenderKind::Gcn.build(TrainConfig::fast_test());
         d.fit(&g);
         assert!(d.test_accuracy(&g) > 0.4);

@@ -23,10 +23,10 @@
 
 use crate::Defender;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
-use bbgnn_graph::Graph;
 use bbgnn_gnn::train::{train_node_classifier, TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use std::rc::Rc;
 
 /// One augmented view of the poisoned graph.
@@ -100,7 +100,10 @@ impl GnatConfig {
     /// with identity features (Polblogs), where cosine similarity is
     /// uninformative (Table VI's `GNAT\f`).
     pub fn without_feature_view() -> Self {
-        Self { views: vec![View::Topology, View::Ego], ..Self::default() }
+        Self {
+            views: vec![View::Topology, View::Ego],
+            ..Self::default()
+        }
     }
 }
 
@@ -116,7 +119,11 @@ impl Gnat {
     /// Creates an untrained GNAT defender.
     pub fn new(config: GnatConfig) -> Self {
         assert!(!config.views.is_empty(), "GNAT needs at least one view");
-        Self { config, weights: Vec::new(), view_adjacencies: Vec::new() }
+        Self {
+            config,
+            weights: Vec::new(),
+            view_adjacencies: Vec::new(),
+        }
     }
 
     /// Builds the raw (unnormalized) adjacency of one view.
@@ -175,8 +182,12 @@ impl Gnat {
     /// Builds the normalized adjacencies the model will propagate over:
     /// one per view, or a single merged graph.
     fn build_views(&self, g: &Graph) -> Vec<Rc<CsrMatrix>> {
-        let raw: Vec<CsrMatrix> =
-            self.config.views.iter().map(|&v| self.view_adjacency(g, v)).collect();
+        let raw: Vec<CsrMatrix> = self
+            .config
+            .views
+            .iter()
+            .map(|&v| self.view_adjacency(g, v))
+            .collect();
         if self.config.merged {
             let n = g.num_nodes();
             let mut merged = DenseMatrix::zeros(n, n);
@@ -192,9 +203,13 @@ impl Gnat {
                     }
                 }
             }
-            vec![Rc::new(CsrMatrix::from_dense(&merged, 1e-12).gcn_normalize())]
+            vec![Rc::new(
+                CsrMatrix::from_dense(&merged, 1e-12).gcn_normalize(),
+            )]
         } else {
-            raw.into_iter().map(|m| Rc::new(m.gcn_normalize())).collect()
+            raw.into_iter()
+                .map(|m| Rc::new(m.gcn_normalize()))
+                .collect()
         }
     }
 
@@ -243,8 +258,13 @@ impl Gnat {
     pub fn logits(&self, g: &Graph) -> DenseMatrix {
         assert!(!self.weights.is_empty(), "model is not trained");
         let mut tape = Tape::new();
-        let (out, _) =
-            self.forward(&mut tape, &self.weights, &self.view_adjacencies, &g.features, usize::MAX);
+        let (out, _) = self.forward(
+            &mut tape,
+            &self.weights,
+            &self.view_adjacencies,
+            &g.features,
+            usize::MAX,
+        );
         tape.value(out).clone()
     }
 }
@@ -324,8 +344,8 @@ mod tests {
     use super::*;
     use bbgnn_attack::peega::{Peega, PeegaConfig};
     use bbgnn_attack::Attacker;
-    use bbgnn_graph::datasets::DatasetSpec;
     use bbgnn_gnn::gcn::Gcn;
+    use bbgnn_graph::datasets::DatasetSpec;
 
     fn fast() -> TrainConfig {
         TrainConfig::fast_test()
@@ -333,9 +353,16 @@ mod tests {
 
     #[test]
     fn variant_names_match_table_ix() {
-        let full = Gnat::new(GnatConfig { train: fast(), ..Default::default() });
+        let full = Gnat::new(GnatConfig {
+            train: fast(),
+            ..Default::default()
+        });
         assert_eq!(full.name(), "GNAT");
-        let t = Gnat::new(GnatConfig { views: vec![View::Topology], train: fast(), ..Default::default() });
+        let t = Gnat::new(GnatConfig {
+            views: vec![View::Topology],
+            train: fast(),
+            ..Default::default()
+        });
         assert_eq!(t.name(), "GNAT-t");
         let te = Gnat::new(GnatConfig {
             views: vec![View::Topology, View::Ego],
@@ -357,7 +384,10 @@ mod tests {
         // Each augmented view must contain every original edge (GNAT only
         // adds, Sec. VI future work notes removal is not attempted).
         let g = DatasetSpec::CoraLike.generate(0.05, 101);
-        let gnat = Gnat::new(GnatConfig { train: fast(), ..Default::default() });
+        let gnat = Gnat::new(GnatConfig {
+            train: fast(),
+            ..Default::default()
+        });
         for &view in &[View::Topology, View::Feature] {
             let adj = gnat.view_adjacency(&g, view);
             for (u, v) in g.edges() {
@@ -373,7 +403,11 @@ mod tests {
     #[test]
     fn topology_view_matches_k_hop_reachability() {
         let g = DatasetSpec::CoraLike.generate(0.04, 102);
-        let gnat = Gnat::new(GnatConfig { k_t: 2, train: fast(), ..Default::default() });
+        let gnat = Gnat::new(GnatConfig {
+            k_t: 2,
+            train: fast(),
+            ..Default::default()
+        });
         let adj = gnat.view_adjacency(&g, View::Topology);
         for v in 0..g.num_nodes().min(20) {
             let reach = g.k_hop_neighbors(v, 2);
@@ -386,7 +420,10 @@ mod tests {
     #[test]
     fn learns_clean_graph() {
         let g = DatasetSpec::CoraLike.generate(0.06, 103);
-        let mut gnat = Gnat::new(GnatConfig { train: fast(), ..Default::default() });
+        let mut gnat = Gnat::new(GnatConfig {
+            train: fast(),
+            ..Default::default()
+        });
         gnat.fit(&g);
         let acc = gnat.test_accuracy(&g);
         assert!(acc > 0.6, "GNAT clean accuracy {acc} too low");
@@ -395,14 +432,20 @@ mod tests {
     #[test]
     fn defends_against_peega_better_than_gcn() {
         let g = DatasetSpec::CoraLike.generate(0.08, 104);
-        let mut atk = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
         let poisoned = atk.attack(&g).poisoned;
 
         let mut gcn = Gcn::paper_default(fast());
         gcn.fit(&poisoned);
         let gcn_acc = gcn.test_accuracy(&poisoned);
 
-        let mut gnat = Gnat::new(GnatConfig { train: fast(), ..Default::default() });
+        let mut gnat = Gnat::new(GnatConfig {
+            train: fast(),
+            ..Default::default()
+        });
         gnat.fit(&poisoned);
         let gnat_acc = gnat.test_accuracy(&poisoned);
         assert!(
@@ -426,10 +469,16 @@ mod tests {
     #[test]
     fn prune_extension_removes_only_dissimilar_edges() {
         let g = DatasetSpec::CoraLike.generate(0.05, 107);
-        let mut atk = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
         let poisoned = atk.attack(&g).poisoned;
         let pruned = prune_dissimilar_edges(&poisoned, 0.02);
-        assert!(pruned.num_edges() < poisoned.num_edges(), "pruning must remove something");
+        assert!(
+            pruned.num_edges() < poisoned.num_edges(),
+            "pruning must remove something"
+        );
         // Every surviving edge was present in the poisoned graph.
         for (u, v) in pruned.edges() {
             assert!(poisoned.has_edge(u, v));

@@ -7,10 +7,10 @@
 //! Polblogs for exactly that reason.
 
 use crate::Defender;
-use bbgnn_graph::Graph;
 use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::{TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
 
 /// GCN-Jaccard configuration.
 #[derive(Clone, Debug)]
@@ -24,7 +24,10 @@ pub struct GcnJaccardConfig {
 
 impl Default for GcnJaccardConfig {
     fn default() -> Self {
-        Self { threshold: 0.01, train: TrainConfig::default() }
+        Self {
+            threshold: 0.01,
+            train: TrainConfig::default(),
+        }
     }
 }
 
@@ -40,7 +43,11 @@ impl GcnJaccard {
     /// Creates an untrained GCN-Jaccard defender.
     pub fn new(config: GcnJaccardConfig) -> Self {
         let gcn = Gcn::paper_default(config.train.clone());
-        Self { config, gcn, purified: None }
+        Self {
+            config,
+            gcn,
+            purified: None,
+        }
     }
 
     /// Jaccard similarity of two binary feature rows.
@@ -133,7 +140,10 @@ mod tests {
             2,
             Split::trivial(3),
         );
-        let d = GcnJaccard::new(GcnJaccardConfig { threshold: 0.2, ..Default::default() });
+        let d = GcnJaccard::new(GcnJaccardConfig {
+            threshold: 0.2,
+            ..Default::default()
+        });
         let purified = d.purify(&g);
         assert!(purified.has_edge(0, 1), "similar edge survives");
         assert!(!purified.has_edge(1, 2), "dissimilar edge removed");
@@ -144,7 +154,10 @@ mod tests {
         use bbgnn_attack::peega::{Peega, PeegaConfig};
         use bbgnn_attack::Attacker;
         let g = DatasetSpec::CoraLike.generate(0.08, 111);
-        let mut atk = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
         let poisoned = atk.attack(&g).poisoned;
         let mut jac = GcnJaccard::new(GcnJaccardConfig {
             threshold: 0.02,

@@ -54,10 +54,7 @@ impl Defender for bbgnn_gnn::gat::Gat {
 /// similarity of `features` (used by GNAT's feature view and SimPGCN).
 /// Node pairs with zero similarity are never connected. Returns `(u, v)`
 /// edges with `u < v`.
-pub fn knn_feature_edges(
-    features: &bbgnn_linalg::DenseMatrix,
-    k: usize,
-) -> Vec<(usize, usize)> {
+pub fn knn_feature_edges(features: &bbgnn_linalg::DenseMatrix, k: usize) -> Vec<(usize, usize)> {
     use bbgnn_linalg::dense::cosine_similarity;
     let n = features.rows();
     let mut edges = std::collections::BTreeSet::new();

@@ -20,12 +20,12 @@
 
 use crate::Defender;
 use bbgnn_autodiff::Tape;
-use bbgnn_linalg::svd::singular_value_shrink;
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
-use bbgnn_graph::Graph;
 use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::{TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
+use bbgnn_linalg::svd::singular_value_shrink;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use std::rc::Rc;
 
 /// Pro-GNN configuration. Defaults follow the reference implementation's
@@ -94,7 +94,11 @@ impl ProGnn {
             ..config.train.clone()
         };
         let gcn = Gcn::paper_default(inner);
-        Self { config, gcn, learned_an: None }
+        Self {
+            config,
+            gcn,
+            learned_an: None,
+        }
     }
 
     /// Pairwise squared feature distances `D[u][v] = ‖x_u − x_v‖²` — the
@@ -265,7 +269,10 @@ mod tests {
         use bbgnn_attack::peega::{Peega, PeegaConfig};
         use bbgnn_attack::Attacker;
         let g = DatasetSpec::CoraLike.generate(0.06, 142);
-        let mut atk = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
         let poisoned = atk.attack(&g).poisoned;
         let mut gcn = Gcn::paper_default(TrainConfig::fast_test());
         gcn.fit(&poisoned);

@@ -20,10 +20,10 @@
 
 use crate::Defender;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
-use bbgnn_graph::Graph;
 use bbgnn_gnn::train::{train_with_regularizer, TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use std::rc::Rc;
 
 /// RGCN configuration.
@@ -39,7 +39,11 @@ pub struct RgcnConfig {
 
 impl Default for RgcnConfig {
     fn default() -> Self {
-        Self { hidden: 16, kl_weight: 5e-4, train: TrainConfig::default() }
+        Self {
+            hidden: 16,
+            kl_weight: 5e-4,
+            train: TrainConfig::default(),
+        }
     }
 }
 
@@ -54,7 +58,10 @@ pub struct Rgcn {
 impl Rgcn {
     /// Creates an untrained RGCN defender.
     pub fn new(config: RgcnConfig) -> Self {
-        Self { config, params: Vec::new() }
+        Self {
+            config,
+            params: Vec::new(),
+        }
     }
 
     fn init_params(&self, in_dim: usize, num_classes: usize) -> Vec<DenseMatrix> {
@@ -159,8 +166,10 @@ mod tests {
     #[test]
     fn learns_clean_graph() {
         let g = DatasetSpec::CoraLike.generate(0.06, 131);
-        let mut rgcn =
-            Rgcn::new(RgcnConfig { train: TrainConfig::fast_test(), ..Default::default() });
+        let mut rgcn = Rgcn::new(RgcnConfig {
+            train: TrainConfig::fast_test(),
+            ..Default::default()
+        });
         let report = rgcn.fit(&g);
         assert!(report.final_loss.is_finite(), "KL term must stay finite");
         let acc = rgcn.test_accuracy(&g);
@@ -170,10 +179,16 @@ mod tests {
     #[test]
     fn inference_is_deterministic() {
         let g = DatasetSpec::CoraLike.generate(0.05, 132);
-        let mut rgcn =
-            Rgcn::new(RgcnConfig { train: TrainConfig::fast_test(), ..Default::default() });
+        let mut rgcn = Rgcn::new(RgcnConfig {
+            train: TrainConfig::fast_test(),
+            ..Default::default()
+        });
         rgcn.fit(&g);
-        assert_eq!(rgcn.predict(&g), rgcn.predict(&g), "means-only inference must be stable");
+        assert_eq!(
+            rgcn.predict(&g),
+            rgcn.predict(&g),
+            "means-only inference must be stable"
+        );
     }
 
     #[test]
@@ -181,12 +196,20 @@ mod tests {
         use bbgnn_attack::peega::{Peega, PeegaConfig};
         use bbgnn_attack::Attacker;
         let g = DatasetSpec::CoraLike.generate(0.06, 133);
-        let mut atk = Peega::new(PeegaConfig { rate: 0.15, ..Default::default() });
+        let mut atk = Peega::new(PeegaConfig {
+            rate: 0.15,
+            ..Default::default()
+        });
         let poisoned = atk.attack(&g).poisoned;
-        let mut rgcn =
-            Rgcn::new(RgcnConfig { train: TrainConfig::fast_test(), ..Default::default() });
+        let mut rgcn = Rgcn::new(RgcnConfig {
+            train: TrainConfig::fast_test(),
+            ..Default::default()
+        });
         rgcn.fit(&poisoned);
         let acc = rgcn.test_accuracy(&poisoned);
-        assert!(acc > 0.3, "RGCN accuracy {acc} under attack fell to chance level");
+        assert!(
+            acc > 0.3,
+            "RGCN accuracy {acc} under attack fell to chance level"
+        );
     }
 }

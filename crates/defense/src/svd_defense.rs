@@ -6,12 +6,12 @@
 //! GCN over the resulting weighted graph.
 
 use crate::Defender;
-use bbgnn_linalg::svd::randomized_svd;
-use bbgnn_linalg::CsrMatrix;
-use bbgnn_graph::Graph;
 use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::{TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::Graph;
+use bbgnn_linalg::svd::randomized_svd;
+use bbgnn_linalg::CsrMatrix;
 use std::rc::Rc;
 
 /// GCN-SVD configuration.
@@ -28,7 +28,11 @@ pub struct GcnSvdConfig {
 
 impl Default for GcnSvdConfig {
     fn default() -> Self {
-        Self { rank: 15, sparsify_tol: 1e-3, train: TrainConfig::default() }
+        Self {
+            rank: 15,
+            sparsify_tol: 1e-3,
+            train: TrainConfig::default(),
+        }
     }
 }
 
@@ -44,7 +48,11 @@ impl GcnSvd {
     /// Creates an untrained GCN-SVD defender.
     pub fn new(config: GcnSvdConfig) -> Self {
         let gcn = Gcn::paper_default(config.train.clone());
-        Self { config, gcn, purified_an: None }
+        Self {
+            config,
+            gcn,
+            purified_an: None,
+        }
     }
 
     /// Rank-`k` purified adjacency of `g` (non-negative, weighted).
@@ -84,7 +92,10 @@ mod tests {
     #[test]
     fn purified_adjacency_is_nonnegative_low_rank() {
         let g = DatasetSpec::CoraLike.generate(0.05, 121);
-        let d = GcnSvd::new(GcnSvdConfig { rank: 10, ..Default::default() });
+        let d = GcnSvd::new(GcnSvdConfig {
+            rank: 10,
+            ..Default::default()
+        });
         let purified = d.purify(&g);
         for u in 0..purified.rows() {
             for (_, w) in purified.row_iter(u) {
@@ -111,8 +122,14 @@ mod tests {
     #[test]
     fn higher_rank_preserves_more_signal() {
         let g = DatasetSpec::CoraLike.generate(0.06, 123);
-        let d5 = GcnSvd::new(GcnSvdConfig { rank: 5, ..Default::default() });
-        let d50 = GcnSvd::new(GcnSvdConfig { rank: 50, ..Default::default() });
+        let d5 = GcnSvd::new(GcnSvdConfig {
+            rank: 5,
+            ..Default::default()
+        });
+        let d50 = GcnSvd::new(GcnSvdConfig {
+            rank: 50,
+            ..Default::default()
+        });
         let a = g.adjacency_dense();
         let e5 = d5.purify(&g).to_dense().sub(&a).frobenius_norm();
         let e50 = d50.purify(&g).to_dense().sub(&a).frobenius_norm();

@@ -9,10 +9,10 @@ use bbgnn_defense::rgcn::{Rgcn, RgcnConfig};
 use bbgnn_defense::simpgcn::{SimPGcn, SimPGcnConfig};
 use bbgnn_defense::svd_defense::{GcnSvd, GcnSvdConfig};
 use bbgnn_defense::Defender;
-use bbgnn_graph::datasets::DatasetSpec;
-use bbgnn_graph::Graph;
 use bbgnn_gnn::train::TrainConfig;
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::datasets::DatasetSpec;
+use bbgnn_graph::Graph;
 
 fn fast() -> TrainConfig {
     TrainConfig::fast_test()
@@ -20,7 +20,10 @@ fn fast() -> TrainConfig {
 
 fn poisoned_pair(seed: u64, rate: f64) -> (Graph, Graph) {
     let g = DatasetSpec::CoraLike.generate(0.06, seed);
-    let mut atk = Peega::new(PeegaConfig { rate, ..Default::default() });
+    let mut atk = Peega::new(PeegaConfig {
+        rate,
+        ..Default::default()
+    });
     let poisoned = atk.attack(&g).poisoned;
     (g, poisoned)
 }
@@ -28,20 +31,24 @@ fn poisoned_pair(seed: u64, rate: f64) -> (Graph, Graph) {
 #[test]
 fn jaccard_threshold_one_removes_almost_everything() {
     let (_, poisoned) = poisoned_pair(501, 0.1);
-    let d = GcnJaccard::new(GcnJaccardConfig { threshold: 1.01, train: fast() });
+    let d = GcnJaccard::new(GcnJaccardConfig {
+        threshold: 1.01,
+        train: fast(),
+    });
     let purified = d.purify(&poisoned);
     // Only identical-feature endpoints survive a threshold above 1.
     for (u, v) in purified.edges() {
-        assert!(
-            GcnJaccard::jaccard(poisoned.features.row(u), poisoned.features.row(v)) >= 1.0
-        );
+        assert!(GcnJaccard::jaccard(poisoned.features.row(u), poisoned.features.row(v)) >= 1.0);
     }
 }
 
 #[test]
 fn jaccard_threshold_zero_keeps_everything() {
     let (_, poisoned) = poisoned_pair(502, 0.1);
-    let d = GcnJaccard::new(GcnJaccardConfig { threshold: 0.0, train: fast() });
+    let d = GcnJaccard::new(GcnJaccardConfig {
+        threshold: 0.0,
+        train: fast(),
+    });
     assert_eq!(d.purify(&poisoned).num_edges(), poisoned.num_edges());
 }
 
@@ -50,7 +57,10 @@ fn jaccard_removes_more_from_poisoned_than_clean() {
     // PEEGA adds cross-label edges whose endpoints share few features, so
     // the same threshold must delete more edges from the poisoned graph.
     let (clean, poisoned) = poisoned_pair(503, 0.2);
-    let d = GcnJaccard::new(GcnJaccardConfig { threshold: 0.03, train: fast() });
+    let d = GcnJaccard::new(GcnJaccardConfig {
+        threshold: 0.03,
+        train: fast(),
+    });
     let removed_clean = clean.num_edges() - d.purify(&clean).num_edges();
     let removed_poisoned = poisoned.num_edges() - d.purify(&poisoned).num_edges();
     assert!(
@@ -70,10 +80,17 @@ fn svd_defense_downweights_adversarial_edges() {
     let clean = DatasetSpec::CoraLike.generate(0.06, 504);
     let poisoned = {
         use bbgnn_attack::random::{RandomAttack, RandomAttackConfig};
-        let mut atk = RandomAttack::new(RandomAttackConfig { rate: 0.2, ..Default::default() });
+        let mut atk = RandomAttack::new(RandomAttackConfig {
+            rate: 0.2,
+            ..Default::default()
+        });
         atk.attack(&clean).poisoned
     };
-    let d = GcnSvd::new(GcnSvdConfig { rank: 12, train: fast(), ..Default::default() });
+    let d = GcnSvd::new(GcnSvdConfig {
+        rank: 12,
+        train: fast(),
+        ..Default::default()
+    });
     let purified = d.purify(&poisoned).to_dense();
     let mut clean_w = (0.0, 0usize);
     let mut adv_w = (0.0, 0usize);
@@ -102,7 +119,11 @@ fn gnat_views_count_matches_config() {
         vec![View::Topology, View::Ego],
         vec![View::Topology, View::Feature, View::Ego],
     ] {
-        let mut gnat = Gnat::new(GnatConfig { views: views.clone(), train: fast(), ..Default::default() });
+        let mut gnat = Gnat::new(GnatConfig {
+            views: views.clone(),
+            train: fast(),
+            ..Default::default()
+        });
         gnat.fit(&poisoned);
         // Prediction works regardless of the number of views.
         assert_eq!(gnat.predict(&poisoned).len(), poisoned.num_nodes());
@@ -122,7 +143,10 @@ fn prune_monotone_in_threshold() {
     let e1 = prune_dissimilar_edges(&poisoned, 0.01).num_edges();
     let e2 = prune_dissimilar_edges(&poisoned, 0.05).num_edges();
     let e3 = prune_dissimilar_edges(&poisoned, 0.2).num_edges();
-    assert!(e1 >= e2 && e2 >= e3, "higher thresholds must remove at least as much");
+    assert!(
+        e1 >= e2 && e2 >= e3,
+        "higher thresholds must remove at least as much"
+    );
 }
 
 #[test]
@@ -134,13 +158,19 @@ fn defenders_expose_stable_names() {
         SimPGcn::new(SimPGcnConfig::default()).name(),
         Gnat::new(GnatConfig::default()).name(),
     ];
-    assert_eq!(names, vec!["GCN-Jaccard", "GCN-SVD", "RGCN", "SimPGCN", "GNAT"]);
+    assert_eq!(
+        names,
+        vec!["GCN-Jaccard", "GCN-SVD", "RGCN", "SimPGCN", "GNAT"]
+    );
 }
 
 #[test]
 fn rgcn_trains_on_polblogs_like() {
     let g = DatasetSpec::PolblogsLike.generate(0.08, 508);
-    let mut rgcn = Rgcn::new(RgcnConfig { train: fast(), ..Default::default() });
+    let mut rgcn = Rgcn::new(RgcnConfig {
+        train: fast(),
+        ..Default::default()
+    });
     rgcn.fit(&g);
     assert!(rgcn.test_accuracy(&g) > 0.6);
 }
@@ -160,7 +190,10 @@ fn simpgcn_handles_disconnected_nodes() {
         valid_frac: 0.2,
     })
     .generate(1.0, 509);
-    let mut m = SimPGcn::new(SimPGcnConfig { train: fast(), ..Default::default() });
+    let mut m = SimPGcn::new(SimPGcnConfig {
+        train: fast(),
+        ..Default::default()
+    });
     m.fit(&g);
     let preds = m.predict(&g);
     assert_eq!(preds.len(), 80);

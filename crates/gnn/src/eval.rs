@@ -30,7 +30,10 @@ impl MeanStd {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n;
-        Self { mean, std: var.sqrt() }
+        Self {
+            mean,
+            std: var.sqrt(),
+        }
     }
 }
 
@@ -70,7 +73,10 @@ mod tests {
 
     #[test]
     fn display_matches_paper_format() {
-        let s = MeanStd { mean: 0.8336, std: 0.0019 };
+        let s = MeanStd {
+            mean: 0.8336,
+            std: 0.0019,
+        };
         assert_eq!(s.to_string(), "83.36±0.19");
     }
 

@@ -11,8 +11,8 @@
 use crate::train::{train_node_classifier, TrainConfig, TrainReport};
 use crate::NodeClassifier;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::DenseMatrix;
 use bbgnn_graph::Graph;
+use bbgnn_linalg::DenseMatrix;
 use std::rc::Rc;
 
 /// Two-layer GAT. The paper's baseline configuration is 8 hidden units per
@@ -34,7 +34,13 @@ pub struct Gat {
 impl Gat {
     /// Creates an untrained GAT.
     pub fn new(hidden_per_head: usize, heads: usize, config: TrainConfig) -> Self {
-        Self { hidden_per_head, heads, config, neg_slope: 0.2, params: Vec::new() }
+        Self {
+            hidden_per_head,
+            heads,
+            config,
+            neg_slope: 0.2,
+            params: Vec::new(),
+        }
     }
 
     /// The paper's baseline: 4 heads × 8 hidden units.
@@ -46,9 +52,21 @@ impl Gat {
         let mut params = Vec::new();
         let s = self.config.seed;
         for h in 0..self.heads {
-            params.push(DenseMatrix::glorot(in_dim, self.hidden_per_head, s.wrapping_add(3 * h as u64)));
-            params.push(DenseMatrix::glorot(self.hidden_per_head, 1, s.wrapping_add(3 * h as u64 + 1)));
-            params.push(DenseMatrix::glorot(self.hidden_per_head, 1, s.wrapping_add(3 * h as u64 + 2)));
+            params.push(DenseMatrix::glorot(
+                in_dim,
+                self.hidden_per_head,
+                s.wrapping_add(3 * h as u64),
+            ));
+            params.push(DenseMatrix::glorot(
+                self.hidden_per_head,
+                1,
+                s.wrapping_add(3 * h as u64 + 1),
+            ));
+            params.push(DenseMatrix::glorot(
+                self.hidden_per_head,
+                1,
+                s.wrapping_add(3 * h as u64 + 2),
+            ));
         }
         let base = 3 * self.heads as u64;
         params.push(DenseMatrix::glorot(
@@ -56,8 +74,16 @@ impl Gat {
             num_classes,
             s.wrapping_add(base),
         ));
-        params.push(DenseMatrix::glorot(num_classes, 1, s.wrapping_add(base + 1)));
-        params.push(DenseMatrix::glorot(num_classes, 1, s.wrapping_add(base + 2)));
+        params.push(DenseMatrix::glorot(
+            num_classes,
+            1,
+            s.wrapping_add(base + 1),
+        ));
+        params.push(DenseMatrix::glorot(
+            num_classes,
+            1,
+            s.wrapping_add(base + 2),
+        ));
         params
     }
 
@@ -92,17 +118,25 @@ impl Gat {
         let dropout = self.config.dropout;
         let mut h = tape.constant(x.clone());
         if dropout > 0.0 && epoch != usize::MAX {
-            h = tape.dropout(h, dropout, self.config.seed.wrapping_add(7000 + epoch as u64));
+            h = tape.dropout(
+                h,
+                dropout,
+                self.config.seed.wrapping_add(7000 + epoch as u64),
+            );
         }
         let mut head_outputs = Vec::with_capacity(self.heads);
         for hd in 0..self.heads {
-            let out = self.attention_head(tape, h, ids[3 * hd], ids[3 * hd + 1], ids[3 * hd + 2], mask);
+            let out =
+                self.attention_head(tape, h, ids[3 * hd], ids[3 * hd + 1], ids[3 * hd + 2], mask);
             head_outputs.push(tape.relu(out));
         }
         let mut hidden = tape.concat_cols(&head_outputs);
         if dropout > 0.0 && epoch != usize::MAX {
-            hidden =
-                tape.dropout(hidden, dropout, self.config.seed.wrapping_add(9000 + epoch as u64));
+            hidden = tape.dropout(
+                hidden,
+                dropout,
+                self.config.seed.wrapping_add(9000 + epoch as u64),
+            );
         }
         let base = 3 * self.heads;
         let logits =

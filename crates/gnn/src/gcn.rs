@@ -3,8 +3,8 @@
 use crate::train::{train_node_classifier, TrainConfig, TrainReport};
 use crate::NodeClassifier;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use bbgnn_graph::Graph;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use std::rc::Rc;
 
 /// A GCN with `layers.len() + 1` weight matrices:
@@ -25,7 +25,12 @@ pub struct Gcn {
 impl Gcn {
     /// Creates an untrained GCN with the given hidden widths.
     pub fn new(hidden: Vec<usize>, config: TrainConfig) -> Self {
-        Self { hidden, config, weights: Vec::new(), trained_on: None }
+        Self {
+            hidden,
+            config,
+            weights: Vec::new(),
+            trained_on: None,
+        }
     }
 
     /// The paper's victim: 2 layers, 16 hidden units.
@@ -144,7 +149,10 @@ mod tests {
         let report = gcn.fit(&g);
         assert!(report.final_loss.is_finite());
         let acc = gcn.test_accuracy(&g);
-        assert!(acc > 0.6, "GCN accuracy {acc} too low on a clean homophilous graph");
+        assert!(
+            acc > 0.6,
+            "GCN accuracy {acc} too low on a clean homophilous graph"
+        );
     }
 
     #[test]
@@ -163,7 +171,10 @@ mod tests {
         let mut gcn = Gcn::new(vec![16, 16, 16], TrainConfig::fast_test());
         gcn.fit(&g);
         let acc = gcn.test_accuracy(&g);
-        assert!(acc > 0.35, "3-hidden-layer GCN accuracy {acc} unexpectedly low");
+        assert!(
+            acc > 0.35,
+            "3-hidden-layer GCN accuracy {acc} unexpectedly low"
+        );
     }
 
     #[test]
@@ -194,5 +205,30 @@ mod tests {
         let g = DatasetSpec::CoraLike.generate(0.05, 26);
         let gcn = Gcn::paper_default(TrainConfig::fast_test());
         let _ = gcn.predict(&g);
+    }
+
+    #[test]
+    fn nan_poisoned_features_abort_training_without_panic() {
+        // Fault injection: validation normally rejects NaN features at
+        // construction, so poison them after the fact — the training
+        // sentinels are the last line of defense.
+        let mut g = DatasetSpec::CoraLike.generate(0.05, 27);
+        g.features.set(3, 0, f64::NAN);
+        let mut gcn = Gcn::paper_default(TrainConfig::fast_test());
+        let report = gcn.fit(&g);
+        assert!(
+            report.diverged,
+            "a NaN input must surface as a diverged report"
+        );
+        assert_eq!(
+            report.divergence_recoveries,
+            crate::train::MAX_DIVERGENCE_RECOVERIES,
+            "every rollback+retry must be attempted before giving up"
+        );
+        // The model still holds the last-good (initial) parameters: finite
+        // predictions, not a poisoned crash.
+        for p in gcn.predict(&g) {
+            assert!(p < g.num_classes);
+        }
     }
 }

@@ -7,8 +7,8 @@
 
 use crate::train::{train_node_classifier, TrainConfig, TrainReport};
 use crate::NodeClassifier;
-use bbgnn_linalg::DenseMatrix;
 use bbgnn_graph::Graph;
+use bbgnn_linalg::DenseMatrix;
 
 /// Linear GCN with `hops` propagation steps (the paper uses 2).
 pub struct LinearGcn {
@@ -22,7 +22,11 @@ pub struct LinearGcn {
 impl LinearGcn {
     /// Creates an untrained linear GCN.
     pub fn new(hops: usize, config: TrainConfig) -> Self {
-        Self { hops, config, weight: None }
+        Self {
+            hops,
+            config,
+            weight: None,
+        }
     }
 
     /// The trained weight matrix, if fitted.
@@ -40,8 +44,11 @@ impl LinearGcn {
 impl NodeClassifier for LinearGcn {
     fn fit(&mut self, g: &Graph) -> TrainReport {
         let h = g.propagate(self.hops);
-        let mut params =
-            vec![DenseMatrix::glorot(g.feature_dim(), g.num_classes, self.config.seed)];
+        let mut params = vec![DenseMatrix::glorot(
+            g.feature_dim(),
+            g.num_classes,
+            self.config.seed,
+        )];
         let cfg = self.config.clone();
         let report = train_node_classifier(&mut params, g, &cfg, |tape, p, _| {
             let w = tape.var(p[0].clone());

@@ -14,8 +14,8 @@
 use crate::train::{train_node_classifier, TrainConfig, TrainReport};
 use crate::NodeClassifier;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use bbgnn_graph::Graph;
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use std::rc::Rc;
 
 /// Two-layer GraphSAGE with mean aggregation.
@@ -31,7 +31,11 @@ pub struct GraphSage {
 impl GraphSage {
     /// Creates an untrained GraphSAGE model.
     pub fn new(hidden: usize, config: TrainConfig) -> Self {
-        Self { hidden, config, params: Vec::new() }
+        Self {
+            hidden,
+            config,
+            params: Vec::new(),
+        }
     }
 
     /// Row-normalized (mean) adjacency `D^{-1} A`; isolated nodes get a
@@ -136,11 +140,12 @@ mod tests {
 
     #[test]
     fn sage_learns_homophilous_sbm() {
-        let g = DatasetSpec::CoraLike.generate(0.08, 612);
+        // Scale 0.1: GraphSAGE needs a slightly larger graph than the GCN
+        // tests before its accuracy is stable across RNG streams.
+        let g = DatasetSpec::CoraLike.generate(0.1, 612);
         let mut sage = GraphSage::new(16, TrainConfig::fast_test());
         sage.fit(&g);
         let acc = sage.test_accuracy(&g);
         assert!(acc > 0.55, "GraphSAGE accuracy {acc} too low");
     }
-
 }

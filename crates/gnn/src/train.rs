@@ -1,11 +1,23 @@
 //! Shared full-batch training loop.
+//!
+//! The loop guards every epoch with divergence sentinels: a non-finite
+//! training loss or gradient triggers a rollback to the last parameter
+//! snapshot that produced a finite loss, halves the learning rate, and
+//! retries (bounded by [`MAX_DIVERGENCE_RECOVERIES`]). Outcomes are
+//! surfaced in [`TrainReport`] — `diverged` / `divergence_recoveries` —
+//! rather than panicking, so a poisoned run never takes the whole
+//! experiment sweep down with it.
 
 use bbgnn_autodiff::optim::Adam;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_linalg::DenseMatrix;
+use bbgnn_errors::first_non_finite;
 use bbgnn_graph::Graph;
+use bbgnn_linalg::DenseMatrix;
 use std::rc::Rc;
 use std::time::Instant;
+
+/// Bound on rollback + learning-rate-halving retries per training run.
+pub const MAX_DIVERGENCE_RECOVERIES: usize = 3;
 
 /// Hyper-parameters shared by every trained model in the workspace.
 /// Defaults follow the reference GCN implementation (Adam, `lr = 0.01`,
@@ -28,19 +40,34 @@ pub struct TrainConfig {
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { lr: 0.01, weight_decay: 5e-4, epochs: 200, patience: 30, dropout: 0.5, seed: 0 }
+        Self {
+            lr: 0.01,
+            weight_decay: 5e-4,
+            epochs: 200,
+            patience: 30,
+            dropout: 0.5,
+            seed: 0,
+        }
     }
 }
 
 impl TrainConfig {
     /// Copy of `self` with a different seed — used for repeated runs.
     pub fn with_seed(&self, seed: u64) -> Self {
-        Self { seed, ..self.clone() }
+        Self {
+            seed,
+            ..self.clone()
+        }
     }
 
     /// A fast configuration for unit tests.
     pub fn fast_test() -> Self {
-        Self { epochs: 60, patience: 60, dropout: 0.0, ..Self::default() }
+        Self {
+            epochs: 60,
+            patience: 60,
+            dropout: 0.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -55,6 +82,12 @@ pub struct TrainReport {
     pub final_loss: f64,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Rollback + LR-halving recoveries performed after a non-finite loss
+    /// or gradient was detected.
+    pub divergence_recoveries: usize,
+    /// True when training aborted because the recovery budget ran out; the
+    /// parameters are the last snapshot that produced a finite loss.
+    pub diverged: bool,
 }
 
 /// Trains `params` with Adam by repeatedly calling `forward` to build the
@@ -85,14 +118,24 @@ pub fn train_with_regularizer(
     params: &mut Vec<DenseMatrix>,
     g: &Graph,
     cfg: &TrainConfig,
-    mut forward: impl FnMut(&mut Tape, &[DenseMatrix], usize) -> (TensorId, Vec<TensorId>, Option<TensorId>),
+    mut forward: impl FnMut(
+        &mut Tape,
+        &[DenseMatrix],
+        usize,
+    ) -> (TensorId, Vec<TensorId>, Option<TensorId>),
 ) -> TrainReport {
     let start = Instant::now();
     let labels = Rc::new(g.labels.clone());
     let train_rows = Rc::new(g.split.train.clone());
-    let mut opt = Adam::new(cfg.lr, cfg.weight_decay, params);
+    let mut lr = cfg.lr;
+    let mut opt = Adam::new(lr, cfg.weight_decay, params);
     let mut best_val = f64::NEG_INFINITY;
     let mut best_params: Option<Vec<DenseMatrix>> = None;
+    // Snapshot of the parameters that last produced a finite loss and
+    // gradient — the rollback target of the divergence sentinel.
+    let mut last_good = params.clone();
+    let mut divergence_recoveries = 0usize;
+    let mut diverged = false;
     let mut since_best = 0usize;
     let mut epochs_run = 0usize;
     let mut final_loss = f64::NAN;
@@ -106,8 +149,33 @@ pub fn train_with_regularizer(
             None => ce,
         };
         final_loss = tape.value(loss).get(0, 0);
-        tape.backward(loss);
-        let grads: Vec<Option<&DenseMatrix>> = ids.iter().map(|&id| tape.grad(id)).collect();
+        let mut unstable = !final_loss.is_finite();
+        let mut grads: Vec<Option<&DenseMatrix>> = Vec::new();
+        if !unstable {
+            tape.backward(loss);
+            grads = ids.iter().map(|&id| tape.grad(id)).collect();
+            unstable = grads
+                .iter()
+                .any(|grad| grad.is_some_and(|m| first_non_finite(m.as_slice()).is_some()));
+        }
+        if unstable {
+            if divergence_recoveries >= MAX_DIVERGENCE_RECOVERIES {
+                // Recovery budget exhausted: keep the last healthy
+                // parameters and report the divergence instead of stepping
+                // on garbage (or panicking).
+                params.clone_from(&last_good);
+                diverged = true;
+                break;
+            }
+            divergence_recoveries += 1;
+            params.clone_from(&last_good);
+            lr *= 0.5;
+            // Fresh optimizer: the Adam moments were accumulated on the
+            // trajectory that just blew up.
+            opt = Adam::new(lr, cfg.weight_decay, params);
+            continue;
+        }
+        last_good.clone_from(params);
         opt.step(params, &grads);
 
         if cfg.patience > 0 && !g.split.valid.is_empty() {
@@ -137,6 +205,8 @@ pub fn train_with_regularizer(
         best_val_accuracy: if best_val.is_finite() { best_val } else { 0.0 },
         final_loss,
         seconds: start.elapsed().as_secs_f64(),
+        divergence_recoveries,
+        diverged,
     }
 }
 
@@ -155,7 +225,12 @@ mod tests {
         let k = g.num_classes;
         let mut params = vec![DenseMatrix::glorot(d, k, 1)];
         let x = g.features.clone();
-        let cfg = TrainConfig { epochs: 100, patience: 100, dropout: 0.0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 100,
+            patience: 100,
+            dropout: 0.0,
+            ..Default::default()
+        };
         let report = train_node_classifier(&mut params, &g, &cfg, |tape, p, _| {
             let w = tape.var(p[0].clone());
             let xc = tape.constant(x.clone());
@@ -170,7 +245,10 @@ mod tests {
         // Features are deliberately noisy (purity calibration, DESIGN.md
         // §3): logistic regression alone lands well above chance (1/7)
         // but far from the GCN's accuracy.
-        assert!(acc > 0.2, "logistic regression should beat chance, got {acc}");
+        assert!(
+            acc > 0.2,
+            "logistic regression should beat chance, got {acc}"
+        );
     }
 
     #[test]
@@ -180,14 +258,67 @@ mod tests {
         let k = g.num_classes;
         let mut params = vec![DenseMatrix::glorot(d, k, 2)];
         let x = Rc::new(g.features.clone());
-        let cfg = TrainConfig { epochs: 500, patience: 5, dropout: 0.0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 500,
+            patience: 5,
+            dropout: 0.0,
+            ..Default::default()
+        };
         let report = train_node_classifier(&mut params, &g, &cfg, |tape, p, _| {
             let w = tape.var(p[0].clone());
             let xc = tape.constant((*x).clone());
             let logits = tape.matmul(xc, w);
             (logits, vec![w])
         });
-        assert!(report.epochs_run < 500, "patience must trigger before the epoch cap");
+        assert!(
+            report.epochs_run < 500,
+            "patience must trigger before the epoch cap"
+        );
         assert!(report.best_val_accuracy > 0.0);
+    }
+
+    /// Trains logistic regression with a regularizer that poisons the loss
+    /// with NaN on the epochs in `poison`, returning the report.
+    fn train_with_poisoned_epochs(poison: impl Fn(usize) -> bool) -> TrainReport {
+        let g = DatasetSpec::CoraLike.generate(0.05, 13);
+        let d = g.feature_dim();
+        let k = g.num_classes;
+        let mut params = vec![DenseMatrix::glorot(d, k, 3)];
+        let x = Rc::new(g.features.clone());
+        let cfg = TrainConfig {
+            epochs: 30,
+            patience: 0,
+            dropout: 0.0,
+            ..Default::default()
+        };
+        train_with_regularizer(&mut params, &g, &cfg, |tape, p, epoch| {
+            let w = tape.var(p[0].clone());
+            let xc = tape.constant((*x).clone());
+            let logits = tape.matmul(xc, w);
+            let reg = (epoch != usize::MAX && poison(epoch))
+                .then(|| tape.constant(DenseMatrix::filled(1, 1, f64::NAN)));
+            (logits, vec![w], reg)
+        })
+    }
+
+    #[test]
+    fn transient_divergence_rolls_back_and_recovers() {
+        let report = train_with_poisoned_epochs(|epoch| epoch == 3);
+        assert_eq!(report.divergence_recoveries, 1, "one rollback expected");
+        assert!(!report.diverged, "a transient NaN must not abort training");
+        assert!(report.final_loss.is_finite());
+        assert_eq!(report.epochs_run, 30);
+    }
+
+    #[test]
+    fn persistent_divergence_aborts_with_report_not_panic() {
+        let report = train_with_poisoned_epochs(|_| true);
+        assert!(report.diverged, "persistent NaN must surface as diverged");
+        assert_eq!(report.divergence_recoveries, MAX_DIVERGENCE_RECOVERIES);
+        assert_eq!(
+            report.epochs_run,
+            MAX_DIVERGENCE_RECOVERIES + 1,
+            "training must stop right after the budget runs out"
+        );
     }
 }

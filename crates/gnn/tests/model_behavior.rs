@@ -3,13 +3,13 @@
 //! internals, and the surrogate/GCN relationship the PEEGA derivation
 //! (Eq. 7) relies on.
 
-use bbgnn_graph::datasets::{DatasetSpec, SbmParams};
-use bbgnn_graph::{Graph, Split};
-use bbgnn_linalg::DenseMatrix;
 use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::linear_gcn::LinearGcn;
 use bbgnn_gnn::train::{train_with_regularizer, TrainConfig};
 use bbgnn_gnn::NodeClassifier;
+use bbgnn_graph::datasets::{DatasetSpec, SbmParams};
+use bbgnn_graph::{Graph, Split};
+use bbgnn_linalg::DenseMatrix;
 
 #[test]
 fn gcn_predicts_on_modified_graph_without_retraining() {
@@ -70,16 +70,27 @@ fn linear_surrogate_agrees_with_gcn_on_easy_nodes() {
     let a = gcn.predict(&g);
     let b = lin.predict(&g);
     let agree = a.iter().zip(&b).filter(|(x, y)| x == y).count() as f64 / a.len() as f64;
-    assert!(agree > 0.7, "surrogate agreement {agree} too low for Eq. 7 to make sense");
+    assert!(
+        agree > 0.7,
+        "surrogate agreement {agree} too low for Eq. 7 to make sense"
+    );
 }
 
 #[test]
 fn training_report_reflects_early_stopping() {
     let g = DatasetSpec::CoraLike.generate(0.06, 604);
-    let long = TrainConfig { epochs: 500, patience: 20, dropout: 0.0, ..Default::default() };
+    let long = TrainConfig {
+        epochs: 500,
+        patience: 20,
+        dropout: 0.0,
+        ..Default::default()
+    };
     let mut gcn = Gcn::paper_default(long);
     let report = gcn.fit(&g);
-    assert!(report.epochs_run < 500, "early stopping should trigger well before 500 epochs");
+    assert!(
+        report.epochs_run < 500,
+        "early stopping should trigger well before 500 epochs"
+    );
     // The tiny validation set (~15 nodes) makes the absolute value noisy;
     // beating chance (1/7) is the contract.
     assert!(report.best_val_accuracy > 0.2);
@@ -96,7 +107,12 @@ fn regularized_training_changes_parameters() {
     let x = g.features.clone();
     let run = |with_reg: bool| -> DenseMatrix {
         let mut params = vec![DenseMatrix::glorot(d, k, 9)];
-        let cfg = TrainConfig { epochs: 30, patience: 0, dropout: 0.0, ..Default::default() };
+        let cfg = TrainConfig {
+            epochs: 30,
+            patience: 0,
+            dropout: 0.0,
+            ..Default::default()
+        };
         train_with_regularizer(&mut params, &g, &cfg, |tape, p, _| {
             let w = tape.var(p[0].clone());
             let xc = tape.constant(x.clone());
@@ -116,7 +132,10 @@ fn regularized_training_changes_parameters() {
     let base = run(false);
     let reg = run(true);
     assert!(base.max_abs_diff(&reg) > 1e-6, "regularizer had no effect");
-    assert!(reg.frobenius_norm() < base.frobenius_norm(), "L2 reg must shrink weights");
+    assert!(
+        reg.frobenius_norm() < base.frobenius_norm(),
+        "L2 reg must shrink weights"
+    );
 }
 
 #[test]
@@ -133,9 +152,18 @@ fn single_class_dataset_trains_degenerately_but_safely() {
         valid_frac: 0.3,
     }
     .generate(606);
-    let mut gcn = Gcn::paper_default(TrainConfig { epochs: 10, patience: 0, dropout: 0.0, ..Default::default() });
+    let mut gcn = Gcn::paper_default(TrainConfig {
+        epochs: 10,
+        patience: 0,
+        dropout: 0.0,
+        ..Default::default()
+    });
     gcn.fit(&g);
-    assert_eq!(gcn.test_accuracy(&g), 1.0, "one class: everything is trivially correct");
+    assert_eq!(
+        gcn.test_accuracy(&g),
+        1.0,
+        "one class: everything is trivially correct"
+    );
 }
 
 #[test]
@@ -154,5 +182,8 @@ fn edgeless_graph_reduces_to_feature_classifier() {
     let mut gcn = Gcn::paper_default(TrainConfig::fast_test());
     gcn.fit(&g);
     let acc = gcn.test_accuracy(&g);
-    assert!(acc > 1.5 / g.num_classes as f64, "edgeless GCN accuracy {acc} below chance-ish");
+    assert!(
+        acc > 1.5 / g.num_classes as f64,
+        "edgeless GCN accuracy {acc} below chance-ish"
+    );
 }

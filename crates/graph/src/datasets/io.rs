@@ -12,27 +12,62 @@
 //!
 //! This is deliberately simple so the real Cora/Citeseer/Polblogs data can
 //! be exported from DeepRobust with a few lines of Python and dropped in.
+//!
+//! Every failure — unreadable file, malformed line, or a graph that fails
+//! [`validation`](crate::validate) — comes back as a
+//! [`BbgnnError`](bbgnn_errors::BbgnnError) naming the offending file, so
+//! a truncated dataset directory is a diagnosis, not a panic.
 
 use crate::splits::Split;
 use crate::Graph;
+use bbgnn_errors::{BbgnnError, BbgnnResult, ErrorContext};
 use bbgnn_linalg::DenseMatrix;
-use std::fmt::Write as _;
 use std::fs;
-use std::io;
 use std::path::Path;
 
+/// `DatasetIo` error naming `path`.
+fn io_err(path: &Path, message: impl std::fmt::Display) -> BbgnnError {
+    BbgnnError::DatasetIo {
+        path: path.display().to_string(),
+        message: message.to_string(),
+    }
+}
+
+/// Reads a whole file, naming it on failure.
+fn read_file(path: &Path) -> BbgnnResult<String> {
+    fs::read_to_string(path).map_err(|e| io_err(path, e))
+}
+
+/// Writes a whole file, naming it on failure.
+fn write_file(path: &Path, contents: &str) -> BbgnnResult<()> {
+    fs::write(path, contents).map_err(|e| io_err(path, e))
+}
+
+/// Parses one whitespace token, naming the file and describing the token on
+/// failure.
+fn parse_token<T: std::str::FromStr>(
+    token: Option<&str>,
+    path: &Path,
+    what: &str,
+) -> BbgnnResult<T> {
+    let token = token.ok_or_else(|| io_err(path, format!("missing {what}")))?;
+    token
+        .parse()
+        .map_err(|_| io_err(path, format!("malformed {what}: {token:?}")))
+}
+
 /// Saves `g` into directory `dir` (created if missing).
-pub fn save(g: &Graph, dir: &Path) -> io::Result<()> {
-    fs::create_dir_all(dir)?;
-    fs::write(
-        dir.join("meta.txt"),
-        format!("{} {} {}\n", g.num_nodes(), g.num_classes, g.feature_dim()),
+pub fn save(g: &Graph, dir: &Path) -> BbgnnResult<()> {
+    fs::create_dir_all(dir).map_err(|e| io_err(dir, e))?;
+    write_file(
+        &dir.join("meta.txt"),
+        &format!("{} {} {}\n", g.num_nodes(), g.num_classes, g.feature_dim()),
     )?;
     let mut edges = String::new();
     for (u, v) in g.edges() {
-        writeln!(edges, "{u} {v}").unwrap();
+        edges.push_str(&format!("{u} {v}\n"));
     }
-    fs::write(dir.join("edges.txt"), edges)?;
+    write_file(&dir.join("edges.txt"), &edges)?;
 
     let identity = is_identity(&g.features);
     let mut feats = String::new();
@@ -48,77 +83,94 @@ pub fn save(g: &Graph, dir: &Path) -> io::Result<()> {
                 .filter(|(_, &x)| x != 0.0)
                 .map(|(j, _)| j.to_string())
                 .collect();
-            writeln!(feats, "{}", active.join(" ")).unwrap();
+            feats.push_str(&active.join(" "));
+            feats.push('\n');
         }
     }
-    fs::write(dir.join("features.txt"), feats)?;
+    write_file(&dir.join("features.txt"), &feats)?;
 
     let labels: String = g.labels.iter().map(|y| format!("{y}\n")).collect();
-    fs::write(dir.join("labels.txt"), labels)?;
+    write_file(&dir.join("labels.txt"), &labels)?;
 
     let mut split = String::new();
     for set in [&g.split.train, &g.split.valid, &g.split.test] {
         let line: Vec<String> = set.iter().map(|v| v.to_string()).collect();
-        writeln!(split, "{}", line.join(" ")).unwrap();
+        split.push_str(&line.join(" "));
+        split.push('\n');
     }
-    fs::write(dir.join("split.txt"), split)?;
-    Ok(())
+    write_file(&dir.join("split.txt"), &split)
 }
 
 /// Loads a graph previously written by [`save`] (or exported externally in
-/// the same format).
-pub fn load(dir: &Path) -> io::Result<Graph> {
-    let meta = fs::read_to_string(dir.join("meta.txt"))?;
+/// the same format), validating it on the way in.
+pub fn load(dir: &Path) -> BbgnnResult<Graph> {
+    let meta_path = dir.join("meta.txt");
+    let meta = read_file(&meta_path)?;
     let mut it = meta.split_whitespace();
-    let parse_err = |what: &str| io::Error::new(io::ErrorKind::InvalidData, format!("bad {what}"));
-    let n: usize = it.next().ok_or_else(|| parse_err("meta"))?.parse().map_err(|_| parse_err("meta"))?;
-    let classes: usize =
-        it.next().ok_or_else(|| parse_err("meta"))?.parse().map_err(|_| parse_err("meta"))?;
-    let dim: usize =
-        it.next().ok_or_else(|| parse_err("meta"))?.parse().map_err(|_| parse_err("meta"))?;
+    let n: usize = parse_token(it.next(), &meta_path, "node count")?;
+    let classes: usize = parse_token(it.next(), &meta_path, "class count")?;
+    let dim: usize = parse_token(it.next(), &meta_path, "feature dim")?;
 
+    let edges_path = dir.join("edges.txt");
     let mut edges = Vec::new();
-    for line in fs::read_to_string(dir.join("edges.txt"))?.lines() {
+    for line in read_file(&edges_path)?.lines() {
         if line.trim().is_empty() {
             continue;
         }
         let mut p = line.split_whitespace();
-        let u: usize = p.next().ok_or_else(|| parse_err("edge"))?.parse().map_err(|_| parse_err("edge"))?;
-        let v: usize = p.next().ok_or_else(|| parse_err("edge"))?.parse().map_err(|_| parse_err("edge"))?;
+        let u: usize = parse_token(p.next(), &edges_path, "edge endpoint")?;
+        let v: usize = parse_token(p.next(), &edges_path, "edge endpoint")?;
         edges.push((u, v));
     }
 
-    let feats_text = fs::read_to_string(dir.join("features.txt"))?;
+    let feats_path = dir.join("features.txt");
+    let feats_text = read_file(&feats_path)?;
     let features = if feats_text.trim_start().starts_with("identity") {
         DenseMatrix::identity(n)
     } else {
         let mut x = DenseMatrix::zeros(n, dim);
         for (v, line) in feats_text.lines().enumerate().take(n) {
             for tok in line.split_whitespace() {
-                let j: usize = tok.parse().map_err(|_| parse_err("feature"))?;
+                let j: usize = parse_token(Some(tok), &feats_path, "feature index")?;
+                if j >= dim {
+                    return Err(io_err(
+                        &feats_path,
+                        format!("feature index {j} out of range for dim {dim} (node {v})"),
+                    ));
+                }
                 x.set(v, j, 1.0);
             }
         }
         x
     };
 
-    let labels: Vec<usize> = fs::read_to_string(dir.join("labels.txt"))?
+    let labels_path = dir.join("labels.txt");
+    let labels: Vec<usize> = read_file(&labels_path)?
         .lines()
         .filter(|l| !l.trim().is_empty())
-        .map(|l| l.trim().parse().map_err(|_| parse_err("label")))
-        .collect::<io::Result<_>>()?;
+        .map(|l| parse_token(Some(l.trim()), &labels_path, "label"))
+        .collect::<BbgnnResult<_>>()?;
 
-    let split_text = fs::read_to_string(dir.join("split.txt"))?;
+    let split_path = dir.join("split.txt");
+    let split_text = read_file(&split_path)?;
     let mut sets = split_text.lines().map(|line| {
         line.split_whitespace()
-            .map(|t| t.parse::<usize>().map_err(|_| parse_err("split")))
-            .collect::<io::Result<Vec<usize>>>()
+            .map(|t| parse_token(Some(t), &split_path, "split index"))
+            .collect::<BbgnnResult<Vec<usize>>>()
     });
     let train = sets.next().transpose()?.unwrap_or_default();
     let valid = sets.next().transpose()?.unwrap_or_default();
     let test = sets.next().transpose()?.unwrap_or_default();
 
-    Ok(Graph::new(n, &edges, features, labels, classes, Split { train, valid, test }))
+    Graph::try_new(
+        n,
+        &edges,
+        features,
+        labels,
+        classes,
+        Split { train, valid, test },
+    )
+    .with_context(|| format!("loading dataset from {}", dir.display()))
 }
 
 fn is_identity(m: &DenseMatrix) -> bool {
@@ -167,6 +219,54 @@ mod tests {
 
     #[test]
     fn load_missing_dir_errors() {
-        assert!(load(Path::new("/nonexistent/bbgnn")).is_err());
+        match load(Path::new("/nonexistent/bbgnn")) {
+            Err(e) => {
+                let msg = e.root_cause().to_string();
+                assert!(
+                    msg.contains("/nonexistent/bbgnn"),
+                    "error must name the path: {msg}"
+                );
+            }
+            Ok(_) => panic!("loading a missing directory must fail"),
+        }
+    }
+
+    #[test]
+    fn truncated_dataset_dir_names_the_missing_file() {
+        // Fault injection: a partially copied dataset (meta + edges only)
+        // must produce a diagnosis naming the first missing file.
+        let g = DatasetSpec::CoraLike.generate(0.05, 9);
+        let dir = std::env::temp_dir().join("bbgnn_io_truncated");
+        save(&g, &dir).unwrap();
+        fs::remove_file(dir.join("labels.txt")).unwrap();
+        match load(&dir) {
+            Err(e) => {
+                let msg = e.root_cause().to_string();
+                assert!(
+                    msg.contains("labels.txt"),
+                    "error must name the missing file: {msg}"
+                );
+            }
+            Ok(_) => panic!("loading a truncated dataset directory must fail"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn malformed_meta_names_the_file() {
+        let dir = std::env::temp_dir().join("bbgnn_io_bad_meta");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("meta.txt"), "twelve 3 4\n").unwrap();
+        match load(&dir) {
+            Err(BbgnnError::DatasetIo { path, message }) => {
+                assert!(path.ends_with("meta.txt"), "wrong file named: {path}");
+                assert!(
+                    message.contains("node count"),
+                    "unhelpful message: {message}"
+                );
+            }
+            other => panic!("expected DatasetIo, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
     }
 }

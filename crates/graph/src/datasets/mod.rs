@@ -11,6 +11,10 @@
 //! * [`io`] — a plain-text loader/saver so user-provided real datasets can
 //!   be swapped in without code changes.
 
+// Dataset IO must diagnose, never crash: every failure path goes through
+// `BbgnnError` (tests are exempt — unwrap there is the assertion).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod io;
 pub mod synthetic;
 

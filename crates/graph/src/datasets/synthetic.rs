@@ -11,13 +11,13 @@
 
 use crate::splits::Split;
 use crate::Graph;
+use bbgnn_errors::{BbgnnError, BbgnnResult};
 use bbgnn_linalg::DenseMatrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Parameters of the class-conditional SBM + feature generator.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SbmParams {
     /// Number of nodes.
     pub nodes: usize,
@@ -45,15 +45,57 @@ impl SbmParams {
     ///
     /// # Panics
     /// Panics on degenerate parameters (no nodes, more edges than pairs,
-    /// fractions outside `(0, 1)`).
+    /// fractions outside `(0, 1)`); [`SbmParams::try_generate`] reports
+    /// them as errors instead.
     pub fn generate(&self, seed: u64) -> Graph {
-        assert!(self.nodes >= 2, "need at least two nodes");
-        assert!(self.classes >= 1, "need at least one class");
-        assert!(
-            self.edges <= self.nodes * (self.nodes - 1) / 2,
-            "more edges than node pairs"
-        );
-        assert!((0.0..=1.0).contains(&self.homophily), "homophily must be in [0,1]");
+        self.try_generate(seed)
+            .unwrap_or_else(|e| panic!("SbmParams::generate: {e}"))
+    }
+
+    /// Fallible [`SbmParams::generate`]: degenerate parameters come back as
+    /// [`BbgnnError::InvalidConfig`] naming the parameter, and the generated
+    /// graph passes the [`validation`](crate::validate) contract before it
+    /// is returned.
+    pub fn try_generate(&self, seed: u64) -> BbgnnResult<Graph> {
+        let invalid = |what: &str, message: String| BbgnnError::InvalidConfig {
+            what: format!("SbmParams.{what}"),
+            message,
+        };
+        if self.nodes < 2 {
+            return Err(invalid(
+                "nodes",
+                format!("need at least two nodes, got {}", self.nodes),
+            ));
+        }
+        if self.classes < 1 {
+            return Err(invalid("classes", "need at least one class".to_string()));
+        }
+        if self.edges > self.nodes * (self.nodes - 1) / 2 {
+            return Err(invalid(
+                "edges",
+                format!(
+                    "{} edges exceed the {}-node pair count",
+                    self.edges, self.nodes
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.homophily) {
+            return Err(invalid(
+                "homophily",
+                format!("must be in [0, 1], got {}", self.homophily),
+            ));
+        }
+        if !(self.train_frac > 0.0 && self.valid_frac > 0.0)
+            || self.train_frac + self.valid_frac >= 1.0
+        {
+            return Err(invalid(
+                "train_frac/valid_frac",
+                format!(
+                    "fractions ({}, {}) must be positive and leave room for test",
+                    self.train_frac, self.valid_frac
+                ),
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.nodes;
         let k = self.classes;
@@ -111,7 +153,7 @@ impl SbmParams {
 
         let features = self.generate_features(&labels, &mut rng);
         let split = Split::random(n, self.train_frac, self.valid_frac, seed.wrapping_add(1));
-        Graph::new(n, &g_edges, features, labels, k, split)
+        Graph::try_new(n, &g_edges, features, labels, k, split)
     }
 
     fn generate_features(&self, labels: &[usize], rng: &mut StdRng) -> DenseMatrix {
@@ -150,7 +192,7 @@ impl SbmParams {
 /// Presets calibrated to the paper's Table III statistics, plus the generic
 /// custom variant. `scale(f)` shrinks node/edge/feature counts uniformly so
 /// the full experiment suite runs quickly on one CPU.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum DatasetSpec {
     /// Cora-like: 2485 nodes, 5069 edges, 7 classes, d_x = 1433,
     /// homophily ≈ 0.81.
@@ -168,7 +210,11 @@ pub enum DatasetSpec {
 impl DatasetSpec {
     /// Canonical experiment datasets in paper order.
     pub fn paper_datasets() -> Vec<DatasetSpec> {
-        vec![DatasetSpec::CoraLike, DatasetSpec::CiteseerLike, DatasetSpec::PolblogsLike]
+        vec![
+            DatasetSpec::CoraLike,
+            DatasetSpec::CiteseerLike,
+            DatasetSpec::PolblogsLike,
+        ]
     }
 
     /// Short display name.
@@ -241,7 +287,10 @@ impl DatasetSpec {
     /// counts scale linearly (with sane floors) while class count,
     /// homophily, and split fractions are preserved.
     pub fn scaled_params(&self, factor: f64) -> SbmParams {
-        assert!(factor > 0.0 && factor <= 1.0, "scale factor must be in (0, 1]");
+        assert!(
+            factor > 0.0 && factor <= 1.0,
+            "scale factor must be in (0, 1]"
+        );
         let p = self.params();
         let nodes = ((p.nodes as f64 * factor) as usize).max(p.classes * 8);
         let max_edges = nodes * (nodes - 1) / 2;
@@ -256,12 +305,31 @@ impl DatasetSpec {
         } else {
             p.active_features.min(feature_dim / p.classes).max(4)
         };
-        SbmParams { nodes, edges, feature_dim, active_features, ..p }
+        SbmParams {
+            nodes,
+            edges,
+            feature_dim,
+            active_features,
+            ..p
+        }
     }
 
     /// Generates the dataset at the given scale, deterministic in `seed`.
     pub fn generate(&self, scale: f64, seed: u64) -> Graph {
         self.scaled_params(scale).generate(seed)
+    }
+
+    /// Fallible [`DatasetSpec::generate`]: a bad scale factor or degenerate
+    /// derived parameters come back as
+    /// [`BbgnnError::InvalidConfig`] instead of a panic.
+    pub fn try_generate(&self, scale: f64, seed: u64) -> BbgnnResult<Graph> {
+        if !(scale > 0.0 && scale <= 1.0) {
+            return Err(BbgnnError::InvalidConfig {
+                what: "DatasetSpec scale".to_string(),
+                message: format!("scale factor must be in (0, 1], got {scale}"),
+            });
+        }
+        self.scaled_params(scale).try_generate(seed)
     }
 }
 
@@ -376,14 +444,39 @@ mod tests {
     #[test]
     fn paper_presets_match_table_iii_at_full_scale() {
         let cora = DatasetSpec::CoraLike.params();
-        assert_eq!((cora.nodes, cora.edges, cora.classes, cora.feature_dim), (2485, 5069, 7, 1433));
+        assert_eq!(
+            (cora.nodes, cora.edges, cora.classes, cora.feature_dim),
+            (2485, 5069, 7, 1433)
+        );
         let citeseer = DatasetSpec::CiteseerLike.params();
         assert_eq!(
-            (citeseer.nodes, citeseer.edges, citeseer.classes, citeseer.feature_dim),
+            (
+                citeseer.nodes,
+                citeseer.edges,
+                citeseer.classes,
+                citeseer.feature_dim
+            ),
             (2110, 3668, 6, 3703)
         );
         let pol = DatasetSpec::PolblogsLike.params();
-        assert_eq!((pol.nodes, pol.edges, pol.classes, pol.feature_dim), (1222, 16714, 2, 0));
+        assert_eq!(
+            (pol.nodes, pol.edges, pol.classes, pol.feature_dim),
+            (1222, 16714, 2, 0)
+        );
+    }
+
+    #[test]
+    fn try_generate_rejects_degenerate_params() {
+        let mut p = DatasetSpec::CoraLike.scaled_params(0.05);
+        p.edges = p.nodes * p.nodes; // more edges than pairs
+        match p.try_generate(1) {
+            Err(bbgnn_errors::BbgnnError::InvalidConfig { what, .. }) => {
+                assert_eq!(what, "SbmParams.edges");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        assert!(DatasetSpec::CoraLike.try_generate(0.0, 1).is_err());
+        assert!(DatasetSpec::CoraLike.try_generate(0.05, 1).is_ok());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The [`Graph`] container and its edit operations.
 
 use crate::splits::Split;
+use crate::validate::{validate_parts, ValidationPolicy};
+use bbgnn_errors::BbgnnResult;
 use bbgnn_linalg::{CsrMatrix, DenseMatrix};
 use std::collections::BTreeSet;
 
@@ -44,12 +46,55 @@ impl Graph {
         num_classes: usize,
         split: Split,
     ) -> Self {
-        assert_eq!(features.rows(), n, "feature rows must equal node count");
-        assert_eq!(labels.len(), n, "labels length must equal node count");
-        assert!(
-            labels.iter().all(|&y| y < num_classes),
-            "labels must be < num_classes"
-        );
+        // Graph::new historically tolerated self-loops (silently dropped),
+        // so the validating path declares them to stay a drop-in.
+        Self::try_new_with(
+            n,
+            edges,
+            features,
+            labels,
+            num_classes,
+            split,
+            &ValidationPolicy::with_self_loops(),
+        )
+        .unwrap_or_else(|e| panic!("Graph::new: {e}"))
+    }
+
+    /// Fallible [`Graph::new`]: validates the input (finite features,
+    /// in-bounds edges/labels/splits, no self-loops) and returns
+    /// [`InvalidGraph`](bbgnn_errors::BbgnnError::InvalidGraph) naming the
+    /// first offending node or edge instead of panicking.
+    pub fn try_new(
+        n: usize,
+        edges: &[(usize, usize)],
+        features: DenseMatrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+        split: Split,
+    ) -> BbgnnResult<Self> {
+        Self::try_new_with(
+            n,
+            edges,
+            features,
+            labels,
+            num_classes,
+            split,
+            &ValidationPolicy::default(),
+        )
+    }
+
+    /// [`Graph::try_new`] with an explicit [`ValidationPolicy`] (e.g. for
+    /// inputs that legitimately declare self-loops).
+    pub fn try_new_with(
+        n: usize,
+        edges: &[(usize, usize)],
+        features: DenseMatrix,
+        labels: Vec<usize>,
+        num_classes: usize,
+        split: Split,
+        policy: &ValidationPolicy,
+    ) -> BbgnnResult<Self> {
+        validate_parts(n, edges, &features, &labels, num_classes, &split, policy)?;
         let mut g = Self {
             neighbors: vec![BTreeSet::new(); n],
             num_edges: 0,
@@ -59,10 +104,11 @@ impl Graph {
             split,
         };
         for &(u, v) in edges {
-            assert!(u < n && v < n, "edge ({u},{v}) out of bounds");
+            // Declared self-loops are excluded from the stored adjacency
+            // (the GCN normalization re-adds them).
             g.add_edge(u, v);
         }
-        g
+        Ok(g)
     }
 
     /// Number of nodes `|V|`.
@@ -97,10 +143,12 @@ impl Graph {
 
     /// Iterator over undirected edges as `(u, v)` with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.neighbors
-            .iter()
-            .enumerate()
-            .flat_map(|(u, ns)| ns.iter().copied().filter(move |&v| u < v).map(move |v| (u, v)))
+        self.neighbors.iter().enumerate().flat_map(|(u, ns)| {
+            ns.iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// Adds the undirected edge `{u, v}`; returns `false` if it already
@@ -140,7 +188,11 @@ impl Graph {
     /// Toggles feature bit `(v, i)` (the attacker's feature perturbation).
     /// Returns the new value.
     pub fn flip_feature(&mut self, v: usize, i: usize) -> f64 {
-        let new = if self.features.get(v, i) == 0.0 { 1.0 } else { 0.0 };
+        let new = if self.features.get(v, i) == 0.0 {
+            1.0
+        } else {
+            0.0
+        };
         self.features.set(v, i, new);
         new
     }
@@ -222,17 +274,27 @@ impl Graph {
         assert_eq!(self.num_nodes(), other.num_nodes(), "node count mismatch");
         let mut diff = 0;
         for (u, ns) in self.neighbors.iter().enumerate() {
-            diff += ns.iter().filter(|&&v| u < v && !other.has_edge(u, v)).count();
+            diff += ns
+                .iter()
+                .filter(|&&v| u < v && !other.has_edge(u, v))
+                .count();
         }
         for (u, ns) in other.neighbors.iter().enumerate() {
-            diff += ns.iter().filter(|&&v| u < v && !self.has_edge(u, v)).count();
+            diff += ns
+                .iter()
+                .filter(|&&v| u < v && !self.has_edge(u, v))
+                .count();
         }
         diff
     }
 
     /// Number of differing feature bits (`‖X̂ − X‖₀`).
     pub fn feature_difference(&self, other: &Graph) -> usize {
-        assert_eq!(self.features.shape(), other.features.shape(), "feature shape mismatch");
+        assert_eq!(
+            self.features.shape(),
+            other.features.shape(),
+            "feature shape mismatch"
+        );
         self.features
             .as_slice()
             .iter()
@@ -365,6 +427,30 @@ mod tests {
         assert_eq!(g.k_hop_neighbors(0, 2), vec![1, 2]);
         assert_eq!(g.k_hop_neighbors(2, 2), vec![0, 1, 3, 4]);
         assert_eq!(g.k_hop_neighbors(0, 0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn try_new_reports_first_offending_input() {
+        use bbgnn_errors::BbgnnError;
+        let mut x = DenseMatrix::identity(3);
+        x.set(1, 0, f64::NAN);
+        match Graph::try_new(3, &[(0, 1)], x, vec![0, 0, 0], 1, Split::trivial(3)) {
+            Err(BbgnnError::InvalidGraph { node: Some(1), .. }) => {}
+            other => panic!("expected InvalidGraph at node 1, got {other:?}"),
+        }
+        match Graph::try_new(
+            3,
+            &[(0, 1), (2, 2)],
+            DenseMatrix::identity(3),
+            vec![0, 0, 0],
+            1,
+            Split::trivial(3),
+        ) {
+            Err(BbgnnError::InvalidGraph {
+                edge: Some((2, 2)), ..
+            }) => {}
+            other => panic!("expected InvalidGraph self-loop, got {other:?}"),
+        }
     }
 
     #[test]

@@ -22,6 +22,8 @@ pub mod graph;
 pub mod metrics;
 pub mod metrics_utility;
 pub mod splits;
+pub mod validate;
 
 pub use graph::Graph;
 pub use splits::Split;
+pub use validate::ValidationPolicy;

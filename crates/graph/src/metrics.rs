@@ -56,7 +56,11 @@ impl EdgeDiffBreakdown {
 /// # Panics
 /// Panics if the graphs have different node counts.
 pub fn edge_diff_breakdown(clean: &Graph, poisoned: &Graph) -> EdgeDiffBreakdown {
-    assert_eq!(clean.num_nodes(), poisoned.num_nodes(), "node count mismatch");
+    assert_eq!(
+        clean.num_nodes(),
+        poisoned.num_nodes(),
+        "node count mismatch"
+    );
     let mut out = EdgeDiffBreakdown::default();
     for (u, v) in poisoned.edges() {
         if !clean.has_edge(u, v) {
@@ -201,7 +205,15 @@ mod tests {
         poison.flip_edge(1, 2); // del same
         poison.flip_edge(2, 3); // del diff
         let d = edge_diff_breakdown(&clean, &poison);
-        assert_eq!(d, EdgeDiffBreakdown { add_same: 0, add_diff: 2, del_same: 1, del_diff: 1 });
+        assert_eq!(
+            d,
+            EdgeDiffBreakdown {
+                add_same: 0,
+                add_diff: 2,
+                del_same: 1,
+                del_diff: 1
+            }
+        );
         assert_eq!(d.total(), 4);
     }
 
@@ -217,7 +229,11 @@ mod tests {
         let sim = cross_label_similarity(&g);
         let (intra, inter) = intra_inter_similarity(&sim);
         assert!(intra > inter, "intra {intra} must exceed inter {inter}");
-        assert_eq!(sim.get(0, 1), sim.get(1, 0), "similarity matrix is symmetric");
+        assert_eq!(
+            sim.get(0, 1),
+            sim.get(1, 0),
+            "similarity matrix is symmetric"
+        );
     }
 
     #[test]

@@ -145,8 +145,9 @@ mod tests {
 
     #[test]
     fn clustering_of_complete_graph_is_one() {
-        let edges: Vec<(usize, usize)> =
-            (0..5).flat_map(|i| ((i + 1)..5).map(move |j| (i, j))).collect();
+        let edges: Vec<(usize, usize)> = (0..5)
+            .flat_map(|i| ((i + 1)..5).map(move |j| (i, j)))
+            .collect();
         let g = Graph::new(
             5,
             &edges,

@@ -3,13 +3,12 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 
 /// Disjoint train/valid/test node index sets.
 ///
 /// The paper follows the 10% / 10% / 80% convention of Zügner et al.; use
 /// [`Split::random`] with `(0.1, 0.1)` to reproduce it.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Split {
     /// Labeled training nodes `V^la`.
     pub train: Vec<usize>,
@@ -24,7 +23,11 @@ impl Split {
     /// unit tests that don't care about splits.
     pub fn trivial(n: usize) -> Self {
         let all: Vec<usize> = (0..n).collect();
-        Self { train: all.clone(), valid: all.clone(), test: all }
+        Self {
+            train: all.clone(),
+            valid: all.clone(),
+            test: all,
+        }
     }
 
     /// Random split with the given train/valid fractions (the rest is
@@ -33,8 +36,14 @@ impl Split {
     /// # Panics
     /// Panics if the fractions are not in `(0, 1)` or sum to ≥ 1.
     pub fn random(n: usize, train_frac: f64, valid_frac: f64, seed: u64) -> Self {
-        assert!(train_frac > 0.0 && valid_frac > 0.0, "fractions must be positive");
-        assert!(train_frac + valid_frac < 1.0, "train+valid must leave room for test");
+        assert!(
+            train_frac > 0.0 && valid_frac > 0.0,
+            "fractions must be positive"
+        );
+        assert!(
+            train_frac + valid_frac < 1.0,
+            "train+valid must leave room for test"
+        );
         let mut idx: Vec<usize> = (0..n).collect();
         let mut rng = StdRng::seed_from_u64(seed);
         idx.shuffle(&mut rng);
@@ -78,12 +87,18 @@ mod tests {
 
     #[test]
     fn random_split_is_deterministic() {
-        assert_eq!(Split::random(50, 0.2, 0.2, 3).train, Split::random(50, 0.2, 0.2, 3).train);
+        assert_eq!(
+            Split::random(50, 0.2, 0.2, 3).train,
+            Split::random(50, 0.2, 0.2, 3).train
+        );
     }
 
     #[test]
     fn different_seeds_differ() {
-        assert_ne!(Split::random(200, 0.1, 0.1, 1).train, Split::random(200, 0.1, 0.1, 2).train);
+        assert_ne!(
+            Split::random(200, 0.1, 0.1, 1).train,
+            Split::random(200, 0.1, 0.1, 2).train
+        );
     }
 
     #[test]

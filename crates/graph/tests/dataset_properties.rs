@@ -14,7 +14,10 @@ fn homophily_calibration_is_stable_across_seeds() {
     for seed in 0..5 {
         let g = DatasetSpec::CoraLike.generate(0.15, seed);
         let h = edge_homophily(&g);
-        assert!((h - 0.81).abs() < 0.06, "seed {seed}: homophily {h} off target");
+        assert!(
+            (h - 0.81).abs() < 0.06,
+            "seed {seed}: homophily {h} off target"
+        );
     }
 }
 
@@ -92,7 +95,11 @@ fn homophily_generator_extreme_targets() {
     };
     let hetero = base.generate(6);
     assert!(edge_homophily(&hetero) < 0.05, "homophily 0 target missed");
-    let homo = SbmParams { homophily: 1.0, ..base }.generate(6);
+    let homo = SbmParams {
+        homophily: 1.0,
+        ..base
+    }
+    .generate(6);
     assert!(edge_homophily(&homo) > 0.95, "homophily 1 target missed");
 }
 
@@ -115,7 +122,10 @@ fn cross_label_similarity_detects_heterophily() {
     // vice versa — histograms of SAME-class nodes still align (both point
     // at the other class), so intra stays high; the metric measures
     // context consistency, not homophily itself.
-    assert!(intra > 0.5, "intra-label context consistency {intra} unexpectedly low");
+    assert!(
+        intra > 0.5,
+        "intra-label context consistency {intra} unexpectedly low"
+    );
     assert!(inter >= 0.0);
 }
 
@@ -170,6 +180,9 @@ fn identity_feature_graphs_have_unit_rows() {
     let g = DatasetSpec::PolblogsLike.generate(0.1, 10);
     for v in 0..g.num_nodes() {
         let row_sum: f64 = g.features.row(v).iter().sum();
-        assert_eq!(row_sum, 1.0, "identity feature row {v} must have exactly one bit");
+        assert_eq!(
+            row_sum, 1.0,
+            "identity feature row {v} must have exactly one bit"
+        );
     }
 }

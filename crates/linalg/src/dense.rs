@@ -40,12 +40,20 @@ impl fmt::Debug for DenseMatrix {
 impl DenseMatrix {
     /// Creates a `rows × cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -69,7 +77,11 @@ impl DenseMatrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Self { rows: r, cols: c, data }
+        Self {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Creates the `n × n` identity matrix.
@@ -84,7 +96,9 @@ impl DenseMatrix {
     /// Creates a matrix with entries drawn i.i.d. from `U(-scale, scale)`.
     pub fn uniform(rows: usize, cols: usize, scale: f64, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let data = (0..rows * cols).map(|_| rng.gen_range(-scale..scale)).collect();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-scale..scale))
+            .collect();
         Self { rows, cols, data }
     }
 
@@ -289,8 +303,17 @@ impl DenseMatrix {
     /// Panics on shape mismatch.
     pub fn zip_with(&self, rhs: &DenseMatrix, f: impl Fn(f64, f64) -> f64) -> DenseMatrix {
         assert_eq!(self.shape(), rhs.shape(), "elementwise shape mismatch");
-        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
-        DenseMatrix { rows: self.rows, cols: self.cols, data }
+        let data = self
+            .data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// In-place `self += alpha * rhs` (axpy).
@@ -585,7 +608,12 @@ mod tests {
     fn gaussian_moments_are_sane() {
         let m = DenseMatrix::gaussian(100, 100, 2.0, 9);
         let mean = m.sum() / 10_000.0;
-        let var = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 10_000.0;
+        let var = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f64>()
+            / 10_000.0;
         assert!(mean.abs() < 0.1, "mean {mean} too far from 0");
         assert!((var - 4.0).abs() < 0.3, "var {var} too far from 4");
     }

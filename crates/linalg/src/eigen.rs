@@ -6,9 +6,20 @@
 //!   the extremal eigenpairs of large sparse symmetric matrices; used by
 //!   GF-Attack, which scores edge flips with the top of the normalized
 //!   adjacency spectrum.
+//!
+//! Both have fallible `try_*` forms returning
+//! [`BbgnnResult`](bbgnn_errors::BbgnnResult). [`try_jacobi_eigen`] turns
+//! the sweep budget into a runtime
+//! [`ConvergenceFailure`](bbgnn_errors::BbgnnError::ConvergenceFailure)
+//! check; [`try_lanczos_topk`] validates the Ritz residuals
+//! `‖A v − λ v‖ / max(|λ|, 1)` and restarts with a fresh start vector and a
+//! larger Krylov space (full reorthogonalization throughout) before
+//! erroring. The original panicking names are kept as thin wrappers.
 
 use crate::qr::thin_qr;
+use crate::svd::check_finite_input;
 use crate::{CsrMatrix, DenseMatrix};
+use bbgnn_errors::{first_non_finite, BbgnnError, BbgnnResult};
 
 /// Eigendecomposition `A = Q Λ Q^T` of a symmetric matrix, eigenvalues
 /// sorted descending.
@@ -28,18 +39,27 @@ impl Eigen {
     }
 }
 
-/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix, with runtime
+/// convergence checking.
+///
+/// Errors with [`BbgnnError::ConvergenceFailure`] when the off-diagonal
+/// mass is still above threshold after the sweep budget, and
+/// [`BbgnnError::NumericalDivergence`] on non-finite input.
 ///
 /// # Panics
 /// Panics if `a` is not square. Symmetry is assumed, not checked (the upper
 /// triangle is used).
-pub fn jacobi_eigen(a: &DenseMatrix) -> Eigen {
+pub fn try_jacobi_eigen(a: &DenseMatrix) -> BbgnnResult<Eigen> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "jacobi_eigen requires a square matrix");
+    check_finite_input(a, "jacobi_eigen")?;
     let mut m = a.clone();
     let mut q = DenseMatrix::identity(n);
     let max_sweeps = 60;
     let eps = 1e-12;
+    let scale = a.frobenius_norm().max(1e-300);
+    let mut converged = false;
+    let mut last_off = 0.0_f64;
     for _sweep in 0..max_sweeps {
         let mut off = 0.0_f64;
         for p in 0..n {
@@ -47,7 +67,9 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> Eigen {
                 off += m.get(p, r) * m.get(p, r);
             }
         }
-        if off.sqrt() <= eps * a.frobenius_norm().max(1e-300) {
+        last_off = off.sqrt() / scale;
+        if off.sqrt() <= eps * scale {
+            converged = true;
             break;
         }
         for p in 0..n {
@@ -84,6 +106,13 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> Eigen {
             }
         }
     }
+    if !converged {
+        return Err(BbgnnError::ConvergenceFailure {
+            method: "jacobi_eigen".to_string(),
+            iters: max_sweeps,
+            residual: last_off,
+        });
+    }
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap());
     let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
@@ -93,19 +122,107 @@ pub fn jacobi_eigen(a: &DenseMatrix) -> Eigen {
             vectors.set(k, out_col, q.get(k, i));
         }
     }
-    Eigen { values, vectors }
+    Ok(Eigen { values, vectors })
 }
 
-/// Lanczos iteration with full reorthogonalization: returns the `k`
-/// algebraically largest eigenpairs of the symmetric sparse matrix `a`.
+/// Infallible façade over [`try_jacobi_eigen`].
 ///
-/// `k` is clamped to `n`. The Krylov dimension is `min(n, max(3k, k + 30))`.
-/// Deterministic given `seed`.
-pub fn lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> Eigen {
+/// # Panics
+/// Panics if `a` is not square, contains non-finite entries, or the sweep
+/// budget runs out; use the `try_` form where recovery is possible.
+pub fn jacobi_eigen(a: &DenseMatrix) -> Eigen {
+    try_jacobi_eigen(a).unwrap_or_else(|e| panic!("jacobi_eigen: {e}"))
+}
+
+/// Relative Ritz residual tolerance accepted by [`try_lanczos_topk`].
+const LANCZOS_RESIDUAL_TOL: f64 = 1e-6;
+/// Restart attempts (fresh start vector, larger Krylov space) before a
+/// [`BbgnnError::ConvergenceFailure`] is raised.
+const LANCZOS_MAX_ATTEMPTS: usize = 3;
+
+/// Lanczos iteration with full reorthogonalization and restart-on-failure:
+/// returns the `k` algebraically largest eigenpairs of the symmetric sparse
+/// matrix `a`.
+///
+/// `k` is clamped to `n`. The base Krylov dimension is
+/// `min(n, max(3k, k + 30))`. After each run the Ritz residuals
+/// `‖A v − λ v‖ / max(|λ|, 1)` are validated; a failing run is restarted
+/// with a perturbed start vector and a doubled Krylov space (up to
+/// [`LANCZOS_MAX_ATTEMPTS`] attempts) before
+/// [`BbgnnError::ConvergenceFailure`] reports the best residual reached.
+/// Deterministic given `seed` (restart seeds are derived from it).
+///
+/// # Panics
+/// Panics if `a` is not square.
+pub fn try_lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> BbgnnResult<Eigen> {
     let n = a.rows();
     assert_eq!(n, a.cols(), "lanczos_topk requires a square matrix");
+    if let Some((idx, value)) = first_non_finite(a.values()) {
+        return Err(BbgnnError::NumericalDivergence {
+            what: format!("lanczos_topk: stored entry #{idx}"),
+            value,
+        });
+    }
     let k = k.min(n);
-    let dim = n.min((3 * k).max(k + 30));
+    if k == 0 || n == 0 {
+        return Ok(Eigen {
+            values: Vec::new(),
+            vectors: DenseMatrix::zeros(n, 0),
+        });
+    }
+    let base_dim = n.min((3 * k).max(k + 30));
+    let mut best_residual = f64::INFINITY;
+    let mut best: Option<Eigen> = None;
+    for attempt in 0..LANCZOS_MAX_ATTEMPTS {
+        // Deterministic restart schedule: new start vector, larger space.
+        let attempt_seed = seed.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let dim = n.min(base_dim << attempt);
+        let eig = lanczos_once(a, k, attempt_seed, dim);
+        let residual = max_ritz_residual(a, &eig);
+        if residual <= LANCZOS_RESIDUAL_TOL {
+            return Ok(eig);
+        }
+        if residual < best_residual {
+            best_residual = residual;
+            best = Some(eig);
+        }
+    }
+    drop(best);
+    Err(BbgnnError::ConvergenceFailure {
+        method: format!("lanczos_topk(k={k}, restarts={LANCZOS_MAX_ATTEMPTS})"),
+        iters: n.min(base_dim << (LANCZOS_MAX_ATTEMPTS - 1)),
+        residual: best_residual,
+    })
+}
+
+/// Worst relative Ritz residual `‖A v − λ v‖ / max(|λ|, 1)` over the
+/// returned eigenpairs (NaN-propagating: non-finite → `inf`).
+fn max_ritz_residual(a: &CsrMatrix, eig: &Eigen) -> f64 {
+    let n = a.rows();
+    let mut worst = 0.0_f64;
+    for (c, &lambda) in eig.values.iter().enumerate() {
+        if !lambda.is_finite() {
+            return f64::INFINITY;
+        }
+        let v: Vec<f64> = (0..n).map(|i| eig.vectors.get(i, c)).collect();
+        let av = a.spmv(&v);
+        let mut err = 0.0;
+        for i in 0..n {
+            let d = av[i] - lambda * v[i];
+            err += d * d;
+        }
+        let rel = err.sqrt() / lambda.abs().max(1.0);
+        if !rel.is_finite() {
+            return f64::INFINITY;
+        }
+        worst = worst.max(rel);
+    }
+    worst
+}
+
+/// One Lanczos run with Krylov dimension `dim` (no residual validation).
+fn lanczos_once(a: &CsrMatrix, k: usize, seed: u64, dim: usize) -> Eigen {
+    let n = a.rows();
     // Build Krylov basis.
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(dim);
     let mut alphas = Vec::with_capacity(dim);
@@ -165,7 +282,19 @@ pub fn lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> Eigen {
     }
     // Re-orthonormalize the Ritz vectors (cheap, kk columns).
     let vectors = thin_qr(&vectors).q;
-    Eigen { values: tri.values[..kk].to_vec(), vectors }
+    Eigen {
+        values: tri.values[..kk].to_vec(),
+        vectors,
+    }
+}
+
+/// Infallible façade over [`try_lanczos_topk`].
+///
+/// # Panics
+/// Panics if `a` is not square, contains non-finite entries, or every
+/// restart fails its residual check.
+pub fn lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> Eigen {
+    try_lanczos_topk(a, k, seed).unwrap_or_else(|e| panic!("lanczos_topk: {e}"))
 }
 
 #[cfg(test)]
@@ -233,7 +362,11 @@ mod tests {
             let dot: f64 = (0..30)
                 .map(|i| full.vectors.get(i, c) * top.vectors.get(i, c))
                 .sum();
-            assert!(dot.abs() > 1.0 - 1e-5, "eigenvector {c} mismatch, |dot| = {}", dot.abs());
+            assert!(
+                dot.abs() > 1.0 - 1e-5,
+                "eigenvector {c} mismatch, |dot| = {}",
+                dot.abs()
+            );
         }
     }
 
@@ -253,5 +386,53 @@ mod tests {
             let expected = 2.0 * ((i + 1) as f64 * pi / (n + 1) as f64).cos();
             assert!((val - expected).abs() < 1e-8, "{val} vs {expected}");
         }
+    }
+
+    #[test]
+    fn try_jacobi_eigen_rejects_nan() {
+        let mut a = random_symmetric(6, 45);
+        a.set(1, 3, f64::NAN);
+        assert!(matches!(
+            try_jacobi_eigen(&a),
+            Err(BbgnnError::NumericalDivergence { .. })
+        ));
+    }
+
+    #[test]
+    fn try_lanczos_rejects_nan_entries() {
+        let a = CsrMatrix::from_triplets(3, 3, [(0, 1, f64::NAN), (1, 0, f64::NAN)]);
+        match try_lanczos_topk(&a, 2, 1) {
+            Err(BbgnnError::NumericalDivergence { value, .. }) => assert!(value.is_nan()),
+            other => panic!("expected NumericalDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_lanczos_handles_near_degenerate_spectrum() {
+        // A near-multiple top eigenvalue (two dominant, nearly equal) plus
+        // near-zero bulk: Ritz residual validation must still pass, via
+        // restart if the first Krylov space is unlucky.
+        let n = 40;
+        let mut trips = Vec::new();
+        for i in 0..n {
+            // Two clusters: λ ≈ 5 (twice, split by 1e-10) and a near-zero tail.
+            let val = match i {
+                0 => 5.0,
+                1 => 5.0 - 1e-10,
+                _ => 1e-9 * (i as f64),
+            };
+            trips.push((i, i, val));
+        }
+        let a = CsrMatrix::from_triplets(n, n, trips);
+        let e = try_lanczos_topk(&a, 2, 11).unwrap();
+        assert!((e.values[0] - 5.0).abs() < 1e-8);
+        assert!((e.values[1] - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn try_lanczos_zero_k_is_empty() {
+        let a = CsrMatrix::from_triplets(4, 4, [(0, 1, 1.0), (1, 0, 1.0)]);
+        let e = try_lanczos_topk(&a, 0, 3).unwrap();
+        assert!(e.values.is_empty());
     }
 }

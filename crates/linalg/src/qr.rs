@@ -46,7 +46,10 @@ pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
             zero_row(&mut qt, j, m);
         }
     }
-    ThinQr { q: qt.transpose(), r }
+    ThinQr {
+        q: qt.transpose(),
+        r,
+    }
 }
 
 fn dot_rows(qt: &DenseMatrix, i: usize, j: usize, m: usize) -> f64 {
@@ -68,7 +71,11 @@ fn subtract_scaled_row(qt: &mut DenseMatrix, j: usize, i: usize, alpha: f64, m: 
 }
 
 fn norm_row(qt: &DenseMatrix, j: usize, m: usize) -> f64 {
-    qt.as_slice()[j * m..(j + 1) * m].iter().map(|v| v * v).sum::<f64>().sqrt()
+    qt.as_slice()[j * m..(j + 1) * m]
+        .iter()
+        .map(|v| v * v)
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn scale_row(qt: &mut DenseMatrix, j: usize, alpha: f64, m: usize) {

@@ -34,7 +34,10 @@ impl CsrMatrix {
         // Merge duplicates in place.
         let mut merged: Vec<(usize, usize, f64)> = Vec::with_capacity(entries.len());
         for (r, c, v) in entries {
-            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds {rows}x{cols}");
+            assert!(
+                r < rows && c < cols,
+                "triplet ({r},{c}) out of bounds {rows}x{cols}"
+            );
             match merged.last_mut() {
                 Some((lr, lc, lv)) if *lr == r && *lc == c => *lv += v,
                 _ => merged.push((r, c, v)),
@@ -56,7 +59,13 @@ impl CsrMatrix {
             current_row += 1;
             row_ptr[current_row] = col_idx.len();
         }
-        Self { rows, cols, row_ptr, col_idx, values }
+        Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Converts a dense matrix to CSR, keeping entries with `|v| > tol`.
@@ -74,7 +83,13 @@ impl CsrMatrix {
             }
             row_ptr.push(col_idx.len());
         }
-        Self { rows: m.rows(), cols: m.cols(), row_ptr, col_idx, values }
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            row_ptr,
+            col_idx,
+            values,
+        }
     }
 
     /// Expands to a dense matrix.
@@ -106,11 +121,20 @@ impl CsrMatrix {
         self.values.len()
     }
 
+    /// The stored values, row-major.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
     /// Iterator over `(col, value)` pairs of row `i`.
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i];
         let hi = self.row_ptr[i + 1];
-        self.col_idx[lo..hi].iter().copied().zip(self.values[lo..hi].iter().copied())
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.values[lo..hi].iter().copied())
     }
 
     /// Column indices of row `i`.
@@ -185,7 +209,11 @@ impl CsrMatrix {
     /// Per-row sums (weighted degrees for adjacency matrices).
     pub fn row_sums(&self) -> Vec<f64> {
         (0..self.rows)
-            .map(|i| self.values[self.row_ptr[i]..self.row_ptr[i + 1]].iter().sum())
+            .map(|i| {
+                self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+                    .iter()
+                    .sum()
+            })
             .collect()
     }
 
@@ -196,11 +224,16 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn gcn_normalize(&self) -> CsrMatrix {
-        assert_eq!(self.rows, self.cols, "gcn_normalize requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "gcn_normalize requires a square matrix"
+        );
         let with_loops = self.add_identity(1.0);
         let deg = with_loops.row_sums();
-        let inv_sqrt: Vec<f64> =
-            deg.iter().map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
+        let inv_sqrt: Vec<f64> = deg
+            .iter()
+            .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+            .collect();
         let mut out = with_loops;
         for i in 0..out.rows {
             for k in out.row_ptr[i]..out.row_ptr[i + 1] {
@@ -215,7 +248,10 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if the matrix is not square.
     pub fn add_identity(&self, alpha: f64) -> CsrMatrix {
-        assert_eq!(self.rows, self.cols, "add_identity requires a square matrix");
+        assert_eq!(
+            self.rows, self.cols,
+            "add_identity requires a square matrix"
+        );
         let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(self.nnz() + self.rows);
         for i in 0..self.rows {
             let mut has_diag = false;
@@ -303,7 +339,11 @@ mod tests {
     fn spmm_t_matches_dense_transpose() {
         let m = CsrMatrix::from_triplets(2, 3, vec![(0, 0, 2.0), (0, 2, 1.0), (1, 1, -1.0)]);
         let x = DenseMatrix::uniform(2, 4, 1.0, 5);
-        assert!(m.spmm_t(&x).max_abs_diff(&m.to_dense().transpose().matmul(&x)) < 1e-12);
+        assert!(
+            m.spmm_t(&x)
+                .max_abs_diff(&m.to_dense().transpose().matmul(&x))
+                < 1e-12
+        );
     }
 
     #[test]

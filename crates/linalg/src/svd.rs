@@ -9,9 +9,21 @@
 //!   with power iterations. Used by the GCN-SVD defense and Pro-GNN's
 //!   nuclear-norm proximal step, where only a rank-`k` approximation is
 //!   needed.
+//!
+//! Every solver has a fallible `try_*` form returning
+//! [`BbgnnResult`](bbgnn_errors::BbgnnResult): non-finite input is rejected
+//! as [`NumericalDivergence`](bbgnn_errors::BbgnnError::NumericalDivergence)
+//! and a sweep budget that runs dry surfaces as
+//! [`ConvergenceFailure`](bbgnn_errors::BbgnnError::ConvergenceFailure)
+//! instead of a silently truncated answer. [`try_randomized_svd`] degrades
+//! gracefully: when the sketched problem fails its residual check, it
+//! retries with the exact Jacobi solver before giving up. The original
+//! panicking names are kept as thin wrappers for callers that cannot
+//! recover anyway.
 
 use crate::qr::thin_qr;
 use crate::DenseMatrix;
+use bbgnn_errors::{first_non_finite, BbgnnError, BbgnnResult};
 
 /// A (possibly truncated) singular value decomposition `A ≈ U Σ V^T`.
 #[derive(Clone, Debug)]
@@ -40,6 +52,13 @@ impl Svd {
             v: take_cols(&self.v, k),
         }
     }
+
+    /// True iff every factor entry and singular value is finite.
+    pub fn is_finite(&self) -> bool {
+        self.sigma.iter().all(|s| s.is_finite())
+            && first_non_finite(self.u.as_slice()).is_none()
+            && first_non_finite(self.v.as_slice()).is_none()
+    }
 }
 
 fn take_cols(m: &DenseMatrix, k: usize) -> DenseMatrix {
@@ -50,25 +69,59 @@ fn take_cols(m: &DenseMatrix, k: usize) -> DenseMatrix {
     out
 }
 
-/// Exact one-sided Jacobi SVD of `a` (m×n, any shape).
+/// Rejects matrices containing NaN/±inf entries before they poison an
+/// iterative solver.
+pub(crate) fn check_finite_input(a: &DenseMatrix, method: &str) -> BbgnnResult<()> {
+    if let Some((idx, value)) = first_non_finite(a.as_slice()) {
+        let (r, c) = (idx / a.cols().max(1), idx % a.cols().max(1));
+        return Err(BbgnnError::NumericalDivergence {
+            what: format!("{method}: input entry ({r}, {c})"),
+            value,
+        });
+    }
+    Ok(())
+}
+
+/// Exact one-sided Jacobi SVD of `a` (m×n, any shape), with runtime
+/// convergence checking.
 ///
 /// Rotates pairs of columns of a working copy of `A` until all column pairs
 /// are orthogonal; column norms then give `Σ`, normalized columns give `U`,
-/// and accumulated rotations give `V`. Converges quadratically; the sweep
-/// limit is generous and asserted in debug builds.
-pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
+/// and accumulated rotations give `V`. Converges quadratically. Errors with
+/// [`BbgnnError::ConvergenceFailure`] if any column pair is still
+/// non-orthogonal after the sweep budget, and
+/// [`BbgnnError::NumericalDivergence`] on non-finite input.
+pub fn try_jacobi_svd(a: &DenseMatrix) -> BbgnnResult<Svd> {
+    check_finite_input(a, "jacobi_svd")?;
     let (m, n) = a.shape();
     if m < n {
         // Work on the transpose and swap U/V.
-        let svd = jacobi_svd(&a.transpose());
-        return Svd { u: svd.v, sigma: svd.sigma, v: svd.u };
+        let svd = try_jacobi_svd(&a.transpose())?;
+        return Ok(Svd {
+            u: svd.v,
+            sigma: svd.sigma,
+            v: svd.u,
+        });
     }
     // Column-major working copy: row j of `wt` is column j of the work matrix.
     let mut wt = a.transpose(); // n × m
     let mut vt = DenseMatrix::identity(n); // row j = column j of V
     let eps = 1e-12;
     let max_sweeps = 60;
+    // Givens rotations preserve the Frobenius norm, so this is a loop
+    // invariant. Columns whose norm² falls below `floor` are numerically
+    // zero (singular value ≤ eps·‖A‖_F); their dot products are rounding
+    // noise and must not feed the *relative* orthogonality test below,
+    // which would otherwise divide by ~0 and report astronomical
+    // residuals on rank-deficient input (e.g. nuclear-norm-shrunk
+    // matrices from Pro-GNN).
+    let fro2: f64 = wt.as_slice().iter().map(|v| v * v).sum();
+    let floor = eps * eps * fro2;
+    let mut converged = n < 2;
+    let mut last_off = 0.0_f64;
     for _sweep in 0..max_sweeps {
+        // Relative off-diagonal magnitude of the worst column pair; a clean
+        // sweep (no rotation above the threshold) means convergence.
         let mut off = 0.0_f64;
         for p in 0..n {
             for q in (p + 1)..n {
@@ -85,10 +138,13 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
                     }
                     (app, aqq, apq)
                 };
-                if apq.abs() <= eps * (app * aqq).sqrt() || apq == 0.0 {
+                if apq == 0.0 || app <= floor || aqq <= floor {
                     continue;
                 }
-                off = off.max(apq.abs());
+                if apq.abs() <= eps * (app * aqq).sqrt() {
+                    continue;
+                }
+                off = off.max(apq.abs() / (app * aqq).sqrt().max(1e-300));
                 // Jacobi rotation zeroing the (p,q) Gram entry.
                 let tau = (aqq - app) / (2.0 * apq);
                 let t = tau.signum() / (tau.abs() + (1.0 + tau * tau).sqrt());
@@ -98,9 +154,18 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
                 rotate_rows(&mut vt, p, q, c, s);
             }
         }
+        last_off = off;
         if off <= eps {
+            converged = true;
             break;
         }
+    }
+    if !converged {
+        return Err(BbgnnError::ConvergenceFailure {
+            method: "jacobi_svd".to_string(),
+            iters: max_sweeps,
+            residual: last_off,
+        });
     }
     // Extract singular values and U.
     let mut triplets: Vec<(f64, usize)> = (0..n)
@@ -123,7 +188,16 @@ pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
             v.set(i, out_col, vi);
         }
     }
-    Svd { u, sigma, v }
+    Ok(Svd { u, sigma, v })
+}
+
+/// Infallible façade over [`try_jacobi_svd`].
+///
+/// # Panics
+/// Panics on non-finite input or failed convergence; use the `try_` form
+/// where recovery is possible.
+pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
+    try_jacobi_svd(a).unwrap_or_else(|e| panic!("jacobi_svd: {e}"))
 }
 
 /// Applies the Givens rotation `[c -s; s c]` to rows `p`, `q` of `m`
@@ -146,17 +220,41 @@ fn rotate_rows(m: &mut DenseMatrix, p: usize, q: usize, c: f64, s: f64) {
 }
 
 /// Randomized truncated SVD (rank `k`, `oversample` extra columns,
-/// `power_iters` subspace iterations), deterministic given `seed`.
+/// `power_iters` subspace iterations), deterministic given `seed`, with
+/// graceful degradation.
 ///
 /// Accuracy improves sharply with `power_iters` when the spectrum decays
 /// slowly; 2 iterations suffice for the adjacency-like matrices used here.
-pub fn randomized_svd(
+/// If the sketched inner problem fails its convergence/residual check, the
+/// call falls back to an exact Jacobi SVD of `a` truncated to rank `k` —
+/// slower, but never silently wrong — and only errors when the exact path
+/// fails too.
+pub fn try_randomized_svd(
     a: &DenseMatrix,
     k: usize,
     oversample: usize,
     power_iters: usize,
     seed: u64,
-) -> Svd {
+) -> BbgnnResult<Svd> {
+    check_finite_input(a, "randomized_svd")?;
+    match randomized_sketch_svd(a, k, oversample, power_iters, seed) {
+        Ok(svd) if svd.is_finite() => Ok(svd),
+        // Degraded path: the sketch failed (rotation budget or non-finite
+        // factors); the exact solver is the last line of defense.
+        _ => try_jacobi_svd(a)
+            .map(|svd| svd.truncate(k))
+            .map_err(|e| e.context(format!("randomized_svd(k={k}): exact fallback also failed"))),
+    }
+}
+
+/// The sketch-project-solve core of [`try_randomized_svd`].
+fn randomized_sketch_svd(
+    a: &DenseMatrix,
+    k: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> BbgnnResult<Svd> {
     let (m, n) = a.shape();
     let l = (k + oversample).min(n).min(m);
     let omega = DenseMatrix::gaussian(n, l, 1.0, seed);
@@ -169,35 +267,84 @@ pub fn randomized_svd(
         q = thin_qr(&y).q;
     }
     let b = q.matmul_tn(a); // Q^T A, l × n
-    let small = jacobi_svd(&b);
+    let small = try_jacobi_svd(&b)?;
     let u = q.matmul(&small.u);
-    let svd = Svd { u, sigma: small.sigma, v: small.v };
-    svd.truncate(k)
+    let svd = Svd {
+        u,
+        sigma: small.sigma,
+        v: small.v,
+    };
+    Ok(svd.truncate(k))
 }
 
-/// Rank-`k` approximation of `a` via randomized SVD — the operation used by
-/// the GCN-SVD defense.
+/// Infallible façade over [`try_randomized_svd`].
+///
+/// # Panics
+/// Panics when both the sketched and the exact fallback path fail.
+pub fn randomized_svd(
+    a: &DenseMatrix,
+    k: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Svd {
+    try_randomized_svd(a, k, oversample, power_iters, seed)
+        .unwrap_or_else(|e| panic!("randomized_svd: {e}"))
+}
+
+/// Fallible rank-`k` approximation of `a` via randomized SVD — the
+/// operation used by the GCN-SVD defense.
+pub fn try_low_rank_approximation(
+    a: &DenseMatrix,
+    k: usize,
+    seed: u64,
+) -> BbgnnResult<DenseMatrix> {
+    Ok(try_randomized_svd(a, k, 8, 2, seed)?.reconstruct())
+}
+
+/// Infallible façade over [`try_low_rank_approximation`].
+///
+/// # Panics
+/// Panics when both SVD paths fail.
 pub fn low_rank_approximation(a: &DenseMatrix, k: usize, seed: u64) -> DenseMatrix {
-    let svd = randomized_svd(a, k, 8, 2, seed);
-    svd.reconstruct()
+    try_low_rank_approximation(a, k, seed).unwrap_or_else(|e| panic!("low_rank_approximation: {e}"))
 }
 
-/// Singular value soft-thresholding `prox_{t||.||_*}(A)`: shrinks every
-/// singular value by `t` and clamps at zero. Used by Pro-GNN's nuclear-norm
-/// proximal operator. `rank_budget` bounds the number of singular triplets
-/// computed (the remainder is assumed shrunk to zero).
-pub fn singular_value_shrink(a: &DenseMatrix, t: f64, rank_budget: usize, seed: u64) -> DenseMatrix {
+/// Fallible singular value soft-thresholding `prox_{t||.||_*}(A)`: shrinks
+/// every singular value by `t` and clamps at zero. Used by Pro-GNN's
+/// nuclear-norm proximal operator. `rank_budget` bounds the number of
+/// singular triplets computed (the remainder is assumed shrunk to zero).
+pub fn try_singular_value_shrink(
+    a: &DenseMatrix,
+    t: f64,
+    rank_budget: usize,
+    seed: u64,
+) -> BbgnnResult<DenseMatrix> {
     let min_dim = a.rows().min(a.cols());
     // Near-full budgets: the randomized sketch would be as large as the
     // matrix itself; exact Jacobi is cheaper and exact.
     let svd = if rank_budget * 4 >= min_dim * 3 {
-        jacobi_svd(a).truncate(rank_budget)
+        try_jacobi_svd(a)?.truncate(rank_budget)
     } else {
-        randomized_svd(a, rank_budget, 8, 2, seed)
+        try_randomized_svd(a, rank_budget, 8, 2, seed)?
     };
     let shrunk: Vec<f64> = svd.sigma.iter().map(|&s| (s - t).max(0.0)).collect();
     let us = svd.u.scale_cols(&shrunk);
-    us.matmul_nt(&svd.v)
+    Ok(us.matmul_nt(&svd.v))
+}
+
+/// Infallible façade over [`try_singular_value_shrink`].
+///
+/// # Panics
+/// Panics when the underlying SVD fails.
+pub fn singular_value_shrink(
+    a: &DenseMatrix,
+    t: f64,
+    rank_budget: usize,
+    seed: u64,
+) -> DenseMatrix {
+    try_singular_value_shrink(a, t, rank_budget, seed)
+        .unwrap_or_else(|e| panic!("singular_value_shrink: {e}"))
 }
 
 #[cfg(test)]
@@ -205,13 +352,22 @@ mod tests {
     use super::*;
 
     fn assert_svd_valid(a: &DenseMatrix, svd: &Svd, tol: f64) {
-        assert!(svd.reconstruct().max_abs_diff(a) < tol, "reconstruction failed");
+        assert!(
+            svd.reconstruct().max_abs_diff(a) < tol,
+            "reconstruction failed"
+        );
         let k = svd.sigma.len();
         let gram_u = svd.u.matmul_tn(&svd.u);
         let gram_v = svd.v.matmul_tn(&svd.v);
         // Only the leading non-degenerate part must be orthonormal.
-        assert!(gram_u.max_abs_diff(&DenseMatrix::identity(k)) < 1e-6, "U not orthonormal");
-        assert!(gram_v.max_abs_diff(&DenseMatrix::identity(k)) < 1e-6, "V not orthonormal");
+        assert!(
+            gram_u.max_abs_diff(&DenseMatrix::identity(k)) < 1e-6,
+            "U not orthonormal"
+        );
+        assert!(
+            gram_v.max_abs_diff(&DenseMatrix::identity(k)) < 1e-6,
+            "V not orthonormal"
+        );
         for w in svd.sigma.windows(2) {
             assert!(w[0] >= w[1] - 1e-12, "singular values not sorted");
         }
@@ -281,5 +437,67 @@ mod tests {
         let s = singular_value_shrink(&a, 1.0, 5, 3);
         assert!((s.get(0, 0) - 9.0).abs() < 1e-6);
         assert!(s.get(1, 1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jacobi_svd_converges_on_rank_deficient_matrix() {
+        // Regression: nuclear-norm shrinkage (Pro-GNN) hands back matrices
+        // whose trailing singular values are exactly zero. The relative
+        // orthogonality test must not divide by the vanishing norms of the
+        // resulting numerically-zero columns.
+        let u = DenseMatrix::uniform(20, 3, 1.0, 41);
+        let v = DenseMatrix::uniform(20, 3, 1.0, 42);
+        let a = u.matmul_nt(&v); // rank 3 of 20
+        let svd = try_jacobi_svd(&a).expect("rank-deficient SVD must converge");
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-8);
+        for &s in &svd.sigma[3..] {
+            assert!(s < 1e-8, "trailing singular value {s} should be ~0");
+        }
+    }
+
+    #[test]
+    fn try_jacobi_svd_rejects_nan_input() {
+        let mut a = DenseMatrix::uniform(4, 4, 1.0, 25);
+        a.set(2, 1, f64::NAN);
+        match try_jacobi_svd(&a) {
+            Err(BbgnnError::NumericalDivergence { what, value }) => {
+                assert!(what.contains("(2, 1)"), "unexpected location: {what}");
+                assert!(value.is_nan());
+            }
+            other => panic!("expected NumericalDivergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_randomized_svd_rejects_inf_input() {
+        let mut a = DenseMatrix::uniform(10, 10, 1.0, 26);
+        a.set(0, 0, f64::INFINITY);
+        assert!(try_randomized_svd(&a, 3, 4, 1, 1).is_err());
+    }
+
+    #[test]
+    fn try_randomized_svd_matches_infallible_path() {
+        let a = DenseMatrix::uniform(20, 12, 1.0, 27);
+        let tried = try_randomized_svd(&a, 4, 8, 2, 9).unwrap();
+        let plain = randomized_svd(&a, 4, 8, 2, 9);
+        assert_eq!(
+            tried.sigma, plain.sigma,
+            "fallible and infallible paths must agree"
+        );
+    }
+
+    #[test]
+    fn try_randomized_svd_survives_near_degenerate_matrix() {
+        // Numerically rank-1 with tiny noise: the sketch sees a brutally
+        // ill-conditioned spectrum but must still return finite factors.
+        let u = DenseMatrix::uniform(25, 1, 1.0, 28);
+        let v = DenseMatrix::uniform(25, 1, 1.0, 29);
+        let mut a = u.matmul_nt(&v);
+        let noise = DenseMatrix::uniform(25, 25, 1e-13, 30);
+        a = a.add(&noise);
+        let svd = try_randomized_svd(&a, 5, 8, 2, 4).unwrap();
+        assert!(svd.is_finite());
+        assert!(svd.sigma[0] > 0.0);
+        assert!(svd.reconstruct().max_abs_diff(&a) < 1e-6);
     }
 }

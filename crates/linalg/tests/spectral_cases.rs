@@ -93,7 +93,11 @@ fn gcn_normalized_spectrum_is_bounded_by_one() {
     }
     let a = CsrMatrix::from_triplets(9, 9, trips).gcn_normalize();
     let e = lanczos_topk(&a, 2, 3);
-    assert!((e.values[0] - 1.0).abs() < 1e-8, "top eigenvalue {}", e.values[0]);
+    assert!(
+        (e.values[0] - 1.0).abs() < 1e-8,
+        "top eigenvalue {}",
+        e.values[0]
+    );
     assert!(e.values[1] < 1.0);
 }
 

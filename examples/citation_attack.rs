@@ -28,7 +28,16 @@ fn main() {
         "{:<10} {:>9} {:>8} {:>9} {:>9} {:>9} {:>9}",
         "attacker", "accuracy", "time(s)", "add+same", "add+diff", "del+same", "del+diff"
     );
-    println!("{:<10} {:>9.4} {:>8} {:>9} {:>9} {:>9} {:>9}", "clean", clean_gcn.test_accuracy(&graph), "-", "-", "-", "-", "-");
+    println!(
+        "{:<10} {:>9.4} {:>8} {:>9} {:>9} {:>9} {:>9}",
+        "clean",
+        clean_gcn.test_accuracy(&graph),
+        "-",
+        "-",
+        "-",
+        "-",
+        "-"
+    );
 
     for kind in AttackerKind::paper_rows(rate) {
         let mut attacker = kind.build();

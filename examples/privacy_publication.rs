@@ -38,7 +38,10 @@ fn main() {
         let published = if rate == 0.0 {
             graph.clone()
         } else {
-            let mut engine = Peega::new(PeegaConfig { rate, ..Default::default() });
+            let mut engine = Peega::new(PeegaConfig {
+                rate,
+                ..Default::default()
+            });
             engine.attack(&graph).poisoned
         };
         let mut gcn = Gcn::paper_default(TrainConfig::default());

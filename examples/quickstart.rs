@@ -27,7 +27,10 @@ fn main() {
 
     // PEEGA black-box attack at 10% perturbation rate. It reads only the
     // adjacency matrix and the features — no labels, no model parameters.
-    let mut attacker = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+    let mut attacker = Peega::new(PeegaConfig {
+        rate: 0.1,
+        ..Default::default()
+    });
     let result = attacker.attack(&graph);
     println!(
         "PEEGA: {} edge flips + {} feature flips in {:.2}s",
@@ -44,7 +47,10 @@ fn main() {
     println!("GCN on poisoned graph:  accuracy {:.4}", attacked_acc);
 
     // …while GNAT's three augmented views recover most of it.
-    let mut gnat = Gnat::new(GnatConfig { train, ..Default::default() });
+    let mut gnat = Gnat::new(GnatConfig {
+        train,
+        ..Default::default()
+    });
     gnat.fit(&poisoned);
     let defended_acc = gnat.test_accuracy(&poisoned);
     println!("GNAT on poisoned graph: accuracy {:.4}", defended_acc);

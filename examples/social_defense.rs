@@ -21,7 +21,10 @@ fn main() {
         edge_homophily(&graph)
     );
 
-    let mut attacker = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+    let mut attacker = Peega::new(PeegaConfig {
+        rate: 0.1,
+        ..Default::default()
+    });
     let result = attacker.attack(&graph);
     println!(
         "PEEGA poisoned the graph: {} edge flips in {:.2}s\n",
@@ -30,7 +33,10 @@ fn main() {
     );
     let poisoned = result.poisoned;
 
-    println!("{:<12} {:>10} {:>10} {:>9}", "model", "clean", "poisoned", "train(s)");
+    println!(
+        "{:<12} {:>10} {:>10} {:>9}",
+        "model", "clean", "poisoned", "train(s)"
+    );
     for kind in DefenderKind::paper_columns(true) {
         let mut on_clean = kind.build(TrainConfig::default());
         on_clean.fit(&graph);

@@ -11,7 +11,10 @@ fn cora(seed: u64) -> Graph {
 }
 
 fn gcn_accuracy_on(g: &Graph, seed: u64) -> f64 {
-    let mut gcn = Gcn::paper_default(TrainConfig { seed, ..TrainConfig::fast_test() });
+    let mut gcn = Gcn::paper_default(TrainConfig {
+        seed,
+        ..TrainConfig::fast_test()
+    });
     gcn.fit(g);
     gcn.test_accuracy(g)
 }
@@ -27,8 +30,14 @@ fn peega_outperforms_gfattack() {
     let seeds = [301u64, 311, 321];
     for &seed in &seeds {
         let g = cora(seed);
-        let mut peega = Peega::new(PeegaConfig { rate: 0.15, ..Default::default() });
-        let mut gf = GfAttack::new(GfAttackConfig { rate: 0.15, ..GfAttackConfig::fast() });
+        let mut peega = Peega::new(PeegaConfig {
+            rate: 0.15,
+            ..Default::default()
+        });
+        let mut gf = GfAttack::new(GfAttackConfig {
+            rate: 0.15,
+            ..GfAttackConfig::fast()
+        });
         acc_peega += gcn_accuracy_on(&peega.attack(&g).poisoned, 0);
         acc_gf += gcn_accuracy_on(&gf.attack(&g).poisoned, 0);
     }
@@ -45,8 +54,14 @@ fn peega_outperforms_gfattack() {
 #[test]
 fn peega_is_faster_than_metattack() {
     let g = cora(302);
-    let mut peega = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
-    let mut meta = Metattack::new(MetattackConfig { rate: 0.1, ..Default::default() });
+    let mut peega = Peega::new(PeegaConfig {
+        rate: 0.1,
+        ..Default::default()
+    });
+    let mut meta = Metattack::new(MetattackConfig {
+        rate: 0.1,
+        ..Default::default()
+    });
     let t_peega = peega.attack(&g).elapsed;
     let t_meta = meta.attack(&g).elapsed;
     assert!(
@@ -61,7 +76,10 @@ fn peega_is_faster_than_metattack() {
 fn attackers_blur_context_with_cross_label_additions() {
     let g = cora(303);
     for kind in [
-        AttackerKind::Peega(PeegaConfig { rate: 0.1, ..Default::default() }),
+        AttackerKind::Peega(PeegaConfig {
+            rate: 0.1,
+            ..Default::default()
+        }),
         AttackerKind::Metattack(MetattackConfig {
             rate: 0.1,
             retrain_every: 5,
@@ -96,15 +114,17 @@ fn inter_label_similarity_rises_under_attack() {
     let (_, inter_poisoned) = intra_inter_similarity(&cross_label_similarity(&poisoned));
     // Single GCN fits are noisy at this scale; average a few seeds like
     // the paper's repeated-run tables.
-    let acc_poisoned =
-        (0..3).map(|s| gcn_accuracy_on(&poisoned, s)).sum::<f64>() / 3.0;
+    let acc_poisoned = (0..3).map(|s| gcn_accuracy_on(&poisoned, s)).sum::<f64>() / 3.0;
     let acc_clean = (0..3).map(|s| gcn_accuracy_on(&g, s)).sum::<f64>() / 3.0;
 
     assert!(
         inter_poisoned > inter_clean,
         "inter-label similarity must rise: {inter_clean} -> {inter_poisoned}"
     );
-    assert!(acc_poisoned < acc_clean, "accuracy must fall: {acc_clean} -> {acc_poisoned}");
+    assert!(
+        acc_poisoned < acc_clean,
+        "accuracy must fall: {acc_clean} -> {acc_poisoned}"
+    );
 }
 
 /// Tables IV–V, GNAT column: GNAT beats the raw GCN on the clean graph AND
@@ -112,7 +132,10 @@ fn inter_label_similarity_rises_under_attack() {
 #[test]
 fn gnat_beats_gcn_clean_and_poisoned() {
     let g = cora(305);
-    let mut peega = Peega::new(PeegaConfig { rate: 0.2, ..Default::default() });
+    let mut peega = Peega::new(PeegaConfig {
+        rate: 0.2,
+        ..Default::default()
+    });
     let poisoned = peega.attack(&g).poisoned;
 
     for (graph, label) in [(&g, "clean"), (&poisoned, "poisoned")] {
@@ -135,12 +158,20 @@ fn gnat_beats_gcn_clean_and_poisoned() {
 #[test]
 fn defender_training_time_ordering() {
     let g = cora(306);
-    let cfg = TrainConfig { epochs: 50, patience: 0, dropout: 0.0, ..Default::default() };
+    let cfg = TrainConfig {
+        epochs: 50,
+        patience: 0,
+        dropout: 0.0,
+        ..Default::default()
+    };
 
     let mut gcn = Gcn::paper_default(cfg.clone());
     let t_gcn = gcn.fit(&g).seconds;
 
-    let mut gnat = Gnat::new(GnatConfig { train: cfg.clone(), ..Default::default() });
+    let mut gnat = Gnat::new(GnatConfig {
+        train: cfg.clone(),
+        ..Default::default()
+    });
     let t_gnat = gnat.fit(&g).seconds;
 
     let mut prognn = ProGnn::new(ProGnnConfig {
@@ -168,7 +199,10 @@ fn defender_training_time_ordering() {
 #[test]
 fn gnat_ablation_orderings() {
     let g = cora(307);
-    let mut peega = Peega::new(PeegaConfig { rate: 0.15, ..Default::default() });
+    let mut peega = Peega::new(PeegaConfig {
+        rate: 0.15,
+        ..Default::default()
+    });
     let poisoned = peega.attack(&g).poisoned;
 
     let acc_of = |views: Vec<View>, merged: bool| {

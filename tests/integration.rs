@@ -9,7 +9,10 @@ fn small_graph(seed: u64) -> Graph {
 #[test]
 fn full_pipeline_attack_then_defend() {
     let g = small_graph(201);
-    let mut attacker = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+    let mut attacker = Peega::new(PeegaConfig {
+        rate: 0.1,
+        ..Default::default()
+    });
     let result = attacker.attack(&g);
     assert!(result.edge_flips + result.feature_flips > 0);
 
@@ -34,7 +37,10 @@ fn all_registry_attackers_respect_budget() {
                 retrain_every: 10,
                 ..c
             }),
-            AttackerKind::Pgd(c) => AttackerKind::Pgd(PgdConfig { ascent_steps: 15, ..c }),
+            AttackerKind::Pgd(c) => AttackerKind::Pgd(PgdConfig {
+                ascent_steps: 15,
+                ..c
+            }),
             AttackerKind::MinMax(c) => AttackerKind::MinMax(MinMaxConfig {
                 ascent_steps: 15,
                 inner_epochs: 10,
@@ -59,7 +65,10 @@ fn all_registry_attackers_respect_budget() {
 #[test]
 fn all_registry_defenders_train_on_poisoned_graph() {
     let g = small_graph(203);
-    let mut attacker = Peega::new(PeegaConfig { rate: 0.1, ..Default::default() });
+    let mut attacker = Peega::new(PeegaConfig {
+        rate: 0.1,
+        ..Default::default()
+    });
     let poisoned = attacker.attack(&g).poisoned;
     for kind in DefenderKind::paper_columns(false) {
         let mut cfg = TrainConfig::fast_test();
@@ -90,7 +99,10 @@ fn all_registry_defenders_train_on_poisoned_graph() {
 #[test]
 fn polblogs_pipeline_without_feature_defenses() {
     let g = DatasetSpec::PolblogsLike.generate(0.08, 204);
-    let mut attacker = Peega::new(PeegaConfig { rate: 0.05, ..Default::default() });
+    let mut attacker = Peega::new(PeegaConfig {
+        rate: 0.05,
+        ..Default::default()
+    });
     let poisoned = attacker.attack(&g).poisoned;
     let cols = DefenderKind::paper_columns(true);
     assert!(!cols.iter().any(|c| c.name() == "GCN-Jaccard"));
@@ -109,13 +121,20 @@ fn metrics_pipeline_matches_attack_bookkeeping() {
     });
     let result = attacker.attack(&g);
     let breakdown = edge_diff_breakdown(&g, &result.poisoned);
-    assert_eq!(breakdown.total(), result.edge_flips, "Fig. 2 totals must match ‖Â − A‖₀");
+    assert_eq!(
+        breakdown.total(),
+        result.edge_flips,
+        "Fig. 2 totals must match ‖Â − A‖₀"
+    );
 }
 
 #[test]
 fn dataset_io_roundtrip_through_attack() {
     let g = small_graph(206);
-    let mut attacker = Peega::new(PeegaConfig { rate: 0.05, ..Default::default() });
+    let mut attacker = Peega::new(PeegaConfig {
+        rate: 0.05,
+        ..Default::default()
+    });
     let poisoned = attacker.attack(&g).poisoned;
     let dir = std::env::temp_dir().join("bbgnn_integration_io");
     bbgnn::graph::datasets::io::save(&poisoned, &dir).unwrap();

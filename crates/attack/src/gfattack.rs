@@ -25,7 +25,7 @@
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_graph::Graph;
 use bbgnn_linalg::eigen::lanczos_topk;
-use bbgnn_linalg::CsrMatrix;
+use bbgnn_linalg::{CsrMatrix, ThreadPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -154,15 +154,35 @@ impl GfAttack {
     fn attack_exact(&self, g: &Graph, budget: usize) -> Graph {
         let base_energy = self.filter_energy(&g.adjacency_csr(), g, self.config.seed);
         let candidates = self.exact_candidates(g, budget);
-        let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(candidates.len());
-        for (u, v) in candidates {
-            // Rebuild the flipped adjacency and re-derive its spectrum —
-            // the per-candidate cost the paper's Table VII reflects.
-            let mut flipped = g.clone();
-            flipped.flip_edge(u, v);
-            let energy = self.filter_energy(&flipped.adjacency_csr(), g, self.config.seed);
-            scored.push((energy - base_energy, u, v));
-        }
+        // Each candidate rebuilds the flipped adjacency and re-derives its
+        // spectrum — the per-candidate cost the paper's Table VII reflects.
+        // The rescoring is embarrassingly parallel, so it fans out over the
+        // pool (coarse chunking: one Lanczos run per item dwarfs the spawn
+        // cost); per-band vectors concatenate in ascending band order, so
+        // the scored list — and the stable sort below — is identical for
+        // every worker count.
+        let pool = ThreadPool::default();
+        let mut scored: Vec<(f64, usize, usize)> = pool
+            .map_fold_coarse(
+                candidates.len(),
+                |range| {
+                    range
+                        .map(|c| {
+                            let (u, v) = candidates[c];
+                            let mut flipped = g.clone();
+                            flipped.flip_edge(u, v);
+                            let energy =
+                                self.filter_energy(&flipped.adjacency_csr(), g, self.config.seed);
+                            (energy - base_energy, u, v)
+                        })
+                        .collect()
+                },
+                |mut a: Vec<_>, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+            .unwrap_or_default();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let mut poisoned = g.clone();
         for &(_, u, v) in scored.iter().take(budget) {
@@ -182,24 +202,39 @@ impl GfAttack {
             .collect();
         let deg: Vec<f64> = (0..n).map(|v| g.degree(v) as f64 + 1.0).collect();
         let k = self.config.filter_order as i32;
-        let mut scored: Vec<(f64, usize, usize)> = Vec::new();
-        for u in 0..n {
-            for v in (u + 1)..n {
-                if !self.config.attacker_nodes.edge_allowed(u, v) {
-                    continue;
-                }
-                let dw = if g.has_edge(u, v) { -1.0 } else { 1.0 } / (deg[u] * deg[v]).sqrt();
-                let mut d_energy = 0.0;
-                for (i, (&lam, &w)) in eig.values.iter().zip(&energies).enumerate() {
-                    let uu = eig.vectors.get(u, i);
-                    let uv = eig.vectors.get(v, i);
-                    let d_lambda =
-                        dw * (2.0 * uu * uv - lam * (uu * uu / deg[u] + uv * uv / deg[v]));
-                    d_energy += (k as f64) * lam.powi(k - 1) * w * d_lambda;
-                }
-                scored.push((d_energy, u, v));
-            }
-        }
+        // All O(n²) candidates scored in parallel row bands; ascending-band
+        // concatenation keeps the list identical for every worker count.
+        let pool = ThreadPool::default();
+        let mut scored: Vec<(f64, usize, usize)> = pool
+            .map_fold(
+                n * n,
+                |range| {
+                    let mut out = Vec::new();
+                    for c in range {
+                        let (u, v) = (c / n, c % n);
+                        if v <= u || !self.config.attacker_nodes.edge_allowed(u, v) {
+                            continue;
+                        }
+                        let dw =
+                            if g.has_edge(u, v) { -1.0 } else { 1.0 } / (deg[u] * deg[v]).sqrt();
+                        let mut d_energy = 0.0;
+                        for (i, (&lam, &w)) in eig.values.iter().zip(&energies).enumerate() {
+                            let uu = eig.vectors.get(u, i);
+                            let uv = eig.vectors.get(v, i);
+                            let d_lambda =
+                                dw * (2.0 * uu * uv - lam * (uu * uu / deg[u] + uv * uv / deg[v]));
+                            d_energy += (k as f64) * lam.powi(k - 1) * w * d_lambda;
+                        }
+                        out.push((d_energy, u, v));
+                    }
+                    out
+                },
+                |mut a: Vec<_>, mut b| {
+                    a.append(&mut b);
+                    a
+                },
+            )
+            .unwrap_or_default();
         scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
         let mut poisoned = g.clone();
         for &(_, u, v) in scored.iter().take(budget) {

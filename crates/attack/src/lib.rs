@@ -28,6 +28,7 @@ pub mod peega;
 pub mod peega_parallel;
 pub mod pgd;
 pub mod random;
+mod scan;
 pub mod targeted;
 
 use bbgnn_graph::Graph;

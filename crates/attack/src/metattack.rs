@@ -21,7 +21,7 @@ use bbgnn_gnn::linear_gcn::LinearGcn;
 use bbgnn_gnn::train::TrainConfig;
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
-use bbgnn_linalg::DenseMatrix;
+use bbgnn_linalg::{DenseMatrix, ExecContext};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -91,6 +91,9 @@ impl Attacker for Metattack {
         let mut surrogate_w: Option<DenseMatrix> = None;
         let mut self_labels: Vec<usize> = Vec::new();
         let all_nodes: Rc<Vec<usize>> = Rc::new((0..n).collect());
+        // Shared kernels + workspace for every outer step's gradient tape;
+        // the candidate scan fans out over the same pool.
+        let ctx = ExecContext::shared_from_env();
 
         for step in 0..budget {
             if step % cfg.retrain_every == 0 || surrogate_w.is_none() {
@@ -110,7 +113,7 @@ impl Attacker for Metattack {
             let w = surrogate_w.as_ref().expect("surrogate weight");
 
             // Gradient of the self-training loss w.r.t. the dense adjacency.
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_context(Rc::clone(&ctx));
             let a = tape.var(a_hat.clone());
             let a_loop = tape.add_const(a, Rc::clone(&eye));
             let deg = tape.row_sum(a_loop);
@@ -126,20 +129,16 @@ impl Attacker for Metattack {
             tape.backward(loss);
             let grad = tape.grad(a).expect("adjacency gradient");
 
-            // Highest-scoring candidate flip (maximizing the loss).
-            let mut best: Option<(f64, usize, usize)> = None;
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    if !cfg.attacker_nodes.edge_allowed(u, v) {
-                        continue;
-                    }
-                    let dir = 1.0 - 2.0 * a_hat.get(u, v);
-                    let score = (grad.get(u, v) + grad.get(v, u)) * dir;
-                    if best.map_or(true, |(b, _, _)| score > b) {
-                        best = Some((score, u, v));
-                    }
+            // Highest-scoring candidate flip (maximizing the loss),
+            // scanned in parallel with the deterministic chunk-ordered
+            // merge of [`crate::scan`].
+            let best = crate::scan::best_edge_flip(ctx.pool(), n, |u, v| {
+                if !cfg.attacker_nodes.edge_allowed(u, v) {
+                    return None;
                 }
-            }
+                let dir = 1.0 - 2.0 * a_hat.get(u, v);
+                Some((grad.get(u, v) + grad.get(v, u)) * dir)
+            });
             let Some((_, u, v)) = best else { break };
             poisoned.flip_edge(u, v);
             let new_val = 1.0 - a_hat.get(u, v);

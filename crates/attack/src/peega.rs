@@ -21,7 +21,7 @@
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_autodiff::{Tape, TensorId};
 use bbgnn_graph::Graph;
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -74,6 +74,10 @@ pub struct PeegaConfig {
     pub attacker_nodes: AttackerNodes,
     /// Nodes the objective sums over (Sec. V-A3).
     pub objective_nodes: ObjectiveNodes,
+    /// Worker threads for the surrogate-gradient kernels and the candidate
+    /// scans (`0` = defer to `BBGNN_THREADS` / available parallelism). The
+    /// result is bitwise-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for PeegaConfig {
@@ -87,6 +91,7 @@ impl Default for PeegaConfig {
             space: AttackSpace::Both,
             attacker_nodes: AttackerNodes::All,
             objective_nodes: ObjectiveNodes::Train,
+            threads: 0,
         }
     }
 }
@@ -225,6 +230,12 @@ impl Attacker for Peega {
         let allow_topology = cfg.space != AttackSpace::FeatureOnly;
         let allow_features = cfg.space != AttackSpace::TopologyOnly;
 
+        // One execution context for the whole greedy loop: every step's
+        // tape shares the thread pool and recycles its tensor buffers
+        // through the same workspace arena, and the candidate scans fan
+        // out over the same pool.
+        let ctx = Rc::new(ExecContext::with_threads(cfg.threads));
+
         loop {
             // Affordability of each move class (a flip that reverts a prior
             // perturbation refunds budget, so cost deltas are signed).
@@ -234,7 +245,7 @@ impl Attacker for Peega {
                 break;
             }
 
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_context(Rc::clone(&ctx));
             let (obj, a_id, x_id) = self.objective(
                 &mut tape,
                 &a_hat,
@@ -247,44 +258,40 @@ impl Attacker for Peega {
             tape.backward(obj);
             let grad_a = tape.grad(a_id).expect("adjacency gradient");
             let grad_x = tape.grad(x_id).expect("feature gradient");
+            let pool = ctx.pool();
 
             // Best topology candidate: score of flipping the undirected
             // pair {u, v} combines both directed entries (Â is symmetric).
-            let mut best: Option<(f64, Candidate)> = None;
-            if can_edge {
-                for u in 0..n {
-                    for v in (u + 1)..n {
-                        if touched_edges.contains(&(u, v)) || !cfg.attacker_nodes.edge_allowed(u, v)
-                        {
-                            continue;
-                        }
-                        let dir = 1.0 - 2.0 * a_hat.get(u, v);
-                        let score = (grad_a.get(u, v) + grad_a.get(v, u)) * dir;
-                        if best.map_or(true, |(b, _)| score > b) {
-                            best = Some((score, Candidate::Edge(u, v)));
-                        }
+            // Both scans fan out over the pool with the deterministic
+            // chunk-ordered merge of [`crate::scan`], reproducing the
+            // sequential first-max exactly for every worker count.
+            let best_edge = if can_edge {
+                crate::scan::best_edge_flip(pool, n, |u, v| {
+                    if touched_edges.contains(&(u, v)) || !cfg.attacker_nodes.edge_allowed(u, v) {
+                        return None;
                     }
-                }
-            }
-            if can_feat {
-                for v in 0..n {
-                    if !cfg.attacker_nodes.contains(v) {
-                        continue;
+                    let dir = 1.0 - 2.0 * a_hat.get(u, v);
+                    Some((grad_a.get(u, v) + grad_a.get(v, u)) * dir)
+                })
+                .map(|(s, u, v)| (s, Candidate::Edge(u, v)))
+            } else {
+                None
+            };
+            let best_feat = if can_feat {
+                crate::scan::best_entry_flip(pool, n, x_hat.cols(), |v, i| {
+                    if !cfg.attacker_nodes.contains(v) || touched_features.contains(&(v, i)) {
+                        return None;
                     }
-                    let gr = grad_x.row(v);
-                    let xr = x_hat.row(v);
-                    for (i, (&gg, &xx)) in gr.iter().zip(xr).enumerate() {
-                        if touched_features.contains(&(v, i)) {
-                            continue;
-                        }
-                        // Normalized by β as in Sec. V-D1: S_f = S_f / β.
-                        let score = gg * (1.0 - 2.0 * xx) / cfg.beta;
-                        if best.map_or(true, |(b, _)| score > b) {
-                            best = Some((score, Candidate::Feature(v, i)));
-                        }
-                    }
-                }
-            }
+                    // Normalized by β as in Sec. V-D1: S_f = S_f / β.
+                    Some(grad_x.get(v, i) * (1.0 - 2.0 * x_hat.get(v, i)) / cfg.beta)
+                })
+                .map(|(s, v, i)| (s, Candidate::Feature(v, i)))
+            } else {
+                None
+            };
+            // Sequential semantics: edges are scanned before features, so a
+            // feature flip wins only with a strictly higher score.
+            let best = crate::scan::merge_best(best_edge, best_feat);
             let Some((_, cand)) = best else { break };
             match cand {
                 Candidate::Edge(u, v) => {
@@ -465,5 +472,31 @@ mod tests {
         let e2: Vec<_> = r2.poisoned.edges().collect();
         assert_eq!(e1, e2);
         assert_eq!(r1.poisoned.features, r2.poisoned.features);
+    }
+
+    /// The determinism contract: the poisoned graph is bitwise-identical
+    /// for every worker count — the parallel candidate scans and the
+    /// threaded tape kernels reproduce the sequential result exactly.
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = small_graph();
+        let run = |threads: usize| {
+            let mut atk = Peega::new(PeegaConfig {
+                threads,
+                ..Default::default()
+            });
+            atk.attack(&g)
+        };
+        let r1 = run(1);
+        for threads in [2, 4] {
+            let rn = run(threads);
+            let e1: Vec<_> = r1.poisoned.edges().collect();
+            let en: Vec<_> = rn.poisoned.edges().collect();
+            assert_eq!(e1, en, "{threads}-thread edge flips diverged");
+            assert_eq!(
+                r1.poisoned.features, rn.poisoned.features,
+                "{threads}-thread feature flips diverged"
+            );
+        }
     }
 }

@@ -25,7 +25,7 @@ use crate::peega::{AttackSpace, ObjectiveNodes};
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_autodiff::Tape;
 use bbgnn_graph::Graph;
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
@@ -56,6 +56,10 @@ pub struct PeegaParallelConfig {
     pub objective_nodes: ObjectiveNodes,
     /// Seed for the Gumbel noise.
     pub seed: u64,
+    /// Worker threads for the ascent kernels and the flip-scoring scan
+    /// (`0` = defer to `BBGNN_THREADS` / available parallelism). The
+    /// committed flips are bitwise-identical for every value.
+    pub threads: usize,
 }
 
 impl Default for PeegaParallelConfig {
@@ -72,6 +76,7 @@ impl Default for PeegaParallelConfig {
             attacker_nodes: AttackerNodes::All,
             objective_nodes: ObjectiveNodes::Train,
             seed: 0,
+            threads: 0,
         }
     }
 }
@@ -176,8 +181,12 @@ impl Attacker for PeegaParallel {
             DenseMatrix::filled(n, d, -6.0),
         ];
 
+        // One execution context shared by every ascent step's tape (kernel
+        // threads + workspace reuse) and by the flip-scoring scan below.
+        let ctx = Rc::new(ExecContext::with_threads(cfg.threads));
+
         for _step in 0..cfg.steps {
-            let mut tape = Tape::new();
+            let mut tape = Tape::with_context(Rc::clone(&ctx));
             let theta_a = tape.var(params[0].clone());
             let theta_x = tape.var(params[1].clone());
             // Flip probabilities through the concrete relaxation.
@@ -240,32 +249,59 @@ impl Attacker for PeegaParallel {
             }
         }
 
-        // Commit the budget-many highest-probability flips.
+        // Commit the budget-many highest-probability flips. Scoring fans
+        // candidate evaluation across the pool: each worker scans a
+        // contiguous row band, and the per-band vectors are concatenated
+        // in ascending band order, so the scored list — and hence the
+        // stable sort below and the committed flips — is identical for
+        // every worker count.
         #[derive(Clone, Copy)]
         enum Flip {
             Edge(usize, usize),
             Feature(usize, usize),
         }
+        let pool = ctx.pool();
+        let concat = |mut a: Vec<(f64, Flip)>, mut b: Vec<(f64, Flip)>| {
+            a.append(&mut b);
+            a
+        };
         let mut scored: Vec<(f64, Flip)> = Vec::new();
         if attack_topology {
-            for u in 0..n {
-                for v in (u + 1)..n {
-                    if cfg.attacker_nodes.edge_allowed(u, v) {
-                        let logit = 0.5 * (params[0].get(u, v) + params[0].get(v, u));
-                        scored.push((logit, Flip::Edge(u, v)));
+            let theta = &params[0];
+            let band = pool.map_fold(
+                n * n,
+                |range| {
+                    let mut out = Vec::new();
+                    for k in range {
+                        let (u, v) = (k / n, k % n);
+                        if v > u && cfg.attacker_nodes.edge_allowed(u, v) {
+                            let logit = 0.5 * (theta.get(u, v) + theta.get(v, u));
+                            out.push((logit, Flip::Edge(u, v)));
+                        }
                     }
-                }
-            }
+                    out
+                },
+                concat,
+            );
+            scored.extend(band.unwrap_or_default());
         }
         if attack_features {
-            for v in 0..n {
-                if !cfg.attacker_nodes.contains(v) {
-                    continue;
-                }
-                for i in 0..d {
-                    scored.push((params[1].get(v, i), Flip::Feature(v, i)));
-                }
-            }
+            let theta = &params[1];
+            let band = pool.map_fold(
+                n * d,
+                |range| {
+                    let mut out = Vec::new();
+                    for k in range {
+                        let (v, i) = (k / d, k % d);
+                        if cfg.attacker_nodes.contains(v) {
+                            out.push((theta.get(v, i), Flip::Feature(v, i)));
+                        }
+                    }
+                    out
+                },
+                concat,
+            );
+            scored.extend(band.unwrap_or_default());
         }
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         let mut poisoned = g.clone();
@@ -364,5 +400,25 @@ mod tests {
             (e, p.features)
         };
         assert_eq!(run(), run());
+    }
+
+    /// The determinism contract: PEEGA-P's pooled flip scoring and threaded
+    /// ascent kernels commit bitwise-identical flips for every worker count.
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let g = DatasetSpec::CoraLike.generate(0.05, 175);
+        let run = |threads: usize| {
+            let mut atk = PeegaParallel::new(PeegaParallelConfig {
+                steps: 10,
+                threads,
+                ..Default::default()
+            });
+            let p = atk.attack(&g).poisoned;
+            let e: Vec<_> = p.edges().collect();
+            (e, p.features)
+        };
+        let r1 = run(1);
+        assert_eq!(r1, run(2), "2-thread run diverged from 1-thread run");
+        assert_eq!(r1, run(4), "4-thread run diverged from 1-thread run");
     }
 }

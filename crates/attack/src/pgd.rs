@@ -17,7 +17,7 @@ use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::TrainConfig;
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::rc::Rc;
@@ -259,13 +259,15 @@ pub(crate) fn pgd_optimize(
     let labels = Rc::new(g.labels.clone());
     let rows = Rc::new(g.split.train.clone());
     let mut s = DenseMatrix::zeros(n, n);
+    // Shared kernels + workspace arena for every ascent step's tape.
+    let ctx = ExecContext::shared_from_env();
 
     for step in 0..ascent_steps {
         retrain(gcn, &s, step);
         let w = gcn.weights();
         assert_eq!(w.len(), 2, "PGD assumes the paper's 2-layer GCN victim");
         let xw0 = g.features.matmul(&w[0]);
-        let mut tape = Tape::new();
+        let mut tape = Tape::with_context(Rc::clone(&ctx));
         let (loss, s_id) = relaxed_loss(
             &mut tape, &s, &clean_a, &flip_dir, &eye, &xw0, &w[1], &labels, &rows,
         );

@@ -1,7 +1,14 @@
 //! The autodiff tape: node storage, forward constructors, and the backward
 //! pass.
+//!
+//! Every tape carries an [`ExecContext`] (shared via `Rc` across the tapes
+//! of a training run): matrix products run on the context's blocked
+//! multi-threaded kernels, and all forward values, backward deltas, and
+//! gradient buffers are drawn from — and on `Drop` returned to — the
+//! context's workspace arena. From the second epoch of a training loop
+//! onward the tape performs essentially no heap allocation.
 
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext};
 use std::rc::Rc;
 
 /// Handle to a tensor on a [`Tape`].
@@ -88,6 +95,7 @@ const CLAMP_EPS: f64 = 1e-12;
 
 /// A reverse-mode autodiff tape over [`DenseMatrix`] values.
 pub struct Tape {
+    ctx: Rc<ExecContext>,
     nodes: Vec<Node>,
     grads: Vec<Option<DenseMatrix>>,
 }
@@ -98,13 +106,41 @@ impl Default for Tape {
     }
 }
 
+impl Drop for Tape {
+    /// Returns every node value and gradient buffer to the context's
+    /// workspace so the next tape on the same context reuses them.
+    fn drop(&mut self) {
+        let ctx = Rc::clone(&self.ctx);
+        for node in self.nodes.drain(..) {
+            ctx.recycle(node.value);
+        }
+        for g in self.grads.drain(..).flatten() {
+            ctx.recycle(g);
+        }
+    }
+}
+
 impl Tape {
-    /// Creates an empty tape.
+    /// Creates an empty tape with a fresh [`ExecContext`] (thread count
+    /// from `BBGNN_THREADS`). Loops building many tapes should share one
+    /// context via [`Tape::with_context`] to get cross-tape buffer reuse.
     pub fn new() -> Self {
+        Self::with_context(Rc::new(ExecContext::from_env()))
+    }
+
+    /// Creates an empty tape running on (and recycling buffers through)
+    /// `ctx`.
+    pub fn with_context(ctx: Rc<ExecContext>) -> Self {
         Self {
+            ctx,
             nodes: Vec::new(),
             grads: Vec::new(),
         }
+    }
+
+    /// The execution context this tape runs on.
+    pub fn context(&self) -> &Rc<ExecContext> {
+        &self.ctx
     }
 
     fn push(&mut self, op: Op, value: DenseMatrix, is_const: bool) -> TensorId {
@@ -148,43 +184,51 @@ impl Tape {
 
     /// `a @ b`.
     pub fn matmul(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        let v = self
+            .ctx
+            .matmul(&self.nodes[a.0].value, &self.nodes[b.0].value);
         self.push(Op::MatMul(a, b), v, false)
     }
 
     /// `s @ b` with a constant sparse matrix `s`.
     pub fn spmm(&mut self, s: Rc<CsrMatrix>, b: TensorId) -> TensorId {
-        let v = s.spmm(&self.nodes[b.0].value);
+        let v = self.ctx.spmm(&s, &self.nodes[b.0].value);
         self.push(Op::SpMM(s, b), v, false)
     }
 
     /// `a + b`.
     pub fn add(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        let v = self
+            .ctx
+            .binary(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x + y);
         self.push(Op::Add(a, b), v, false)
     }
 
     /// `a - b`.
     pub fn sub(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        let v = self
+            .ctx
+            .binary(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x - y);
         self.push(Op::Sub(a, b), v, false)
     }
 
     /// Elementwise `a ∘ b`.
     pub fn hadamard(&mut self, a: TensorId, b: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        let v = self
+            .ctx
+            .binary(&self.nodes[a.0].value, &self.nodes[b.0].value, |x, y| x * y);
         self.push(Op::Hadamard(a, b), v, false)
     }
 
     /// `c * a`.
     pub fn scalar_mul(&mut self, a: TensorId, c: f64) -> TensorId {
-        let v = self.nodes[a.0].value.scale(c);
+        let v = self.ctx.unary(&self.nodes[a.0].value, |x| x * c);
         self.push(Op::ScalarMul(a, c), v, false)
     }
 
     /// `a + c` with a constant matrix.
     pub fn add_const(&mut self, a: TensorId, c: Rc<DenseMatrix>) -> TensorId {
-        let v = self.nodes[a.0].value.add(&c);
+        let v = self.ctx.binary(&self.nodes[a.0].value, &c, |x, y| x + y);
         self.push(Op::AddConst(a), v, false)
     }
 
@@ -195,39 +239,44 @@ impl Tape {
 
     /// Elementwise `a ∘ c` with a constant matrix.
     pub fn hadamard_const(&mut self, a: TensorId, c: Rc<DenseMatrix>) -> TensorId {
-        let v = self.nodes[a.0].value.hadamard(&c);
+        let v = self.ctx.binary(&self.nodes[a.0].value, &c, |x, y| x * y);
         self.push(Op::HadamardConst(a, c), v, false)
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let v = self.ctx.unary(&self.nodes[a.0].value, |x| x.max(0.0));
         self.push(Op::Relu(a), v, false)
     }
 
     /// Leaky ReLU with negative slope `slope`.
     pub fn leaky_relu(&mut self, a: TensorId, slope: f64) -> TensorId {
-        let v = self.nodes[a.0]
-            .value
-            .map(|x| if x > 0.0 { x } else { slope * x });
+        let v = self.ctx.unary(
+            &self.nodes[a.0].value,
+            |x| if x > 0.0 { x } else { slope * x },
+        );
         self.push(Op::LeakyRelu(a, slope), v, false)
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.map(|x| 1.0 / (1.0 + (-x).exp()));
+        let v = self
+            .ctx
+            .unary(&self.nodes[a.0].value, |x| 1.0 / (1.0 + (-x).exp()));
         self.push(Op::Sigmoid(a), v, false)
     }
 
     /// Elementwise exponential.
     pub fn exp(&mut self, a: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.map(f64::exp);
+        let v = self.ctx.unary(&self.nodes[a.0].value, f64::exp);
         self.push(Op::Exp(a), v, false)
     }
 
     /// Elementwise natural log, clamped below at `1e-12`.
     pub fn ln(&mut self, a: TensorId) -> TensorId {
-        let v = self.nodes[a.0].value.map(|x| x.max(CLAMP_EPS).ln());
+        let v = self
+            .ctx
+            .unary(&self.nodes[a.0].value, |x| x.max(CLAMP_EPS).ln());
         self.push(Op::Ln(a), v, false)
     }
 
@@ -235,7 +284,7 @@ impl Tape {
     /// `p` is not a non-negative integer.
     pub fn pow_scalar(&mut self, a: TensorId, p: f64) -> TensorId {
         let clamp = p < 0.0 || p.fract() != 0.0;
-        let v = self.nodes[a.0].value.map(|x| {
+        let v = self.ctx.unary(&self.nodes[a.0].value, |x| {
             let x = if clamp { x.max(CLAMP_EPS) } else { x };
             x.powf(p)
         });
@@ -277,8 +326,7 @@ impl Tape {
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, a: TensorId) -> TensorId {
-        let x = &self.nodes[a.0].value;
-        let mut v = x.clone();
+        let mut v = self.ctx.alloc_copy(&self.nodes[a.0].value);
         for i in 0..v.rows() {
             softmax_slice(v.row_mut(i));
         }
@@ -288,10 +336,11 @@ impl Tape {
     /// Row-wise softmax over entries where `mask != 0`; all-masked rows
     /// yield zero rows.
     pub fn masked_softmax_rows(&mut self, a: TensorId, mask: Rc<DenseMatrix>) -> TensorId {
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert_eq!((r, c), mask.shape(), "mask shape mismatch");
+        let mut v = self.ctx.alloc_zeroed(r, c);
         let x = &self.nodes[a.0].value;
-        assert_eq!(x.shape(), mask.shape(), "mask shape mismatch");
-        let mut v = DenseMatrix::zeros(x.rows(), x.cols());
-        for i in 0..x.rows() {
+        for i in 0..r {
             masked_softmax_slice(x.row(i), mask.row(i), v.row_mut(i));
         }
         self.push(Op::MaskedSoftmaxRows(a, mask), v, false)
@@ -341,7 +390,7 @@ impl Tape {
             u.map(|x| if (x + 1.0) / 2.0 < keep { scale } else { 0.0 })
         };
         let mask = Rc::new(mask);
-        let v = self.nodes[a.0].value.hadamard(&mask);
+        let v = self.ctx.binary(&self.nodes[a.0].value, &mask, |x, y| x * y);
         self.push(Op::Dropout(a, mask), v, false)
     }
 
@@ -436,7 +485,7 @@ impl Tape {
         let bv = &self.nodes[b.0].value;
         assert_eq!(bv.rows(), 1, "add_bias: bias must be 1 × c");
         assert_eq!(bv.cols(), xv.cols(), "add_bias: width mismatch");
-        let mut v = xv.clone();
+        let mut v = self.ctx.alloc_copy(xv);
         for i in 0..v.rows() {
             for (o, &bb) in v.row_mut(i).iter_mut().zip(bv.row(0)) {
                 *o += bb;
@@ -459,7 +508,9 @@ impl Tape {
             "backward requires a scalar output"
         );
         for g in &mut self.grads {
-            *g = None;
+            if let Some(old) = g.take() {
+                self.ctx.recycle(old);
+            }
         }
         self.grads[output.0] = Some(DenseMatrix::from_vec(1, 1, vec![1.0]));
         for idx in (0..=output.0).rev() {
@@ -473,10 +524,14 @@ impl Tape {
 
     fn accumulate(&mut self, id: TensorId, delta: DenseMatrix) {
         if self.nodes[id.0].is_const {
+            self.ctx.recycle(delta);
             return;
         }
         match &mut self.grads[id.0] {
-            Some(g) => g.axpy(1.0, &delta),
+            Some(g) => {
+                g.axpy(1.0, &delta);
+                self.ctx.recycle(delta);
+            }
             slot @ None => *slot = Some(delta),
         }
     }
@@ -491,45 +546,57 @@ impl Tape {
             None,
         }
         let delta = {
+            let ctx = &self.ctx;
             let node = &self.nodes[idx];
             match &node.op {
                 Op::Leaf => Delta::None,
                 Op::MatMul(a, b) => {
                     let av = &self.nodes[a.0].value;
                     let bv = &self.nodes[b.0].value;
-                    Delta::Two(*a, g.matmul_nt(bv), *b, av.matmul_tn(g))
+                    Delta::Two(*a, ctx.matmul_nt(g, bv), *b, ctx.matmul_tn(av, g))
                 }
-                Op::SpMM(s, b) => Delta::One(*b, s.spmm_t(g)),
-                Op::Add(a, b) => Delta::Two(*a, g.clone(), *b, g.clone()),
-                Op::Sub(a, b) => Delta::Two(*a, g.clone(), *b, g.scale(-1.0)),
+                Op::SpMM(s, b) => Delta::One(*b, ctx.spmm_t(s, g)),
+                Op::Add(a, b) => Delta::Two(*a, ctx.alloc_copy(g), *b, ctx.alloc_copy(g)),
+                Op::Sub(a, b) => Delta::Two(*a, ctx.alloc_copy(g), *b, ctx.unary(g, |x| -x)),
                 Op::Hadamard(a, b) => {
                     let av = &self.nodes[a.0].value;
                     let bv = &self.nodes[b.0].value;
-                    Delta::Two(*a, g.hadamard(bv), *b, g.hadamard(av))
+                    Delta::Two(
+                        *a,
+                        ctx.binary(g, bv, |x, y| x * y),
+                        *b,
+                        ctx.binary(g, av, |x, y| x * y),
+                    )
                 }
-                Op::ScalarMul(a, c) => Delta::One(*a, g.scale(*c)),
-                Op::AddConst(a) => Delta::One(*a, g.clone()),
-                Op::HadamardConst(a, c) => Delta::One(*a, g.hadamard(c)),
+                Op::ScalarMul(a, c) => {
+                    let c = *c;
+                    Delta::One(*a, ctx.unary(g, |x| x * c))
+                }
+                Op::AddConst(a) => Delta::One(*a, ctx.alloc_copy(g)),
+                Op::HadamardConst(a, c) => Delta::One(*a, ctx.binary(g, c, |x, y| x * y)),
                 Op::Relu(a) => {
                     let av = &self.nodes[a.0].value;
-                    Delta::One(*a, g.zip_with(av, |gg, x| if x > 0.0 { gg } else { 0.0 }))
+                    Delta::One(
+                        *a,
+                        ctx.binary(g, av, |gg, x| if x > 0.0 { gg } else { 0.0 }),
+                    )
                 }
                 Op::LeakyRelu(a, slope) => {
                     let av = &self.nodes[a.0].value;
                     let s = *slope;
                     Delta::One(
                         *a,
-                        g.zip_with(av, move |gg, x| if x > 0.0 { gg } else { s * gg }),
+                        ctx.binary(g, av, move |gg, x| if x > 0.0 { gg } else { s * gg }),
                     )
                 }
                 Op::Sigmoid(a) => {
                     let y = &node.value;
-                    Delta::One(*a, g.zip_with(y, |gg, yy| gg * yy * (1.0 - yy)))
+                    Delta::One(*a, ctx.binary(g, y, |gg, yy| gg * yy * (1.0 - yy)))
                 }
-                Op::Exp(a) => Delta::One(*a, g.hadamard(&node.value)),
+                Op::Exp(a) => Delta::One(*a, ctx.binary(g, &node.value, |x, y| x * y)),
                 Op::Ln(a) => {
                     let av = &self.nodes[a.0].value;
-                    Delta::One(*a, g.zip_with(av, |gg, x| gg / x.max(CLAMP_EPS)))
+                    Delta::One(*a, ctx.binary(g, av, |gg, x| gg / x.max(CLAMP_EPS)))
                 }
                 Op::PowScalar(a, p) => {
                     let av = &self.nodes[a.0].value;
@@ -537,7 +604,7 @@ impl Tape {
                     let clamp = p < 0.0 || p.fract() != 0.0;
                     Delta::One(
                         *a,
-                        g.zip_with(av, move |gg, x| {
+                        ctx.binary(g, av, move |gg, x| {
                             let x = if clamp { x.max(CLAMP_EPS) } else { x };
                             gg * p * x.powf(p - 1.0)
                         }),
@@ -546,7 +613,7 @@ impl Tape {
                 Op::Transpose(a) => Delta::One(*a, g.transpose()),
                 Op::RowSum(a) => {
                     let (r, c) = self.nodes[a.0].value.shape();
-                    let mut d = DenseMatrix::zeros(r, c);
+                    let mut d = ctx.alloc_zeroed(r, c);
                     for i in 0..r {
                         let gi = g.get(i, 0);
                         for v in d.row_mut(i) {
@@ -557,13 +624,15 @@ impl Tape {
                 }
                 Op::SumAll(a) => {
                     let (r, c) = self.nodes[a.0].value.shape();
-                    Delta::One(*a, DenseMatrix::filled(r, c, g.get(0, 0)))
+                    let mut d = ctx.alloc_zeroed(r, c);
+                    d.as_mut_slice().fill(g.get(0, 0));
+                    Delta::One(*a, d)
                 }
                 Op::ScaleRows(x, s) => {
                     let xv = &self.nodes[x.0].value;
                     let sv = &self.nodes[s.0].value;
-                    let mut dx = g.clone();
-                    let mut ds = DenseMatrix::zeros(sv.rows(), 1);
+                    let mut dx = ctx.alloc_copy(g);
+                    let mut ds = ctx.alloc_zeroed(sv.rows(), 1);
                     for i in 0..xv.rows() {
                         let si = sv.get(i, 0);
                         let mut acc = 0.0;
@@ -578,8 +647,8 @@ impl Tape {
                 Op::ScaleCols(x, s) => {
                     let xv = &self.nodes[x.0].value;
                     let sv = &self.nodes[s.0].value;
-                    let mut dx = g.clone();
-                    let mut ds = DenseMatrix::zeros(sv.rows(), 1);
+                    let mut dx = ctx.alloc_copy(g);
+                    let mut ds = ctx.alloc_zeroed(sv.rows(), 1);
                     for i in 0..xv.rows() {
                         let xr = xv.row(i);
                         for (j, d) in dx.row_mut(i).iter_mut().enumerate() {
@@ -591,7 +660,7 @@ impl Tape {
                 }
                 Op::SoftmaxRows(a) => {
                     let y = &node.value;
-                    let mut d = DenseMatrix::zeros(y.rows(), y.cols());
+                    let mut d = ctx.alloc_zeroed(y.rows(), y.cols());
                     for i in 0..y.rows() {
                         let yr = y.row(i);
                         let gr = g.row(i);
@@ -604,7 +673,7 @@ impl Tape {
                 }
                 Op::MaskedSoftmaxRows(a, mask) => {
                     let y = &node.value;
-                    let mut d = DenseMatrix::zeros(y.rows(), y.cols());
+                    let mut d = ctx.alloc_zeroed(y.rows(), y.cols());
                     for i in 0..y.rows() {
                         let yr = y.row(i);
                         let gr = g.row(i);
@@ -625,7 +694,7 @@ impl Tape {
                 Op::CrossEntropy(logits, labels, rows) => {
                     let x = &self.nodes[logits.0].value;
                     let scale = g.get(0, 0) / rows.len() as f64;
-                    let mut d = DenseMatrix::zeros(x.rows(), x.cols());
+                    let mut d = ctx.alloc_zeroed(x.rows(), x.cols());
                     for &r in rows.iter() {
                         let row = x.row(r);
                         let lse = log_sum_exp(row);
@@ -637,7 +706,7 @@ impl Tape {
                     }
                     Delta::One(*logits, d)
                 }
-                Op::Dropout(a, mask) => Delta::One(*a, g.hadamard(mask)),
+                Op::Dropout(a, mask) => Delta::One(*a, ctx.binary(g, mask, |x, y| x * y)),
                 Op::AddOuter(s, d) => {
                     let rs = g.row_sums();
                     let cs = g.col_sums();
@@ -655,7 +724,7 @@ impl Tape {
                     let mut off = 0;
                     for &p in parts {
                         let (r, c) = self.nodes[p.0].value.shape();
-                        let mut d = DenseMatrix::zeros(r, c);
+                        let mut d = ctx.alloc_zeroed(r, c);
                         for i in 0..r {
                             d.row_mut(i).copy_from_slice(&g.row(i)[off..off + c]);
                         }
@@ -667,7 +736,7 @@ impl Tape {
                 Op::RowLpNormSum(x, p) => {
                     let xv = &self.nodes[x.0].value;
                     let gg = g.get(0, 0);
-                    let mut d = DenseMatrix::zeros(xv.rows(), xv.cols());
+                    let mut d = ctx.alloc_zeroed(xv.rows(), xv.cols());
                     for i in 0..xv.rows() {
                         lp_norm_grad(xv.row(i), *p, gg, d.row_mut(i));
                     }
@@ -676,7 +745,7 @@ impl Tape {
                 Op::NeighborLpNormSum(x, adj, c, p) => {
                     let xv = &self.nodes[x.0].value;
                     let gg = g.get(0, 0);
-                    let mut d = DenseMatrix::zeros(xv.rows(), xv.cols());
+                    let mut d = ctx.alloc_zeroed(xv.rows(), xv.cols());
                     let mut diff = vec![0.0; xv.cols()];
                     let mut partial = vec![0.0; xv.cols()];
                     for v in 0..adj.rows() {
@@ -701,7 +770,7 @@ impl Tape {
                 Op::AddBias(x, b) => {
                     let cs = g.col_sums();
                     let m = cs.len();
-                    Delta::Two(*x, g.clone(), *b, DenseMatrix::from_vec(1, m, cs))
+                    Delta::Two(*x, ctx.alloc_copy(g), *b, DenseMatrix::from_vec(1, m, cs))
                 }
             }
         };

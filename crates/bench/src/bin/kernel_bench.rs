@@ -1,0 +1,263 @@
+//! Kernel microbenchmark — the perf trajectory file.
+//!
+//! Times the blocked/threaded kernels against their naive references at
+//! graph-relevant sizes (Cora-shaped: `n = 2708`, `d = 1433`) and writes
+//! `BENCH_kernels.json` with GFLOP/s per kernel, shape, and thread count,
+//! so future changes have a baseline to compare against.
+//!
+//! The determinism contract means every row of this file describes the
+//! *same bytes* — thread count trades wall-clock only, which is exactly
+//! why the speedup column is meaningful.
+//!
+//! ```text
+//! cargo run --release --bin kernel_bench            # all cores
+//! cargo run --release --bin kernel_bench -- --threads 4
+//! ```
+
+use bbgnn::prelude::*;
+use bbgnn_bench::config::ExpConfig;
+use bbgnn_bench::json::Json;
+use bbgnn_bench::report::Table;
+use std::time::Instant;
+
+/// Cora's full-size node count and feature dimension (Table III).
+const CORA_N: usize = 2708;
+const CORA_D: usize = 1433;
+/// GCN hidden width used for the Cora-shaped propagation product.
+const HIDDEN: usize = 16;
+
+/// Best-of-`reps` seconds for each variant, measured **interleaved**: every
+/// round times all variants back to back, so noise on a shared machine
+/// (other tenants, frequency drift) hits every variant alike and the
+/// speedup ratios stay meaningful. One untimed warmup round.
+fn time_group(reps: usize, ops: &mut [Box<dyn FnMut() + '_>]) -> Vec<f64> {
+    for op in ops.iter_mut() {
+        op();
+    }
+    let mut best = vec![f64::INFINITY; ops.len()];
+    for _ in 0..reps {
+        for (slot, op) in best.iter_mut().zip(ops.iter_mut()) {
+            let t = Instant::now();
+            op();
+            *slot = slot.min(t.elapsed().as_secs_f64());
+        }
+    }
+    best
+}
+
+/// A deterministic sparse matrix with roughly `target_nnz` entries.
+fn sparse(n: usize, target_nnz: usize) -> CsrMatrix {
+    let modulus = (n * n / target_nnz).max(1);
+    CsrMatrix::from_triplets(
+        n,
+        n,
+        (0..n).flat_map(move |r| {
+            (0..n).filter_map(move |c| {
+                let h = r
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(c.wrapping_mul(40503))
+                    % modulus;
+                (h == 0).then(|| (r, c, ((r + c) % 13 + 1) as f64 / 13.0))
+            })
+        }),
+    )
+}
+
+struct Row {
+    kernel: &'static str,
+    shape: String,
+    threads: usize,
+    flops: f64,
+    secs: f64,
+    naive_secs: f64,
+}
+
+impl Row {
+    fn gflops(&self) -> f64 {
+        self.flops / self.secs / 1e9
+    }
+
+    fn speedup(&self) -> f64 {
+        self.naive_secs / self.secs
+    }
+
+    fn json(&self) -> Json {
+        Json::object([
+            ("kernel".to_string(), Json::string(self.kernel)),
+            ("shape".to_string(), Json::string(self.shape.clone())),
+            ("threads".to_string(), Json::number_usize(self.threads)),
+            ("secs".to_string(), Json::number_f64(self.secs)),
+            ("gflops".to_string(), Json::number_f64(self.gflops())),
+            (
+                "speedup_vs_naive".to_string(),
+                Json::number_f64(self.speedup()),
+            ),
+        ])
+    }
+}
+
+fn main() {
+    let cfg = ExpConfig::from_args();
+    println!("{}", cfg.banner("kernel_bench"));
+    let max_threads = cfg.resolved_threads();
+    let mut thread_counts = vec![1, 2, 4];
+    if !thread_counts.contains(&max_threads) {
+        thread_counts.push(max_threads);
+    }
+    thread_counts.retain(|&t| t <= max_threads.max(4));
+    thread_counts.sort_unstable();
+    thread_counts.dedup();
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    let reps = cfg.runs.max(5);
+    let ctxs: Vec<ExecContext> = thread_counts.iter().map(|&t| ExecContext::new(t)).collect();
+
+    // --- dense matmul chain at the Cora propagation shape -----------------
+    // X (n×d) · W (d×h) is the feature-weight product of every GCN forward;
+    // reference = the naive triple loop the blocked kernel must beat.
+    let a = DenseMatrix::uniform(CORA_N, CORA_D, 1.0, 1);
+    let w = DenseMatrix::uniform(CORA_D, HIDDEN, 1.0, 2);
+    let matmul_flops = (2 * CORA_N * CORA_D * HIDDEN) as f64;
+    let shape = format!("{CORA_N}x{CORA_D}x{HIDDEN}");
+    {
+        let mut ops: Vec<Box<dyn FnMut() + '_>> = Vec::new();
+        ops.push(Box::new(|| {
+            drop(bbgnn::linalg::kernels::matmul_ref(&a, &w));
+        }));
+        let (a, w) = (&a, &w);
+        for ctx in &ctxs {
+            ops.push(Box::new(move || {
+                let out = ctx.matmul(a, w);
+                ctx.recycle(out);
+            }));
+        }
+        let secs = time_group(reps, &mut ops);
+        rows.push(Row {
+            kernel: "matmul_naive",
+            shape: shape.clone(),
+            threads: 1,
+            flops: matmul_flops,
+            secs: secs[0],
+            naive_secs: secs[0],
+        });
+        for (i, &t) in thread_counts.iter().enumerate() {
+            rows.push(Row {
+                kernel: "matmul",
+                shape: shape.clone(),
+                threads: t,
+                flops: matmul_flops,
+                secs: secs[i + 1],
+                naive_secs: secs[0],
+            });
+        }
+    }
+
+    // --- matmul_tn at the gradient shape (Aᵀ G, d×n · n×h) ---------------
+    let g = DenseMatrix::uniform(CORA_N, HIDDEN, 1.0, 3);
+    let tn_flops = (2 * CORA_D * CORA_N * HIDDEN) as f64;
+    let tn_shape = format!("{CORA_N}x{CORA_D}^T x{HIDDEN}");
+    {
+        let mut ops: Vec<Box<dyn FnMut() + '_>> = Vec::new();
+        ops.push(Box::new(|| {
+            drop(bbgnn::linalg::kernels::matmul_tn_ref(&a, &g));
+        }));
+        let (a, g) = (&a, &g);
+        for ctx in &ctxs {
+            ops.push(Box::new(move || {
+                let out = ctx.matmul_tn(a, g);
+                ctx.recycle(out);
+            }));
+        }
+        let secs = time_group(reps, &mut ops);
+        rows.push(Row {
+            kernel: "matmul_tn_naive",
+            shape: tn_shape.clone(),
+            threads: 1,
+            flops: tn_flops,
+            secs: secs[0],
+            naive_secs: secs[0],
+        });
+        for (i, &t) in thread_counts.iter().enumerate() {
+            rows.push(Row {
+                kernel: "matmul_tn",
+                shape: tn_shape.clone(),
+                threads: t,
+                flops: tn_flops,
+                secs: secs[i + 1],
+                naive_secs: secs[0],
+            });
+        }
+    }
+
+    // --- SpMM at the Cora adjacency shape ---------------------------------
+    // Â (2708×2708, ~10k nnz) · X (2708×1433): the sparse propagation.
+    let s = sparse(CORA_N, 10_000);
+    let x = DenseMatrix::uniform(CORA_N, CORA_D, 1.0, 4);
+    let spmm_flops = (2 * s.nnz() * CORA_D) as f64;
+    let spmm_shape = format!("{CORA_N}x{CORA_N}({}nnz) x{CORA_D}", s.nnz());
+    {
+        let mut ops: Vec<Box<dyn FnMut() + '_>> = Vec::new();
+        ops.push(Box::new(|| {
+            drop(bbgnn::linalg::kernels::spmm_ref(&s, &x));
+        }));
+        let (s, x) = (&s, &x);
+        for ctx in &ctxs {
+            ops.push(Box::new(move || {
+                let out = ctx.spmm(s, x);
+                ctx.recycle(out);
+            }));
+        }
+        let secs = time_group(reps, &mut ops);
+        rows.push(Row {
+            kernel: "spmm_naive",
+            shape: spmm_shape.clone(),
+            threads: 1,
+            flops: spmm_flops,
+            secs: secs[0],
+            naive_secs: secs[0],
+        });
+        for (i, &t) in thread_counts.iter().enumerate() {
+            rows.push(Row {
+                kernel: "spmm",
+                shape: spmm_shape.clone(),
+                threads: t,
+                flops: spmm_flops,
+                secs: secs[i + 1],
+                naive_secs: secs[0],
+            });
+        }
+    }
+
+    // --- report ------------------------------------------------------------
+    let mut table = Table::new(&["kernel", "shape", "threads", "GFLOP/s", "speedup"]);
+    for r in &rows {
+        table.push_row(vec![
+            r.kernel.to_string(),
+            r.shape.clone(),
+            r.threads.to_string(),
+            format!("{:.2}", r.gflops()),
+            format!("{:.2}x", r.speedup()),
+        ]);
+    }
+    table.emit(&cfg.out_dir, "kernel_bench");
+
+    let doc = Json::object([
+        (
+            "config".to_string(),
+            Json::object([
+                ("max_threads".to_string(), Json::number_usize(max_threads)),
+                ("seed".to_string(), Json::number_usize(cfg.seed as usize)),
+            ]),
+        ),
+        (
+            "results".to_string(),
+            Json::Array(rows.iter().map(Row::json).collect()),
+        ),
+    ]);
+    let path = "BENCH_kernels.json";
+    match std::fs::write(path, doc.to_pretty()) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}

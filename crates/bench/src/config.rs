@@ -22,6 +22,10 @@ pub struct ExpConfig {
     pub dataset: Option<String>,
     /// Directory for CSV/JSON result dumps.
     pub out_dir: String,
+    /// Kernel worker threads (`--threads N` / `BBGNN_THREADS`; `0` = the
+    /// machine's available parallelism). Results are bitwise-identical for
+    /// every value — this knob trades wall-clock only.
+    pub threads: usize,
 }
 
 impl Default for ExpConfig {
@@ -33,6 +37,7 @@ impl Default for ExpConfig {
             seed: 7,
             dataset: None,
             out_dir: "results".to_string(),
+            threads: 0,
         }
     }
 }
@@ -64,7 +69,16 @@ impl ExpConfig {
     /// code and tests use [`try_from_args`](Self::try_from_args).
     pub fn from_args() -> Self {
         match Self::try_from_args() {
-            Ok(cfg) => cfg,
+            Ok(cfg) => {
+                // Propagate an explicit `--threads` to the kernels, which
+                // read BBGNN_THREADS lazily (once, at first kernel call —
+                // always after this, since config parsing is the first
+                // thing an experiment binary does).
+                if cfg.threads != 0 {
+                    std::env::set_var("BBGNN_THREADS", cfg.threads.to_string());
+                }
+                cfg
+            }
             Err(e) => {
                 eprintln!("error: {e}");
                 eprintln!("see --help for usage");
@@ -100,6 +114,12 @@ impl ExpConfig {
         if let Some(v) = env("BBGNN_OUT") {
             cfg.out_dir = v;
         }
+        // The kernels read BBGNN_THREADS themselves (lazily, once per
+        // process); parsing it here too surfaces a typo'd value as a loud
+        // config error instead of a silent fall-back to all cores.
+        if let Some(v) = env("BBGNN_THREADS") {
+            cfg.threads = parse_value(Some(&v), "BBGNN_THREADS", "an integer (0 = auto)")?;
+        }
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
@@ -109,6 +129,7 @@ impl ExpConfig {
                 "--runs" => cfg.runs = parse_value(value, flag, "an integer")?,
                 "--rate" => cfg.rate = parse_value(value, flag, "a float")?,
                 "--seed" => cfg.seed = parse_value(value, flag, "an integer")?,
+                "--threads" => cfg.threads = parse_value(value, flag, "an integer (0 = auto)")?,
                 "--dataset" => {
                     cfg.dataset = Some(
                         value
@@ -123,7 +144,7 @@ impl ExpConfig {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale F --runs N --rate F --seed N --dataset NAME --out DIR"
+                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR"
                     );
                     std::process::exit(0);
                 }
@@ -149,11 +170,29 @@ impl ExpConfig {
         Ok(cfg)
     }
 
+    /// Kernel worker count this run will actually use.
+    pub fn resolved_threads(&self) -> usize {
+        if self.threads == 0 {
+            bbgnn::exec::env_threads()
+        } else {
+            self.threads
+        }
+    }
+
     /// Banner line echoed at the top of every experiment's output.
+    ///
+    /// Threads are shown but deliberately kept out of
+    /// [`fingerprint`](Self::fingerprint): the kernels are bitwise
+    /// deterministic in the worker count, so a checkpoint taken at
+    /// `--threads 1` is still valid when resumed at `--threads 8`.
     pub fn banner(&self, experiment: &str) -> String {
         format!(
-            "== {experiment} | scale {} | runs {} | rate {} | seed {} ==",
-            self.scale, self.runs, self.rate, self.seed
+            "== {experiment} | scale {} | runs {} | rate {} | seed {} | threads {} ==",
+            self.scale,
+            self.runs,
+            self.rate,
+            self.seed,
+            self.resolved_threads()
         )
     }
 
@@ -249,6 +288,40 @@ mod tests {
         assert!(ExpConfig::try_parse(&argv(&["--scale", "1.5"]), no_env).is_err());
         assert!(ExpConfig::try_parse(&argv(&["--runs", "0"]), no_env).is_err());
         assert!(ExpConfig::try_parse(&argv(&["--rate", "-0.1"]), no_env).is_err());
+    }
+
+    #[test]
+    fn threads_flag_and_env_are_parsed_and_validated() {
+        let c = ExpConfig::try_parse(&argv(&["--threads", "4"]), no_env).unwrap();
+        assert_eq!(c.threads, 4);
+        assert_eq!(c.resolved_threads(), 4);
+        let env = |name: &str| (name == "BBGNN_THREADS").then(|| "2".to_string());
+        let c = ExpConfig::try_parse(&[], env).unwrap();
+        assert_eq!(c.threads, 2);
+        // 0 = auto resolves to at least one worker.
+        let c = ExpConfig::try_parse(&[], no_env).unwrap();
+        assert!(c.resolved_threads() >= 1);
+        // A typo'd value is a loud error here, not a silent fall-back.
+        let env = |name: &str| (name == "BBGNN_THREADS").then(|| "many".to_string());
+        assert!(matches!(
+            ExpConfig::try_parse(&[], env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "BBGNN_THREADS"
+        ));
+    }
+
+    #[test]
+    fn fingerprint_ignores_threads() {
+        // Bitwise determinism in the worker count means a checkpoint from a
+        // 1-thread run must be resumable on 8 threads.
+        let a = ExpConfig {
+            threads: 1,
+            ..Default::default()
+        };
+        let b = ExpConfig {
+            threads: 8,
+            ..Default::default()
+        };
+        assert_eq!(a.fingerprint("t"), b.fingerprint("t"));
     }
 
     #[test]

@@ -44,6 +44,12 @@ impl Json {
         Json::Number(v.to_string())
     }
 
+    /// Number constructor from a finite f64 (JSON has no NaN/inf).
+    pub fn number_f64(v: f64) -> Json {
+        assert!(v.is_finite(), "JSON numbers must be finite, got {v}");
+        Json::Number(format!("{v}"))
+    }
+
     /// The string payload, if this is a string.
     pub fn as_str(&self) -> Option<&str> {
         match self {

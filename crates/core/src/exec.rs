@@ -1,0 +1,30 @@
+//! Execution-context facade.
+//!
+//! The compute substrate — the scoped thread pool, the blocked kernels,
+//! and the workspace arena — lives in [`bbgnn_linalg::kernels`], because
+//! `bbgnn` (this crate) is the *top* of the dependency graph: every layer
+//! from the autodiff tape to the attackers needs the kernels, so they must
+//! sit below all of them, not up here. This module re-exports the
+//! execution types so applications can reach them from the facade without
+//! depending on `bbgnn_linalg` directly.
+//!
+//! ## The determinism contract
+//!
+//! Every threaded kernel is **bitwise identical** to its single-threaded
+//! naive reference for every worker count: workers own disjoint output
+//! rows, and the per-element accumulation order over the inner dimension
+//! never changes. `BBGNN_THREADS=1` and `BBGNN_THREADS=64` produce the
+//! same bytes in every table and figure (CI enforces this).
+//!
+//! ## Choosing a thread count
+//!
+//! * Most code paths read the `BBGNN_THREADS` environment variable once
+//!   per process ([`env_threads`]), defaulting to the machine's available
+//!   parallelism.
+//! * Configs with a `threads: usize` field (`PeegaConfig`,
+//!   `PeegaParallelConfig`, the bench harness) treat `0` as "defer to
+//!   `BBGNN_THREADS`" and any other value as an explicit pin —
+//!   [`ExecContext::with_threads`] implements that convention.
+
+pub use bbgnn_linalg::kernels::{default_threads, env_threads};
+pub use bbgnn_linalg::{ExecContext, ThreadPool, Workspace};

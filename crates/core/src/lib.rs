@@ -53,6 +53,7 @@ pub use bbgnn_gnn as gnn;
 pub use bbgnn_graph as graph;
 pub use bbgnn_linalg as linalg;
 
+pub mod exec;
 pub mod registry;
 
 /// One-stop imports for applications and examples.
@@ -92,5 +93,6 @@ pub mod prelude {
         average_clustering, graph_stats, utility_drift, GraphStats,
     };
     pub use bbgnn_graph::{Graph, Split};
-    pub use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+    pub use bbgnn_linalg::kernels::env_threads;
+    pub use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext, ThreadPool, Workspace};
 }

@@ -25,7 +25,7 @@ use bbgnn_gnn::train::{TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
 use bbgnn_linalg::svd::singular_value_shrink;
-use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext};
 use std::rc::Rc;
 
 /// Pro-GNN configuration. Defaults follow the reference implementation's
@@ -118,14 +118,20 @@ impl ProGnn {
     }
 
     /// Gradient of the GNN loss with respect to the dense structure `S`,
-    /// holding the current GCN weights fixed.
-    fn gnn_loss_grad(&self, s: &DenseMatrix, g: &Graph) -> DenseMatrix {
+    /// holding the current GCN weights fixed. The tape runs on `ctx`, so
+    /// successive outer epochs reuse the same thread pool and workspace
+    /// buffers.
+    fn gnn_loss_grad(
+        &self,
+        s: &DenseMatrix,
+        g: &Graph,
+        ctx: &Rc<ExecContext>,
+        eye: &Rc<DenseMatrix>,
+    ) -> DenseMatrix {
         let w = self.gcn.weights();
-        let n = g.num_nodes();
-        let mut tape = Tape::new();
+        let mut tape = Tape::with_context(Rc::clone(ctx));
         let sv = tape.var(s.clone());
-        let eye = Rc::new(DenseMatrix::identity(n));
-        let a_loop = tape.add_const(sv, eye);
+        let a_loop = tape.add_const(sv, Rc::clone(eye));
         let deg = tape.row_sum(a_loop);
         let dinv = tape.pow_scalar(deg, -0.5);
         let scaled = tape.scale_rows(a_loop, dinv);
@@ -159,6 +165,10 @@ impl NodeClassifier for ProGnn {
         let mut s = a_hat.clone();
         let smooth_grad = Self::feature_distance_matrix(&g.features);
         let mut last_report = None;
+        // One execution context + identity constant for every outer
+        // epoch's structure-gradient tape.
+        let ctx = ExecContext::shared_from_env();
+        let eye = Rc::new(DenseMatrix::identity(n));
 
         for outer in 0..cfg.outer_epochs {
             // (a) Inner GCN fit on the current structure.
@@ -166,7 +176,7 @@ impl NodeClassifier for ProGnn {
             last_report = Some(self.gcn.fit_on(g, Rc::clone(&an)));
 
             // (b) Gradient step on the differentiable terms.
-            let mut grad = self.gnn_loss_grad(&s, g).scale(cfg.gamma);
+            let mut grad = self.gnn_loss_grad(&s, g, &ctx, &eye).scale(cfg.gamma);
             // Fidelity: ∇ μ‖S − Â‖² = 2μ(S − Â).
             grad.axpy(2.0 * cfg.mu, &s.sub(&a_hat));
             // Smoothness: ∇ λ tr(XᵀL_S X) = (λ/2) D.

@@ -12,7 +12,7 @@ use bbgnn_autodiff::optim::Adam;
 use bbgnn_autodiff::{Tape, TensorId};
 use bbgnn_errors::first_non_finite;
 use bbgnn_graph::Graph;
-use bbgnn_linalg::DenseMatrix;
+use bbgnn_linalg::{DenseMatrix, ExecContext};
 use std::rc::Rc;
 use std::time::Instant;
 
@@ -125,6 +125,10 @@ pub fn train_with_regularizer(
     ) -> (TensorId, Vec<TensorId>, Option<TensorId>),
 ) -> TrainReport {
     let start = Instant::now();
+    // One execution context for the whole run: every epoch's tape shares
+    // the thread pool and recycles its tensor buffers through the same
+    // workspace arena, so epochs after the first allocate almost nothing.
+    let ctx = Rc::new(ExecContext::from_env());
     let labels = Rc::new(g.labels.clone());
     let train_rows = Rc::new(g.split.train.clone());
     let mut lr = cfg.lr;
@@ -141,7 +145,7 @@ pub fn train_with_regularizer(
     let mut final_loss = f64::NAN;
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
-        let mut tape = Tape::new();
+        let mut tape = Tape::with_context(Rc::clone(&ctx));
         let (logits, ids, extra) = forward(&mut tape, params, epoch);
         let ce = tape.cross_entropy(logits, Rc::clone(&labels), Rc::clone(&train_rows));
         let loss = match extra {
@@ -181,7 +185,7 @@ pub fn train_with_regularizer(
         if cfg.patience > 0 && !g.split.valid.is_empty() {
             // Evaluation pass without dropout (epoch = usize::MAX signals
             // inference mode to the forward closure).
-            let mut eval_tape = Tape::new();
+            let mut eval_tape = Tape::with_context(Rc::clone(&ctx));
             let (logits, _, _) = forward(&mut eval_tape, params, usize::MAX);
             let preds = eval_tape.value(logits).row_argmax();
             let val_acc = crate::eval::accuracy(&preds, &g.labels, &g.split.valid);

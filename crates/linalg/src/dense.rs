@@ -197,8 +197,63 @@ impl DenseMatrix {
     }
 
     /// Copies column `j` into a fresh vector.
+    ///
+    /// Allocates per call; hot paths should use [`DenseMatrix::col_into`]
+    /// with a reused buffer or the allocation-free
+    /// [`DenseMatrix::col_iter`].
     pub fn col(&self, j: usize) -> Vec<f64> {
-        (0..self.rows).map(|i| self.get(i, j)).collect()
+        let mut out = vec![0.0; self.rows];
+        self.col_into(j, &mut out);
+        out
+    }
+
+    /// Copies column `j` into `out` without allocating.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.rows()` or `j` is out of bounds.
+    pub fn col_into(&self, j: usize, out: &mut [f64]) {
+        assert!(
+            j < self.cols,
+            "column {j} out of bounds for {} cols",
+            self.cols
+        );
+        assert_eq!(out.len(), self.rows, "col_into buffer length mismatch");
+        for (o, src) in out
+            .iter_mut()
+            .zip(self.data[j..].iter().step_by(self.cols.max(1)))
+        {
+            *o = *src;
+        }
+    }
+
+    /// Strided, allocation-free iterator over column `j`.
+    ///
+    /// # Panics
+    /// Panics if `j` is out of bounds.
+    pub fn col_iter(&self, j: usize) -> impl Iterator<Item = f64> + '_ {
+        assert!(
+            j < self.cols,
+            "column {j} out of bounds for {} cols",
+            self.cols
+        );
+        self.data[j..].iter().step_by(self.cols.max(1)).copied()
+    }
+
+    /// Overwrites column `j` with `vals`.
+    ///
+    /// # Panics
+    /// Panics if `vals.len() != self.rows()` or `j` is out of bounds.
+    pub fn set_col(&mut self, j: usize, vals: &[f64]) {
+        assert!(
+            j < self.cols,
+            "column {j} out of bounds for {} cols",
+            self.cols
+        );
+        assert_eq!(vals.len(), self.rows, "set_col buffer length mismatch");
+        let cols = self.cols;
+        for (dst, &v) in self.data[j..].iter_mut().step_by(cols.max(1)).zip(vals) {
+            *dst = v;
+        }
     }
 
     /// Matrix transpose.
@@ -213,72 +268,34 @@ impl DenseMatrix {
         out
     }
 
-    /// Matrix product `self * rhs` using `ikj` ordering so the innermost
-    /// loop walks two contiguous rows.
+    /// Matrix product `self * rhs` via the blocked, multi-threaded kernel
+    /// ([`crate::kernels::matmul_into`]); bitwise identical to the naive
+    /// `ikj` reference loop for every thread count.
     ///
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(
-            self.cols, rhs.rows,
-            "matmul dimension mismatch: {}x{} * {}x{}",
-            self.rows, self.cols, rhs.rows, rhs.cols
-        );
         let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
-        let n = rhs.cols;
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (k, &aik) in a_row.iter().enumerate() {
-                if aik == 0.0 {
-                    continue;
-                }
-                let b_row = &rhs.data[k * n..(k + 1) * n];
-                for j in 0..n {
-                    out_row[j] += aik * b_row[j];
-                }
-            }
-        }
+        let pool = crate::kernels::ThreadPool::default();
+        crate::kernels::matmul_into(self, rhs, &mut out, &pool);
         out
     }
 
-    /// `self^T * rhs` without materializing the transpose.
+    /// `self^T * rhs` without materializing the transpose, via the
+    /// row-partitioned kernel ([`crate::kernels::matmul_tn_into`]).
     pub fn matmul_tn(&self, rhs: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.rows, rhs.rows, "matmul_tn dimension mismatch");
         let mut out = DenseMatrix::zeros(self.cols, rhs.cols);
-        let n = rhs.cols;
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = rhs.row(k);
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for j in 0..n {
-                    out_row[j] += aki * b_row[j];
-                }
-            }
-        }
+        let pool = crate::kernels::ThreadPool::default();
+        crate::kernels::matmul_tn_into(self, rhs, &mut out, &pool);
         out
     }
 
-    /// `self * rhs^T` without materializing the transpose.
+    /// `self * rhs^T` without materializing the transpose, via the
+    /// row-partitioned kernel ([`crate::kernels::matmul_nt_into`]).
     pub fn matmul_nt(&self, rhs: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.cols, rhs.cols, "matmul_nt dimension mismatch");
         let mut out = DenseMatrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.rows..(i + 1) * rhs.rows];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = rhs.row(j);
-                let mut acc = 0.0;
-                for k in 0..self.cols {
-                    acc += a_row[k] * b_row[k];
-                }
-                *o = acc;
-            }
-        }
+        let pool = crate::kernels::ThreadPool::default();
+        crate::kernels::matmul_nt_into(self, rhs, &mut out, &pool);
         out
     }
 

@@ -117,10 +117,10 @@ pub fn try_jacobi_eigen(a: &DenseMatrix) -> BbgnnResult<Eigen> {
     order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap());
     let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
     let mut vectors = DenseMatrix::zeros(n, n);
+    let mut qcol = vec![0.0; n];
     for (out_col, &i) in order.iter().enumerate() {
-        for k in 0..n {
-            vectors.set(k, out_col, q.get(k, i));
-        }
+        q.col_into(i, &mut qcol);
+        vectors.set_col(out_col, &qcol);
     }
     Ok(Eigen { values, vectors })
 }
@@ -200,11 +200,12 @@ pub fn try_lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> BbgnnResult<Eigen
 fn max_ritz_residual(a: &CsrMatrix, eig: &Eigen) -> f64 {
     let n = a.rows();
     let mut worst = 0.0_f64;
+    let mut v = vec![0.0; n];
     for (c, &lambda) in eig.values.iter().enumerate() {
         if !lambda.is_finite() {
             return f64::INFINITY;
         }
-        let v: Vec<f64> = (0..n).map(|i| eig.vectors.get(i, c)).collect();
+        eig.vectors.col_into(c, &mut v);
         let av = a.spmv(&v);
         let mut err = 0.0;
         for i in 0..n {
@@ -270,15 +271,20 @@ fn lanczos_once(a: &CsrMatrix, k: usize, seed: u64, dim: usize) -> Eigen {
     let tri = jacobi_eigen(&t);
     let kk = k.min(m);
     let mut vectors = DenseMatrix::zeros(n, kk);
+    // Accumulate each Ritz vector in a contiguous scratch column, then
+    // store it with one strided write instead of n strided `add_at` calls.
+    let mut ritz = vec![0.0; n];
     for c in 0..kk {
+        ritz.fill(0.0);
         for (j, b) in basis.iter().enumerate() {
             let w = tri.vectors.get(j, c);
             if w != 0.0 {
-                for (i, &bi) in b.iter().enumerate() {
-                    vectors.add_at(i, c, w * bi);
+                for (o, &bi) in ritz.iter_mut().zip(b) {
+                    *o += w * bi;
                 }
             }
         }
+        vectors.set_col(c, &ritz);
     }
     // Re-orthonormalize the Ritz vectors (cheap, kk columns).
     let vectors = thin_qr(&vectors).q;

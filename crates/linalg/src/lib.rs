@@ -16,19 +16,28 @@
 //!   truncated SVD (rank-k approximation for defenses like GCN-SVD).
 //! * [`eigen`] — cyclic Jacobi eigendecomposition and Lanczos iteration for
 //!   symmetric matrices (GF-Attack spectra).
+//! * [`kernels`] — blocked multi-threaded matmul/SpMM kernels, the scoped
+//!   [`ThreadPool`], the [`Workspace`] buffer arena, and the
+//!   [`ExecContext`] bundle that the autodiff tape and every training /
+//!   attack loop route their products through.
 //!
 //! All routines are deterministic given a seed; randomized algorithms take
-//! an explicit `u64` seed rather than global RNG state.
+//! an explicit `u64` seed rather than global RNG state. The threaded
+//! kernels are additionally **bitwise deterministic in the thread count**
+//! (see [`kernels`] for the contract), so `BBGNN_THREADS` never changes a
+//! result, only how fast it arrives.
 
 #![deny(missing_docs)]
 
 pub mod dense;
 pub mod eigen;
+pub mod kernels;
 pub mod qr;
 pub mod sparse;
 pub mod svd;
 
 pub use dense::DenseMatrix;
+pub use kernels::{ExecContext, ThreadPool, Workspace};
 pub use sparse::CsrMatrix;
 
 /// Numerical tolerance used as a default convergence threshold across the

@@ -24,8 +24,13 @@ pub struct ThinQr {
 /// zero columns in `Q` with a zero diagonal in `R`.
 pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
     let (m, k) = a.shape();
-    // Work column-wise: store Q^T so columns are contiguous.
-    let mut qt = a.transpose(); // k × m, row j = column j of A
+    // Work column-wise: store Q^T so columns are contiguous. Columns are
+    // pulled with `col_into` straight into the working rows rather than
+    // materializing a full transpose.
+    let mut qt = DenseMatrix::zeros(k, m); // row j = column j of A
+    for j in 0..k {
+        a.col_into(j, qt.row_mut(j));
+    }
     let mut r = DenseMatrix::zeros(k, k);
     for j in 0..k {
         // Two orthogonalization passes against previous columns.
@@ -46,10 +51,11 @@ pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
             zero_row(&mut qt, j, m);
         }
     }
-    ThinQr {
-        q: qt.transpose(),
-        r,
+    let mut q = DenseMatrix::zeros(m, k);
+    for j in 0..k {
+        q.set_col(j, qt.row(j));
     }
+    ThinQr { q, r }
 }
 
 fn dot_rows(qt: &DenseMatrix, i: usize, j: usize, m: usize) -> f64 {

@@ -157,23 +157,17 @@ impl CsrMatrix {
     /// # Panics
     /// Panics on inner-dimension mismatch.
     pub fn spmm(&self, rhs: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.cols, rhs.rows(), "spmm dimension mismatch");
-        let n = rhs.cols();
-        let mut out = DenseMatrix::zeros(self.rows, n);
-        for i in 0..self.rows {
-            let out_row = out.row_mut(i);
-            for k in self.row_ptr[i]..self.row_ptr[i + 1] {
-                let v = self.values[k];
-                let b_row = rhs.row(self.col_idx[k]);
-                for j in 0..n {
-                    out_row[j] += v * b_row[j];
-                }
-            }
-        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        let pool = crate::kernels::ThreadPool::default();
+        crate::kernels::spmm_into(self, rhs, &mut out, &pool);
         out
     }
 
     /// Sparse × dense product with the transpose of `self`: `self^T * rhs`.
+    ///
+    /// Sequential by design — the scatter by column index cannot be
+    /// row-partitioned without breaking the bitwise determinism contract
+    /// (see [`crate::kernels::spmm_t_into`]).
     pub fn spmm_t(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, rhs.rows(), "spmm_t dimension mismatch");
         let n = rhs.cols();

@@ -175,18 +175,19 @@ pub fn try_jacobi_svd(a: &DenseMatrix) -> BbgnnResult<Svd> {
     let mut u = DenseMatrix::zeros(m, n);
     let mut v = DenseMatrix::zeros(n, n);
     let mut sigma = Vec::with_capacity(n);
+    // One scratch buffer reused for every normalized column (see
+    // `DenseMatrix::set_col` / `col_into`: column traffic goes through
+    // whole-column helpers instead of per-element `set` calls).
+    let mut ucol = vec![0.0; m];
     for (out_col, &(s, j)) in triplets.iter().enumerate() {
         sigma.push(s);
         if s > 1e-300 {
-            let col = wt.row(j);
-            for (i, &c) in col.iter().enumerate() {
-                u.set(i, out_col, c / s);
+            for (o, &c) in ucol.iter_mut().zip(wt.row(j)) {
+                *o = c / s;
             }
+            u.set_col(out_col, &ucol);
         }
-        let vrow = vt.row(j);
-        for (i, &vi) in vrow.iter().enumerate() {
-            v.set(i, out_col, vi);
-        }
+        v.set_col(out_col, vt.row(j));
     }
     Ok(Svd { u, sigma, v })
 }

@@ -1,0 +1,211 @@
+//! Kernel parity and determinism tests (the bitwise contract).
+//!
+//! Every blocked/threaded kernel must produce output **bitwise identical**
+//! to its naive reference implementation — not merely close — for every
+//! shape and every worker count. Threads partition disjoint output rows
+//! and the per-element accumulation order over the inner dimension never
+//! changes, so `assert_eq!` on the raw `f64` buffers is the right check.
+
+use bbgnn_linalg::kernels::{
+    matmul_into, matmul_nt_into, matmul_nt_ref, matmul_ref, matmul_tn_into, matmul_tn_ref,
+    spmm_into, spmm_ref, spmm_t_into,
+};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext, ThreadPool};
+
+/// Shapes covering the tricky cases: non-square, degenerate (empty /
+/// single element), rank-1-ish thin products, and dimensions straddling
+/// the kernel block sizes (`BLOCK_K = 128`, `BLOCK_J = 512`).
+fn shapes() -> Vec<(usize, usize, usize)> {
+    vec![
+        (1, 1, 1),
+        (0, 3, 4),
+        (3, 0, 4),
+        (3, 4, 0),
+        (2, 3, 5),
+        (7, 13, 11),
+        (1, 200, 1),
+        (200, 1, 200),
+        (127, 128, 129),
+        (128, 128, 128),
+        (130, 257, 64),
+        (40, 600, 8),
+    ]
+}
+
+fn dense(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::uniform(rows, cols, 1.0, seed)
+}
+
+fn sparse(rows: usize, cols: usize, seed: u64) -> CsrMatrix {
+    // ~10% fill, deterministic, includes empty rows for small seeds.
+    let triplets = (0..rows).flat_map(move |r| {
+        (0..cols).filter_map(move |c| {
+            let h = (r * 31 + c * 17 + seed as usize) % 10;
+            (h == 0).then(|| (r, c, (r + 2 * c + 1) as f64 / 7.0))
+        })
+    });
+    CsrMatrix::from_triplets(rows, cols, triplets)
+}
+
+#[test]
+fn matmul_matches_reference_bitwise_across_shapes_and_threads() {
+    for &(m, k, n) in &shapes() {
+        let a = dense(m, k, 1);
+        let b = dense(k, n, 2);
+        let reference = matmul_ref(&a, &b);
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut out = DenseMatrix::zeros(m, n);
+            matmul_into(&a, &b, &mut out, &pool);
+            assert_eq!(
+                out.as_slice(),
+                reference.as_slice(),
+                "matmul ({m}x{k})({k}x{n}) diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_tn_matches_reference_bitwise_across_shapes_and_threads() {
+    for &(m, k, n) in &shapes() {
+        // A is k×m here: the product is Aᵀ B.
+        let a = dense(k, m, 3);
+        let b = dense(k, n, 4);
+        let reference = matmul_tn_ref(&a, &b);
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut out = DenseMatrix::zeros(m, n);
+            matmul_tn_into(&a, &b, &mut out, &pool);
+            assert_eq!(
+                out.as_slice(),
+                reference.as_slice(),
+                "matmul_tn ({k}x{m})ᵀ({k}x{n}) diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn matmul_nt_matches_reference_bitwise_across_shapes_and_threads() {
+    for &(m, k, n) in &shapes() {
+        // B is n×k here: the product is A Bᵀ.
+        let a = dense(m, k, 5);
+        let b = dense(n, k, 6);
+        let reference = matmul_nt_ref(&a, &b);
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut out = DenseMatrix::zeros(m, n);
+            matmul_nt_into(&a, &b, &mut out, &pool);
+            assert_eq!(
+                out.as_slice(),
+                reference.as_slice(),
+                "matmul_nt ({m}x{k})({n}x{k})ᵀ diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn spmm_matches_reference_bitwise_across_shapes_and_threads() {
+    for &(m, k, n) in &shapes() {
+        let s = sparse(m, k, 7);
+        let b = dense(k, n, 8);
+        let reference = spmm_ref(&s, &b);
+        for threads in [1, 2, 4, 7] {
+            let pool = ThreadPool::new(threads);
+            let mut out = DenseMatrix::zeros(m, n);
+            spmm_into(&s, &b, &mut out, &pool);
+            assert_eq!(
+                out.as_slice(),
+                reference.as_slice(),
+                "spmm ({m}x{k})({k}x{n}) diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn spmm_t_matches_dense_transpose_product() {
+    // spmm_t computes Sᵀ B sequentially (scatter by column index). It must
+    // agree with the dense product of the explicit transpose to ~ulp —
+    // accumulation orders differ, so this one is approximate by design.
+    for &(m, k, n) in &shapes() {
+        let s = sparse(m, k, 9);
+        let b = dense(m, n, 10);
+        let mut out = DenseMatrix::zeros(k, n);
+        spmm_t_into(&s, &b, &mut out);
+        let dense_s = s.to_dense();
+        let reference = matmul_tn_ref(&dense_s, &b);
+        let diff = out.max_abs_diff(&reference);
+        assert!(
+            diff < 1e-12,
+            "spmm_t ({m}x{k})ᵀ({m}x{n}) differs from dense by {diff}"
+        );
+    }
+}
+
+/// The headline determinism claim: a full forward/backward-sized product
+/// chain through `ExecContext` is bitwise identical on 1 and N threads,
+/// at a size comfortably above the parallelism threshold.
+#[test]
+fn exec_context_products_are_bitwise_identical_across_thread_counts() {
+    let a = dense(300, 300, 11);
+    let b = dense(300, 300, 12);
+    let s = sparse(300, 300, 13);
+    let ctx1 = ExecContext::new(1);
+    let m1 = ctx1.matmul(&a, &b);
+    let tn1 = ctx1.matmul_tn(&a, &b);
+    let nt1 = ctx1.matmul_nt(&a, &b);
+    let sp1 = ctx1.spmm(&s, &b);
+    for threads in [2, 4, 8] {
+        let ctx = ExecContext::new(threads);
+        assert_eq!(
+            ctx.matmul(&a, &b).as_slice(),
+            m1.as_slice(),
+            "matmul diverged at {threads} threads"
+        );
+        assert_eq!(
+            ctx.matmul_tn(&a, &b).as_slice(),
+            tn1.as_slice(),
+            "matmul_tn diverged at {threads} threads"
+        );
+        assert_eq!(
+            ctx.matmul_nt(&a, &b).as_slice(),
+            nt1.as_slice(),
+            "matmul_nt diverged at {threads} threads"
+        );
+        assert_eq!(
+            ctx.spmm(&s, &b).as_slice(),
+            sp1.as_slice(),
+            "spmm diverged at {threads} threads"
+        );
+    }
+}
+
+/// Workspace recycling must never leak stale values into results: run the
+/// same product repeatedly through one context (so buffers are reused) and
+/// interleave differently-shaped products to churn the arena.
+#[test]
+fn workspace_reuse_does_not_corrupt_results() {
+    let ctx = ExecContext::new(4);
+    let a = dense(90, 110, 14);
+    let b = dense(110, 70, 15);
+    let reference = matmul_ref(&a, &b);
+    for round in 0..5 {
+        let out = ctx.matmul(&a, &b);
+        assert_eq!(
+            out.as_slice(),
+            reference.as_slice(),
+            "round {round} corrupted by buffer reuse"
+        );
+        // Churn: push a different shape through, then recycle everything.
+        let other = ctx.matmul_tn(&b, &b);
+        ctx.recycle(other);
+        ctx.recycle(out);
+    }
+    assert!(
+        ctx.reuse_hits() > 0,
+        "arena was never hit — the reuse path is untested"
+    );
+}

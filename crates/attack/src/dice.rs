@@ -61,6 +61,7 @@ impl Attacker for Dice {
         let cfg = &self.config;
         let n = g.num_nodes();
         let budget = budget_for(g, cfg.rate);
+        let _span = bbgnn_obs::span!("attack/dice", nodes = n, budget = budget);
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let mut poisoned = g.clone();
         let mut touched = std::collections::HashSet::new();

@@ -252,6 +252,7 @@ impl Attacker for GfAttack {
     fn attack(&mut self, g: &Graph) -> AttackResult {
         let start = Instant::now();
         let budget = budget_for(g, self.config.rate);
+        let _span = bbgnn_obs::span!("attack/gfattack", nodes = g.num_nodes(), budget = budget);
         let poisoned = match self.config.scoring {
             GfScoring::ExactRecompute => self.attack_exact(g, budget),
             GfScoring::FirstOrder => self.attack_first_order(g, budget),

@@ -82,6 +82,7 @@ impl Attacker for Metattack {
         let cfg = &self.config;
         let n = g.num_nodes();
         let budget = budget_for(g, cfg.rate);
+        let _span = bbgnn_obs::span!("attack/metattack", nodes = n, budget = budget);
         let eye = Rc::new(DenseMatrix::identity(n));
         let mut poisoned = g.clone();
         let mut a_hat = g.adjacency_dense();
@@ -96,7 +97,9 @@ impl Attacker for Metattack {
         let ctx = ExecContext::shared_from_env();
 
         for step in 0..budget {
+            let step_start = bbgnn_obs::enabled().then(Instant::now);
             if step % cfg.retrain_every == 0 || surrogate_w.is_none() {
+                bbgnn_obs::counter("attack/surrogate_retrains", 1);
                 let mut lin = LinearGcn::new(cfg.hops, cfg.train.clone());
                 lin.fit(&poisoned);
                 let preds = lin.predict(&poisoned);
@@ -139,11 +142,20 @@ impl Attacker for Metattack {
                 let dir = 1.0 - 2.0 * a_hat.get(u, v);
                 Some((grad.get(u, v) + grad.get(v, u)) * dir)
             });
-            let Some((_, u, v)) = best else { break };
+            let Some((score, u, v)) = best else { break };
             poisoned.flip_edge(u, v);
             let new_val = 1.0 - a_hat.get(u, v);
             a_hat.set(u, v, new_val);
             a_hat.set(v, u, new_val);
+            bbgnn_obs::counter("attack/edge_flips", 1);
+            bbgnn_obs::event!(
+                "metattack/perturb",
+                step = step,
+                u = u,
+                v = v,
+                score = score,
+                scan_s = step_start.map_or(f64::NAN, |t| t.elapsed().as_secs_f64())
+            );
         }
 
         AttackResult {

@@ -80,6 +80,7 @@ impl Attacker for MinMaxAttack {
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
         let start = Instant::now();
+        let _span = bbgnn_obs::span!("attack/minmax", nodes = g.num_nodes());
         let cfg = self.config.clone();
         let budget = budget_for(g, cfg.rate);
         let mut gcn = Gcn::paper_default(cfg.train.clone());

@@ -189,6 +189,13 @@ impl Attacker for Peega {
         assert!(cfg.beta > 0.0, "feature cost must be positive");
         let n = g.num_nodes();
         let budget = budget_for(g, cfg.rate) as f64;
+        let _span = bbgnn_obs::span!(
+            "attack/peega",
+            nodes = n,
+            rate = cfg.rate,
+            budget = budget,
+            hops = cfg.hops
+        );
         let clean_prop = Rc::new(g.propagate(cfg.hops));
         let eye = Rc::new(DenseMatrix::identity(n));
         // Objective-node restriction (Sec. V-A3).
@@ -245,6 +252,7 @@ impl Attacker for Peega {
                 break;
             }
 
+            let step_start = bbgnn_obs::enabled().then(Instant::now);
             let mut tape = Tape::with_context(Rc::clone(&ctx));
             let (obj, a_id, x_id) = self.objective(
                 &mut tape,
@@ -255,6 +263,7 @@ impl Attacker for Peega {
                 &eye,
                 &row_mask,
             );
+            let obj_value = tape.value(obj).get(0, 0);
             tape.backward(obj);
             let grad_a = tape.grad(a_id).expect("adjacency gradient");
             let grad_x = tape.grad(x_id).expect("feature gradient");
@@ -292,7 +301,8 @@ impl Attacker for Peega {
             // Sequential semantics: edges are scanned before features, so a
             // feature flip wins only with a strictly higher score.
             let best = crate::scan::merge_best(best_edge, best_feat);
-            let Some((_, cand)) = best else { break };
+            let Some((score, cand)) = best else { break };
+            let scan_s = step_start.map_or(f64::NAN, |t| t.elapsed().as_secs_f64());
             match cand {
                 Candidate::Edge(u, v) => {
                     touched_edges.insert((u, v));
@@ -302,12 +312,34 @@ impl Attacker for Peega {
                     a_hat.set(u, v, new_val);
                     a_hat.set(v, u, new_val);
                     spent += 1.0;
+                    bbgnn_obs::counter("attack/edge_flips", 1);
+                    bbgnn_obs::event!(
+                        "peega/perturb",
+                        kind = "edge",
+                        u = u,
+                        v = v,
+                        score = score,
+                        objective = obj_value,
+                        spent = spent,
+                        scan_s = scan_s
+                    );
                 }
                 Candidate::Feature(v, i) => {
                     touched_features.insert((v, i));
                     let new_val = poisoned.flip_feature(v, i);
                     x_hat.set(v, i, new_val);
                     spent += cfg.beta;
+                    bbgnn_obs::counter("attack/feature_flips", 1);
+                    bbgnn_obs::event!(
+                        "peega/perturb",
+                        kind = "feature",
+                        u = v,
+                        v = i,
+                        score = score,
+                        objective = obj_value,
+                        spent = spent,
+                        scan_s = scan_s
+                    );
                 }
             }
         }

@@ -117,6 +117,12 @@ impl Attacker for PeegaParallel {
         let n = g.num_nodes();
         let d = g.feature_dim();
         let budget = budget_for(g, cfg.rate);
+        let _span = bbgnn_obs::span!(
+            "attack/peega_parallel",
+            nodes = n,
+            budget = budget,
+            steps = cfg.steps
+        );
         let clean_prop = Rc::new(g.propagate(cfg.hops));
         let eye = Rc::new(DenseMatrix::identity(n));
         let clean_a = Rc::new(g.adjacency_dense());
@@ -247,6 +253,11 @@ impl Attacker for PeegaParallel {
             if let Some(gx) = tape.grad(theta_x) {
                 params[1].axpy(cfg.lr, gx);
             }
+            bbgnn_obs::event!(
+                "peega_parallel/ascent_step",
+                step = _step,
+                objective = tape.value(obj).get(0, 0)
+            );
         }
 
         // Commit the budget-many highest-probability flips. Scoring fans
@@ -305,13 +316,29 @@ impl Attacker for PeegaParallel {
         }
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
         let mut poisoned = g.clone();
-        for &(_, flip) in scored.iter().take(budget) {
+        for &(score, flip) in scored.iter().take(budget) {
             match flip {
                 Flip::Edge(u, v) => {
                     poisoned.flip_edge(u, v);
+                    bbgnn_obs::counter("attack/edge_flips", 1);
+                    bbgnn_obs::event!(
+                        "peega_parallel/perturb",
+                        kind = "edge",
+                        u = u,
+                        v = v,
+                        score = score
+                    );
                 }
                 Flip::Feature(v, i) => {
                     poisoned.flip_feature(v, i);
+                    bbgnn_obs::counter("attack/feature_flips", 1);
+                    bbgnn_obs::event!(
+                        "peega_parallel/perturb",
+                        kind = "feature",
+                        u = v,
+                        v = i,
+                        score = score
+                    );
                 }
             }
         }

@@ -306,6 +306,7 @@ impl Attacker for PgdAttack {
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
         let start = Instant::now();
+        let _span = bbgnn_obs::span!("attack/pgd", nodes = g.num_nodes());
         let cfg = self.config.clone();
         // Pre-train the victim once; parameters stay fixed afterwards.
         let mut gcn = Gcn::paper_default(cfg.train.clone());

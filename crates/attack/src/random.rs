@@ -53,6 +53,7 @@ impl Attacker for RandomAttack {
         let start = Instant::now();
         let n = g.num_nodes();
         let budget = budget_for(g, self.config.rate);
+        let _span = bbgnn_obs::span!("attack/random", nodes = n, budget = budget);
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut poisoned = g.clone();
         let mut flipped = std::collections::HashSet::new();

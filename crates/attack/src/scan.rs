@@ -39,9 +39,11 @@ fn unflatten_pair(k: usize, n: usize) -> (usize, usize) {
 
 /// Parallel first-max over undirected pairs `(u, v)` with `u < v`.
 ///
-/// `score(u, v)` returns `None` to skip a candidate. The result is
+/// `score(u, v)` returns `None` to skip a candidate; `NaN` scores are
+/// skipped the same way (a NaN can never be the argmax). The result is
 /// bitwise-identical to the ascending sequential double loop for every
-/// worker count.
+/// worker count. Returns `None` when the candidate space is empty or every
+/// score is skipped.
 pub(crate) fn best_edge_flip<S>(
     pool: &ThreadPool,
     n: usize,
@@ -58,7 +60,10 @@ where
             let (mut u, mut v) = unflatten_pair(range.start, n);
             for _ in range {
                 if let Some(s) = score(u, v) {
-                    if best.map_or(true, |(b, _)| s > b) {
+                    // NaN scores are skipped entirely: `s > b` is false for
+                    // NaN, but `best.map_or(true, …)` would otherwise admit
+                    // a NaN as the *first* candidate and then beat nothing.
+                    if !s.is_nan() && best.map_or(true, |(b, _)| s > b) {
                         best = Some((s, (u, v)));
                     }
                 }
@@ -97,7 +102,8 @@ where
             for k in range {
                 let (r, c) = (k / cols, k % cols);
                 if let Some(s) = score(r, c) {
-                    if best.map_or(true, |(b, _)| s > b) {
+                    // Same NaN guard as the edge scan above.
+                    if !s.is_nan() && best.map_or(true, |(b, _)| s > b) {
                         best = Some((s, (r, c)));
                     }
                 }
@@ -125,6 +131,54 @@ mod tests {
             }
         }
         assert_eq!(k, n * (n - 1) / 2);
+    }
+
+    /// Degenerate candidate spaces must return `None`, not panic: zero or
+    /// one node (no pairs), zero rows, zero columns.
+    #[test]
+    fn empty_candidate_spaces_return_none() {
+        let pool = ThreadPool::new(4);
+        let some = |_: usize, _: usize| Some(1.0);
+        assert_eq!(best_edge_flip(&pool, 0, some), None);
+        assert_eq!(best_edge_flip(&pool, 1, some), None);
+        assert_eq!(best_entry_flip(&pool, 0, 5, some), None);
+        assert_eq!(best_entry_flip(&pool, 5, 0, some), None);
+        // Non-empty space where every candidate is skipped.
+        let none = |_: usize, _: usize| None::<f64>;
+        assert_eq!(best_edge_flip(&pool, 10, none), None);
+        assert_eq!(best_entry_flip(&pool, 4, 4, none), None);
+    }
+
+    /// All-equal scores: strict `>` keeps the *first* candidate in scan
+    /// order, for every worker count.
+    #[test]
+    fn all_equal_scores_select_first_candidate() {
+        let flat = |_: usize, _: usize| Some(2.5);
+        for threads in [1, 2, 8] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(best_edge_flip(&pool, 30, flat), Some((2.5, 0, 1)));
+            assert_eq!(best_entry_flip(&pool, 30, 30, flat), Some((2.5, 0, 0)));
+        }
+    }
+
+    /// NaN scores must never be selected — including a NaN on the very
+    /// first candidate, which the pre-fix `map_or(true, …)` admitted and
+    /// then never replaced (NaN comparisons are all false).
+    #[test]
+    fn nan_scores_are_never_selected() {
+        let nan_first = |u: usize, v: usize| Some(if u == 0 && v <= 1 { f64::NAN } else { 1.0 });
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            let best = best_edge_flip(&pool, 20, nan_first);
+            assert_eq!(best, Some((1.0, 0, 2)), "NaN leaked past the scan");
+            let best = best_entry_flip(&pool, 20, 20, nan_first);
+            assert_eq!(best, Some((1.0, 0, 2)));
+        }
+        // All-NaN space: nothing selectable.
+        let all_nan = |_: usize, _: usize| Some(f64::NAN);
+        let pool = ThreadPool::new(4);
+        assert_eq!(best_edge_flip(&pool, 10, all_nan), None);
+        assert_eq!(best_entry_flip(&pool, 4, 4, all_nan), None);
     }
 
     #[test]

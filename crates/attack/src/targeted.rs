@@ -69,6 +69,7 @@ impl Attacker for TargetedPeega {
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
         let start = Instant::now();
+        let _span = bbgnn_obs::span!("attack/targeted", nodes = g.num_nodes());
         assert!(
             !self.config.targets.is_empty(),
             "no victim nodes configured"

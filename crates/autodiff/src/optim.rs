@@ -55,8 +55,11 @@ impl Adam {
     pub fn step(&mut self, params: &mut [DenseMatrix], grads: &[Option<&DenseMatrix>]) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
         self.t += 1;
-        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
-        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        // powf, not `powi(self.t as i32)`: the `as i32` cast wraps for
+        // step counts past i32::MAX, and a negative exponent turns the
+        // bias corrections into garbage (≤ 0), flipping the update sign.
+        let bc1 = 1.0 - self.beta1.powf(self.t as f64);
+        let bc2 = 1.0 - self.beta2.powf(self.t as f64);
         for ((p, g), (m, v)) in params
             .iter_mut()
             .zip(grads)
@@ -152,6 +155,28 @@ mod tests {
         let sgd = Sgd::new(0.1, 0.5);
         sgd.step(&mut params, &[Some(&zeros)]);
         assert!((params[0].get(0, 0) - 0.95).abs() < 1e-12);
+    }
+
+    /// Regression test for the bias-correction overflow: with the old
+    /// `powi(self.t as i32)` the step count wrapped negative past
+    /// `i32::MAX`, making `β^t` blow up and the corrections non-positive.
+    /// At any huge `t`, `β^t` underflows to 0, so `bc ≈ 1` and a step must
+    /// move the parameter by a small finite amount in the right direction.
+    #[test]
+    fn bias_correction_survives_huge_step_counts() {
+        let mut params = vec![DenseMatrix::filled(1, 1, 1.0)];
+        let grad = DenseMatrix::filled(1, 1, 1.0);
+        let mut adam = Adam::new(0.1, 0.0, &params);
+        // Simulate a run that has been stepping for longer than i32::MAX
+        // iterations (the cast `t as i32` would yield a negative value).
+        adam.t = i32::MAX as u64 + 7;
+        adam.step(&mut params, &[Some(&grad)]);
+        let p = params[0].get(0, 0);
+        assert!(p.is_finite(), "update at huge t must stay finite, got {p}");
+        assert!(
+            p < 1.0 && p > 0.0,
+            "a positive gradient must decrease the parameter sanely, got {p}"
+        );
     }
 
     #[test]

@@ -791,8 +791,18 @@ impl Tape {
 }
 
 /// In-place softmax of a slice (numerically stabilized).
+///
+/// A row of all `-∞` (no admissible entry) produces an **all-zero row**,
+/// uniform with [`masked_softmax_slice`]'s all-masked convention — not NaN,
+/// which `exp(-∞ − -∞)` would otherwise yield. The zero row also backprops
+/// a zero (not NaN) gradient, since the softmax Jacobian vanishes with the
+/// outputs.
 fn softmax_slice(row: &mut [f64]) {
     let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    if max == f64::NEG_INFINITY {
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
     let mut sum = 0.0;
     for v in row.iter_mut() {
         *v = (*v - max).exp();
@@ -934,6 +944,49 @@ mod tests {
         let y = t.masked_softmax_rows(x, mask);
         assert_eq!(t.value(y).get(0, 1), 0.0);
         assert!((t.value(y).get(0, 0) - 0.5).abs() < 1e-12);
+    }
+
+    /// A row of all `-∞` logits (every entry inadmissible) must yield an
+    /// all-zero softmax row — uniform with the masked variant — and a
+    /// zero (not NaN) gradient through backward.
+    #[test]
+    fn softmax_all_neg_inf_row_is_zero_with_zero_gradient() {
+        let inf = f64::NEG_INFINITY;
+        let mut t = Tape::new();
+        let x = t.var(DenseMatrix::from_rows(&[
+            &[inf, inf, inf],
+            &[0.0, 0.0, inf],
+        ]));
+        let y = t.softmax_rows(x);
+        assert_eq!(t.value(y).row(0), &[0.0, 0.0, 0.0], "degenerate row");
+        assert!((t.value(y).get(1, 0) - 0.5).abs() < 1e-12, "healthy row");
+        assert_eq!(t.value(y).get(1, 2), 0.0, "-inf entry in a finite row");
+        let s = t.sum_all(y);
+        t.backward(s);
+        let g = t.grad(x).unwrap();
+        for j in 0..3 {
+            assert_eq!(g.get(0, j), 0.0, "zero row ⇒ zero gradient, not NaN");
+        }
+    }
+
+    /// All-masked (empty-mask) rows of the masked softmax: zero row and
+    /// zero backprop gradient, no NaN anywhere.
+    #[test]
+    fn masked_softmax_empty_mask_row_is_zero_with_zero_gradient() {
+        let mut t = Tape::new();
+        let x = t.var(DenseMatrix::from_rows(&[&[5.0, 1.0], &[2.0, 3.0]]));
+        let mask = Rc::new(DenseMatrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]));
+        let y = t.masked_softmax_rows(x, mask);
+        assert_eq!(t.value(y).row(0), &[0.0, 0.0]);
+        let row1_sum: f64 = t.value(y).row(1).iter().sum();
+        assert!((row1_sum - 1.0).abs() < 1e-12);
+        let s = t.sum_all(y);
+        t.backward(s);
+        let g = t.grad(x).unwrap();
+        assert_eq!(g.row(0), &[0.0, 0.0], "empty-mask row ⇒ zero gradient");
+        for v in g.as_slice() {
+            assert!(v.is_finite(), "gradient contains a non-finite value");
+        }
     }
 
     #[test]

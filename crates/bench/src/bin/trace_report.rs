@@ -1,0 +1,41 @@
+//! `trace_report` — aggregates a `BBGNN_TRACE` JSONL trace into tables.
+//!
+//! Usage: `trace_report <trace.jsonl>`. Validates the trace (every line
+//! must parse, every span must balance — a corrupt or truncated trace is a
+//! nonzero exit naming the offending line), then prints:
+//!
+//! * the per-span-name wall-time table (count / total ms / self ms);
+//! * counter totals and per-kernel call/time aggregates;
+//! * the per-epoch training timeline as CSV (when the trace holds
+//!   `train/epoch` events).
+
+use bbgnn_bench::trace::read_trace;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let path = match (args.next(), args.next()) {
+        (Some(p), None) if p != "--help" && p != "-h" => p,
+        _ => {
+            eprintln!("usage: trace_report <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let summary = match read_trace(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: invalid trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "trace {path}: {} records, {} events\n",
+        summary.records, summary.events
+    );
+    print!("{}", summary.span_table());
+    println!();
+    print!("{}", summary.counter_table());
+    if !summary.epochs.is_empty() {
+        println!();
+        print!("{}", summary.epoch_csv());
+    }
+}

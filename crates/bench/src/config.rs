@@ -26,6 +26,11 @@ pub struct ExpConfig {
     /// machine's available parallelism). Results are bitwise-identical for
     /// every value — this knob trades wall-clock only.
     pub threads: usize,
+    /// Trace output path (`--trace out.jsonl` / `BBGNN_TRACE`). `None`
+    /// (default) keeps tracing disabled at near-zero overhead. Tracing
+    /// never changes experiment results — traced and untraced runs are
+    /// byte-identical (enforced by the CI tracing job).
+    pub trace: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -38,6 +43,7 @@ impl Default for ExpConfig {
             dataset: None,
             out_dir: "results".to_string(),
             threads: 0,
+            trace: None,
         }
     }
 }
@@ -76,6 +82,13 @@ impl ExpConfig {
                 // thing an experiment binary does).
                 if cfg.threads != 0 {
                     std::env::set_var("BBGNN_THREADS", cfg.threads.to_string());
+                }
+                // Turn tracing on before any span-bearing code runs.
+                if let Some(path) = &cfg.trace {
+                    if let Err(e) = bbgnn_obs::init_to_path(path) {
+                        eprintln!("error: --trace {path}: {e}");
+                        std::process::exit(2);
+                    }
                 }
                 cfg
             }
@@ -120,6 +133,9 @@ impl ExpConfig {
         if let Some(v) = env("BBGNN_THREADS") {
             cfg.threads = parse_value(Some(&v), "BBGNN_THREADS", "an integer (0 = auto)")?;
         }
+        if let Some(v) = env("BBGNN_TRACE") {
+            cfg.trace = Some(v);
+        }
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
@@ -130,6 +146,13 @@ impl ExpConfig {
                 "--rate" => cfg.rate = parse_value(value, flag, "a float")?,
                 "--seed" => cfg.seed = parse_value(value, flag, "an integer")?,
                 "--threads" => cfg.threads = parse_value(value, flag, "an integer (0 = auto)")?,
+                "--trace" => {
+                    cfg.trace = Some(
+                        value
+                            .ok_or_else(|| invalid(flag, "requires a value (path)"))?
+                            .to_string(),
+                    )
+                }
                 "--dataset" => {
                     cfg.dataset = Some(
                         value
@@ -144,7 +167,7 @@ impl ExpConfig {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR"
+                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR --trace PATH"
                     );
                     std::process::exit(0);
                 }
@@ -307,6 +330,36 @@ mod tests {
             ExpConfig::try_parse(&[], env),
             Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "BBGNN_THREADS"
         ));
+    }
+
+    #[test]
+    fn trace_flag_and_env_are_parsed() {
+        let c = ExpConfig::try_parse(&argv(&["--trace", "out.jsonl"]), no_env).unwrap();
+        assert_eq!(c.trace.as_deref(), Some("out.jsonl"));
+        let env = |name: &str| (name == "BBGNN_TRACE").then(|| "env.jsonl".to_string());
+        let c = ExpConfig::try_parse(&[], env).unwrap();
+        assert_eq!(c.trace.as_deref(), Some("env.jsonl"));
+        // Flag wins over env, default is off.
+        let env = |name: &str| (name == "BBGNN_TRACE").then(|| "env.jsonl".to_string());
+        let c = ExpConfig::try_parse(&argv(&["--trace", "flag.jsonl"]), env).unwrap();
+        assert_eq!(c.trace.as_deref(), Some("flag.jsonl"));
+        assert_eq!(ExpConfig::try_parse(&[], no_env).unwrap().trace, None);
+        assert!(matches!(
+            ExpConfig::try_parse(&argv(&["--trace"]), no_env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "--trace"
+        ));
+    }
+
+    #[test]
+    fn fingerprint_ignores_trace() {
+        // Tracing never changes results, so a checkpoint from an untraced
+        // run must be resumable under --trace (and vice versa).
+        let a = ExpConfig {
+            trace: Some("t.jsonl".to_string()),
+            ..Default::default()
+        };
+        let b = ExpConfig::default();
+        assert_eq!(a.fingerprint("t"), b.fingerprint("t"));
     }
 
     #[test]

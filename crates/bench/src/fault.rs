@@ -150,6 +150,7 @@ impl FaultRunner {
         let mut last_cause = String::new();
         for attempt in 0..=self.policy.max_retries {
             let seed = RetryPolicy::seed_for_attempt(base_seed, attempt);
+            let _span = bbgnn_obs::span!("bench/cell", key = key, attempt = attempt, seed = seed);
             let outcome = catch_unwind(AssertUnwindSafe(|| f(seed)));
             let error = match outcome {
                 Ok(Ok(value)) => {

@@ -30,3 +30,4 @@ pub mod fault;
 pub mod json;
 pub mod report;
 pub mod runner;
+pub mod trace;

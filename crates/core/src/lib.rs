@@ -35,6 +35,8 @@
 //!
 //! * [`bbgnn_errors`] — structured error taxonomy and retry policies
 //!   shared by every layer;
+//! * [`bbgnn_obs`] — zero-dependency tracing: spans, events, counters
+//!   drained to a JSONL trace (`BBGNN_TRACE=trace.jsonl`, see DESIGN.md §8);
 //! * [`bbgnn_linalg`] — dense/sparse matrices, SVD, eigendecomposition;
 //! * [`bbgnn_autodiff`] — the reverse-mode tape every model trains on;
 //! * [`bbgnn_graph`] — graph container, metrics, dataset generators;
@@ -52,6 +54,7 @@ pub use bbgnn_errors as error;
 pub use bbgnn_gnn as gnn;
 pub use bbgnn_graph as graph;
 pub use bbgnn_linalg as linalg;
+pub use bbgnn_obs as obs;
 
 pub mod exec;
 pub mod registry;
@@ -82,7 +85,7 @@ pub mod prelude {
     pub use bbgnn_gnn::gcn::Gcn;
     pub use bbgnn_gnn::linear_gcn::LinearGcn;
     pub use bbgnn_gnn::sage::GraphSage;
-    pub use bbgnn_gnn::train::{TrainConfig, TrainReport};
+    pub use bbgnn_gnn::train::{Mode, TrainConfig, TrainReport};
     pub use bbgnn_gnn::NodeClassifier;
     pub use bbgnn_graph::datasets::{DatasetSpec, SbmParams};
     pub use bbgnn_graph::metrics::{

@@ -23,7 +23,7 @@
 
 use crate::Defender;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_gnn::train::{train_node_classifier, TrainConfig, TrainReport};
+use bbgnn_gnn::train::{train_node_classifier, Mode, TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
 use bbgnn_linalg::{CsrMatrix, DenseMatrix};
@@ -220,7 +220,7 @@ impl Gnat {
         weights: &[DenseMatrix],
         views: &[Rc<CsrMatrix>],
         x: &DenseMatrix,
-        epoch: usize,
+        mode: Mode,
     ) -> (TensorId, Vec<TensorId>) {
         let ids: Vec<TensorId> = weights.iter().map(|w| tape.var(w.clone())).collect();
         let dropout = self.config.train.dropout;
@@ -229,7 +229,7 @@ impl Gnat {
             let mut h = tape.constant(x.clone());
             let last = ids.len() - 1;
             for (l, &w) in ids.iter().enumerate() {
-                if dropout > 0.0 && epoch != usize::MAX {
+                if let (true, Some(epoch)) = (dropout > 0.0, mode.train_epoch()) {
                     let seed = self
                         .config
                         .train
@@ -263,7 +263,7 @@ impl Gnat {
             &self.weights,
             &self.view_adjacencies,
             &g.features,
-            usize::MAX,
+            Mode::Eval,
         );
         tape.value(out).clone()
     }
@@ -271,6 +271,7 @@ impl Gnat {
 
 impl NodeClassifier for Gnat {
     fn fit(&mut self, g: &Graph) -> TrainReport {
+        let _span = bbgnn_obs::span!("defense/gnat/fit", nodes = g.num_nodes());
         let pruned;
         let g = match self.config.prune_threshold {
             Some(threshold) => {
@@ -289,8 +290,8 @@ impl NodeClassifier for Gnat {
         let x = g.features.clone();
         let cfg = self.config.train.clone();
         let this = &*self;
-        let report = train_node_classifier(&mut weights, g, &cfg, |tape, params, epoch| {
-            this.forward(tape, params, &views, &x, epoch)
+        let report = train_node_classifier(&mut weights, g, &cfg, |tape, params, mode| {
+            this.forward(tape, params, &views, &x, mode)
         });
         self.weights = weights;
         report

@@ -89,6 +89,7 @@ impl GcnJaccard {
 
 impl NodeClassifier for GcnJaccard {
     fn fit(&mut self, g: &Graph) -> TrainReport {
+        let _span = bbgnn_obs::span!("defense/jaccard/fit", nodes = g.num_nodes());
         let purified = self.purify(g);
         let report = self.gcn.fit(&purified);
         self.purified = Some(purified);

@@ -159,6 +159,7 @@ impl ProGnn {
 
 impl NodeClassifier for ProGnn {
     fn fit(&mut self, g: &Graph) -> TrainReport {
+        let _span = bbgnn_obs::span!("defense/prognn/fit", nodes = g.num_nodes());
         let cfg = self.config.clone();
         let n = g.num_nodes();
         let a_hat = g.adjacency_dense();

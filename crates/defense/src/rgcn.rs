@@ -20,7 +20,7 @@
 
 use crate::Defender;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_gnn::train::{train_with_regularizer, TrainConfig, TrainReport};
+use bbgnn_gnn::train::{train_with_regularizer, Mode, TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
 use bbgnn_linalg::{CsrMatrix, DenseMatrix};
@@ -81,7 +81,7 @@ impl Rgcn {
         params: &[DenseMatrix],
         an: &Rc<CsrMatrix>,
         x: &DenseMatrix,
-        epoch: usize,
+        mode: Mode,
     ) -> (TensorId, Vec<TensorId>, Option<TensorId>) {
         let ids: Vec<TensorId> = params.iter().map(|p| tape.var(p.clone())).collect();
         let xc = tape.constant(x.clone());
@@ -96,25 +96,26 @@ impl Rgcn {
         let neg_sig = tape.scalar_mul(sig, -1.0);
         let alpha = tape.exp(neg_sig);
 
-        let hidden = if epoch == usize::MAX {
-            mu
-        } else {
-            // Reparameterized sample μ + ε ∘ √σ².
-            let eps = Rc::new(DenseMatrix::gaussian(
-                x.rows(),
-                self.config.hidden,
-                1.0,
-                self.config.train.seed.wrapping_add(40_000 + epoch as u64),
-            ));
-            let std = tape.pow_scalar(sig, 0.5);
-            let noise = tape.hadamard_const(std, eps);
-            tape.add(mu, noise)
+        let hidden = match mode.train_epoch() {
+            None => mu,
+            Some(epoch) => {
+                // Reparameterized sample μ + ε ∘ √σ².
+                let eps = Rc::new(DenseMatrix::gaussian(
+                    x.rows(),
+                    self.config.hidden,
+                    1.0,
+                    self.config.train.seed.wrapping_add(40_000 + epoch as u64),
+                ));
+                let std = tape.pow_scalar(sig, 0.5);
+                let noise = tape.hadamard_const(std, eps);
+                tape.add(mu, noise)
+            }
         };
         let gated = tape.hadamard(hidden, alpha);
         let gw = tape.matmul(gated, ids[2]);
         let logits = tape.spmm(Rc::clone(an), gw);
 
-        if epoch == usize::MAX {
+        if !mode.is_train() {
             return (logits, ids, None);
         }
         // KL(N(μ, σ²) ‖ N(0, I)) = ½ Σ (σ² + μ² − 1 − ln σ²); the constant
@@ -131,13 +132,14 @@ impl Rgcn {
 
 impl NodeClassifier for Rgcn {
     fn fit(&mut self, g: &Graph) -> TrainReport {
+        let _span = bbgnn_obs::span!("defense/rgcn/fit", nodes = g.num_nodes());
         let an = Rc::new(g.normalized_adjacency());
         let mut params = self.init_params(g.feature_dim(), g.num_classes);
         let x = g.features.clone();
         let cfg = self.config.train.clone();
         let this = &*self;
-        let report = train_with_regularizer(&mut params, g, &cfg, |tape, p, epoch| {
-            this.forward(tape, p, &an, &x, epoch)
+        let report = train_with_regularizer(&mut params, g, &cfg, |tape, p, mode| {
+            this.forward(tape, p, &an, &x, mode)
         });
         self.params = params;
         report
@@ -147,7 +149,7 @@ impl NodeClassifier for Rgcn {
         assert!(!self.params.is_empty(), "model is not trained");
         let an = Rc::new(g.normalized_adjacency());
         let mut tape = Tape::new();
-        let (out, _, _) = self.forward(&mut tape, &self.params, &an, &g.features, usize::MAX);
+        let (out, _, _) = self.forward(&mut tape, &self.params, &an, &g.features, Mode::Eval);
         tape.value(out).row_argmax()
     }
 }

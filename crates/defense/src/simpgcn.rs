@@ -18,7 +18,7 @@
 
 use crate::Defender;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_gnn::train::{train_with_regularizer, TrainConfig, TrainReport};
+use bbgnn_gnn::train::{train_with_regularizer, Mode, TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
 use bbgnn_linalg::dense::cosine_similarity;
@@ -148,7 +148,7 @@ impl SimPGcn {
         af: &Rc<CsrMatrix>,
         x: &DenseMatrix,
         ssl: Option<&(Rc<CsrMatrix>, Rc<CsrMatrix>, Rc<DenseMatrix>)>,
-        epoch: usize,
+        mode: Mode,
     ) -> (TensorId, Vec<TensorId>, Option<TensorId>) {
         let ids: Vec<TensorId> = params.iter().map(|p| tape.var(p.clone())).collect();
         let xc = tape.constant(x.clone());
@@ -164,7 +164,7 @@ impl SimPGcn {
         let h1 = Self::gated_layer(tape, xc, ids[0], an, af, s_gate, s_comp, e_gate);
         let h1 = tape.relu(h1);
         let mut h1d = h1;
-        if self.config.train.dropout > 0.0 && epoch != usize::MAX {
+        if let (true, Some(epoch)) = (self.config.train.dropout > 0.0, mode.train_epoch()) {
             h1d = tape.dropout(
                 h1,
                 self.config.train.dropout,
@@ -173,8 +173,8 @@ impl SimPGcn {
         }
         let logits = Self::gated_layer(tape, h1d, ids[1], an, af, s_gate, s_comp, e_gate);
 
-        let reg = match (ssl, epoch) {
-            (Some((sa, sb, targets)), e) if e != usize::MAX && self.config.ssl_weight > 0.0 => {
+        let reg = match ssl {
+            Some((sa, sb, targets)) if mode.is_train() && self.config.ssl_weight > 0.0 => {
                 let ha = tape.spmm(Rc::clone(sa), h1);
                 let hb = tape.spmm(Rc::clone(sb), h1);
                 let d = tape.sub(ha, hb);
@@ -193,6 +193,7 @@ impl SimPGcn {
 
 impl NodeClassifier for SimPGcn {
     fn fit(&mut self, g: &Graph) -> TrainReport {
+        let _span = bbgnn_obs::span!("defense/simpgcn/fit", nodes = g.num_nodes());
         let an = Rc::new(g.normalized_adjacency());
         let af = Rc::new(self.knn_graph(g));
         self.trained_graphs = Some((Rc::clone(&an), Rc::clone(&af)));
@@ -201,8 +202,8 @@ impl NodeClassifier for SimPGcn {
         let x = g.features.clone();
         let cfg = self.config.train.clone();
         let this = &*self;
-        let report = train_with_regularizer(&mut params, g, &cfg, |tape, p, epoch| {
-            this.forward(tape, p, &an, &af, &x, Some(&ssl), epoch)
+        let report = train_with_regularizer(&mut params, g, &cfg, |tape, p, mode| {
+            this.forward(tape, p, &an, &af, &x, Some(&ssl), mode)
         });
         self.params = params;
         report
@@ -219,7 +220,7 @@ impl NodeClassifier for SimPGcn {
             af,
             &g.features,
             None,
-            usize::MAX,
+            Mode::Eval,
         );
         tape.value(out).row_argmax()
     }

@@ -67,6 +67,7 @@ impl GcnSvd {
 
 impl NodeClassifier for GcnSvd {
     fn fit(&mut self, g: &Graph) -> TrainReport {
+        let _span = bbgnn_obs::span!("defense/svd/fit", nodes = g.num_nodes());
         let an = Rc::new(self.purify(g).gcn_normalize());
         self.purified_an = Some(Rc::clone(&an));
         self.gcn.fit_on(g, an)

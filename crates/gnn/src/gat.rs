@@ -2,13 +2,18 @@
 //!
 //! Each layer computes, per head, `e_{uv} = LeakyReLU(a_s·Wh_u + a_d·Wh_v)`
 //! on the edges of `A + I`, normalizes with a masked row softmax, and
-//! aggregates `h'_u = Σ_v α_{uv} W h_v`. Hidden layers concatenate heads;
-//! the output layer averages them — the standard GAT arrangement. Attention
-//! is materialized as a dense `n × n` matrix, which is fine at the graph
+//! aggregates `h'_u = Σ_v α_{uv} W h_v`. The hidden layer concatenates its
+//! heads; the output layer is a **single** attention head mapping the
+//! concatenated `hidden_per_head × heads` features to class logits (its
+//! `W_o` is `hidden_per_head·heads × classes`). This differs from the
+//! original paper's multi-head-averaged output layer — one output head
+//! over concatenated features is the simpler arrangement this workspace
+//! uses; see `init_params` for the exact parameter layout. Attention is
+//! materialized as a dense `n × n` matrix, which is fine at the graph
 //! sizes this workspace targets and keeps the whole model on the autodiff
 //! tape.
 
-use crate::train::{train_node_classifier, TrainConfig, TrainReport};
+use crate::train::{train_node_classifier, Mode, TrainConfig, TrainReport};
 use crate::NodeClassifier;
 use bbgnn_autodiff::{Tape, TensorId};
 use bbgnn_graph::Graph;
@@ -112,12 +117,12 @@ impl Gat {
         params: &[DenseMatrix],
         mask: &Rc<DenseMatrix>,
         x: &DenseMatrix,
-        epoch: usize,
+        mode: Mode,
     ) -> (TensorId, Vec<TensorId>) {
         let ids: Vec<TensorId> = params.iter().map(|p| tape.var(p.clone())).collect();
         let dropout = self.config.dropout;
         let mut h = tape.constant(x.clone());
-        if dropout > 0.0 && epoch != usize::MAX {
+        if let (true, Some(epoch)) = (dropout > 0.0, mode.train_epoch()) {
             h = tape.dropout(
                 h,
                 dropout,
@@ -131,7 +136,7 @@ impl Gat {
             head_outputs.push(tape.relu(out));
         }
         let mut hidden = tape.concat_cols(&head_outputs);
-        if dropout > 0.0 && epoch != usize::MAX {
+        if let (true, Some(epoch)) = (dropout > 0.0, mode.train_epoch()) {
             hidden = tape.dropout(
                 hidden,
                 dropout,
@@ -157,7 +162,7 @@ impl Gat {
         assert!(!self.params.is_empty(), "model is not trained");
         let mask = Self::attention_mask(g);
         let mut tape = Tape::new();
-        let (out, _) = self.forward(&mut tape, &self.params, &mask, &g.features, usize::MAX);
+        let (out, _) = self.forward(&mut tape, &self.params, &mask, &g.features, Mode::Eval);
         tape.value(out).clone()
     }
 }
@@ -169,8 +174,8 @@ impl NodeClassifier for Gat {
         let x = g.features.clone();
         let cfg = self.config.clone();
         let this = &*self;
-        let report = train_node_classifier(&mut params, g, &cfg, |tape, p, epoch| {
-            this.forward(tape, p, &mask, &x, epoch)
+        let report = train_node_classifier(&mut params, g, &cfg, |tape, p, mode| {
+            this.forward(tape, p, &mask, &x, mode)
         });
         self.params = params;
         report
@@ -203,6 +208,30 @@ mod tests {
         let mut gat = Gat::new(4, 2, TrainConfig::fast_test());
         gat.fit(&g);
         assert_eq!(gat.logits(&g).shape(), (g.num_nodes(), g.num_classes));
+    }
+
+    /// Pins the documented parameter layout: per hidden head
+    /// `[W_h (in × hidden), a_src (hidden × 1), a_dst (hidden × 1)]`,
+    /// then a *single* output attention head over the concatenated heads
+    /// `[W_o (hidden·heads × classes), a_src_o (classes × 1),
+    /// a_dst_o (classes × 1)]` — not a per-head averaged output layer.
+    #[test]
+    fn output_layer_is_single_head_over_concatenated_features() {
+        let g = DatasetSpec::CoraLike.generate(0.04, 44);
+        let gat = Gat::new(8, 4, TrainConfig::fast_test());
+        let params = gat.init_params(g.feature_dim(), g.num_classes);
+        let (d, k) = (g.feature_dim(), g.num_classes);
+        assert_eq!(params.len(), 3 * 4 + 3, "3 tensors per head + 3 output");
+        for h in 0..4 {
+            assert_eq!(params[3 * h].shape(), (d, 8), "W of head {h}");
+            assert_eq!(params[3 * h + 1].shape(), (8, 1), "a_src of head {h}");
+            assert_eq!(params[3 * h + 2].shape(), (8, 1), "a_dst of head {h}");
+        }
+        // One output head whose W maps all concatenated hidden features —
+        // if the output layer averaged heads, this would be (8, k) instead.
+        assert_eq!(params[12].shape(), (8 * 4, k), "W_o over concat heads");
+        assert_eq!(params[13].shape(), (k, 1), "a_src_o");
+        assert_eq!(params[14].shape(), (k, 1), "a_dst_o");
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Kipf–Welling graph convolutional network (Eq. 1–2 of the paper).
 
-use crate::train::{train_node_classifier, TrainConfig, TrainReport};
+use crate::train::{train_node_classifier, Mode, TrainConfig, TrainReport};
 use crate::NodeClassifier;
 use bbgnn_autodiff::{Tape, TensorId};
 use bbgnn_graph::Graph;
@@ -54,8 +54,8 @@ impl Gcn {
     }
 
     /// Builds the forward pass on `tape`: registers weights as variables
-    /// and returns `(logits, weight_ids)`. `epoch == usize::MAX` disables
-    /// dropout (inference).
+    /// and returns `(logits, weight_ids)`. [`Mode::Eval`] disables dropout
+    /// (inference).
     fn forward(
         &self,
         tape: &mut Tape,
@@ -63,7 +63,7 @@ impl Gcn {
         an: &Rc<CsrMatrix>,
         x: &DenseMatrix,
         dropout: f64,
-        epoch: usize,
+        mode: Mode,
     ) -> (TensorId, Vec<TensorId>) {
         let ids: Vec<TensorId> = weights.iter().map(|w| tape.var(w.clone())).collect();
         let mut h = tape.constant(x.clone());
@@ -71,7 +71,7 @@ impl Gcn {
         for (l, &w) in ids.iter().enumerate() {
             // Dropout on the input of every layer (as in the reference
             // implementation) during training only.
-            if dropout > 0.0 && epoch != usize::MAX {
+            if let (true, Some(epoch)) = (dropout > 0.0, mode.train_epoch()) {
                 let seed = self
                     .config
                     .seed
@@ -99,8 +99,8 @@ impl Gcn {
         let x = g.features.clone();
         let cfg = self.config.clone();
         let this = &*self;
-        let report = train_node_classifier(&mut weights, g, &cfg, |tape, params, epoch| {
-            this.forward(tape, params, &an, &x, dropout, epoch)
+        let report = train_node_classifier(&mut weights, g, &cfg, |tape, params, mode| {
+            this.forward(tape, params, &an, &x, dropout, mode)
         });
         self.weights = weights;
         report
@@ -111,7 +111,7 @@ impl Gcn {
     pub fn logits_on(&self, features: &DenseMatrix, an: &Rc<CsrMatrix>) -> DenseMatrix {
         assert!(!self.weights.is_empty(), "model is not trained");
         let mut tape = Tape::new();
-        let (out, _) = self.forward(&mut tape, &self.weights, an, features, 0.0, usize::MAX);
+        let (out, _) = self.forward(&mut tape, &self.weights, an, features, 0.0, Mode::Eval);
         tape.value(out).clone()
     }
 

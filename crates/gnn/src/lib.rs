@@ -27,6 +27,8 @@ pub mod train;
 
 use bbgnn_graph::Graph;
 
+pub use train::Mode;
+
 /// A transductive node-classification model.
 pub trait NodeClassifier {
     /// Trains on `g` (using `g.split.train` labels, early-stopping on

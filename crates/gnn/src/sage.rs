@@ -11,7 +11,7 @@
 //! graphs are generated against a linear-GCN surrogate, and GraphSAGE
 //! checks that the attack transfers across aggregation schemes.
 
-use crate::train::{train_node_classifier, TrainConfig, TrainReport};
+use crate::train::{train_node_classifier, Mode, TrainConfig, TrainReport};
 use crate::NodeClassifier;
 use bbgnn_autodiff::{Tape, TensorId};
 use bbgnn_graph::Graph;
@@ -67,12 +67,12 @@ impl GraphSage {
         params: &[DenseMatrix],
         am: &Rc<CsrMatrix>,
         x: &DenseMatrix,
-        epoch: usize,
+        mode: Mode,
     ) -> (TensorId, Vec<TensorId>) {
         let ids: Vec<TensorId> = params.iter().map(|p| tape.var(p.clone())).collect();
         let mut h = tape.constant(x.clone());
         for layer in 0..2 {
-            if self.config.dropout > 0.0 && epoch != usize::MAX {
+            if let (true, Some(epoch)) = (self.config.dropout > 0.0, mode.train_epoch()) {
                 let seed = self
                     .config
                     .seed
@@ -96,7 +96,7 @@ impl GraphSage {
         assert!(!self.params.is_empty(), "model is not trained");
         let am = Rc::new(Self::mean_adjacency(g));
         let mut tape = Tape::new();
-        let (out, _) = self.forward(&mut tape, &self.params, &am, &g.features, usize::MAX);
+        let (out, _) = self.forward(&mut tape, &self.params, &am, &g.features, Mode::Eval);
         tape.value(out).clone()
     }
 }
@@ -108,8 +108,8 @@ impl NodeClassifier for GraphSage {
         let x = g.features.clone();
         let cfg = self.config.clone();
         let this = &*self;
-        let report = train_node_classifier(&mut params, g, &cfg, |tape, p, epoch| {
-            this.forward(tape, p, &am, &x, epoch)
+        let report = train_node_classifier(&mut params, g, &cfg, |tape, p, mode| {
+            this.forward(tape, p, &am, &x, mode)
         });
         self.params = params;
         report

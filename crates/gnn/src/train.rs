@@ -19,6 +19,41 @@ use std::time::Instant;
 /// Bound on rollback + learning-rate-halving retries per training run.
 pub const MAX_DIVERGENCE_RECOVERIES: usize = 3;
 
+/// Forward-pass mode, threaded into every model's `forward` closure.
+///
+/// Replaces the old `epoch == usize::MAX` sentinel: dropout masks and
+/// stochastic regularizers (RGCN's reparameterization noise, SimPGCN's
+/// self-supervised term) fire only under [`Mode::Train`], whose epoch
+/// index seeds them deterministically. [`Mode::Eval`] is a pure
+/// deterministic inference pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training pass; `epoch` seeds dropout masks and sampled noise so a
+    /// rerun with the same config is bitwise identical.
+    Train {
+        /// Zero-based epoch index.
+        epoch: usize,
+    },
+    /// Inference pass: dropout and stochastic regularizers disabled.
+    Eval,
+}
+
+impl Mode {
+    /// `Some(epoch)` during training, `None` at inference. The idiomatic
+    /// dropout guard is `if let Some(epoch) = mode.train_epoch() { … }`.
+    pub fn train_epoch(self) -> Option<usize> {
+        match self {
+            Mode::Train { epoch } => Some(epoch),
+            Mode::Eval => None,
+        }
+    }
+
+    /// True for [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train { .. })
+    }
+}
+
 /// Hyper-parameters shared by every trained model in the workspace.
 /// Defaults follow the reference GCN implementation (Adam, `lr = 0.01`,
 /// `weight_decay = 5e-4`, 200 epochs, early stopping patience 30).
@@ -93,8 +128,10 @@ pub struct TrainReport {
 /// Trains `params` with Adam by repeatedly calling `forward` to build the
 /// loss and logits, early-stopping on validation accuracy.
 ///
-/// `forward(tape, params, epoch)` must register each parameter with
-/// `tape.var` *in order* and return `(logits, param_ids)`.
+/// `forward(tape, params, mode)` must register each parameter with
+/// `tape.var` *in order* and return `(logits, param_ids)`; it receives
+/// [`Mode::Train`] on optimization passes and [`Mode::Eval`] on the
+/// early-stopping validation pass.
 ///
 /// This is the one training loop shared by GCN, GAT, the linear surrogate,
 /// and every trained defender, so early stopping and bookkeeping behave
@@ -103,10 +140,10 @@ pub fn train_node_classifier(
     params: &mut Vec<DenseMatrix>,
     g: &Graph,
     cfg: &TrainConfig,
-    mut forward: impl FnMut(&mut Tape, &[DenseMatrix], usize) -> (TensorId, Vec<TensorId>),
+    mut forward: impl FnMut(&mut Tape, &[DenseMatrix], Mode) -> (TensorId, Vec<TensorId>),
 ) -> TrainReport {
-    train_with_regularizer(params, g, cfg, |tape, p, epoch| {
-        let (logits, ids) = forward(tape, p, epoch);
+    train_with_regularizer(params, g, cfg, |tape, p, mode| {
+        let (logits, ids) = forward(tape, p, mode);
         (logits, ids, None)
     })
 }
@@ -121,10 +158,18 @@ pub fn train_with_regularizer(
     mut forward: impl FnMut(
         &mut Tape,
         &[DenseMatrix],
-        usize,
+        Mode,
     ) -> (TensorId, Vec<TensorId>, Option<TensorId>),
 ) -> TrainReport {
     let start = Instant::now();
+    let _span = bbgnn_obs::span!(
+        "train/fit",
+        epochs = cfg.epochs,
+        lr = cfg.lr,
+        patience = cfg.patience,
+        nodes = g.num_nodes(),
+        seed = cfg.seed
+    );
     // One execution context for the whole run: every epoch's tape shares
     // the thread pool and recycles its tensor buffers through the same
     // workspace arena, so epochs after the first allocate almost nothing.
@@ -146,7 +191,7 @@ pub fn train_with_regularizer(
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
         let mut tape = Tape::with_context(Rc::clone(&ctx));
-        let (logits, ids, extra) = forward(&mut tape, params, epoch);
+        let (logits, ids, extra) = forward(&mut tape, params, Mode::Train { epoch });
         let ce = tape.cross_entropy(logits, Rc::clone(&labels), Rc::clone(&train_rows));
         let loss = match extra {
             Some(reg) => tape.add(ce, reg),
@@ -162,6 +207,21 @@ pub fn train_with_regularizer(
                 .iter()
                 .any(|grad| grad.is_some_and(|m| first_non_finite(m.as_slice()).is_some()));
         }
+        // Telemetry (tracing builds only): global gradient L2 norm and
+        // training accuracy off the already-materialized forward pass.
+        let mut grad_norm = f64::NAN;
+        let mut train_acc = f64::NAN;
+        if bbgnn_obs::enabled() {
+            grad_norm = grads
+                .iter()
+                .flatten()
+                .flat_map(|m| m.as_slice())
+                .map(|v| v * v)
+                .sum::<f64>()
+                .sqrt();
+            let preds = tape.value(logits).row_argmax();
+            train_acc = crate::eval::accuracy(&preds, &g.labels, &g.split.train);
+        }
         if unstable {
             if divergence_recoveries >= MAX_DIVERGENCE_RECOVERIES {
                 // Recovery budget exhausted: keep the last healthy
@@ -169,11 +229,14 @@ pub fn train_with_regularizer(
                 // on garbage (or panicking).
                 params.clone_from(&last_good);
                 diverged = true;
+                bbgnn_obs::event!("train/diverged", epoch = epoch, loss = final_loss);
                 break;
             }
             divergence_recoveries += 1;
             params.clone_from(&last_good);
             lr *= 0.5;
+            bbgnn_obs::counter("train/divergence_rollbacks", 1);
+            bbgnn_obs::event!("train/rollback", epoch = epoch, lr = lr, loss = final_loss);
             // Fresh optimizer: the Adam moments were accumulated on the
             // trajectory that just blew up.
             opt = Adam::new(lr, cfg.weight_decay, params);
@@ -182,13 +245,15 @@ pub fn train_with_regularizer(
         last_good.clone_from(params);
         opt.step(params, &grads);
 
+        let mut val_acc = f64::NAN;
+        let mut stop_early = false;
         if cfg.patience > 0 && !g.split.valid.is_empty() {
-            // Evaluation pass without dropout (epoch = usize::MAX signals
-            // inference mode to the forward closure).
+            // Evaluation pass without dropout (`Mode::Eval` switches the
+            // forward closure to inference).
             let mut eval_tape = Tape::with_context(Rc::clone(&ctx));
-            let (logits, _, _) = forward(&mut eval_tape, params, usize::MAX);
+            let (logits, _, _) = forward(&mut eval_tape, params, Mode::Eval);
             let preds = eval_tape.value(logits).row_argmax();
-            let val_acc = crate::eval::accuracy(&preds, &g.labels, &g.split.valid);
+            val_acc = crate::eval::accuracy(&preds, &g.labels, &g.split.valid);
             if val_acc > best_val {
                 best_val = val_acc;
                 best_params = Some(params.clone());
@@ -196,9 +261,23 @@ pub fn train_with_regularizer(
             } else {
                 since_best += 1;
                 if since_best >= cfg.patience {
-                    break;
+                    stop_early = true;
                 }
             }
+        }
+        bbgnn_obs::counter("train/epochs", 1);
+        bbgnn_obs::event!(
+            "train/epoch",
+            epoch = epoch,
+            loss = final_loss,
+            grad_norm = grad_norm,
+            train_acc = train_acc,
+            val_acc = val_acc
+        );
+        if stop_early {
+            bbgnn_obs::counter("train/early_stops", 1);
+            bbgnn_obs::event!("train/early_stop", epoch = epoch, best_val = best_val);
+            break;
         }
     }
     if let Some(best) = best_params {
@@ -295,14 +374,24 @@ mod tests {
             dropout: 0.0,
             ..Default::default()
         };
-        train_with_regularizer(&mut params, &g, &cfg, |tape, p, epoch| {
+        train_with_regularizer(&mut params, &g, &cfg, |tape, p, mode| {
             let w = tape.var(p[0].clone());
             let xc = tape.constant((*x).clone());
             let logits = tape.matmul(xc, w);
-            let reg = (epoch != usize::MAX && poison(epoch))
-                .then(|| tape.constant(DenseMatrix::filled(1, 1, f64::NAN)));
+            let reg = mode
+                .train_epoch()
+                .filter(|&e| poison(e))
+                .map(|_| tape.constant(DenseMatrix::filled(1, 1, f64::NAN)));
             (logits, vec![w], reg)
         })
+    }
+
+    #[test]
+    fn mode_accessors() {
+        assert_eq!(Mode::Train { epoch: 3 }.train_epoch(), Some(3));
+        assert_eq!(Mode::Eval.train_epoch(), None);
+        assert!(Mode::Train { epoch: 0 }.is_train());
+        assert!(!Mode::Eval.is_train());
     }
 
     #[test]

@@ -129,13 +129,23 @@ impl ThreadPool {
             body(0, out);
             return;
         }
+        // Worker utilization: per-worker busy time lands in each scoped
+        // thread's counter aggregate (drained when the thread exits);
+        // region wall time accrues on the calling thread. Report-side,
+        // utilization = busy_ns / (region_ns * threads).
+        let traced = bbgnn_obs::enabled();
+        let region = bbgnn_obs::kernel_timer("pool/region");
         let band = rows.div_ceil(workers);
         std::thread::scope(|scope| {
             for (b, chunk) in out.chunks_mut(band * row_len).enumerate() {
                 let body = &body;
-                scope.spawn(move || body(b * band, chunk));
+                scope.spawn(move || {
+                    let _busy = traced.then(|| bbgnn_obs::kernel_timer("pool/worker_busy"));
+                    body(b * band, chunk)
+                });
             }
         });
+        drop(region);
     }
 
     /// Deterministic parallel map-reduce over `0..items`.
@@ -199,12 +209,17 @@ impl ThreadPool {
             bounds.push(lo..hi);
             lo = hi;
         }
+        let traced = bbgnn_obs::enabled();
+        let _region = bbgnn_obs::kernel_timer("pool/region");
         let parts: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = bounds
                 .into_iter()
                 .map(|range| {
                     let map = &map;
-                    scope.spawn(move || map(range))
+                    scope.spawn(move || {
+                        let _busy = traced.then(|| bbgnn_obs::kernel_timer("pool/worker_busy"));
+                        map(range)
+                    })
                 })
                 .collect();
             handles
@@ -512,6 +527,7 @@ fn saxpy_row_block_impl(
 /// # Panics
 /// Panics on shape mismatch between `a`, `b`, and `out`.
 pub fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool: &ThreadPool) {
+    let _t = bbgnn_obs::kernel_timer("kernel/matmul");
     let (m, ka) = a.shape();
     let (kb, n) = b.shape();
     assert_eq!(ka, kb, "matmul dimension mismatch: {m}x{ka} * {kb}x{n}");
@@ -574,6 +590,7 @@ pub fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool
 /// # Panics
 /// Panics on shape mismatch.
 pub fn matmul_tn_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool: &ThreadPool) {
+    let _t = bbgnn_obs::kernel_timer("kernel/matmul_tn");
     let (m, c) = a.shape();
     assert_eq!(m, b.rows(), "matmul_tn dimension mismatch");
     let n = b.cols();
@@ -651,6 +668,7 @@ pub fn matmul_tn_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, p
 /// # Panics
 /// Panics on shape mismatch.
 pub fn matmul_nt_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool: &ThreadPool) {
+    let _t = bbgnn_obs::kernel_timer("kernel/matmul_nt");
     let (m, c) = a.shape();
     assert_eq!(c, b.cols(), "matmul_nt dimension mismatch");
     let r2 = b.rows();
@@ -689,6 +707,7 @@ pub fn matmul_nt_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, p
 /// # Panics
 /// Panics on shape mismatch.
 pub fn spmm_into(s: &CsrMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool: &ThreadPool) {
+    let _t = bbgnn_obs::kernel_timer("kernel/spmm");
     assert_eq!(s.cols(), b.rows(), "spmm dimension mismatch");
     let n = b.cols();
     assert_eq!(out.shape(), (s.rows(), n), "spmm output shape mismatch");
@@ -742,6 +761,7 @@ pub fn spmm_into(s: &CsrMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool: &T
 /// # Panics
 /// Panics on shape mismatch.
 pub fn spmm_t_into(s: &CsrMatrix, b: &DenseMatrix, out: &mut DenseMatrix) {
+    let _t = bbgnn_obs::kernel_timer("kernel/spmm_t");
     assert_eq!(s.rows(), b.rows(), "spmm_t dimension mismatch");
     let n = b.cols();
     assert_eq!(out.shape(), (s.cols(), n), "spmm_t output shape mismatch");

@@ -1,0 +1,121 @@
+//! The `// lint: allow(<rule>) reason=...` suppression mechanism.
+//!
+//! Every rule `bbgnn-lint` enforces can be locally waived, but never
+//! silently: a directive must name the rule it waives and carry a
+//! non-empty reason, and it only reaches the flagged line or the line
+//! directly below it (so a directive cannot drift away from the code it
+//! excuses). A malformed directive — unknown rule name, missing reason —
+//! is itself a violation, reported under the `lint_allow` meta-rule.
+//!
+//! Accepted placements:
+//!
+//! ```text
+//! // lint: allow(panic) reason=length is pinned by the assert above
+//! let x = v.last().unwrap();
+//!
+//! let y = v.last().unwrap(); // lint: allow(panic) reason=non-empty by construction
+//! ```
+
+use crate::lexer::Lexed;
+use crate::rules::{Rule, Violation};
+
+/// One parsed suppression directive.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    pub rule: Rule,
+    /// Lines this directive covers (the comment's own lines plus the next
+    /// code line).
+    pub from_line: u32,
+    pub to_line: u32,
+    /// Set once a violation is suppressed, for the report's allow count.
+    pub used: bool,
+}
+
+/// Parses all directives in a file's comments. Malformed directives are
+/// returned as violations instead.
+pub fn parse_allows(file: &str, lx: &Lexed) -> (Vec<Allow>, Vec<Violation>) {
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lx.comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("lint: allow(") {
+            let after = &rest[pos + "lint: allow(".len()..];
+            let Some(close) = after.find(')') else {
+                bad.push(Violation::new(
+                    file,
+                    c.line,
+                    Rule::LintAllow,
+                    "unterminated lint: allow( directive".to_string(),
+                ));
+                break;
+            };
+            let rule_name = after[..close].trim();
+            let tail = &after[close + 1..];
+            rest = tail;
+            // Prose *about* the syntax (`lint: allow(<rule>)`, `allow(...)`)
+            // is not a directive: only identifier-shaped rule names are
+            // parsed, so docs can describe the mechanism without invoking
+            // it, while a typoed real rule name still errors below.
+            if rule_name.is_empty()
+                || !rule_name
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '_')
+            {
+                continue;
+            }
+            let Some(rule) = Rule::from_name(rule_name) else {
+                bad.push(Violation::new(
+                    file,
+                    c.line,
+                    Rule::LintAllow,
+                    format!(
+                        "unknown rule {rule_name:?} in lint: allow(...) — known rules: {}",
+                        Rule::KNOWN.join(", ")
+                    ),
+                ));
+                continue;
+            };
+            let reason = tail
+                .find("reason=")
+                .map(|r| tail[r + "reason=".len()..].trim())
+                .unwrap_or("");
+            if reason.is_empty() {
+                bad.push(Violation::new(
+                    file,
+                    c.line,
+                    Rule::LintAllow,
+                    format!("lint: allow({rule_name}) without a non-empty reason=..."),
+                ));
+                continue;
+            }
+            allows.push(Allow {
+                rule,
+                from_line: c.line,
+                to_line: c.end_line + 1,
+                used: false,
+            });
+        }
+    }
+    (allows, bad)
+}
+
+/// Drops violations covered by a matching directive, marking those
+/// directives used. Returns the surviving violations and the used count.
+pub fn apply_allows(violations: Vec<Violation>, allows: &mut [Allow]) -> (Vec<Violation>, usize) {
+    let mut kept = Vec::new();
+    for v in violations {
+        let mut suppressed = false;
+        for a in allows.iter_mut() {
+            if a.rule == v.rule && a.from_line <= v.line && v.line <= a.to_line {
+                a.used = true;
+                suppressed = true;
+                break;
+            }
+        }
+        if !suppressed {
+            kept.push(v);
+        }
+    }
+    let used = allows.iter().filter(|a| a.used).count();
+    (kept, used)
+}

@@ -1,0 +1,71 @@
+//! `bbgnn-lint` — the workspace invariant checker (DESIGN.md §9).
+//!
+//! Walks every governed `.rs` file and enforces the determinism, unsafe-
+//! hygiene, panic-path, and obs-taxonomy rules. Report mode only (no
+//! `--fix`): output is `file:line: [rule] message`, one finding per line,
+//! and the exit code is the contract CI consumes.
+//!
+//! ```text
+//! cargo run -p bbgnn_analysis --bin bbgnn-lint            # lint the cwd workspace
+//! cargo run -p bbgnn_analysis --bin bbgnn-lint -- --root /path/to/checkout
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn run() -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    args.next()
+                        .ok_or_else(|| "--root requires a path".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "bbgnn-lint: workspace invariant checker (DESIGN.md \u{a7}9)\n\
+                     usage: bbgnn-lint [--root DIR]\n\
+                     rules: fma, hash_iter, clock, unsafe, panic, obs_name\n\
+                     waiver: // lint: allow(<rule>) reason=<why>"
+                );
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument {other:?} (try --help)")),
+        }
+    }
+    let tax = bbgnn_analysis::taxonomy::builtin()?;
+    let report = bbgnn_analysis::lint_workspace(&root, &tax)?;
+    for v in &report.violations {
+        println!("{}", v.render());
+    }
+    if report.violations.is_empty() {
+        println!(
+            "bbgnn-lint: clean — {} files scanned, {} allow directive(s) in effect",
+            report.files_scanned, report.allows_used
+        );
+        Ok(true)
+    } else {
+        println!(
+            "bbgnn-lint: {} violation(s) across {} files scanned",
+            report.violations.len(),
+            report.files_scanned
+        );
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(e) => {
+            eprintln!("bbgnn-lint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,468 @@
+//! A hand-rolled, line-oriented Rust lexer.
+//!
+//! `bbgnn-lint`'s rules are lexical: they match token shapes (`.unwrap(`,
+//! `Instant :: now`, `unsafe`), not a parse tree. What makes that sound
+//! enough for an invariant checker is that this lexer is **comment- and
+//! string-aware**: the word `unsafe` inside a doc comment, a `"panic!"`
+//! string literal, or a raw-string lint fixture never produces an `Ident`
+//! token, so rules only ever see real code. Comments are not discarded —
+//! they are collected separately, because two rules read them (`// SAFETY:`
+//! justifications and `// lint: allow(...)` suppressions).
+//!
+//! The lexer handles the Rust surface that matters for not mis-tokenizing
+//! real files: line and block comments (nested), string / raw-string /
+//! byte-string / char literals with escapes, lifetimes vs. char literals,
+//! raw identifiers, and numeric literals. It deliberately does **not**
+//! build an AST — see DESIGN.md §9 for why the project lints at the token
+//! level (no external deps, no `syn`).
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`unsafe`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// A single punctuation character (`.`, `:`, `!`, `{`, ...).
+    Punct,
+    /// String literal of any flavor (`"..."`, `r#"..."#`, `b"..."`).
+    /// `text` holds the *contents* (raw, escapes not processed).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime,
+    /// Numeric literal (`42`, `1.0e-3`, `0xff_u8`).
+    Num,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+/// One comment (line or block) with its 1-based line range and full text
+/// (markers stripped for line comments, kept verbatim for block comments'
+/// interior).
+#[derive(Clone, Debug)]
+pub struct Comment {
+    pub line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// The result of lexing one file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub toks: Vec<Tok>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// True if `line` carries at least one code token.
+    pub fn line_has_code(&self, line: u32) -> bool {
+        // Token vectors are line-sorted; a binary search would work, but
+        // files are small and rules call this a handful of times per
+        // violation candidate.
+        self.toks.iter().any(|t| t.line == line)
+    }
+
+    /// True if `line` is covered by a comment.
+    pub fn line_has_comment(&self, line: u32) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.line <= line && line <= c.end_line)
+    }
+
+    /// Concatenated text of all comments covering `line`.
+    pub fn comment_text_on(&self, line: u32) -> String {
+        let mut out = String::new();
+        for c in &self.comments {
+            if c.line <= line && line <= c.end_line {
+                out.push_str(&c.text);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs (a file that ends inside a string) consume to EOF, which is
+/// the forgiving behavior a linter wants on in-progress code.
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advances `idx` past one quoted literal starting at the opening quote,
+    // honoring backslash escapes and counting newlines.
+    fn skip_quoted(b: &[char], mut idx: usize, quote: char, line: &mut u32) -> (usize, String) {
+        let mut text = String::new();
+        idx += 1; // opening quote
+        while idx < b.len() {
+            match b[idx] {
+                '\\' => {
+                    if idx + 1 < b.len() {
+                        if b[idx + 1] == '\n' {
+                            *line += 1;
+                        }
+                        text.push(b[idx + 1]);
+                        idx += 2;
+                        continue;
+                    }
+                    idx += 1;
+                }
+                c if c == quote => return (idx + 1, text),
+                '\n' => {
+                    *line += 1;
+                    text.push('\n');
+                    idx += 1;
+                }
+                c => {
+                    text.push(c);
+                    idx += 1;
+                }
+            }
+        }
+        (idx, text)
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                // Line comment (including /// and //! doc comments).
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    end_line: line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Block comment, nested.
+                let start_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut text = String::new();
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if b[j] == '\n' {
+                            line += 1;
+                        }
+                        text.push(b[j]);
+                        j += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    line: start_line,
+                    end_line: line,
+                    text,
+                });
+                i = j;
+            }
+            '"' => {
+                let tline = line;
+                let (ni, text) = skip_quoted(&b, i, '"', &mut line);
+                out.toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line: tline,
+                });
+                i = ni;
+            }
+            '\'' => {
+                // Lifetime/label vs. char literal. After the quote: a
+                // backslash means char literal; an identifier char whose
+                // *following* char is not a closing quote means lifetime.
+                let tline = line;
+                if i + 1 < b.len() && b[i + 1] == '\\' {
+                    let (ni, text) = skip_quoted(&b, i, '\'', &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line: tline,
+                    });
+                    i = ni;
+                } else if i + 1 < b.len()
+                    && is_ident_start(b[i + 1])
+                    && !(i + 2 < b.len() && b[i + 2] == '\'')
+                {
+                    let mut j = i + 1;
+                    while j < b.len() && is_ident_continue(b[j]) {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: b[i + 1..j].iter().collect(),
+                        line: tline,
+                    });
+                    i = j;
+                } else {
+                    let (ni, text) = skip_quoted(&b, i, '\'', &mut line);
+                    out.toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line: tline,
+                    });
+                    i = ni;
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tline = line;
+                let mut j = i + 1;
+                while j < b.len() {
+                    let d = b[j];
+                    if is_ident_continue(d) {
+                        // Exponent sign: 1e-3, 2.5E+7.
+                        if (d == 'e' || d == 'E')
+                            && j + 1 < b.len()
+                            && (b[j + 1] == '+' || b[j + 1] == '-')
+                            && j + 2 < b.len()
+                            && b[j + 2].is_ascii_digit()
+                        {
+                            j += 2;
+                        }
+                        j += 1;
+                    } else if d == '.' && j + 1 < b.len() && b[j + 1].is_ascii_digit() {
+                        // Decimal point, but not the `..` of a range.
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: b[i..j].iter().collect(),
+                    line: tline,
+                });
+                i = j;
+            }
+            c if is_ident_start(c) => {
+                // Raw-string / byte-string prefixes and raw identifiers
+                // must be peeled off before maximal-munch identifiers:
+                // r"..", r#".."#, br".."/b"..", b'.', r#ident.
+                let tline = line;
+                let rest_starts_raw = |j: usize| -> Option<(usize, usize)> {
+                    // From position j (at 'r'), match r#*" and return
+                    // (index of opening quote, hash count).
+                    let mut k = j + 1;
+                    let mut hashes = 0usize;
+                    while k < b.len() && b[k] == '#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < b.len() && b[k] == '"' {
+                        Some((k, hashes))
+                    } else {
+                        None
+                    }
+                };
+                let lex_raw = |i: usize, quote_at: usize, hashes: usize, line: &mut u32| {
+                    // Scan for `"` followed by `hashes` hash marks.
+                    let mut j = quote_at + 1;
+                    let mut text = String::new();
+                    while j < b.len() {
+                        if b[j] == '"' {
+                            let mut h = 0usize;
+                            while h < hashes && j + 1 + h < b.len() && b[j + 1 + h] == '#' {
+                                h += 1;
+                            }
+                            if h == hashes {
+                                return (j + 1 + hashes, text);
+                            }
+                        }
+                        if b[j] == '\n' {
+                            *line += 1;
+                        }
+                        text.push(b[j]);
+                        j += 1;
+                    }
+                    let _ = i;
+                    (j, text)
+                };
+                if c == 'r' && i + 1 < b.len() && (b[i + 1] == '"' || b[i + 1] == '#') {
+                    if let Some((q, h)) = rest_starts_raw(i) {
+                        let (ni, text) = lex_raw(i, q, h, &mut line);
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text,
+                            line: tline,
+                        });
+                        i = ni;
+                        continue;
+                    }
+                    // `r#ident` raw identifier.
+                    if b[i + 1] == '#' && i + 2 < b.len() && is_ident_start(b[i + 2]) {
+                        let mut j = i + 2;
+                        while j < b.len() && is_ident_continue(b[j]) {
+                            j += 1;
+                        }
+                        out.toks.push(Tok {
+                            kind: TokKind::Ident,
+                            text: b[i + 2..j].iter().collect(),
+                            line: tline,
+                        });
+                        i = j;
+                        continue;
+                    }
+                }
+                if c == 'b' && i + 1 < b.len() {
+                    if b[i + 1] == '"' {
+                        let (ni, text) = skip_quoted(&b, i + 1, '"', &mut line);
+                        out.toks.push(Tok {
+                            kind: TokKind::Str,
+                            text,
+                            line: tline,
+                        });
+                        i = ni;
+                        continue;
+                    }
+                    if b[i + 1] == '\'' {
+                        let (ni, text) = skip_quoted(&b, i + 1, '\'', &mut line);
+                        out.toks.push(Tok {
+                            kind: TokKind::Char,
+                            text,
+                            line: tline,
+                        });
+                        i = ni;
+                        continue;
+                    }
+                    if b[i + 1] == 'r' {
+                        if let Some((q, h)) = rest_starts_raw(i + 1) {
+                            let (ni, text) = lex_raw(i, q, h, &mut line);
+                            out.toks.push(Tok {
+                                kind: TokKind::Str,
+                                text,
+                                line: tline,
+                            });
+                            i = ni;
+                            continue;
+                        }
+                    }
+                }
+                let mut j = i + 1;
+                while j < b.len() && is_ident_continue(b[j]) {
+                    j += 1;
+                }
+                out.toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: b[i..j].iter().collect(),
+                    line: tline,
+                });
+                i = j;
+            }
+            c => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .toks
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_tokens() {
+        let src = r##"
+            // unsafe in a comment
+            /* unwrap in /* a nested */ block */
+            let s = "panic! unsafe .unwrap()";
+            let r = r#"mul_add"#;
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids
+            .iter()
+            .any(|t| t == "unsafe" || t == "unwrap" || t == "mul_add"));
+        let lx = lex(src);
+        assert_eq!(lx.comments.len(), 2);
+        assert!(lx.comments[0].text.contains("unsafe in a comment"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let lx = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = lx.toks.iter().filter(|t| t.kind == TokKind::Char).collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "x");
+    }
+
+    #[test]
+    fn escaped_quotes_and_byte_literals() {
+        let lx = lex(r#"let a = "he said \"hi\""; let b = b'\n'; let c = '\'';"#);
+        let strs: Vec<_> = lx.toks.iter().filter(|t| t.kind == TokKind::Str).collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].text.contains("he said"));
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "let a = \"two\nlines\";\nunsafe {}\n";
+        let lx = lex(src);
+        let uns = lx.toks.iter().find(|t| t.text == "unsafe").unwrap();
+        assert_eq!(uns.line, 3);
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let lx = lex("for i in 0..10 { let x = 1.5e-3; }");
+        let nums: Vec<String> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3"]);
+    }
+}

@@ -1,0 +1,38 @@
+//! `bbgnn_analysis` — hand-rolled static analysis for the bbgnn workspace.
+//!
+//! The reproduction's headline contract — PEEGA/GNAT results are bitwise
+//! identical across thread counts and with tracing on or off (DESIGN.md
+//! §7–§8) — rests on a handful of invariants that used to live in prose:
+//! no FMA contraction, no iteration over seeded hash collections in
+//! numeric paths, no clock reads outside the observability layer,
+//! disjoint-row `unsafe` confined to the kernel file, no panics in
+//! library code, and obs names that match the documented taxonomy. This
+//! crate turns those chapters into machine-checkable rules, enforced on
+//! every PR by the `bbgnn-lint` binary (CI `analysis` job).
+//!
+//! The pass is a **zero-dependency, token-level lint** (see [`lexer`]): no
+//! `syn`, no rustc internals, matching the workspace's no-external-deps
+//! rule. What a lexer cannot see — actual data races, actual UB — is
+//! covered dynamically by the Miri and ThreadSanitizer CI jobs this crate
+//! ships alongside (DESIGN.md §9).
+//!
+//! Library layout:
+//!
+//! * [`lexer`] — comment- and string-aware Rust tokenizer;
+//! * [`rules`] — the rule engine ([`rules::lint_source`] lints one file);
+//! * [`allow`] — the `// lint: allow(<rule>) reason=...` waiver syntax;
+//! * [`taxonomy`] — the DESIGN.md §8 span/counter name taxonomy, parsed
+//!   from the embedded document (also consumed by `bbgnn_bench::trace`);
+//! * [`walk`] — deterministic workspace traversal.
+
+#![forbid(unsafe_code)]
+
+pub mod allow;
+pub mod lexer;
+pub mod rules;
+pub mod taxonomy;
+pub mod walk;
+
+pub use rules::{classify, lint_source, FileKind, FileReport, Rule, Violation};
+pub use taxonomy::{parse_taxonomy, Taxonomy};
+pub use walk::{lint_workspace, WorkspaceReport};

@@ -1,0 +1,78 @@
+//! Workspace traversal for `bbgnn-lint`.
+//!
+//! Walks every `.rs` file the invariants govern, in a deterministic
+//! (sorted) order so reports diff cleanly between runs. Skipped subtrees:
+//!
+//! * `target/`, `.git/` — build artifacts and VCS metadata;
+//! * `vendor/` — API-compatible stand-ins for crates the build
+//!   environment cannot fetch; they are third-party-shaped code the
+//!   project's invariants do not govern;
+//! * any directory named `fixtures/` — lint-rule test fixtures are
+//!   *deliberately* bad code and must not fail the workspace run.
+
+use crate::rules::{lint_source, FileReport, Violation};
+use crate::taxonomy::Taxonomy;
+use std::path::{Path, PathBuf};
+
+/// Aggregate result of linting a workspace.
+#[derive(Debug, Default)]
+pub struct WorkspaceReport {
+    pub violations: Vec<Violation>,
+    pub files_scanned: usize,
+    pub allows_used: usize,
+}
+
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "fixtures"];
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect_rs_files(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every governed `.rs` file under `root` (a workspace checkout).
+pub fn lint_workspace(root: &Path, tax: &Taxonomy) -> Result<WorkspaceReport, String> {
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like the workspace root (no Cargo.toml)",
+            root.display()
+        ));
+    }
+    let mut files = Vec::new();
+    collect_rs_files(root, &mut files)?;
+    let mut report = WorkspaceReport::default();
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let FileReport {
+            mut violations,
+            allows_used,
+        } = lint_source(&rel, &src, tax);
+        report.files_scanned += 1;
+        report.allows_used += allows_used;
+        report.violations.append(&mut violations);
+    }
+    report
+        .violations
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}

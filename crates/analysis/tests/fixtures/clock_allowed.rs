@@ -1,0 +1,8 @@
+// Fixture: a justified clock read (report-only timing) is waivable.
+use std::time::Instant;
+
+pub fn timed() -> f64 {
+    // lint: allow(clock) reason=fixture - elapsed time is report-only
+    let start = Instant::now();
+    start.elapsed().as_secs_f64()
+}

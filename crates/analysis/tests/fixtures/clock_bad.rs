@@ -1,0 +1,8 @@
+// Fixture: wall-clock reads in numeric library code must fire `clock`.
+use std::time::{Instant, SystemTime};
+
+pub fn timed() -> f64 {
+    let start = Instant::now();
+    let _epoch = SystemTime::now();
+    start.elapsed().as_secs_f64()
+}

@@ -1,0 +1,5 @@
+// Fixture: an allow directive with a reason waives the `fma` finding.
+pub fn axpy(a: f64, b: f64, c: f64) -> f64 {
+    // lint: allow(fma) reason=fixture exercising the waiver path
+    a.mul_add(b, c)
+}

@@ -1,0 +1,4 @@
+// Fixture: FMA contraction in numeric library code must fire `fma`.
+pub fn axpy(a: f64, b: f64, c: f64) -> f64 {
+    a.mul_add(b, c)
+}

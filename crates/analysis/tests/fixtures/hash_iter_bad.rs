@@ -1,0 +1,15 @@
+// Fixture: iterating seeded hash collections in numeric library code must
+// fire `hash_iter` for every leak pattern the rule knows.
+use std::collections::{HashMap, HashSet};
+
+pub fn leaks() -> Vec<usize> {
+    let seen: HashSet<usize> = HashSet::new();
+    let counts: HashMap<usize, usize> = HashMap::new();
+    let mut out = Vec::new();
+    for v in &seen {
+        out.push(*v);
+    }
+    out.extend(seen);
+    let _keys: Vec<&usize> = counts.keys().collect();
+    out
+}

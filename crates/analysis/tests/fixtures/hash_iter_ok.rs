@@ -1,0 +1,15 @@
+// Fixture: membership-only use of hash collections is fine — the rule
+// must not fire on insert/contains/len, or on iterating a Vec.
+use std::collections::HashSet;
+
+pub fn membership_only(pairs: &[(usize, usize)]) -> Vec<(usize, usize)> {
+    let mut seen = HashSet::new();
+    let mut ordered = Vec::new();
+    for &p in pairs {
+        if seen.insert(p) {
+            ordered.push(p);
+        }
+    }
+    assert_eq!(seen.len(), ordered.len());
+    ordered
+}

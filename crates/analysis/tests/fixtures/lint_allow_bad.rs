@@ -1,0 +1,9 @@
+// Fixture: malformed waiver directives must fire the `lint_allow`
+// meta-rule instead of silently suppressing nothing.
+pub fn malformed(v: &[usize]) -> usize {
+    // lint: allow(unwrap) reason=this rule name does not exist
+    let a = v.first().copied().unwrap_or(0);
+    // lint: allow(panic)
+    let b = v.last().copied().unwrap_or(0);
+    a + b
+}

@@ -1,0 +1,8 @@
+// Fixture: span/event/counter/kernel-timer name literals absent from the
+// DESIGN.md §8 taxonomy must fire `obs_name`.
+pub fn badly_named(obs: &Obs) {
+    let _g = span!("attack", nodes = 3);
+    event!("train/unheard_of", epoch = 1);
+    obs.counter("attack/bogus_counter", 1);
+    obs.kernel_timer("kernel/bogus", 1, 2);
+}

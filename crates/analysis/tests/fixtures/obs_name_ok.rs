@@ -1,0 +1,10 @@
+// Fixture: taxonomy names pass, including `<name>` wildcard segments and
+// `{a,b}` brace alternation; dynamic (non-literal) names are skipped.
+pub fn well_named(obs: &Obs, name: &str) {
+    let _g = span!("attack/peega", nodes = 3);
+    event!("peega/perturb", kind = "edge");
+    event!("peega/ascent_step", step = 1, objective = 0.5);
+    obs.counter("train/epochs", 1);
+    obs.kernel_timer("kernel/matmul_tn", 1, 2);
+    obs.counter(name, 1);
+}

@@ -1,0 +1,10 @@
+// Fixture: unwrap / expect / panic! in library code must each fire
+// `panic`.
+pub fn panicky(v: &[usize]) -> usize {
+    let first = v.first().unwrap();
+    let last = v.last().expect("non-empty");
+    if first > last {
+        panic!("unsorted");
+    }
+    *first
+}

@@ -1,0 +1,14 @@
+// Fixture: linted under the kernels.rs path, a SAFETY-documented block
+// passes — including with attribute lines between comment and fn.
+pub fn documented(x: &[f64]) -> f64 {
+    assert!(!x.is_empty());
+    // SAFETY: the assert above guarantees the pointer reads in bounds.
+    unsafe { *x.as_ptr() }
+}
+
+// SAFETY: callers uphold `i < len`; the attribute line between this
+// comment and the fn must not break the upward scan.
+#[inline(never)]
+unsafe fn raw_get(p: *const f64, i: usize) -> f64 {
+    unsafe { *p.add(i) } // SAFETY: trailing comments count too.
+}

@@ -1,0 +1,6 @@
+// Fixture: `unsafe` anywhere but the audited kernel file must fire
+// `unsafe`, SAFETY comment or not.
+pub fn reinterpret(x: &[f64]) -> &[u8] {
+    // SAFETY: a comment does not make the location acceptable.
+    unsafe { std::slice::from_raw_parts(x.as_ptr().cast(), x.len() * 8) }
+}

@@ -1,0 +1,5 @@
+// Fixture: linted under the kernels.rs path, an `unsafe` block without a
+// `// SAFETY:` comment must fire `unsafe`.
+pub fn undocumented(x: &[f64]) -> f64 {
+    unsafe { *x.as_ptr() }
+}

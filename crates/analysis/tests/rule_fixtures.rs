@@ -1,0 +1,165 @@
+//! Fixture-based tests: every rule has a fixture that must fire and a
+//! fixture (allowlisted or compliant) that must pass. Fixtures live under
+//! `tests/fixtures/`, which the workspace walker skips — each is linted
+//! here under a synthetic workspace path that selects the scope under
+//! test.
+
+use bbgnn_analysis::{lint_source, FileReport, Taxonomy};
+
+const NUMERIC_LIB: &str = "crates/attack/src/fixture.rs";
+const KERNELS: &str = "crates/linalg/src/kernels.rs";
+
+fn tax() -> Taxonomy {
+    bbgnn_analysis::taxonomy::builtin().expect("DESIGN.md §8 taxonomy parses")
+}
+
+fn lint_at(path: &str, src: &str) -> FileReport {
+    lint_source(path, src, &tax())
+}
+
+fn fired(report: &FileReport) -> Vec<&str> {
+    report.violations.iter().map(|v| v.rule.name()).collect()
+}
+
+// --- fma ----------------------------------------------------------------
+
+#[test]
+fn fma_fires_in_numeric_lib() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/fma_bad.rs"));
+    assert_eq!(fired(&r), ["fma"]);
+    assert_eq!(r.violations[0].line, 3);
+}
+
+#[test]
+fn fma_allowlisted_passes() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/fma_allowed.rs"));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.allows_used, 1);
+}
+
+#[test]
+fn fma_out_of_scope_in_bins_and_tests() {
+    let src = include_str!("fixtures/fma_bad.rs");
+    for path in ["crates/attack/src/bin/tool.rs", "crates/attack/tests/t.rs"] {
+        assert!(lint_at(path, src).violations.is_empty(), "{path}");
+    }
+}
+
+// --- hash_iter ----------------------------------------------------------
+
+#[test]
+fn hash_iter_fires_on_for_extend_and_methods() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/hash_iter_bad.rs"));
+    assert_eq!(fired(&r), ["hash_iter", "hash_iter", "hash_iter"]);
+    let lines: Vec<u32> = r.violations.iter().map(|v| v.line).collect();
+    assert_eq!(lines, [9, 12, 13]); // for-loop, .extend(set), .keys()
+}
+
+#[test]
+fn hash_membership_only_passes() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/hash_iter_ok.rs"));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// --- clock --------------------------------------------------------------
+
+#[test]
+fn clock_fires_on_instant_and_systemtime() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/clock_bad.rs"));
+    assert_eq!(fired(&r), ["clock", "clock"]);
+}
+
+#[test]
+fn clock_allowlisted_passes() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/clock_allowed.rs"));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.allows_used, 1);
+}
+
+#[test]
+fn clock_is_fine_outside_numeric_crates() {
+    let src = include_str!("fixtures/clock_bad.rs");
+    for path in ["crates/obs/src/lib.rs", "crates/bench/src/trace.rs"] {
+        assert!(lint_at(path, src).violations.is_empty(), "{path}");
+    }
+}
+
+// --- unsafe -------------------------------------------------------------
+
+#[test]
+fn unsafe_forbidden_outside_kernels_even_with_safety_comment() {
+    let src = include_str!("fixtures/unsafe_outside_kernels.rs");
+    let r = lint_at("crates/graph/src/graph.rs", src);
+    assert_eq!(fired(&r), ["unsafe"]);
+}
+
+#[test]
+fn undocumented_unsafe_fires_in_kernels() {
+    let r = lint_at(KERNELS, include_str!("fixtures/unsafe_undocumented.rs"));
+    assert_eq!(fired(&r), ["unsafe"]);
+}
+
+#[test]
+fn documented_unsafe_passes_in_kernels() {
+    let r = lint_at(KERNELS, include_str!("fixtures/unsafe_documented.rs"));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// --- panic --------------------------------------------------------------
+
+#[test]
+fn panic_fires_on_unwrap_expect_and_panic_macro() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/panic_bad.rs"));
+    assert_eq!(fired(&r), ["panic", "panic", "panic"]);
+}
+
+#[test]
+fn panic_skips_tests_and_honors_allow() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/panic_ok.rs"));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.allows_used, 1);
+}
+
+#[test]
+fn panic_out_of_scope_in_binaries() {
+    let src = include_str!("fixtures/panic_bad.rs");
+    let r = lint_at("crates/bench/src/bin/tables.rs", src);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// --- obs_name -----------------------------------------------------------
+
+#[test]
+fn obs_name_fires_on_names_outside_the_taxonomy() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/obs_name_bad.rs"));
+    assert_eq!(fired(&r), ["obs_name", "obs_name", "obs_name", "obs_name"]);
+}
+
+#[test]
+fn obs_name_accepts_taxonomy_names_and_skips_dynamic_ones() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/obs_name_ok.rs"));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+// --- lint_allow meta-rule -----------------------------------------------
+
+#[test]
+fn malformed_directives_are_themselves_violations() {
+    let r = lint_at(NUMERIC_LIB, include_str!("fixtures/lint_allow_bad.rs"));
+    assert_eq!(fired(&r), ["lint_allow", "lint_allow"]);
+    assert!(r.violations[0].msg.contains("unknown rule"));
+    assert!(r.violations[1].msg.contains("reason"));
+}
+
+// --- the workspace itself stays clean ------------------------------------
+
+#[test]
+fn workspace_is_lint_clean() {
+    // Also proves the walker skips `fixtures/` dirs: every fixture above
+    // contains deliberate violations, so a non-skipping walk would fail.
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let report = bbgnn_analysis::lint_workspace(std::path::Path::new(root), &tax())
+        .expect("workspace walk succeeds");
+    let rendered: Vec<String> = report.violations.iter().map(|v| v.render()).collect();
+    assert!(rendered.is_empty(), "{}", rendered.join("\n"));
+}

@@ -57,6 +57,7 @@ impl Attacker for Dice {
     }
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
+        // lint: allow(clock) reason=elapsed wall time is reported in AttackResult and never read back into numerics
         let start = Instant::now();
         let cfg = &self.config;
         let n = g.num_nodes();

@@ -136,18 +136,24 @@ impl GfAttack {
         }
         let pool = self.config.candidate_pool_factor * budget;
         let mut rng = StdRng::seed_from_u64(self.config.seed.wrapping_add(17));
+        // The HashSet is membership-only (dedup); sampled pairs are pushed
+        // onto the Vec in draw order, so the candidate list never depends
+        // on seeded hash iteration order (DESIGN.md §7).
         let mut seen = std::collections::HashSet::new();
+        let mut sampled = Vec::new();
         let mut guard = 0;
-        while seen.len() < pool && guard < pool * 100 + 1000 {
+        while sampled.len() < pool && guard < pool * 100 + 1000 {
             guard += 1;
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
             if u == v || g.has_edge(u, v) || !self.config.attacker_nodes.edge_allowed(u, v) {
                 continue;
             }
-            seen.insert((u.min(v), u.max(v)));
+            if seen.insert((u.min(v), u.max(v))) {
+                sampled.push((u.min(v), u.max(v)));
+            }
         }
-        cands.extend(seen);
+        cands.extend(sampled);
         cands
     }
 
@@ -183,7 +189,7 @@ impl GfAttack {
                 },
             )
             .unwrap_or_default();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut poisoned = g.clone();
         for &(_, u, v) in scored.iter().take(budget) {
             poisoned.flip_edge(u, v);
@@ -235,7 +241,7 @@ impl GfAttack {
                 },
             )
             .unwrap_or_default();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut poisoned = g.clone();
         for &(_, u, v) in scored.iter().take(budget) {
             poisoned.flip_edge(u, v);
@@ -250,6 +256,7 @@ impl Attacker for GfAttack {
     }
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
+        // lint: allow(clock) reason=elapsed wall time is reported in AttackResult and never read back into numerics
         let start = Instant::now();
         let budget = budget_for(g, self.config.rate);
         let _span = bbgnn_obs::span!("attack/gfattack", nodes = g.num_nodes(), budget = budget);
@@ -335,6 +342,25 @@ mod tests {
                 assert!(allowed.edge_allowed(u, v));
             }
         }
+    }
+
+    #[test]
+    fn candidate_pool_is_insertion_ordered() {
+        // Regression: the sampled candidate pool used to be drained out of
+        // a HashSet, leaking the seeded hash storage order into the scored
+        // list. Every HashSet draws a fresh random hasher state, so two
+        // calls would disagree if storage order still leaked; the pool must
+        // come back in draw order.
+        let g = DatasetSpec::CoraLike.generate(0.03, 96);
+        let atk = GfAttack::new(GfAttackConfig {
+            candidate_pool_factor: 5,
+            ..Default::default()
+        });
+        let budget = budget_for(&g, atk.config.rate);
+        assert_eq!(
+            atk.exact_candidates(&g, budget),
+            atk.exact_candidates(&g, budget)
+        );
     }
 
     #[test]

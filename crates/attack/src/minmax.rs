@@ -79,6 +79,7 @@ impl Attacker for MinMaxAttack {
     }
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
+        // lint: allow(clock) reason=elapsed wall time is reported in AttackResult and never read back into numerics
         let start = Instant::now();
         let _span = bbgnn_obs::span!("attack/minmax", nodes = g.num_nodes());
         let cfg = self.config.clone();

@@ -112,6 +112,7 @@ impl Attacker for PeegaParallel {
     }
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
+        // lint: allow(clock) reason=elapsed wall time is reported in AttackResult and never read back into numerics
         let start = Instant::now();
         let cfg = self.config.clone();
         let n = g.num_nodes();
@@ -314,7 +315,7 @@ impl Attacker for PeegaParallel {
             );
             scored.extend(band.unwrap_or_default());
         }
-        scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
         let mut poisoned = g.clone();
         for &(score, flip) in scored.iter().take(budget) {
             match flip {

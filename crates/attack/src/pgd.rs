@@ -229,7 +229,7 @@ pub(crate) fn top_k_flips(s: &DenseMatrix, k: usize) -> Vec<(usize, usize)> {
             }
         }
     }
-    entries.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    entries.sort_by(|a, b| b.0.total_cmp(&a.0));
     entries
         .into_iter()
         .take(k)
@@ -272,6 +272,7 @@ pub(crate) fn pgd_optimize(
             &mut tape, &s, &clean_a, &flip_dir, &eye, &xw0, &w[1], &labels, &rows,
         );
         tape.backward(loss);
+        // lint: allow(panic) reason=s_id is a tape.var leaf on the path to loss, so backward always populates its gradient
         let grad = tape.grad(s_id).expect("perturbation gradient");
         let step_lr = lr / ((step + 1) as f64).sqrt();
         s.axpy(step_lr, grad);
@@ -305,6 +306,7 @@ impl Attacker for PgdAttack {
     }
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
+        // lint: allow(clock) reason=elapsed wall time is reported in AttackResult and never read back into numerics
         let start = Instant::now();
         let _span = bbgnn_obs::span!("attack/pgd", nodes = g.num_nodes());
         let cfg = self.config.clone();

@@ -50,6 +50,7 @@ impl Attacker for RandomAttack {
     }
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
+        // lint: allow(clock) reason=elapsed wall time is reported in AttackResult and never read back into numerics
         let start = Instant::now();
         let n = g.num_nodes();
         let budget = budget_for(g, self.config.rate);

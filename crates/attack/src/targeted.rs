@@ -68,6 +68,7 @@ impl Attacker for TargetedPeega {
     }
 
     fn attack(&mut self, g: &Graph) -> AttackResult {
+        // lint: allow(clock) reason=elapsed wall time is reported in AttackResult and never read back into numerics
         let start = Instant::now();
         let _span = bbgnn_obs::span!("attack/targeted", nodes = g.num_nodes());
         assert!(

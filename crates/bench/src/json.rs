@@ -184,7 +184,7 @@ impl Parser<'_> {
         c
     }
 
-    fn expect(&mut self, c: char) -> Result<(), String> {
+    fn expect_char(&mut self, c: char) -> Result<(), String> {
         match self.bump() {
             Some(got) if got == c => Ok(()),
             got => Err(format!(
@@ -196,7 +196,7 @@ impl Parser<'_> {
 
     fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
         for c in word.chars() {
-            self.expect(c)?;
+            self.expect_char(c)?;
         }
         Ok(value)
     }
@@ -215,7 +215,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<Json, String> {
-        self.expect('{')?;
+        self.expect_char('{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some('}') {
@@ -226,7 +226,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(':')?;
+            self.expect_char(':')?;
             self.skip_ws();
             let val = self.value()?;
             map.insert(key, val);
@@ -240,7 +240,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<Json, String> {
-        self.expect('[')?;
+        self.expect_char('[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(']') {
@@ -260,7 +260,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, String> {
-        self.expect('"')?;
+        self.expect_char('"')?;
         let mut out = String::new();
         loop {
             match self.bump() {

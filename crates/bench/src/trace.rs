@@ -110,8 +110,13 @@ fn get_f64(obj: &BTreeMap<String, Json>, key: &str) -> f64 {
 /// Parses and validates a JSONL trace, aggregating it into a
 /// [`TraceSummary`]. Errors name the first offending line (1-based):
 /// unparseable JSON, a non-object record, a record without a known `t`
-/// tag, a `close` without a matching `open`, or spans left open at EOF.
+/// tag, a `close` without a matching `open`, a counter or kernel-timer
+/// name outside the DESIGN.md §8 taxonomy, or spans left open at EOF.
 pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
+    // The same taxonomy bbgnn-lint enforces statically, applied here to
+    // names that only materialize at runtime (dynamic counter names are
+    // invisible to the lexical pass).
+    let tax = bbgnn_analysis::taxonomy::builtin()?;
     let mut open: HashMap<u64, OpenSpan> = HashMap::new();
     let mut span_stats: BTreeMap<String, SpanStat> = BTreeMap::new();
     let mut counters: BTreeMap<String, u64> = BTreeMap::new();
@@ -196,8 +201,20 @@ pub fn parse_trace(text: &str) -> Result<TraceSummary, String> {
                     .ok_or_else(|| format!("line {lineno}: ctr record has no name"))?
                     .to_string();
                 if let Some(add) = get_u64(obj, "add") {
+                    if !tax.counter_ok(&name) {
+                        return Err(format!(
+                            "line {lineno}: counter {name:?} is not in the DESIGN.md §8 \
+                             taxonomy — add it to the doc's bullet list or fix the name"
+                        ));
+                    }
                     *counters.entry(name).or_insert(0) += add;
                 } else {
+                    if !tax.kernel_ok(&name) {
+                        return Err(format!(
+                            "line {lineno}: kernel timer {name:?} is not in the DESIGN.md §8 \
+                             taxonomy — add it to the doc's bullet list or fix the name"
+                        ));
+                    }
                     let e = kernels.entry(name).or_insert((0, 0));
                     e.0 += get_u64(obj, "calls").unwrap_or(0);
                     e.1 += get_u64(obj, "ns").unwrap_or(0);
@@ -376,6 +393,24 @@ mod tests {
         let text = "{\"t\":\"open\",\"id\":1,\"par\":0,\"tid\":1,\"us\":0,\"name\":\"a\"}\n\
                     {\"t\":\"open\",\"id\":1,\"par\":0,\"tid\":1,\"us\":1,\"name\":\"b\"}\n";
         assert!(parse_trace(text).unwrap_err().contains("opened twice"));
+    }
+
+    #[test]
+    fn counter_names_outside_the_taxonomy_are_rejected() {
+        let err = parse_trace("{\"t\":\"ctr\",\"name\":\"train/epochz\",\"tid\":1,\"add\":2}\n")
+            .unwrap_err();
+        assert!(
+            err.starts_with("line 1:") && err.contains("train/epochz") && err.contains("taxonomy"),
+            "{err}"
+        );
+        let err = parse_trace(
+            "{\"t\":\"ctr\",\"name\":\"kernel/gemm\",\"tid\":1,\"calls\":1,\"ns\":10}\n",
+        )
+        .unwrap_err();
+        assert!(
+            err.contains("kernel timer") && err.contains("kernel/gemm"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -98,6 +98,7 @@ impl NodeClassifier for GcnJaccard {
 
     fn predict(&self, g: &Graph) -> Vec<usize> {
         // Predict on the purified topology learned at fit time.
+        // lint: allow(panic) reason=documented precondition — callers must fit() first
         let purified = self.purified.as_ref().expect("model is not trained");
         let mut graph = purified.clone();
         graph.features = g.features.clone();

@@ -63,7 +63,7 @@ pub fn knn_feature_edges(features: &bbgnn_linalg::DenseMatrix, k: usize) -> Vec<
             .filter(|&u| u != v)
             .map(|u| (cosine_similarity(features.row(v), features.row(u)), u))
             .collect();
-        sims.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
         for &(s, u) in sims.iter().take(k) {
             if s > 0.0 {
                 edges.insert((v.min(u), v.max(u)));

@@ -148,6 +148,7 @@ impl ProGnn {
             Rc::new(g.split.train.clone()),
         );
         tape.backward(loss);
+        // lint: allow(panic) reason=sv is a tape.var leaf on the path to loss, so backward always populates its gradient
         tape.grad(sv).expect("structure gradient").clone()
     }
 
@@ -223,6 +224,7 @@ impl NodeClassifier for ProGnn {
     }
 
     fn predict(&self, g: &Graph) -> Vec<usize> {
+        // lint: allow(panic) reason=documented precondition — callers must fit() first
         let an = self.learned_an.as_ref().expect("model is not trained");
         self.gcn.logits_on(&g.features, an).row_argmax()
     }

@@ -211,6 +211,7 @@ impl NodeClassifier for SimPGcn {
 
     fn predict(&self, g: &Graph) -> Vec<usize> {
         assert!(!self.params.is_empty(), "model is not trained");
+        // lint: allow(panic) reason=documented precondition — callers must fit() first
         let (an, af) = self.trained_graphs.as_ref().expect("model is not trained");
         let mut tape = Tape::new();
         let (out, _, _) = self.forward(

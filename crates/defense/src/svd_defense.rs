@@ -74,6 +74,7 @@ impl NodeClassifier for GcnSvd {
     }
 
     fn predict(&self, g: &Graph) -> Vec<usize> {
+        // lint: allow(panic) reason=documented precondition — callers must fit() first
         let an = self.purified_an.as_ref().expect("model is not trained");
         self.gcn.logits_on(&g.features, an).row_argmax()
     }

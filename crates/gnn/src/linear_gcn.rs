@@ -36,6 +36,7 @@ impl LinearGcn {
 
     /// Logits on graph `g` with the trained weight.
     pub fn logits(&self, g: &Graph) -> DenseMatrix {
+        // lint: allow(panic) reason=documented precondition — callers must fit() first, and weight() exposes a fallible probe
         let w = self.weight.as_ref().expect("model is not trained");
         g.propagate(self.hops).matmul(w)
     }
@@ -55,6 +56,7 @@ impl NodeClassifier for LinearGcn {
             let hc = tape.constant(h.clone());
             (tape.matmul(hc, w), vec![w])
         });
+        // lint: allow(panic) reason=params is constructed three lines up with exactly one weight matrix
         self.weight = Some(params.pop().expect("one parameter"));
         report
     }

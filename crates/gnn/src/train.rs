@@ -161,6 +161,7 @@ pub fn train_with_regularizer(
         Mode,
     ) -> (TensorId, Vec<TensorId>, Option<TensorId>),
 ) -> TrainReport {
+    // lint: allow(clock) reason=elapsed wall time is reported in TrainReport and never read back into numerics
     let start = Instant::now();
     let _span = bbgnn_obs::span!(
         "train/fit",

@@ -49,6 +49,7 @@ impl SbmParams {
     /// them as errors instead.
     pub fn generate(&self, seed: u64) -> Graph {
         self.try_generate(seed)
+            // lint: allow(panic) reason=documented infallible facade — try_generate is the recoverable path
             .unwrap_or_else(|e| panic!("SbmParams::generate: {e}"))
     }
 

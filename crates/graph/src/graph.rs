@@ -57,6 +57,7 @@ impl Graph {
             split,
             &ValidationPolicy::with_self_loops(),
         )
+        // lint: allow(panic) reason=documented infallible facade — try_new_with is the recoverable path
         .unwrap_or_else(|e| panic!("Graph::new: {e}"))
     }
 

@@ -114,7 +114,7 @@ pub fn try_jacobi_eigen(a: &DenseMatrix) -> BbgnnResult<Eigen> {
         });
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| m.get(j, j).partial_cmp(&m.get(i, i)).unwrap());
+    order.sort_by(|&i, &j| m.get(j, j).total_cmp(&m.get(i, i)));
     let values: Vec<f64> = order.iter().map(|&i| m.get(i, i)).collect();
     let mut vectors = DenseMatrix::zeros(n, n);
     let mut qcol = vec![0.0; n];
@@ -131,6 +131,7 @@ pub fn try_jacobi_eigen(a: &DenseMatrix) -> BbgnnResult<Eigen> {
 /// Panics if `a` is not square, contains non-finite entries, or the sweep
 /// budget runs out; use the `try_` form where recovery is possible.
 pub fn jacobi_eigen(a: &DenseMatrix) -> Eigen {
+    // lint: allow(panic) reason=documented infallible facade — try_jacobi_eigen is the recoverable path
     try_jacobi_eigen(a).unwrap_or_else(|e| panic!("jacobi_eigen: {e}"))
 }
 
@@ -300,6 +301,7 @@ fn lanczos_once(a: &CsrMatrix, k: usize, seed: u64, dim: usize) -> Eigen {
 /// Panics if `a` is not square, contains non-finite entries, or every
 /// restart fails its residual check.
 pub fn lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> Eigen {
+    // lint: allow(panic) reason=documented infallible facade — try_lanczos_topk is the recoverable path
     try_lanczos_topk(a, k, seed).unwrap_or_else(|e| panic!("lanczos_topk: {e}"))
 }
 

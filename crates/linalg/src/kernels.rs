@@ -224,6 +224,7 @@ impl ThreadPool {
                 .collect();
             handles
                 .into_iter()
+                // lint: allow(panic) reason=a worker panic is already a bug in the map closure; re-raising on the caller thread is the only sound option (a default value would silently poison the deterministic fold)
                 .map(|h| h.join().expect("kernel worker panicked"))
                 .collect()
         });
@@ -356,8 +357,11 @@ fn saxpy_row_block(
     {
         if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just checked (std caches the CPUID
-            // probe). The AVX2 build of the kernel only widens the lanes
-            // the compiler may use across *different* output elements; the
+            // probe), which discharges the `#[target_feature]` obligation —
+            // the callee body is safe code whose accesses are all
+            // bounds-checked slice ops on the caller's disjoint output row.
+            // The AVX2 build of the kernel only widens the lanes the
+            // compiler may use across *different* output elements; the
             // per-element operation sequence is unchanged and rustc never
             // contracts mul+add into FMA, so the result is bitwise
             // identical to the scalar build.
@@ -372,6 +376,12 @@ fn saxpy_row_block(
 /// runtime by [`saxpy_row_block`]. Same source, wider vectors.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: `unsafe` only because of `#[target_feature]` — the body is the
+// safe `saxpy_row_block_impl`, whose every access is slice-indexed
+// (bounds-checked): `b_blk.chunks_exact(n)` never reads past `b_blk`, and
+// `out_row[j..j + TILE_J]` panics rather than overruns if a caller passes
+// an undersized row. The caller's only obligation is AVX2 support, checked
+// at the single dispatch site.
 unsafe fn saxpy_row_block_avx2(
     a_blk: &[f64],
     b_blk: &[f64],
@@ -407,8 +417,11 @@ fn saxpy_quad_block(
     {
         if std::arch::is_x86_feature_detected!("avx2") {
             // SAFETY: AVX2 support was just checked (std caches the CPUID
-            // probe); see `saxpy_row_block` for why codegen width cannot
-            // change the bits.
+            // probe), which discharges the `#[target_feature]` obligation —
+            // the callee body is safe code indexing only the caller's four
+            // disjoint-band output rows through bounds-checked slice ops;
+            // see `saxpy_row_block` for why codegen width cannot change the
+            // bits.
             unsafe { saxpy_quad_block_avx2(a_blks, b_blk, out4, n, j0, j1) };
             return;
         }
@@ -420,6 +433,12 @@ fn saxpy_quad_block(
 /// runtime by [`saxpy_quad_block`]. Same source, wider vectors.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
+// SAFETY: `unsafe` only because of `#[target_feature]` — the body is the
+// safe `saxpy_quad_block_impl`: `out4` is indexed with `q * n + j` for
+// `q < TILE_R`, `j + TILE_J <= j1 <= n`, all through bounds-checked slice
+// ops, and the four `a_blks` rows come from the caller's disjoint row
+// band, so no access can alias another worker's rows. The caller's only
+// obligation is AVX2 support, checked at the single dispatch site.
 unsafe fn saxpy_quad_block_avx2(
     a_blks: [&[f64]; TILE_R],
     b_blk: &[f64],
@@ -447,6 +466,7 @@ fn saxpy_quad_block_impl(
             acc_q.copy_from_slice(&out4[q * n + j..q * n + j + TILE_J]);
         }
         for (k, b_row) in b_blk.chunks_exact(n).enumerate() {
+            // lint: allow(panic) reason=the loop guard pins j + TILE_J <= j1 <= n, so the slice is exactly TILE_J long and the conversion cannot fail
             let b: &[f64; TILE_J] = b_row[j..j + TILE_J].try_into().unwrap();
             for (q, acc_q) in acc.iter_mut().enumerate() {
                 let aik = a_blks[q][k];
@@ -496,6 +516,7 @@ fn saxpy_row_block_impl(
             }
             // Fixed-size view: one length check, then check-free indexing
             // the compiler keeps entirely in vector registers.
+            // lint: allow(panic) reason=the loop guard pins j + TILE_J <= j1 <= n, so the slice is exactly TILE_J long and the conversion cannot fail
             let b: &[f64; TILE_J] = b_row[j..j + TILE_J].try_into().unwrap();
             for t in 0..TILE_J {
                 acc[t] += aik * b[t];

@@ -171,7 +171,7 @@ pub fn try_jacobi_svd(a: &DenseMatrix) -> BbgnnResult<Svd> {
     let mut triplets: Vec<(f64, usize)> = (0..n)
         .map(|j| (wt.row(j).iter().map(|v| v * v).sum::<f64>().sqrt(), j))
         .collect();
-    triplets.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+    triplets.sort_by(|a, b| b.0.total_cmp(&a.0));
     let mut u = DenseMatrix::zeros(m, n);
     let mut v = DenseMatrix::zeros(n, n);
     let mut sigma = Vec::with_capacity(n);
@@ -198,6 +198,7 @@ pub fn try_jacobi_svd(a: &DenseMatrix) -> BbgnnResult<Svd> {
 /// Panics on non-finite input or failed convergence; use the `try_` form
 /// where recovery is possible.
 pub fn jacobi_svd(a: &DenseMatrix) -> Svd {
+    // lint: allow(panic) reason=documented infallible facade — try_jacobi_svd is the recoverable path
     try_jacobi_svd(a).unwrap_or_else(|e| panic!("jacobi_svd: {e}"))
 }
 
@@ -290,6 +291,7 @@ pub fn randomized_svd(
     seed: u64,
 ) -> Svd {
     try_randomized_svd(a, k, oversample, power_iters, seed)
+        // lint: allow(panic) reason=documented infallible facade — try_randomized_svd is the recoverable path
         .unwrap_or_else(|e| panic!("randomized_svd: {e}"))
 }
 
@@ -308,6 +310,7 @@ pub fn try_low_rank_approximation(
 /// # Panics
 /// Panics when both SVD paths fail.
 pub fn low_rank_approximation(a: &DenseMatrix, k: usize, seed: u64) -> DenseMatrix {
+    // lint: allow(panic) reason=documented infallible facade — try_low_rank_approximation is the recoverable path
     try_low_rank_approximation(a, k, seed).unwrap_or_else(|e| panic!("low_rank_approximation: {e}"))
 }
 
@@ -345,6 +348,7 @@ pub fn singular_value_shrink(
     seed: u64,
 ) -> DenseMatrix {
     try_singular_value_shrink(a, t, rank_budget, seed)
+        // lint: allow(panic) reason=documented infallible facade — try_singular_value_shrink is the recoverable path
         .unwrap_or_else(|e| panic!("singular_value_shrink: {e}"))
 }
 

@@ -177,6 +177,28 @@ enum Candidate {
     Feature(usize, usize),
 }
 
+/// `g.propagate(hops)` (the black-box surrogate embedding `A_n^k X`)
+/// warm-started from the artifact store. Keyed on the full graph content
+/// hash: the propagation reads both adjacency and features, either of
+/// which the attacker may have perturbed.
+fn propagate_cached(g: &Graph, hops: usize) -> DenseMatrix {
+    let key = bbgnn_store::enabled().then(|| {
+        bbgnn_store::Key::new("prep/propagate")
+            .hash_field("graph", g.content_hash())
+            .field("hops", hops)
+    });
+    if let Some(key) = &key {
+        if let Some(m) = bbgnn_store::lookup::<DenseMatrix>(key) {
+            return m;
+        }
+    }
+    let prop = g.propagate(hops);
+    if let Some(key) = &key {
+        bbgnn_store::publish(key, &prop);
+    }
+    prop
+}
+
 impl Attacker for Peega {
     fn name(&self) -> &'static str {
         "PEEGA"
@@ -197,7 +219,7 @@ impl Attacker for Peega {
             budget = budget,
             hops = cfg.hops
         );
-        let clean_prop = Rc::new(g.propagate(cfg.hops));
+        let clean_prop = Rc::new(propagate_cached(g, cfg.hops));
         let eye = Rc::new(DenseMatrix::identity(n));
         // Objective-node restriction (Sec. V-A3).
         let obj_nodes = self.objective_node_set(g);

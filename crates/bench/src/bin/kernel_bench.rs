@@ -12,9 +12,15 @@
 //! ```text
 //! cargo run --release --bin kernel_bench            # all cores
 //! cargo run --release --bin kernel_bench -- --threads 4
+//! cargo run --release --bin kernel_bench -- --compare BENCH_kernels.json
 //! ```
+//!
+//! With `--compare <baseline>` the run additionally gates itself against a
+//! previous `BENCH_kernels.json` (see [`bbgnn_bench::compare`]) and exits
+//! non-zero on a perf regression — this is the CI `perf` job.
 
 use bbgnn::prelude::*;
+use bbgnn_bench::compare;
 use bbgnn_bench::config::ExpConfig;
 use bbgnn_bench::json::Json;
 use bbgnn_bench::report::Table;
@@ -26,23 +32,44 @@ const CORA_D: usize = 1433;
 /// GCN hidden width used for the Cora-shaped propagation product.
 const HIDDEN: usize = 16;
 
-/// Best-of-`reps` seconds for each variant, measured **interleaved**: every
+/// Per-variant timing summary over the interleaved rounds.
+#[derive(Clone, Copy)]
+struct Timing {
+    /// Fastest round — the machine's capability, reported as GFLOP/s.
+    best: f64,
+    /// Median round — robust to one-off stalls, gated by the CI perf job.
+    median: f64,
+}
+
+/// Times each variant over `reps` rounds, measured **interleaved**: every
 /// round times all variants back to back, so noise on a shared machine
 /// (other tenants, frequency drift) hits every variant alike and the
 /// speedup ratios stay meaningful. One untimed warmup round.
-fn time_group(reps: usize, ops: &mut [Box<dyn FnMut() + '_>]) -> Vec<f64> {
+fn time_group(reps: usize, ops: &mut [Box<dyn FnMut() + '_>]) -> Vec<Timing> {
     for op in ops.iter_mut() {
         op();
     }
-    let mut best = vec![f64::INFINITY; ops.len()];
+    let mut samples = vec![Vec::with_capacity(reps); ops.len()];
     for _ in 0..reps {
-        for (slot, op) in best.iter_mut().zip(ops.iter_mut()) {
+        for (slot, op) in samples.iter_mut().zip(ops.iter_mut()) {
             let t = Instant::now();
             op();
-            *slot = slot.min(t.elapsed().as_secs_f64());
+            slot.push(t.elapsed().as_secs_f64());
         }
     }
-    best
+    samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort_by(f64::total_cmp);
+            let mid = s.len() / 2;
+            let median = if s.len() % 2 == 1 {
+                s[mid]
+            } else {
+                (s[mid - 1] + s[mid]) / 2.0
+            };
+            Timing { best: s[0], median }
+        })
+        .collect()
 }
 
 /// A deterministic sparse matrix with roughly `target_nnz` entries.
@@ -68,17 +95,21 @@ struct Row {
     shape: String,
     threads: usize,
     flops: f64,
-    secs: f64,
-    naive_secs: f64,
+    timing: Timing,
+    naive: Timing,
 }
 
 impl Row {
     fn gflops(&self) -> f64 {
-        self.flops / self.secs / 1e9
+        self.flops / self.timing.best / 1e9
     }
 
     fn speedup(&self) -> f64 {
-        self.naive_secs / self.secs
+        self.naive.best / self.timing.best
+    }
+
+    fn median_speedup(&self) -> f64 {
+        self.naive.median / self.timing.median
     }
 
     fn json(&self) -> Json {
@@ -86,19 +117,62 @@ impl Row {
             ("kernel".to_string(), Json::string(self.kernel)),
             ("shape".to_string(), Json::string(self.shape.clone())),
             ("threads".to_string(), Json::number_usize(self.threads)),
-            ("secs".to_string(), Json::number_f64(self.secs)),
+            ("secs".to_string(), Json::number_f64(self.timing.best)),
+            (
+                "median_secs".to_string(),
+                Json::number_f64(self.timing.median),
+            ),
             ("gflops".to_string(), Json::number_f64(self.gflops())),
             (
                 "speedup_vs_naive".to_string(),
                 Json::number_f64(self.speedup()),
+            ),
+            (
+                "median_speedup_vs_naive".to_string(),
+                Json::number_f64(self.median_speedup()),
             ),
         ])
     }
 }
 
 fn main() {
-    let cfg = ExpConfig::from_args();
+    // `--compare <baseline>` is kernel_bench-specific, so it is peeled off
+    // before the shared flag parser sees the argument list.
+    let mut compare_baseline: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--compare" {
+            match argv.next() {
+                Some(path) => compare_baseline = Some(path),
+                None => {
+                    eprintln!("error: --compare requires a baseline JSON path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            rest.push(arg);
+        }
+    }
+    let cfg = ExpConfig::init_from(&rest);
     println!("{}", cfg.banner("kernel_bench"));
+    // The baseline is loaded *before* benchmarking (and before the output
+    // file is written): `--compare BENCH_kernels.json` compares against the
+    // committed baseline even though the run overwrites that same path, and
+    // a malformed baseline fails fast instead of after minutes of timing.
+    let baseline: Option<(String, Json)> =
+        compare_baseline.map(|p| {
+            match std::fs::read_to_string(&p)
+                .map_err(|e| e.to_string())
+                .and_then(|text| Json::parse(&text))
+            {
+                Ok(doc) => (p, doc),
+                Err(e) => {
+                    eprintln!("error: baseline {p}: {e}");
+                    std::process::exit(2);
+                }
+            }
+        });
     let max_threads = cfg.resolved_threads();
     let mut thread_counts = vec![1, 2, 4];
     if !thread_counts.contains(&max_threads) {
@@ -138,8 +212,8 @@ fn main() {
             shape: shape.clone(),
             threads: 1,
             flops: matmul_flops,
-            secs: secs[0],
-            naive_secs: secs[0],
+            timing: secs[0],
+            naive: secs[0],
         });
         for (i, &t) in thread_counts.iter().enumerate() {
             rows.push(Row {
@@ -147,8 +221,8 @@ fn main() {
                 shape: shape.clone(),
                 threads: t,
                 flops: matmul_flops,
-                secs: secs[i + 1],
-                naive_secs: secs[0],
+                timing: secs[i + 1],
+                naive: secs[0],
             });
         }
     }
@@ -175,8 +249,8 @@ fn main() {
             shape: tn_shape.clone(),
             threads: 1,
             flops: tn_flops,
-            secs: secs[0],
-            naive_secs: secs[0],
+            timing: secs[0],
+            naive: secs[0],
         });
         for (i, &t) in thread_counts.iter().enumerate() {
             rows.push(Row {
@@ -184,8 +258,8 @@ fn main() {
                 shape: tn_shape.clone(),
                 threads: t,
                 flops: tn_flops,
-                secs: secs[i + 1],
-                naive_secs: secs[0],
+                timing: secs[i + 1],
+                naive: secs[0],
             });
         }
     }
@@ -214,8 +288,8 @@ fn main() {
             shape: spmm_shape.clone(),
             threads: 1,
             flops: spmm_flops,
-            secs: secs[0],
-            naive_secs: secs[0],
+            timing: secs[0],
+            naive: secs[0],
         });
         for (i, &t) in thread_counts.iter().enumerate() {
             rows.push(Row {
@@ -223,8 +297,8 @@ fn main() {
                 shape: spmm_shape.clone(),
                 threads: t,
                 flops: spmm_flops,
-                secs: secs[i + 1],
-                naive_secs: secs[0],
+                timing: secs[i + 1],
+                naive: secs[0],
             });
         }
     }
@@ -259,5 +333,20 @@ fn main() {
     match std::fs::write(path, doc.to_pretty()) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+
+    if let Some((baseline_path, baseline)) = baseline {
+        match compare::compare_docs(&baseline, &doc, compare::DEFAULT_MIN_RATIO) {
+            Ok(report) => {
+                print!("\n{}", report.render());
+                if !report.passed() {
+                    std::process::exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("error: comparing against {baseline_path}: {e}");
+                std::process::exit(2);
+            }
+        }
     }
 }

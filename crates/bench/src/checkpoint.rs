@@ -30,6 +30,10 @@ pub struct CellRecord {
     pub attempts: usize,
     /// Terminal error text for failed cells.
     pub detail: Option<String>,
+    /// Artifact-store filenames this cell read or wrote (empty when no
+    /// store was active). `bbgnn-store gc` treats any artifact named in a
+    /// checkpoint as live, so a resumed run can still warm-start.
+    pub artifacts: Vec<String>,
 }
 
 /// A load-on-open, save-on-record cell store for one experiment binary.
@@ -57,6 +61,15 @@ impl Checkpoint {
         };
         match std::fs::read_to_string(&ckpt.path) {
             Err(_) => {} // no checkpoint: fresh run
+            // A zero-length file is what a crash between `open` and the
+            // first flushed write leaves behind (also some filesystems
+            // after power loss). It is corrupt, not an error: restart.
+            Ok(text) if text.trim().is_empty() => {
+                eprintln!(
+                    "note: ignoring empty checkpoint {}; starting fresh",
+                    ckpt.path.display()
+                );
+            }
             Ok(text) => match parse_cells(&text, fingerprint) {
                 Ok(cells) => {
                     ckpt.resumed = cells.len();
@@ -126,6 +139,14 @@ impl Checkpoint {
                             if let Some(d) = &rec.detail {
                                 fields.push(("detail".to_string(), Json::string(d.clone())));
                             }
+                            if !rec.artifacts.is_empty() {
+                                fields.push((
+                                    "artifacts".to_string(),
+                                    Json::Array(
+                                        rec.artifacts.iter().cloned().map(Json::string).collect(),
+                                    ),
+                                ));
+                            }
                             (k.clone(), Json::object(fields))
                         })
                         .collect(),
@@ -177,6 +198,17 @@ fn parse_cells(text: &str, fingerprint: &str) -> Result<BTreeMap<String, CellRec
                 .get("detail")
                 .and_then(Json::as_str)
                 .map(str::to_string),
+            artifacts: fields
+                .get("artifacts")
+                .and_then(Json::as_array)
+                .map(|items| {
+                    items
+                        .iter()
+                        .filter_map(Json::as_str)
+                        .map(str::to_string)
+                        .collect()
+                })
+                .unwrap_or_default(),
         };
         out.insert(key.clone(), record);
     }
@@ -199,6 +231,7 @@ mod tests {
             outcome: "ok".to_string(),
             attempts: 1,
             detail: None,
+            artifacts: vec![],
         }
     }
 
@@ -241,6 +274,67 @@ mod tests {
     }
 
     #[test]
+    fn zero_length_checkpoint_restarts_fresh() {
+        let out = temp_out_dir("empty");
+        std::fs::create_dir_all(&out).unwrap();
+        std::fs::write(Path::new(&out).join("t.checkpoint.json"), "").unwrap();
+        let mut c = Checkpoint::open(&out, "t", "fp");
+        assert_eq!(c.resumed_cells(), 0, "empty file must be treated as fresh");
+        // And the run must be able to proceed normally afterwards.
+        c.record("k", rec("v")).unwrap();
+        let d = Checkpoint::open(&out, "t", "fp");
+        assert_eq!(d.resumed_cells(), 1);
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn truncated_checkpoint_restarts_fresh() {
+        let out = temp_out_dir("truncated");
+        let mut a = Checkpoint::open(&out, "t", "fp");
+        a.record("k1", rec("v1")).unwrap();
+        a.record("k2", rec("v2")).unwrap();
+        // Simulate a crash that cut the file mid-JSON.
+        let path = Path::new(&out).join("t.checkpoint.json");
+        let full = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let b = Checkpoint::open(&out, "t", "fp");
+        assert_eq!(
+            b.resumed_cells(),
+            0,
+            "a truncated checkpoint must restart, not abort"
+        );
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
+    fn artifacts_roundtrip_through_checkpoint() {
+        let out = temp_out_dir("artifacts");
+        let mut a = Checkpoint::open(&out, "t", "fp");
+        a.record(
+            "cell",
+            CellRecord {
+                artifacts: vec![
+                    "model-gcn-00ff.bba".to_string(),
+                    "prep-1234.bba".to_string(),
+                ],
+                ..rec("v")
+            },
+        )
+        .unwrap();
+        let b = Checkpoint::open(&out, "t", "fp");
+        assert_eq!(
+            b.get("cell").unwrap().artifacts,
+            vec!["model-gcn-00ff.bba", "prep-1234.bba"]
+        );
+        // Cells without artifacts stay artifact-free after a reopen.
+        let mut c = Checkpoint::open(&out, "t", "fp");
+        c.record("plain", rec("w")).unwrap();
+        let d = Checkpoint::open(&out, "t", "fp");
+        assert!(d.get("plain").unwrap().artifacts.is_empty());
+        let _ = std::fs::remove_dir_all(&out);
+    }
+
+    #[test]
     fn failed_cells_keep_their_detail() {
         let out = temp_out_dir("detail");
         let mut a = Checkpoint::open(&out, "t", "fp");
@@ -251,6 +345,7 @@ mod tests {
                 outcome: "failed".to_string(),
                 attempts: 3,
                 detail: Some("training loss became NaN".to_string()),
+                artifacts: vec![],
             },
         )
         .unwrap();

@@ -31,6 +31,11 @@ pub struct ExpConfig {
     /// never changes experiment results — traced and untraced runs are
     /// byte-identical (enforced by the CI tracing job).
     pub trace: Option<String>,
+    /// Artifact-store root (`--store dir` / `BBGNN_STORE`). `None`
+    /// (default) disables caching. A warm-started run is byte-identical to
+    /// a cold one — the store only skips recomputation of bit-for-bit
+    /// reproducible intermediates (enforced by the CI store job).
+    pub store: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -44,6 +49,7 @@ impl Default for ExpConfig {
             out_dir: "results".to_string(),
             threads: 0,
             trace: None,
+            store: None,
         }
     }
 }
@@ -74,7 +80,15 @@ impl ExpConfig {
     /// message on malformed input. Experiment binaries call this; library
     /// code and tests use [`try_from_args`](Self::try_from_args).
     pub fn from_args() -> Self {
-        match Self::try_from_args() {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Self::init_from(&args)
+    }
+
+    /// [`from_args`](Self::from_args) over an explicit argument list —
+    /// the entry point for binaries that pre-extract their own flags
+    /// (e.g. `kernel_bench --compare`) before handing the rest over.
+    pub fn init_from(args: &[String]) -> Self {
+        match Self::try_parse(args, |name| std::env::var(name).ok()) {
             Ok(cfg) => {
                 // Propagate an explicit `--threads` to the kernels, which
                 // read BBGNN_THREADS lazily (once, at first kernel call —
@@ -87,6 +101,13 @@ impl ExpConfig {
                 if let Some(path) = &cfg.trace {
                     if let Err(e) = bbgnn_obs::init_to_path(path) {
                         eprintln!("error: --trace {path}: {e}");
+                        std::process::exit(2);
+                    }
+                }
+                // And the artifact store before any cache-aware code runs.
+                if let Some(path) = &cfg.store {
+                    if let Err(e) = bbgnn::store::init_to_path(path) {
+                        eprintln!("error: --store {path}: {e}");
                         std::process::exit(2);
                     }
                 }
@@ -136,6 +157,9 @@ impl ExpConfig {
         if let Some(v) = env("BBGNN_TRACE") {
             cfg.trace = Some(v);
         }
+        if let Some(v) = env("BBGNN_STORE") {
+            cfg.store = Some(v);
+        }
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
@@ -153,6 +177,13 @@ impl ExpConfig {
                             .to_string(),
                     )
                 }
+                "--store" => {
+                    cfg.store = Some(
+                        value
+                            .ok_or_else(|| invalid(flag, "requires a value (dir)"))?
+                            .to_string(),
+                    )
+                }
                 "--dataset" => {
                     cfg.dataset = Some(
                         value
@@ -167,7 +198,7 @@ impl ExpConfig {
                 }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR --trace PATH"
+                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR --trace PATH --store DIR"
                     );
                     std::process::exit(0);
                 }
@@ -360,6 +391,24 @@ mod tests {
         };
         let b = ExpConfig::default();
         assert_eq!(a.fingerprint("t"), b.fingerprint("t"));
+    }
+
+    #[test]
+    fn store_flag_and_env_are_parsed_and_fingerprint_ignores_store() {
+        let c = ExpConfig::try_parse(&argv(&["--store", "cache"]), no_env).unwrap();
+        assert_eq!(c.store.as_deref(), Some("cache"));
+        let env = |name: &str| (name == "BBGNN_STORE").then(|| "envcache".to_string());
+        let c = ExpConfig::try_parse(&[], env).unwrap();
+        assert_eq!(c.store.as_deref(), Some("envcache"));
+        assert_eq!(ExpConfig::try_parse(&[], no_env).unwrap().store, None);
+        // A warm-started run is byte-identical to a cold one, so a
+        // checkpoint from a store-less run must be resumable with --store
+        // (and vice versa).
+        let a = ExpConfig {
+            store: Some("cache".to_string()),
+            ..Default::default()
+        };
+        assert_eq!(a.fingerprint("t"), ExpConfig::default().fingerprint("t"));
     }
 
     #[test]

@@ -147,6 +147,11 @@ impl FaultRunner {
             self.stats.cached += 1;
             return done.value.clone();
         }
+        // Record which store artifacts this cell touches (hits and writes
+        // alike) so the checkpoint pins them against `bbgnn-store gc`.
+        // Recording is thread-local: cells run on the caller's thread, so
+        // pool workers spawned inside `f` are intentionally not captured.
+        bbgnn::store::start_recording();
         let mut last_cause = String::new();
         for attempt in 0..=self.policy.max_retries {
             let seed = RetryPolicy::seed_for_attempt(base_seed, attempt);
@@ -230,6 +235,10 @@ impl FaultRunner {
             outcome: outcome.to_string(),
             attempts,
             detail: detail.map(str::to_string),
+            // Drains the recording started in `cell`; artifacts written on
+            // failed attempts are still pinned, which lets a retry or a
+            // resumed run warm-start from them.
+            artifacts: bbgnn::store::take_recording(),
         };
         // Checkpointing is best-effort: an unwritable results dir should
         // not kill the sweep, only the ability to resume it.

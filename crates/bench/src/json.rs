@@ -66,8 +66,24 @@ impl Json {
         }
     }
 
+    /// The array payload, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// The number parsed as usize, if this is a number.
     pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Number(n) => n.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number parsed as f64, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
         match self {
             Json::Number(n) => n.parse().ok(),
             _ => None,

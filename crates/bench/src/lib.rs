@@ -14,7 +14,9 @@
 //! * [`checkpoint`] — crash-safe `results/*.checkpoint.json` cell stores so
 //!   a killed sweep resumes byte-identically;
 //! * [`report`] — fixed-width table printing plus CSV/JSON dumps under
-//!   `results/`.
+//!   `results/`;
+//! * [`compare`] — the CI perf gate: compares a fresh `BENCH_kernels.json`
+//!   against the committed baseline on naive-relative median speedups.
 //!
 //! All binaries print the same rows/series the paper reports and write a
 //! machine-readable copy next to them.
@@ -25,6 +27,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod checkpoint;
+pub mod compare;
 pub mod config;
 pub mod fault;
 pub mod json;

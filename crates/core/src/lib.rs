@@ -43,7 +43,10 @@
 //! * [`bbgnn_gnn`] — GCN / GAT / linear surrogate and the training loop;
 //! * [`bbgnn_attack`] — PEEGA + PGD, MinMax, Metattack, GF-Attack;
 //! * [`bbgnn_defense`] — GNAT + GCN-Jaccard, GCN-SVD, RGCN, Pro-GNN,
-//!   SimPGCN.
+//!   SimPGCN;
+//! * [`bbgnn_store`] — content-addressed artifact cache persisting
+//!   trained surrogates and factor bundles across runs
+//!   (`BBGNN_STORE=<dir>`, see DESIGN.md §10).
 
 #![deny(missing_docs)]
 
@@ -55,6 +58,7 @@ pub use bbgnn_gnn as gnn;
 pub use bbgnn_graph as graph;
 pub use bbgnn_linalg as linalg;
 pub use bbgnn_obs as obs;
+pub use bbgnn_store as store;
 
 pub mod exec;
 pub mod registry;

@@ -28,6 +28,30 @@ use bbgnn_linalg::svd::singular_value_shrink;
 use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext};
 use std::rc::Rc;
 
+/// [`singular_value_shrink`] warm-started from the artifact store. The
+/// proximal step is the dominant cost of every `svd_every`-th outer epoch
+/// and is a pure function of the structure matrix plus its knobs, so a
+/// resumed or repeated Pro-GNN run replays it from disk.
+fn shrink_cached(s: &DenseMatrix, tau: f64, rank: usize, seed: u64) -> DenseMatrix {
+    let key = bbgnn_store::enabled().then(|| {
+        bbgnn_store::Key::new("factors/shrink")
+            .hash_field("s", s.content_hash())
+            .field("tau", tau)
+            .field("rank", rank)
+            .field("seed", seed)
+    });
+    if let Some(key) = &key {
+        if let Some(m) = bbgnn_store::lookup::<DenseMatrix>(key) {
+            return m;
+        }
+    }
+    let out = singular_value_shrink(s, tau, rank, seed);
+    if let Some(key) = &key {
+        bbgnn_store::publish(key, &out);
+    }
+    out
+}
+
 /// Pro-GNN configuration. Defaults follow the reference implementation's
 /// Cora settings scaled to this workspace's graph sizes.
 #[derive(Clone, Debug)]
@@ -199,7 +223,7 @@ impl NodeClassifier for ProGnn {
                 shrunk.clamp(0.0, 1.0)
             });
             if cfg.svd_every > 0 && (outer + 1) % cfg.svd_every == 0 {
-                s = singular_value_shrink(
+                s = shrink_cached(
                     &s,
                     cfg.lr_s * cfg.beta,
                     cfg.svd_rank.min(n),

@@ -20,7 +20,7 @@
 
 use crate::Defender;
 use bbgnn_autodiff::{Tape, TensorId};
-use bbgnn_gnn::train::{train_with_regularizer, Mode, TrainConfig, TrainReport};
+use bbgnn_gnn::train::{train_with_regularizer_keyed, Mode, TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
 use bbgnn_linalg::{CsrMatrix, DenseMatrix};
@@ -137,8 +137,13 @@ impl NodeClassifier for Rgcn {
         let mut params = self.init_params(g.feature_dim(), g.num_classes);
         let x = g.features.clone();
         let cfg = self.config.train.clone();
+        let salt = bbgnn_store::enabled().then(|| {
+            bbgnn_store::Key::new("model/rgcn")
+                .field("hidden", self.config.hidden)
+                .field("kl", self.config.kl_weight)
+        });
         let this = &*self;
-        let report = train_with_regularizer(&mut params, g, &cfg, |tape, p, mode| {
+        let report = train_with_regularizer_keyed(&mut params, g, &cfg, salt, |tape, p, mode| {
             this.forward(tape, p, &an, &x, mode)
         });
         self.params = params;

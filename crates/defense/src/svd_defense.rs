@@ -10,8 +10,9 @@ use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::{TrainConfig, TrainReport};
 use bbgnn_gnn::NodeClassifier;
 use bbgnn_graph::Graph;
-use bbgnn_linalg::svd::randomized_svd;
-use bbgnn_linalg::CsrMatrix;
+use bbgnn_linalg::svd::{randomized_svd, Svd};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use bbgnn_store::SvdFactors;
 use std::rc::Rc;
 
 /// GCN-SVD configuration.
@@ -58,10 +59,46 @@ impl GcnSvd {
     /// Rank-`k` purified adjacency of `g` (non-negative, weighted).
     pub fn purify(&self, g: &Graph) -> CsrMatrix {
         let a = g.adjacency_dense();
-        let svd = randomized_svd(&a, self.config.rank, 8, 2, self.config.train.seed);
+        let svd = self.factorize(&a);
         let mut low = svd.reconstruct();
         low.map_inplace(|v| if v > 0.0 { v } else { 0.0 });
         CsrMatrix::from_dense(&low, self.config.sparsify_tol)
+    }
+
+    /// The truncated SVD of the dense adjacency, warm-started from the
+    /// artifact store when one is active. Keyed on the adjacency content
+    /// hash (not the whole graph: a feature-only perturbation reuses the
+    /// factors) plus every knob of the randomized-SVD call.
+    fn factorize(&self, a: &DenseMatrix) -> Svd {
+        let key = bbgnn_store::enabled().then(|| {
+            bbgnn_store::Key::new("factors/svd")
+                .hash_field("adj", a.content_hash())
+                .field("rank", self.config.rank)
+                .field("oversample", 8)
+                .field("iters", 2)
+                .field("seed", self.config.train.seed)
+        });
+        if let Some(key) = &key {
+            if let Some(f) = bbgnn_store::lookup::<SvdFactors>(key) {
+                return Svd {
+                    u: f.u,
+                    sigma: f.sigma,
+                    v: f.v,
+                };
+            }
+        }
+        let svd = randomized_svd(a, self.config.rank, 8, 2, self.config.train.seed);
+        if let Some(key) = &key {
+            bbgnn_store::publish(
+                key,
+                &SvdFactors {
+                    u: svd.u.clone(),
+                    sigma: svd.sigma.clone(),
+                    v: svd.v.clone(),
+                },
+            );
+        }
+        svd
     }
 }
 

@@ -1,6 +1,6 @@
 //! The Kipf–Welling graph convolutional network (Eq. 1–2 of the paper).
 
-use crate::train::{train_node_classifier, Mode, TrainConfig, TrainReport};
+use crate::train::{train_node_classifier_keyed, Mode, TrainConfig, TrainReport};
 use crate::NodeClassifier;
 use bbgnn_autodiff::{Tape, TensorId};
 use bbgnn_graph::Graph;
@@ -20,6 +20,14 @@ pub struct Gcn {
     pub config: TrainConfig,
     weights: Vec<DenseMatrix>,
     trained_on: Option<Rc<CsrMatrix>>,
+}
+
+/// Hidden widths as a stable key token, e.g. `16x16`.
+fn join_dims(dims: &[usize]) -> String {
+    dims.iter()
+        .map(|d| d.to_string())
+        .collect::<Vec<_>>()
+        .join("x")
 }
 
 impl Gcn {
@@ -98,10 +106,19 @@ impl Gcn {
         let dropout = self.config.dropout;
         let x = g.features.clone();
         let cfg = self.config.clone();
-        let this = &*self;
-        let report = train_node_classifier(&mut weights, g, &cfg, |tape, params, mode| {
-            this.forward(tape, params, &an, &x, dropout, mode)
+        // The adjacency is a caller-supplied input (e.g. GCN-SVD's purified
+        // graph), so its content hash must be part of the key: a raw GCN and
+        // a purified one share `g` and config but must never share weights.
+        let salt = bbgnn_store::enabled().then(|| {
+            bbgnn_store::Key::new("model/gcn")
+                .field("hidden", join_dims(&self.hidden))
+                .hash_field("an", an.content_hash())
         });
+        let this = &*self;
+        let report =
+            train_node_classifier_keyed(&mut weights, g, &cfg, salt, |tape, params, mode| {
+                this.forward(tape, params, &an, &x, dropout, mode)
+            });
         self.weights = weights;
         report
     }

@@ -331,6 +331,29 @@ impl Graph {
         out.sort_unstable();
         out
     }
+
+    /// Deterministic FNV-1a fingerprint of the full graph state: structure
+    /// (every edge, in sorted order), feature bits, labels, class count,
+    /// and splits. Any single edit — one flipped edge, one flipped feature
+    /// bit — changes the hash, which is the artifact store's guarantee
+    /// that a perturbed graph never aliases a clean one.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = bbgnn_linalg::content_hash::Fnv1a::new();
+        h.bytes(b"graph");
+        h.usize(self.num_nodes());
+        h.usize(self.num_edges);
+        for (u, v) in self.edges() {
+            h.usize(u);
+            h.usize(v);
+        }
+        h.u64(self.features.content_hash());
+        h.usizes(&self.labels);
+        h.usize(self.num_classes);
+        h.usizes(&self.split.train);
+        h.usizes(&self.split.valid);
+        h.usizes(&self.split.test);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -463,5 +486,24 @@ mod tests {
         assert!(h.has_edge(0, 2));
         assert!(!h.has_edge(0, 1));
         assert_eq!(h.features, g.features);
+    }
+
+    #[test]
+    fn content_hash_changes_on_any_edit() {
+        let g = path_graph(5);
+        let base = g.content_hash();
+        assert_eq!(base, path_graph(5).content_hash(), "must be deterministic");
+
+        let mut edited = g.clone();
+        edited.flip_edge(0, 3);
+        assert_ne!(base, edited.content_hash(), "one edge must matter");
+
+        let mut feat = g.clone();
+        feat.flip_feature(2, 0);
+        assert_ne!(base, feat.content_hash(), "one feature bit must matter");
+
+        let mut relabeled = g.clone();
+        relabeled.labels[1] = 0; // same value: no-op edit
+        assert_eq!(base, relabeled.content_hash());
     }
 }

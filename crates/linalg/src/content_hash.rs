@@ -1,0 +1,132 @@
+//! Deterministic content fingerprints for matrix values.
+//!
+//! The artifact store (`crates/store`) keys cached surrogates and factor
+//! bundles by the *exact bits* of their inputs: a perturbed adjacency must
+//! never alias a clean one, and two graphs that differ in a single edge or
+//! feature bit must hash differently. The fingerprint is FNV-1a over the
+//! structural dimensions and the IEEE-754 bit patterns of every value —
+//! no float arithmetic, so the hash is identical across platforms,
+//! optimization levels, and thread counts (values are read in storage
+//! order, never reduced).
+
+/// FNV-1a offset basis (64-bit).
+pub const FNV_OFFSET: u64 = 0xcbf29ce484222325;
+/// FNV-1a prime (64-bit).
+pub const FNV_PRIME: u64 = 0x100000001b3;
+
+/// Incremental FNV-1a hasher over byte-like tokens.
+///
+/// Not a cryptographic hash: collisions are guarded downstream (the store
+/// compares the full key text recorded in every artifact header).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Fnv1a {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Absorbs one byte.
+    #[inline]
+    pub fn byte(&mut self, b: u8) {
+        self.0 = (self.0 ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+
+    /// Absorbs a byte slice.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.byte(b);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Absorbs a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Absorbs an `f64` by bit pattern (`-0.0 != 0.0`, NaN payloads count).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Absorbs a slice of `f64` bit patterns.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Absorbs a slice of `usize` values.
+    pub fn usizes(&mut self, vs: &[usize]) {
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+
+    /// The accumulated hash.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a of a byte slice in one call.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CsrMatrix, DenseMatrix};
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn dense_hash_is_sensitive_to_shape_and_bits() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(1, 4, vec![1.0, 2.0, 3.0, 4.0]);
+        let mut c = a.clone();
+        assert_eq!(a.content_hash(), c.content_hash());
+        assert_ne!(a.content_hash(), b.content_hash(), "shape must matter");
+        c.set(1, 1, 4.0 + 1e-15);
+        assert_ne!(a.content_hash(), c.content_hash(), "one ulp must matter");
+    }
+
+    #[test]
+    fn csr_hash_is_sensitive_to_structure_and_values() {
+        let a = CsrMatrix::from_triplets(3, 3, [(0, 1, 1.0), (2, 0, 0.5)]);
+        let b = CsrMatrix::from_triplets(3, 3, [(0, 1, 1.0), (2, 0, 0.5)]);
+        assert_eq!(a.content_hash(), b.content_hash());
+        let moved = CsrMatrix::from_triplets(3, 3, [(0, 2, 1.0), (2, 0, 0.5)]);
+        assert_ne!(a.content_hash(), moved.content_hash());
+        let reweighted = CsrMatrix::from_triplets(3, 3, [(0, 1, 1.0), (2, 0, 0.25)]);
+        assert_ne!(a.content_hash(), reweighted.content_hash());
+    }
+
+    #[test]
+    fn zero_and_negative_zero_differ() {
+        let z = DenseMatrix::from_vec(1, 1, vec![0.0]);
+        let nz = DenseMatrix::from_vec(1, 1, vec![-0.0]);
+        assert_ne!(z.content_hash(), nz.content_hash());
+    }
+}

@@ -163,6 +163,19 @@ impl DenseMatrix {
         self.data
     }
 
+    /// FNV-1a fingerprint of the shape and the IEEE-754 bit pattern of
+    /// every entry (see [`crate::content_hash`]). Used by the artifact
+    /// store to key cached computations; bitwise-equal matrices — and only
+    /// those — hash equal.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::content_hash::Fnv1a::new();
+        h.bytes(b"dense");
+        h.usize(self.rows);
+        h.usize(self.cols);
+        h.f64s(&self.data);
+        h.finish()
+    }
+
     /// Returns element `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {

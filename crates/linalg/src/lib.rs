@@ -29,6 +29,7 @@
 
 #![deny(missing_docs)]
 
+pub mod content_hash;
 pub mod dense;
 pub mod eigen;
 pub mod kernels;

@@ -127,6 +127,71 @@ impl CsrMatrix {
         &self.values
     }
 
+    /// Row-pointer array (`rows + 1` entries, see the struct invariants).
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// Column indices of every stored entry, row-major.
+    #[inline]
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Builds a CSR matrix directly from its raw arrays, validating the
+    /// struct invariants (monotone `row_ptr`, strictly increasing in-bounds
+    /// columns per row). The artifact store uses this to reconstruct a
+    /// matrix bitwise from its serialized parts.
+    pub fn try_from_raw_parts(
+        rows: usize,
+        cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<f64>,
+    ) -> Result<Self, String> {
+        if row_ptr.len() != rows + 1 || row_ptr.first() != Some(&0) {
+            return Err(format!("row_ptr length {} != rows+1", row_ptr.len()));
+        }
+        if row_ptr.last() != Some(&col_idx.len()) || col_idx.len() != values.len() {
+            return Err("row_ptr/col_idx/values lengths disagree".to_string());
+        }
+        for i in 0..rows {
+            let (lo, hi) = (row_ptr[i], row_ptr[i + 1]);
+            if lo > hi || hi > col_idx.len() {
+                return Err(format!("row_ptr not monotone at row {i}"));
+            }
+            let mut prev: Option<usize> = None;
+            for &c in &col_idx[lo..hi] {
+                if c >= cols || prev.is_some_and(|p| p >= c) {
+                    return Err(format!("bad column order in row {i}"));
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// FNV-1a fingerprint of the full CSR structure and value bits (see
+    /// [`crate::content_hash`]). A single moved edge or reweighted entry
+    /// changes the hash — the store's anti-aliasing guarantee.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::content_hash::Fnv1a::new();
+        h.bytes(b"csr");
+        h.usize(self.rows);
+        h.usize(self.cols);
+        h.usizes(&self.row_ptr);
+        h.usizes(&self.col_idx);
+        h.f64s(&self.values);
+        h.finish()
+    }
+
     /// Iterator over `(col, value)` pairs of row `i`.
     pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
         let lo = self.row_ptr[i];

@@ -1,0 +1,268 @@
+//! Codecs: one [`Artifact`] implementation per cached value type.
+//!
+//! Tags are append-only: a new codec takes the next free tag, existing
+//! tags are never reused or renumbered (a tag mismatch on read is a
+//! decode error, and [`FORMAT_VERSION`](crate::format::FORMAT_VERSION)
+//! bumps cover layout changes inside a codec).
+
+use crate::format::{Artifact, Reader, Writer};
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+
+impl Artifact for DenseMatrix {
+    const TAG: u8 = 1;
+    const KIND: &'static str = "dense";
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.rows());
+        w.usize(self.cols());
+        w.f64s(self.as_slice());
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, String> {
+        let rows = r.usize()?;
+        let cols = r.usize()?;
+        let data = r.f64s()?;
+        if data.len() != rows * cols {
+            return Err(format!(
+                "dense payload has {} entries for a {rows}x{cols} matrix",
+                data.len()
+            ));
+        }
+        Ok(DenseMatrix::from_vec(rows, cols, data))
+    }
+}
+
+impl Artifact for CsrMatrix {
+    const TAG: u8 = 2;
+    const KIND: &'static str = "csr";
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.rows());
+        w.usize(self.cols());
+        w.usizes(self.row_ptr());
+        w.usizes(self.col_indices());
+        w.f64s(self.values());
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, String> {
+        let rows = r.usize()?;
+        let cols = r.usize()?;
+        let row_ptr = r.usizes()?;
+        let col_idx = r.usizes()?;
+        let values = r.f64s()?;
+        CsrMatrix::try_from_raw_parts(rows, cols, row_ptr, col_idx, values)
+    }
+}
+
+/// Training summary persisted alongside cached model weights, mirroring
+/// `bbgnn_gnn::TrainReport` field-for-field. Declared here (rather than
+/// depending on the gnn crate) so the store stays at the bottom of the
+/// dependency graph; `bbgnn-gnn` converts both ways.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ModelReport {
+    /// Epochs actually executed by the original (cold) training run.
+    pub epochs_run: usize,
+    /// Best validation accuracy observed.
+    pub best_val_accuracy: f64,
+    /// Final training loss.
+    pub final_loss: f64,
+    /// Wall-clock seconds of the original run (a hit reports the cost it
+    /// saved, not the near-zero load time).
+    pub seconds: f64,
+    /// Divergence recoveries performed during the original run.
+    pub divergence_recoveries: usize,
+    /// Whether the original run aborted with the recovery budget spent.
+    pub diverged: bool,
+}
+
+/// A trained model: parameter matrices in layer order plus the training
+/// report of the run that produced them.
+#[derive(Clone, Debug)]
+pub struct TrainedModel {
+    /// Parameter matrices, in the exact order the model's `fit` built them.
+    pub weights: Vec<DenseMatrix>,
+    /// Report of the original training run.
+    pub report: ModelReport,
+}
+
+impl Artifact for TrainedModel {
+    const TAG: u8 = 3;
+    const KIND: &'static str = "model";
+
+    fn encode(&self, w: &mut Writer) {
+        w.usize(self.weights.len());
+        for m in &self.weights {
+            m.encode(w);
+        }
+        w.usize(self.report.epochs_run);
+        w.f64(self.report.best_val_accuracy);
+        w.f64(self.report.final_loss);
+        w.f64(self.report.seconds);
+        w.usize(self.report.divergence_recoveries);
+        w.bool(self.report.diverged);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, String> {
+        let n = r.len_prefix(8)?;
+        let mut weights = Vec::with_capacity(n);
+        for _ in 0..n {
+            weights.push(DenseMatrix::decode(r)?);
+        }
+        let report = ModelReport {
+            epochs_run: r.usize()?,
+            best_val_accuracy: r.f64()?,
+            final_loss: r.f64()?,
+            seconds: r.f64()?,
+            divergence_recoveries: r.usize()?,
+            diverged: r.bool()?,
+        };
+        Ok(TrainedModel { weights, report })
+    }
+}
+
+/// A truncated SVD factor bundle `U Σ Vᵀ` (GCN-SVD's purification step).
+#[derive(Clone, Debug)]
+pub struct SvdFactors {
+    /// Left singular vectors, `n × k`.
+    pub u: DenseMatrix,
+    /// Singular values, descending.
+    pub sigma: Vec<f64>,
+    /// Right singular vectors, `m × k`.
+    pub v: DenseMatrix,
+}
+
+impl Artifact for SvdFactors {
+    const TAG: u8 = 4;
+    const KIND: &'static str = "svd";
+
+    fn encode(&self, w: &mut Writer) {
+        self.u.encode(w);
+        w.f64s(&self.sigma);
+        self.v.encode(w);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, String> {
+        Ok(SvdFactors {
+            u: DenseMatrix::decode(r)?,
+            sigma: r.f64s()?,
+            v: DenseMatrix::decode(r)?,
+        })
+    }
+}
+
+/// A top-k eigenpair bundle (GF-Attack's spectral filter inputs).
+#[derive(Clone, Debug)]
+pub struct EigenFactors {
+    /// Eigenvalues, by Lanczos extraction order.
+    pub values: Vec<f64>,
+    /// Eigenvectors, one column per eigenvalue.
+    pub vectors: DenseMatrix,
+}
+
+impl Artifact for EigenFactors {
+    const TAG: u8 = 5;
+    const KIND: &'static str = "eigen";
+
+    fn encode(&self, w: &mut Writer) {
+        w.f64s(&self.values);
+        self.vectors.encode(w);
+    }
+
+    fn decode(r: &mut Reader) -> Result<Self, String> {
+        Ok(EigenFactors {
+            values: r.f64s()?,
+            vectors: DenseMatrix::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<A: Artifact>(a: &A) -> A {
+        let mut w = Writer::new();
+        a.encode(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let out = A::decode(&mut r).expect("decode");
+        r.finish().expect("fully consumed");
+        out
+    }
+
+    #[test]
+    fn dense_roundtrip_is_bitwise() {
+        let m = DenseMatrix::from_vec(2, 3, vec![1.0, -0.0, f64::NAN, 1e-308, -5.5, 0.1]);
+        let back = roundtrip(&m);
+        assert_eq!(back.rows(), 2);
+        assert_eq!(back.cols(), 3);
+        let bits = |x: &DenseMatrix| x.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&m), bits(&back));
+    }
+
+    #[test]
+    fn csr_roundtrip_is_bitwise() {
+        let m = CsrMatrix::from_triplets(4, 5, [(0, 1, 0.5), (0, 4, -0.0), (3, 2, 1e-30)]);
+        let back = roundtrip(&m);
+        assert_eq!(m.content_hash(), back.content_hash());
+    }
+
+    #[test]
+    fn csr_decode_rejects_inconsistent_structure() {
+        let mut w = Writer::new();
+        w.usize(2); // rows
+        w.usize(2); // cols
+        w.usizes(&[0, 1]); // row_ptr too short for rows=2
+        w.usizes(&[0]);
+        w.f64s(&[1.0]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert!(CsrMatrix::decode(&mut r).is_err());
+    }
+
+    #[test]
+    fn model_roundtrip_preserves_report() {
+        let model = TrainedModel {
+            weights: vec![
+                DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]),
+                DenseMatrix::from_vec(2, 1, vec![-1.0, 0.5]),
+            ],
+            report: ModelReport {
+                epochs_run: 42,
+                best_val_accuracy: 0.815,
+                final_loss: 0.33,
+                seconds: 1.25,
+                divergence_recoveries: 1,
+                diverged: false,
+            },
+        };
+        let back = roundtrip(&model);
+        assert_eq!(back.weights.len(), 2);
+        assert_eq!(back.report, model.report);
+        assert_eq!(
+            back.weights[1].as_slice(),
+            model.weights[1].as_slice(),
+            "weights must survive bitwise"
+        );
+    }
+
+    #[test]
+    fn factor_bundles_roundtrip() {
+        let svd = SvdFactors {
+            u: DenseMatrix::from_vec(2, 1, vec![0.6, 0.8]),
+            sigma: vec![3.0, 1.0],
+            v: DenseMatrix::from_vec(2, 1, vec![1.0, 0.0]),
+        };
+        let back = roundtrip(&svd);
+        assert_eq!(back.sigma, svd.sigma);
+        assert_eq!(back.u.as_slice(), svd.u.as_slice());
+
+        let eig = EigenFactors {
+            values: vec![2.5, -0.5],
+            vectors: DenseMatrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]),
+        };
+        let back = roundtrip(&eig);
+        assert_eq!(back.values, eig.values);
+        assert_eq!(back.vectors.as_slice(), eig.vectors.as_slice());
+    }
+}

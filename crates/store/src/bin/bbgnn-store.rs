@@ -1,0 +1,143 @@
+//! Store maintenance CLI: `ls` / `verify` / `gc` over an artifact root.
+//!
+//! Thin shell over the library functions in `bbgnn_store` (the logic is
+//! unit-tested there); this binary only parses flags and formats output.
+//!
+//! ```text
+//! bbgnn-store ls     [--root DIR]
+//! bbgnn-store verify [--root DIR]                 # exit 1 on corruption
+//! bbgnn-store gc     [--root DIR] --live-from DIR [--live-from DIR]... [--dry-run]
+//! ```
+//!
+//! The root defaults to `$BBGNN_STORE`.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Prints one line to stdout, exiting quietly when the reader went away:
+/// `bbgnn-store ls | head` must end cleanly, not panic on the broken pipe
+/// (Rust ignores SIGPIPE, so the write error is the only signal).
+fn out(line: std::fmt::Arguments) {
+    let stdout = std::io::stdout();
+    if writeln!(stdout.lock(), "{line}").is_err() {
+        std::process::exit(0);
+    }
+}
+
+struct Args {
+    command: String,
+    root: PathBuf,
+    live_from: Vec<PathBuf>,
+    dry_run: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: bbgnn-store <ls|verify|gc> [--root DIR] [--live-from DIR]... [--dry-run]\n\
+     the root defaults to $BBGNN_STORE"
+}
+
+fn parse(argv: &[String]) -> Result<Args, String> {
+    let command = argv.first().cloned().ok_or_else(|| usage().to_string())?;
+    if !matches!(command.as_str(), "ls" | "verify" | "gc") {
+        return Err(format!("unknown command {command:?}\n{}", usage()));
+    }
+    let mut root: Option<PathBuf> = std::env::var("BBGNN_STORE")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .map(PathBuf::from);
+    let mut live_from = Vec::new();
+    let mut dry_run = false;
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--root" => {
+                let v = argv.get(i + 1).ok_or("--root needs a directory")?;
+                root = Some(PathBuf::from(v));
+                i += 2;
+            }
+            "--live-from" => {
+                let v = argv.get(i + 1).ok_or("--live-from needs a directory")?;
+                live_from.push(PathBuf::from(v));
+                i += 2;
+            }
+            "--dry-run" => {
+                dry_run = true;
+                i += 1;
+            }
+            other => return Err(format!("unknown flag {other:?}\n{}", usage())),
+        }
+    }
+    let root = root.ok_or("no store root: pass --root DIR or set BBGNN_STORE")?;
+    Ok(Args {
+        command,
+        root,
+        live_from,
+        dry_run,
+    })
+}
+
+fn run(args: &Args) -> Result<ExitCode, String> {
+    match args.command.as_str() {
+        "ls" => {
+            let entries = bbgnn_store::ls(&args.root)?;
+            for e in &entries {
+                match &e.status {
+                    Ok(key) => out(format_args!("{:>10}  {}  {}", e.bytes, e.file, key)),
+                    Err(err) => out(format_args!("{:>10}  {}  !! {}", e.bytes, e.file, err)),
+                }
+            }
+            out(format_args!("{} artifact(s)", entries.len()));
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let report = bbgnn_store::verify(&args.root)?;
+            out(format_args!(
+                "ok: {}  stale: {}  corrupt: {}",
+                report.ok,
+                report.stale.len(),
+                report.corrupt.len()
+            ));
+            for f in &report.stale {
+                out(format_args!("stale    {f}"));
+            }
+            for (f, why) in &report.corrupt {
+                out(format_args!("corrupt  {f}: {why}"));
+            }
+            if report.corrupt.is_empty() {
+                Ok(ExitCode::SUCCESS)
+            } else {
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        "gc" => {
+            let report = bbgnn_store::gc(&args.root, &args.live_from, args.dry_run)?;
+            let verb = if args.dry_run {
+                "would remove"
+            } else {
+                "removed"
+            };
+            out(format_args!(
+                "live: {}  {verb}: {}",
+                report.live.len(),
+                report.removed.len()
+            ));
+            for f in &report.removed {
+                out(format_args!("{verb}  {f}"));
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(usage().to_string()),
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse(&argv).and_then(|args| run(&args)) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("bbgnn-store: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Hand-rolled binary artifact format: versioned magic, tagged payload,
+//! fletcher-64 checksum. No serde — every byte is written and read
+//! explicitly so the format is auditable and MSRV-stable.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic `BBST`
+//! 4       2     format version (u16) — bump invalidates every artifact
+//! 6       1     artifact kind tag (u8) — one per codec in `artifact.rs`
+//! 7       4     key text length (u32)
+//! 11      k     key text (UTF-8) — the full cache key, not just its hash
+//! 11+k    8     payload length (u64)
+//! 19+k    p     payload (codec-specific, see [`Artifact`])
+//! 19+k+p  8     fletcher-64 checksum of bytes `[0, 19+k+p)`
+//! ```
+//!
+//! Floats are serialized by IEEE-754 bit pattern (`f64::to_bits`), so a
+//! round-trip is bitwise-lossless: `-0.0`, subnormals, and NaN payloads
+//! survive. The embedded key text is compared on every read — a 64-bit
+//! filename-hash collision therefore degrades to a cache miss, never to
+//! serving the wrong artifact.
+
+/// File magic: "BBgnn STore".
+pub const MAGIC: [u8; 4] = *b"BBST";
+
+/// Current format version. Bumping it invalidates every existing artifact
+/// (old files read back as misses, `bbgnn-store verify` reports them).
+pub const FORMAT_VERSION: u16 = 1;
+
+/// Fletcher-64 checksum: two 32-bit running sums over the byte stream.
+///
+/// Catches the corruption classes that matter for an on-disk cache
+/// (truncation, bit flips, swapped blocks) without pulling in a CRC
+/// table; it is not cryptographic and does not need to be — the store
+/// only defends against accidents, not adversaries.
+pub fn fletcher64(bytes: &[u8]) -> u64 {
+    let mut sum1: u64 = 0;
+    let mut sum2: u64 = 0;
+    for &b in bytes {
+        sum1 = (sum1 + u64::from(b)) % 0xFFFF_FFFF;
+        sum2 = (sum2 + sum1) % 0xFFFF_FFFF;
+    }
+    (sum2 << 32) | sum1
+}
+
+/// Append-only byte sink with typed little-endian writers.
+#[derive(Default)]
+pub struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    /// Fresh, empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Writes raw bytes.
+    pub fn bytes(&mut self, b: &[u8]) {
+        self.buf.extend_from_slice(b);
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u16`, little-endian.
+    pub fn u16(&mut self, v: u16) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` widened to `u64`.
+    pub fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes an `f64` by bit pattern (bitwise-lossless).
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    /// Writes a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    /// Writes a length-prefixed `usize` slice.
+    pub fn usizes(&mut self, vs: &[usize]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.usize(s.len());
+        self.bytes(s.as_bytes());
+    }
+}
+
+/// Bounds-checked cursor over an artifact payload.
+///
+/// Every read returns `Err` on exhaustion instead of panicking: a
+/// truncated or corrupted payload must surface as a recoverable decode
+/// error (the store turns it into a cache miss), never a crash.
+pub struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    /// Current cursor position (for error messages).
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining past the cursor.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < n {
+            return Err(format!(
+                "payload truncated: need {n} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a `u16`, little-endian.
+    pub fn u16(&mut self) -> Result<u16, String> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32`, little-endian.
+    pub fn u32(&mut self) -> Result<u32, String> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`, little-endian.
+    pub fn u64(&mut self) -> Result<u64, String> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    /// Reads a `usize`, rejecting values that overflow the platform width
+    /// or exceed the remaining payload (length-prefix sanity bound).
+    pub fn usize(&mut self) -> Result<usize, String> {
+        let v = self.u64()?;
+        usize::try_from(v).map_err(|_| format!("length {v} overflows usize"))
+    }
+
+    /// Reads a length prefix that counts items of `item_size` bytes each,
+    /// rejecting prefixes larger than the remaining payload could hold.
+    /// This keeps a corrupted length from triggering a huge allocation.
+    pub fn len_prefix(&mut self, item_size: usize) -> Result<usize, String> {
+        let n = self.usize()?;
+        if item_size > 0 && n > self.remaining() / item_size {
+            return Err(format!(
+                "length prefix {n} exceeds remaining payload ({} bytes)",
+                self.remaining()
+            ));
+        }
+        Ok(n)
+    }
+
+    /// Reads an `f64` by bit pattern.
+    pub fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a `bool` byte (must be 0 or 1).
+    pub fn bool(&mut self) -> Result<bool, String> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => Err(format!("invalid bool byte {b}")),
+        }
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Result<Vec<f64>, String> {
+        let n = self.len_prefix(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed `usize` vector.
+    pub fn usizes(&mut self) -> Result<Vec<usize>, String> {
+        let n = self.len_prefix(8)?;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.usize()?);
+        }
+        Ok(out)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Result<String, String> {
+        let n = self.len_prefix(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| "key text is not UTF-8".to_string())
+    }
+
+    /// Fails unless the cursor consumed every byte — trailing garbage
+    /// means the payload does not match the codec that wrote it.
+    pub fn finish(&self) -> Result<(), String> {
+        if self.remaining() != 0 {
+            return Err(format!(
+                "{} trailing bytes after payload decode",
+                self.remaining()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A type the store can persist: a tagged, self-describing codec.
+///
+/// `encode`/`decode` must round-trip bitwise: `decode(encode(x)) == x`
+/// down to every float's bit pattern. The store's determinism guarantee
+/// (a hit is indistinguishable from recomputation) rests on this.
+pub trait Artifact: Sized {
+    /// On-disk kind tag (one byte, unique per codec).
+    const TAG: u8;
+    /// Human-readable kind, used in key derivation and `bbgnn-store ls`.
+    const KIND: &'static str;
+    /// Serializes `self` into `w`.
+    fn encode(&self, w: &mut Writer);
+    /// Deserializes from `r`; the caller verifies full consumption.
+    fn decode(r: &mut Reader) -> Result<Self, String>;
+}
+
+/// Frames an encoded payload into a complete artifact file image:
+/// header + key text + payload + checksum.
+pub fn frame(tag: u8, key_text: &str, payload: &[u8]) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.bytes(&MAGIC);
+    w.u16(FORMAT_VERSION);
+    w.u8(tag);
+    w.u32(key_text.len() as u32);
+    w.bytes(key_text.as_bytes());
+    w.u64(payload.len() as u64);
+    w.bytes(payload);
+    let sum = fletcher64(&w.buf);
+    w.u64(sum);
+    w.into_bytes()
+}
+
+/// A parsed artifact header plus its payload slice.
+#[derive(Debug)]
+pub struct Framed<'a> {
+    /// Format version recorded in the file.
+    pub version: u16,
+    /// Artifact kind tag.
+    pub tag: u8,
+    /// Full key text recorded at write time.
+    pub key_text: String,
+    /// Codec payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Validates the envelope of a file image: magic, checksum, lengths.
+///
+/// Version mismatch is reported as a distinct error string prefix
+/// (`"format version"`) so callers can distinguish *stale* (miss,
+/// expected after a format bump) from *corrupt* (warn).
+pub fn deframe(bytes: &[u8]) -> Result<Framed<'_>, String> {
+    if bytes.len() < MAGIC.len() + 2 + 1 + 4 + 8 + 8 {
+        return Err(format!("file too short ({} bytes)", bytes.len()));
+    }
+    let (body, sum_bytes) = bytes.split_at(bytes.len() - 8);
+    let mut stored = [0u8; 8];
+    stored.copy_from_slice(sum_bytes);
+    let stored = u64::from_le_bytes(stored);
+    let computed = fletcher64(body);
+    if stored != computed {
+        return Err(format!(
+            "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+        ));
+    }
+    let mut r = Reader::new(body);
+    let magic = r.take(4)?;
+    if magic != MAGIC {
+        return Err(format!("bad magic {magic:?}"));
+    }
+    let version = r.u16()?;
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "format version {version} != current {FORMAT_VERSION}"
+        ));
+    }
+    let tag = r.u8()?;
+    let key_len = r.u32()? as usize;
+    let key_bytes = r.take(key_len)?;
+    let key_text =
+        String::from_utf8(key_bytes.to_vec()).map_err(|_| "key text is not UTF-8".to_string())?;
+    let payload_len = r.u64()?;
+    if payload_len != r.remaining() as u64 {
+        return Err(format!(
+            "payload length {payload_len} != {} bytes present",
+            r.remaining()
+        ));
+    }
+    let payload = &body[body.len() - r.remaining()..];
+    Ok(Framed {
+        version,
+        tag,
+        key_text,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fletcher_reference_behaviour() {
+        assert_eq!(fletcher64(b""), 0);
+        // One byte: sum1 = b, sum2 = b.
+        assert_eq!(fletcher64(&[7]), (7 << 32) | 7);
+        // Order sensitivity: swapped blocks must change the sum.
+        assert_ne!(fletcher64(b"ab"), fletcher64(b"ba"));
+    }
+
+    #[test]
+    fn frame_deframe_roundtrip() {
+        let img = frame(3, "model/gcn|lr=0.01", b"payload-bytes");
+        let f = deframe(&img).expect("deframe");
+        assert_eq!(f.version, FORMAT_VERSION);
+        assert_eq!(f.tag, 3);
+        assert_eq!(f.key_text, "model/gcn|lr=0.01");
+        assert_eq!(f.payload, b"payload-bytes");
+    }
+
+    #[test]
+    fn deframe_rejects_flipped_bit() {
+        let mut img = frame(1, "k", b"abcdef");
+        let mid = img.len() / 2;
+        img[mid] ^= 0x40;
+        let err = deframe(&img).expect_err("must reject");
+        assert!(err.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn deframe_rejects_truncation() {
+        let img = frame(1, "k", b"abcdef");
+        for cut in [0, 1, img.len() / 2, img.len() - 1] {
+            assert!(deframe(&img[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn deframe_rejects_future_version() {
+        let mut img = frame(1, "k", b"abc");
+        // Bump the version field (offset 4..6) and re-checksum so only the
+        // version check can fire.
+        img[4] = img[4].wrapping_add(1);
+        let body_len = img.len() - 8;
+        let sum = fletcher64(&img[..body_len]).to_le_bytes();
+        img[body_len..].copy_from_slice(&sum);
+        let err = deframe(&img).expect_err("must reject");
+        assert!(err.starts_with("format version"), "{err}");
+    }
+
+    #[test]
+    fn reader_is_bounds_checked() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert!(r.u64().is_err());
+        assert_eq!(r.position(), 0, "failed read must not advance");
+        let mut r2 = Reader::new(&[0xFF; 8]);
+        // Huge length prefix must be rejected before allocation.
+        assert!(r2.f64s().is_err());
+    }
+
+    #[test]
+    fn writer_reader_scalar_roundtrip() {
+        let mut w = Writer::new();
+        w.u8(9);
+        w.u16(513);
+        w.u32(70_000);
+        w.u64(1 << 40);
+        w.f64(-0.0);
+        w.bool(true);
+        w.str("héllo");
+        w.f64s(&[1.5, f64::NAN, f64::INFINITY]);
+        w.usizes(&[0, 1, usize::MAX >> 1]);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(r.u8().expect("u8"), 9);
+        assert_eq!(r.u16().expect("u16"), 513);
+        assert_eq!(r.u32().expect("u32"), 70_000);
+        assert_eq!(r.u64().expect("u64"), 1 << 40);
+        let z = r.f64().expect("f64");
+        assert_eq!(z.to_bits(), (-0.0f64).to_bits(), "-0.0 must survive");
+        assert!(r.bool().expect("bool"));
+        assert_eq!(r.str().expect("str"), "héllo");
+        let fs = r.f64s().expect("f64s");
+        assert_eq!(fs[0], 1.5);
+        assert!(fs[1].is_nan());
+        assert_eq!(fs[2], f64::INFINITY);
+        assert_eq!(r.usizes().expect("usizes"), vec![0, 1, usize::MAX >> 1]);
+        r.finish().expect("fully consumed");
+    }
+}

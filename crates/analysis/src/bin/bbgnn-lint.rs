@@ -30,7 +30,7 @@ fn run() -> Result<bool, String> {
                 println!(
                     "bbgnn-lint: workspace invariant checker (DESIGN.md \u{a7}9)\n\
                      usage: bbgnn-lint [--root DIR]\n\
-                     rules: fma, hash_iter, clock, unsafe, panic, obs_name\n\
+                     rules: fma, hash_iter, clock, unsafe, panic, obs_name, fault_site\n\
                      waiver: // lint: allow(<rule>) reason=<why>"
                 );
                 return Ok(true);

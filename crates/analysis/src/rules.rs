@@ -7,10 +7,11 @@
 //! |---|---|---|
 //! | `fma` | numeric-crate library code | `mul_add` (FMA contraction changes bits) |
 //! | `hash_iter` | numeric-crate library code | iterating a `HashMap`/`HashSet` (order is seeded per process) |
-//! | `clock` | numeric-crate library code | `Instant::now` / `SystemTime` (wall-clock reads outside `obs`/`bench`) |
-//! | `unsafe` | whole workspace | `unsafe` outside `linalg::kernels`; undocumented `unsafe` inside it |
+//! | `clock` | numeric-crate library code; `thread::sleep` everywhere | `Instant::now` / `SystemTime` (wall-clock reads outside `obs`/`bench`); `thread::sleep` anywhere, tests included (inject a sleeper instead) |
+//! | `unsafe` | whole workspace | `unsafe` outside `linalg::kernels` and `supervise::signal`; undocumented `unsafe` inside them |
 //! | `panic` | all library code | `.unwrap()` / `.expect(` / `panic!` outside tests and binaries |
 //! | `obs_name` | library + binary code | a `span!`/`event!`/`counter`/`kernel_timer` name literal absent from the DESIGN.md §8 taxonomy |
+//! | `fault_site` | whole workspace | a `fault_at(...)` site literal absent from the DESIGN.md §11 fault-site catalog |
 //!
 //! Scans are lexical, so they check what is *written*, not what is
 //! *executed*: a `HashSet` iterated through a helper in another crate or a
@@ -28,9 +29,13 @@ use crate::taxonomy::Taxonomy;
 /// thread counts, processes, and tracing on/off.
 pub const NUMERIC_CRATES: [&str; 5] = ["linalg", "autodiff", "gnn", "attack", "defense"];
 
-/// The one file allowed to contain `unsafe` (with a `// SAFETY:` comment
-/// per block): the AVX2 dispatch sites of the kernel layer.
-pub const UNSAFE_ALLOWED_FILE: &str = "crates/linalg/src/kernels.rs";
+/// The files allowed to contain `unsafe` (with a `// SAFETY:` comment per
+/// block): the AVX2 dispatch sites of the kernel layer and the `signal(2)`
+/// FFI binding of the supervision layer.
+pub const UNSAFE_ALLOWED_FILES: [&str; 2] = [
+    "crates/linalg/src/kernels.rs",
+    "crates/supervise/src/signal.rs",
+];
 
 /// Identifier of one lint rule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,14 +46,22 @@ pub enum Rule {
     Unsafe,
     Panic,
     ObsName,
+    FaultSite,
     /// Meta-rule: a malformed `lint: allow(...)` directive.
     LintAllow,
 }
 
 impl Rule {
     /// Rule names as written in `lint: allow(<name>)`.
-    pub const KNOWN: [&'static str; 6] =
-        ["fma", "hash_iter", "clock", "unsafe", "panic", "obs_name"];
+    pub const KNOWN: [&'static str; 7] = [
+        "fma",
+        "hash_iter",
+        "clock",
+        "unsafe",
+        "panic",
+        "obs_name",
+        "fault_site",
+    ];
 
     pub fn name(self) -> &'static str {
         match self {
@@ -58,6 +71,7 @@ impl Rule {
             Rule::Unsafe => "unsafe",
             Rule::Panic => "panic",
             Rule::ObsName => "obs_name",
+            Rule::FaultSite => "fault_site",
             Rule::LintAllow => "lint_allow",
         }
     }
@@ -70,6 +84,7 @@ impl Rule {
             "unsafe" => Some(Rule::Unsafe),
             "panic" => Some(Rule::Panic),
             "obs_name" => Some(Rule::ObsName),
+            "fault_site" => Some(Rule::FaultSite),
             _ => None,
         }
     }
@@ -470,19 +485,45 @@ pub fn lint_source(rel_path: &str, src: &str, tax: &Taxonomy) -> FileReport {
         }
     }
 
+    // --- clock: thread::sleep, everywhere (tests included) -----------------
+    // Real sleeps belong behind the two injectable-sleeper seams
+    // (RetryPolicy::run, FaultRunner); everything else — and every test —
+    // uses the injected clock, so the scan deliberately ignores the
+    // test-token mask.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "thread" {
+            continue;
+        }
+        if is_punct(toks, i + 1, ':')
+            && is_punct(toks, i + 2, ':')
+            && is_ident(toks, i + 3, "sleep")
+        {
+            v.push(Violation::new(
+                rel_path,
+                t.line,
+                Rule::Clock,
+                "thread::sleep — real sleeps hide behind the injectable-sleeper seams \
+                 (RetryPolicy::run_with_sleep, FaultRunner::with_sleeper); tests must \
+                 inject a virtual clock instead of burning wall-clock time (DESIGN.md §9)"
+                    .to_string(),
+            ));
+        }
+    }
+
     // --- unsafe hygiene ----------------------------------------------------
     for t in toks.iter() {
         if t.kind != TokKind::Ident || t.text != "unsafe" {
             continue;
         }
-        if rel_path != UNSAFE_ALLOWED_FILE {
+        if !UNSAFE_ALLOWED_FILES.contains(&rel_path) {
             v.push(Violation::new(
                 rel_path,
                 t.line,
                 Rule::Unsafe,
                 format!(
-                    "`unsafe` is forbidden outside {UNSAFE_ALLOWED_FILE} — the kernel layer \
-                     is the only audited unsafe surface (DESIGN.md §7)"
+                    "`unsafe` is forbidden outside {} — they are the only audited unsafe \
+                     surfaces (DESIGN.md §7, §11)",
+                    UNSAFE_ALLOWED_FILES.join(" and ")
                 ),
             ));
         } else if !has_safety_comment(&lx, t.line) {
@@ -568,6 +609,33 @@ pub fn lint_source(rel_path: &str, src: &str, tax: &Taxonomy) -> FileReport {
                     ),
                 ));
             }
+        }
+    }
+
+    // --- fault-site catalog (whole workspace, tests included) -------------
+    // Every `fault_at("...")` literal must name a DESIGN.md §11 catalog
+    // entry: an uncataloged site can never be reached by a BBGNN_FAULTS
+    // plan (`fault::install` rejects it), so it is dead chaos coverage.
+    // Dynamic site expressions are checked at install time instead.
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || t.text != "fault_at" || !is_punct(toks, i + 1, '(') {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 2).filter(|n| n.kind == TokKind::Str) else {
+            continue;
+        };
+        if !tax.fault_site_ok(&name_tok.text) {
+            v.push(Violation::new(
+                rel_path,
+                name_tok.line,
+                Rule::FaultSite,
+                format!(
+                    "fault site {:?} is not in the DESIGN.md §11 catalog — add it to the \
+                     catalog bullet and supervise::fault::FAULT_SITES, or fix the name \
+                     (an uncataloged site is unreachable by any BBGNN_FAULTS plan)",
+                    name_tok.text
+                ),
+            ));
         }
     }
 

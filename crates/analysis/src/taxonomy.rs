@@ -62,13 +62,16 @@ impl Pattern {
     }
 }
 
-/// The parsed taxonomy: one pattern list per record kind.
+/// The parsed taxonomy: one pattern list per record kind, plus the §11
+/// fault-site catalog (exact names, no placeholders — the catalog is
+/// closed by design).
 #[derive(Clone, Debug, Default)]
 pub struct Taxonomy {
     pub spans: Vec<Pattern>,
     pub events: Vec<Pattern>,
     pub counters: Vec<Pattern>,
     pub kernels: Vec<Pattern>,
+    pub fault_sites: Vec<String>,
 }
 
 impl Taxonomy {
@@ -83,6 +86,9 @@ impl Taxonomy {
     }
     pub fn kernel_ok(&self, name: &str) -> bool {
         self.kernels.iter().any(|p| p.matches(name))
+    }
+    pub fn fault_site_ok(&self, name: &str) -> bool {
+        self.fault_sites.iter().any(|s| s == name)
     }
 }
 
@@ -187,9 +193,44 @@ pub fn parse_taxonomy(md: &str) -> Result<Taxonomy, String> {
     Ok(tax)
 }
 
-/// The taxonomy of the DESIGN.md this binary was built against.
+/// Parses the DESIGN.md §11 fault-site catalog: every backticked
+/// `fault/...` item after the `**Fault-site catalog.**` marker. The
+/// catalog is a closed list of exact names (no placeholders), mirrored in
+/// `supervise::fault::FAULT_SITES` and enforced at every `fault_at` call
+/// site by the `fault_site` lint rule.
+pub fn parse_fault_sites(md: &str) -> Result<Vec<String>, String> {
+    let mut sites = Vec::new();
+    let mut in_block = false;
+    for line in md.lines() {
+        if !in_block {
+            if line.contains("Fault-site catalog") {
+                in_block = true;
+            }
+            continue;
+        }
+        for item in backticked(line) {
+            if item.starts_with("fault/") && !sites.iter().any(|s| s == item) {
+                sites.push(item.to_string());
+            }
+        }
+    }
+    if !in_block {
+        return Err("DESIGN.md has no 'Fault-site catalog' block (§11)".to_string());
+    }
+    if sites.is_empty() {
+        return Err(
+            "DESIGN.md §11 fault-site catalog parsed empty — doc structure changed?".into(),
+        );
+    }
+    Ok(sites)
+}
+
+/// The taxonomy of the DESIGN.md this binary was built against (§8 names
+/// plus the §11 fault-site catalog).
 pub fn builtin() -> Result<Taxonomy, String> {
-    parse_taxonomy(DESIGN_MD)
+    let mut tax = parse_taxonomy(DESIGN_MD)?;
+    tax.fault_sites = parse_fault_sites(DESIGN_MD)?;
+    Ok(tax)
 }
 
 #[cfg(test)]
@@ -215,6 +256,32 @@ mod tests {
         assert!(!tax.counter_ok("attack/bogus_counter"));
         assert!(!tax.span_ok("made/up/name"));
         assert!(!tax.span_ok("attack/"));
+    }
+
+    #[test]
+    fn builtin_fault_site_catalog_matches_the_supervise_crate() {
+        let tax = builtin().expect("DESIGN.md §11 must parse");
+        for site in [
+            "fault/dataset_io",
+            "fault/kernel_nan",
+            "fault/pool_panic",
+            "fault/store_corrupt",
+            "fault/store_short_write",
+        ] {
+            assert!(tax.fault_site_ok(site), "{site} missing from §11 catalog");
+        }
+        assert!(!tax.fault_site_ok("fault/bogus"));
+        assert!(!tax.fault_site_ok("dataset_io"), "sites are exact names");
+    }
+
+    #[test]
+    fn missing_fault_site_block_is_an_error() {
+        assert!(parse_fault_sites("no marker here").is_err());
+        assert!(parse_fault_sites("**Fault-site catalog.** prose only").is_err());
+        let sites =
+            parse_fault_sites("**Fault-site catalog.**\n\n* fault sites: `fault/a`, `fault/b`.")
+                .unwrap();
+        assert_eq!(sites, ["fault/a", "fault/b"]);
     }
 
     #[test]

@@ -1,0 +1,11 @@
+//! Fixture: the one real sleeper seam carries a waiver; tests use the
+//! injectable clock and never sleep.
+
+pub fn run(mut sleep: impl FnMut(std::time::Duration)) {
+    sleep(std::time::Duration::from_millis(10));
+}
+
+pub fn run_real() {
+    // lint: allow(clock) reason=the one real backoff sleeper; tests inject via run
+    run(std::thread::sleep)
+}

@@ -1,0 +1,13 @@
+//! Fixture: thread::sleep fires everywhere — library code AND tests.
+
+pub fn backoff() {
+    std::thread::sleep(std::time::Duration::from_millis(10));
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn waits_for_the_flush() {
+        std::thread::sleep(std::time::Duration::from_secs(1));
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a fault_at site literal outside the §11 catalog fires.
+
+pub fn load() -> bool {
+    bbgnn_supervise::fault_at("fault/bogus_site").is_some()
+}

@@ -1,0 +1,9 @@
+//! Fixture: cataloged site literals pass; dynamic sites are skipped
+//! (validated at fault::install time instead).
+
+pub fn load(site: &str) -> bool {
+    let a = bbgnn_supervise::fault_at("fault/dataset_io").is_some();
+    let b = bbgnn_supervise::fault_at("fault/store_corrupt").is_some();
+    let c = bbgnn_supervise::fault_at(site).is_some();
+    a || b || c
+}

@@ -84,6 +84,30 @@ fn clock_is_fine_outside_numeric_crates() {
     }
 }
 
+#[test]
+fn thread_sleep_fires_everywhere_including_tests() {
+    let src = include_str!("fixtures/clock_sleep_bad.rs");
+    // Non-numeric lib, test file: the sleep scan ignores both exemptions.
+    for path in [
+        "crates/bench/src/fault.rs",
+        "crates/errors/tests/retry.rs",
+        NUMERIC_LIB,
+    ] {
+        let r = lint_at(path, src);
+        assert_eq!(fired(&r), ["clock", "clock"], "{path}");
+    }
+}
+
+#[test]
+fn injected_sleeper_seam_passes_with_waiver() {
+    let r = lint_at(
+        "crates/errors/src/lib.rs",
+        include_str!("fixtures/clock_sleep_allowed.rs"),
+    );
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.allows_used, 1);
+}
+
 // --- unsafe -------------------------------------------------------------
 
 #[test]
@@ -102,6 +126,45 @@ fn undocumented_unsafe_fires_in_kernels() {
 #[test]
 fn documented_unsafe_passes_in_kernels() {
     let r = lint_at(KERNELS, include_str!("fixtures/unsafe_documented.rs"));
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn documented_unsafe_passes_in_signal_binding() {
+    let src = include_str!("fixtures/unsafe_documented.rs");
+    let r = lint_at("crates/supervise/src/signal.rs", src);
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    // Undocumented unsafe still fires there.
+    let r = lint_at(
+        "crates/supervise/src/signal.rs",
+        include_str!("fixtures/unsafe_undocumented.rs"),
+    );
+    assert_eq!(fired(&r), ["unsafe"]);
+}
+
+// --- fault_site ----------------------------------------------------------
+
+#[test]
+fn fault_site_fires_on_uncataloged_literals() {
+    let src = include_str!("fixtures/fault_site_bad.rs");
+    // Whole-workspace scope: lib, bin, and test paths all fire.
+    for path in [
+        "crates/graph/src/datasets/io.rs",
+        "crates/bench/src/bin/tool.rs",
+        "crates/bench/tests/chaos.rs",
+    ] {
+        let r = lint_at(path, src);
+        assert_eq!(fired(&r), ["fault_site"], "{path}");
+        assert!(r.violations[0].msg.contains("fault/bogus_site"));
+    }
+}
+
+#[test]
+fn fault_site_accepts_catalog_names_and_skips_dynamic_ones() {
+    let r = lint_at(
+        "crates/store/src/lib.rs",
+        include_str!("fixtures/fault_site_ok.rs"),
+    );
     assert!(r.violations.is_empty(), "{:?}", r.violations);
 }
 

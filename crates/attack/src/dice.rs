@@ -68,7 +68,13 @@ impl Attacker for Dice {
         let mut touched = std::collections::HashSet::new();
         let mut done = 0usize;
         let mut guard = 0usize;
+        let mut truncated = false;
         while done < budget && guard < budget * 500 + 2000 {
+            // Cooperative stop site (DESIGN.md §11): flips so far are kept.
+            if crate::should_stop("attack/dice/flip") {
+                truncated = true;
+                break;
+            }
             guard += 1;
             let delete = rng.gen::<f64>() < cfg.delete_prob;
             let u = rng.gen_range(0..n);
@@ -102,6 +108,7 @@ impl Attacker for Dice {
             feature_flips: 0,
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

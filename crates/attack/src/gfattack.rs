@@ -24,7 +24,7 @@
 
 use crate::{budget_for, AttackResult, Attacker, AttackerNodes};
 use bbgnn_graph::Graph;
-use bbgnn_linalg::eigen::lanczos_topk;
+use bbgnn_linalg::eigen::try_lanczos_topk;
 use bbgnn_linalg::{CsrMatrix, ThreadPool};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -93,10 +93,24 @@ pub struct GfAttack {
     pub config: GfAttackConfig,
 }
 
-/// [`lanczos_topk`] warm-started from the artifact store, keyed on the
+/// Lanczos through the fallible facade: a supervision stop (cancellation,
+/// deadline, or budget trip observed at the solver's restart boundary)
+/// surfaces as `None` so the caller can drop the candidate instead of
+/// panicking inside a pool worker. Genuine numerical failure keeps the
+/// infallible facade's panic contract.
+fn lanczos_or_stop(an: &CsrMatrix, t: usize, seed: u64) -> Option<bbgnn_linalg::eigen::Eigen> {
+    match try_lanczos_topk(an, t, seed) {
+        Ok(eig) => Some(eig),
+        Err(e) if e.is_supervision_stop() => None,
+        // lint: allow(panic) reason=preserves the lanczos_topk infallible-facade contract for genuine numerical failure
+        Err(e) => panic!("lanczos_topk: {e}"),
+    }
+}
+
+/// [`lanczos_or_stop`] warm-started from the artifact store, keyed on the
 /// normalized adjacency's content hash plus the extraction knobs. Only
 /// the once-per-attack clean-graph decomposition goes through here.
-fn lanczos_cached(an: &CsrMatrix, t: usize, seed: u64) -> bbgnn_linalg::eigen::Eigen {
+fn lanczos_cached(an: &CsrMatrix, t: usize, seed: u64) -> Option<bbgnn_linalg::eigen::Eigen> {
     let key = bbgnn_store::enabled().then(|| {
         bbgnn_store::Key::new("factors/eigen")
             .hash_field("an", an.content_hash())
@@ -105,13 +119,13 @@ fn lanczos_cached(an: &CsrMatrix, t: usize, seed: u64) -> bbgnn_linalg::eigen::E
     });
     if let Some(key) = &key {
         if let Some(f) = bbgnn_store::lookup::<bbgnn_store::EigenFactors>(key) {
-            return bbgnn_linalg::eigen::Eigen {
+            return Some(bbgnn_linalg::eigen::Eigen {
                 values: f.values,
                 vectors: f.vectors,
-            };
+            });
         }
     }
-    let eig = lanczos_topk(an, t, seed);
+    let eig = lanczos_or_stop(an, t, seed)?;
     if let Some(key) = &key {
         bbgnn_store::publish(
             key,
@@ -121,7 +135,7 @@ fn lanczos_cached(an: &CsrMatrix, t: usize, seed: u64) -> bbgnn_linalg::eigen::E
             },
         );
     }
-    eig
+    Some(eig)
 }
 
 impl GfAttack {
@@ -130,30 +144,34 @@ impl GfAttack {
         Self { config }
     }
 
-    /// Restricted filter energy `Σ_i λ_i^K ‖u_iᵀ X‖²` of a graph.
+    /// Restricted filter energy `Σ_i λ_i^K ‖u_iᵀ X‖²` of a graph, or
+    /// `None` when the supervision layer stopped the eigensolve (the
+    /// candidate is then dropped from the scored list).
     ///
     /// `cache` warm-starts the eigendecomposition from the artifact store;
     /// pass it only for the once-per-attack clean-graph call — the
     /// per-candidate rescoring runs on pool workers (where store recording
     /// is not active) and would write one artifact per flipped edge.
-    fn filter_energy(&self, adj: &CsrMatrix, g: &Graph, seed: u64, cache: bool) -> f64 {
+    fn filter_energy(&self, adj: &CsrMatrix, g: &Graph, seed: u64, cache: bool) -> Option<f64> {
         let an = adj.gcn_normalize();
         let t = self.config.top_eigens.min(adj.rows());
         let eig = if cache {
-            lanczos_cached(&an, t, seed)
+            lanczos_cached(&an, t, seed)?
         } else {
-            lanczos_topk(&an, t, seed)
+            lanczos_or_stop(&an, t, seed)?
         };
         let ut_x = eig.vectors.matmul_tn(&g.features);
         let k = self.config.filter_order as i32;
-        eig.values
-            .iter()
-            .zip(0..ut_x.rows())
-            .map(|(&lam, i)| {
-                let w: f64 = ut_x.row(i).iter().map(|v| v * v).sum();
-                lam.powi(k) * w
-            })
-            .sum()
+        Some(
+            eig.values
+                .iter()
+                .zip(0..ut_x.rows())
+                .map(|(&lam, i)| {
+                    let w: f64 = ut_x.row(i).iter().map(|v| v * v).sum();
+                    lam.powi(k) * w
+                })
+                .sum(),
+        )
     }
 
     /// Candidate pairs for the exact backend: all existing edges plus a
@@ -197,9 +215,16 @@ impl GfAttack {
         cands
     }
 
-    fn attack_exact(&self, g: &Graph, budget: usize) -> Graph {
-        let base_energy = self.filter_energy(&g.adjacency_csr(), g, self.config.seed, true);
+    fn attack_exact(&self, g: &Graph, budget: usize) -> (Graph, bool) {
+        let Some(base_energy) = self.filter_energy(&g.adjacency_csr(), g, self.config.seed, true)
+        else {
+            // Stopped before any candidate was scored: clean graph back.
+            return (g.clone(), true);
+        };
         let candidates = self.exact_candidates(g, budget);
+        // One scan = one spectrum re-derivation per candidate; accounted on
+        // the calling thread before the pool region (DESIGN.md §11).
+        bbgnn_supervise::note_queries(candidates.len() as u64);
         // Each candidate rebuilds the flipped adjacency and re-derives its
         // spectrum — the per-candidate cost the paper's Table VII reflects.
         // The rescoring is embarrassingly parallel, so it fans out over the
@@ -213,17 +238,20 @@ impl GfAttack {
                 candidates.len(),
                 |range| {
                     range
-                        .map(|c| {
+                        .filter_map(|c| {
                             let (u, v) = candidates[c];
                             let mut flipped = g.clone();
                             flipped.flip_edge(u, v);
+                            // A mid-scan supervision stop drops the
+                            // remaining candidates (None) rather than
+                            // scoring them bogusly.
                             let energy = self.filter_energy(
                                 &flipped.adjacency_csr(),
                                 g,
                                 self.config.seed,
                                 false,
-                            );
-                            (energy - base_energy, u, v)
+                            )?;
+                            Some((energy - base_energy, u, v))
                         })
                         .collect()
                 },
@@ -233,19 +261,25 @@ impl GfAttack {
                 },
             )
             .unwrap_or_default();
+        let truncated = scored.len() < candidates.len();
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut poisoned = g.clone();
         for &(_, u, v) in scored.iter().take(budget) {
             poisoned.flip_edge(u, v);
         }
-        poisoned
+        (poisoned, truncated)
     }
 
-    fn attack_first_order(&self, g: &Graph, budget: usize) -> Graph {
+    fn attack_first_order(&self, g: &Graph, budget: usize) -> (Graph, bool) {
         let n = g.num_nodes();
         let an = g.normalized_adjacency();
         let t = self.config.top_eigens.min(n);
-        let eig = lanczos_cached(&an, t, self.config.seed);
+        let Some(eig) = lanczos_cached(&an, t, self.config.seed) else {
+            return (g.clone(), true);
+        };
+        // The O(n²) first-order scan queries every pair once; accounted on
+        // the calling thread before the pool region (DESIGN.md §11).
+        bbgnn_supervise::note_queries((n * n) as u64);
         let ut_x = eig.vectors.matmul_tn(&g.features);
         let energies: Vec<f64> = (0..ut_x.rows())
             .map(|i| ut_x.row(i).iter().map(|v| v * v).sum())
@@ -290,7 +324,7 @@ impl GfAttack {
         for &(_, u, v) in scored.iter().take(budget) {
             poisoned.flip_edge(u, v);
         }
-        poisoned
+        (poisoned, false)
     }
 }
 
@@ -304,15 +338,23 @@ impl Attacker for GfAttack {
         let start = Instant::now();
         let budget = budget_for(g, self.config.rate);
         let _span = bbgnn_obs::span!("attack/gfattack", nodes = g.num_nodes(), budget = budget);
-        let poisoned = match self.config.scoring {
-            GfScoring::ExactRecompute => self.attack_exact(g, budget),
-            GfScoring::FirstOrder => self.attack_first_order(g, budget),
+        // Cooperative stop site (DESIGN.md §11): GF-Attack is one scan,
+        // so a pre-existing stop skips it entirely; mid-scan stops drop
+        // unscored candidates inside the backends.
+        let (poisoned, truncated) = if crate::should_stop("attack/gfattack/scan") {
+            (g.clone(), true)
+        } else {
+            match self.config.scoring {
+                GfScoring::ExactRecompute => self.attack_exact(g, budget),
+                GfScoring::FirstOrder => self.attack_first_order(g, budget),
+            }
         };
         AttackResult {
             edge_flips: g.edge_difference(&poisoned),
             feature_flips: 0,
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

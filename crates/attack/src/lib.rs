@@ -91,6 +91,20 @@ pub struct AttackResult {
     pub feature_flips: usize,
     /// Wall-clock attack time.
     pub elapsed: Duration,
+    /// True when the supervision layer (cancellation, deadline, or query
+    /// budget) stopped the attack at a perturbation-loop boundary. The
+    /// poisoned graph holds the perturbations accumulated so far —
+    /// degraded, not failed.
+    pub truncated: bool,
+}
+
+/// Cooperative stop poll for attacker perturbation loops (DESIGN.md §11).
+/// Checked only on the orchestrating thread at deterministic loop
+/// boundaries — never inside pool workers — so a query-budget stop lands
+/// at the same perturbation count on every run. One relaxed load when
+/// supervision is off.
+pub(crate) fn should_stop(site: &str) -> bool {
+    bbgnn_supervise::stop_reason(site).is_some()
 }
 
 /// A GNN attacker producing a poisoned graph within a budget derived from

@@ -97,7 +97,13 @@ impl Attacker for Metattack {
         // the candidate scan fans out over the same pool.
         let ctx = ExecContext::shared_from_env();
 
+        let mut truncated = false;
         for step in 0..budget {
+            // Cooperative stop site (DESIGN.md §11): flips so far are kept.
+            if crate::should_stop("attack/metattack/perturb") {
+                truncated = true;
+                break;
+            }
             // lint: allow(clock) reason=step timing feeds an obs event, is gated on tracing being enabled, and never branches numerics
             let step_start = bbgnn_obs::enabled().then(Instant::now);
             if step % cfg.retrain_every == 0 || surrogate_w.is_none() {
@@ -168,6 +174,7 @@ impl Attacker for Metattack {
             feature_flips: 0,
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

@@ -94,7 +94,7 @@ impl Attacker for MinMaxAttack {
         };
         let retrain_every = cfg.retrain_every.max(1);
         let g_inner = g.clone();
-        let flips = pgd_optimize(
+        let (flips, truncated) = pgd_optimize(
             g,
             cfg.rate,
             cfg.ascent_steps,
@@ -126,6 +126,7 @@ impl Attacker for MinMaxAttack {
             feature_flips: 0,
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

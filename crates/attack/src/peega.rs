@@ -266,7 +266,14 @@ impl Attacker for Peega {
         // out over the same pool.
         let ctx = Rc::new(ExecContext::with_threads(cfg.threads));
 
+        let mut truncated = false;
         loop {
+            // Cooperative stop site (DESIGN.md §11): the perturbations
+            // committed so far form the degraded result.
+            if crate::should_stop("attack/peega/perturb") {
+                truncated = true;
+                break;
+            }
             // Affordability of each move class (a flip that reverts a prior
             // perturbation refunds budget, so cost deltas are signed).
             let can_edge = allow_topology && spent + 1.0 <= budget + 1e-9;
@@ -375,6 +382,7 @@ impl Attacker for Peega {
             feature_flips: g.feature_difference(&poisoned),
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

@@ -192,7 +192,14 @@ impl Attacker for PeegaParallel {
         // threads + workspace reuse) and by the flip-scoring scan below.
         let ctx = Rc::new(ExecContext::with_threads(cfg.threads));
 
+        let mut truncated = false;
         for _step in 0..cfg.steps {
+            // Cooperative stop site (DESIGN.md §11): the flips are then
+            // committed from the logits the ascent has reached so far.
+            if crate::should_stop("attack/peega_parallel/ascent") {
+                truncated = true;
+                break;
+            }
             let mut tape = Tape::with_context(Rc::clone(&ctx));
             let theta_a = tape.var(params[0].clone());
             let theta_x = tape.var(params[1].clone());
@@ -349,6 +356,7 @@ impl Attacker for PeegaParallel {
             feature_flips: g.feature_difference(&poisoned),
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

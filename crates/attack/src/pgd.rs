@@ -238,7 +238,9 @@ pub(crate) fn top_k_flips(s: &DenseMatrix, k: usize) -> Vec<(usize, usize)> {
 }
 
 /// Shared PGD ascent loop; `retrain` is invoked before each ascent step so
-/// MinMax can interleave model minimization. Returns the final flips.
+/// MinMax can interleave model minimization. Returns the final flips plus a
+/// flag set when the supervision layer stopped the ascent early (the
+/// discretization then runs on the relaxed `S` accumulated so far).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn pgd_optimize(
     g: &Graph,
@@ -250,7 +252,7 @@ pub(crate) fn pgd_optimize(
     seed: u64,
     gcn: &mut Gcn,
     mut retrain: impl FnMut(&mut Gcn, &DenseMatrix, usize),
-) -> Vec<(usize, usize)> {
+) -> (Vec<(usize, usize)>, bool) {
     let n = g.num_nodes();
     let budget = budget_for(g, rate);
     let clean_a = Rc::new(g.adjacency_dense());
@@ -262,7 +264,14 @@ pub(crate) fn pgd_optimize(
     // Shared kernels + workspace arena for every ascent step's tape.
     let ctx = ExecContext::shared_from_env();
 
+    let mut truncated = false;
     for step in 0..ascent_steps {
+        // Cooperative stop site (DESIGN.md §11): discretize whatever the
+        // ascent has produced so far.
+        if crate::should_stop("attack/pgd/ascent") {
+            truncated = true;
+            break;
+        }
         retrain(gcn, &s, step);
         let w = gcn.weights();
         assert_eq!(w.len(), 2, "PGD assumes the paper's 2-layer GCN victim");
@@ -296,8 +305,10 @@ pub(crate) fn pgd_optimize(
             best = Some((loss, flips));
         }
     }
-    best.map(|(_, f)| f)
-        .unwrap_or_else(|| top_k_flips(&s, budget))
+    let flips = best
+        .map(|(_, f)| f)
+        .unwrap_or_else(|| top_k_flips(&s, budget));
+    (flips, truncated)
 }
 
 impl Attacker for PgdAttack {
@@ -313,7 +324,7 @@ impl Attacker for PgdAttack {
         // Pre-train the victim once; parameters stay fixed afterwards.
         let mut gcn = Gcn::paper_default(cfg.train.clone());
         gcn.fit(g);
-        let flips = pgd_optimize(
+        let (flips, truncated) = pgd_optimize(
             g,
             cfg.rate,
             cfg.ascent_steps,
@@ -333,6 +344,7 @@ impl Attacker for PgdAttack {
             feature_flips: 0,
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

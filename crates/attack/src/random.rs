@@ -59,7 +59,13 @@ impl Attacker for RandomAttack {
         let mut poisoned = g.clone();
         let mut flipped = std::collections::HashSet::new();
         let mut guard = 0;
+        let mut truncated = false;
         while flipped.len() < budget && guard < budget * 200 + 1000 {
+            // Cooperative stop site (DESIGN.md §11): flips so far are kept.
+            if crate::should_stop("attack/random/flip") {
+                truncated = true;
+                break;
+            }
             guard += 1;
             let u = rng.gen_range(0..n);
             let v = rng.gen_range(0..n);
@@ -77,6 +83,7 @@ impl Attacker for RandomAttack {
             feature_flips: 0,
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

@@ -53,6 +53,10 @@ where
     S: Fn(usize, usize) -> Option<f64> + Sync,
 {
     let pairs = n * n.saturating_sub(1) / 2;
+    // One scan = `pairs` candidate queries against the victim surrogate.
+    // Accounted on the calling thread before the pool region so a query
+    // budget trips at a deterministic scan boundary (DESIGN.md §11).
+    bbgnn_supervise::note_queries(pairs as u64);
     pool.map_fold(
         pairs,
         |range| {
@@ -95,6 +99,8 @@ where
     if cols == 0 {
         return None;
     }
+    // Same deterministic query accounting as `best_edge_flip`.
+    bbgnn_supervise::note_queries((rows * cols) as u64);
     pool.map_fold(
         rows * cols,
         |range| {

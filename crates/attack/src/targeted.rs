@@ -76,7 +76,14 @@ impl Attacker for TargetedPeega {
             "no victim nodes configured"
         );
         let mut poisoned = g.clone();
+        let mut truncated = false;
         for &t in &self.config.targets {
+            // Cooperative stop site (DESIGN.md §11): victims attacked so
+            // far keep their perturbations; the rest go untouched.
+            if crate::should_stop("attack/targeted/victim") {
+                truncated = true;
+                break;
+            }
             assert!(t < g.num_nodes(), "victim {t} out of range");
             let budget = self.budget_for_target(&poisoned, t);
             // Localize: the objective sums over the victim only, and the
@@ -87,13 +94,16 @@ impl Attacker for TargetedPeega {
                 objective_nodes: ObjectiveNodes::Custom(vec![t]),
                 ..self.config.base.clone()
             });
-            poisoned = local.attack(&poisoned).poisoned;
+            let r = local.attack(&poisoned);
+            truncated |= r.truncated;
+            poisoned = r.poisoned;
         }
         AttackResult {
             edge_flips: g.edge_difference(&poisoned),
             feature_flips: g.feature_difference(&poisoned),
             elapsed: start.elapsed(),
             poisoned,
+            truncated,
         }
     }
 }

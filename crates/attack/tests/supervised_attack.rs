@@ -1,0 +1,73 @@
+//! Supervision-layer integration tests for the attackers.
+//!
+//! Own integration-test binary (one process) because these install
+//! process-global budgets; inside the unit-test harness they would
+//! interrupt unrelated attacker tests on sibling threads. Within this
+//! binary the tests serialize on `LOCK`.
+
+use bbgnn_attack::peega::{Peega, PeegaConfig};
+use bbgnn_attack::random::{RandomAttack, RandomAttackConfig};
+use bbgnn_attack::Attacker;
+use bbgnn_graph::datasets::DatasetSpec;
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    bbgnn_supervise::shutdown();
+    guard
+}
+
+/// A query budget trips at a deterministic perturbation boundary: PEEGA's
+/// greedy loop commits exactly one flip per iteration, and each iteration
+/// scans the full candidate space, so `queries: 1` admits exactly the
+/// first iteration on every run.
+#[test]
+fn query_budget_stops_peega_after_one_perturbation() {
+    let _g = locked();
+    let g = DatasetSpec::CoraLike.generate(0.05, 41);
+    let cfg = PeegaConfig {
+        rate: 0.1,
+        ..PeegaConfig::default()
+    };
+
+    let budget = bbgnn_supervise::RunBudget {
+        queries: Some(1),
+        ..bbgnn_supervise::RunBudget::default()
+    };
+    bbgnn_supervise::install_budget(&budget);
+    let first = Peega::new(cfg.clone()).attack(&g);
+    bbgnn_supervise::shutdown();
+    bbgnn_supervise::install_budget(&budget);
+    let second = Peega::new(cfg.clone()).attack(&g);
+    bbgnn_supervise::shutdown();
+
+    assert!(first.truncated, "query budget must flag the result");
+    assert_eq!(
+        first.edge_flips + first.feature_flips,
+        1,
+        "exactly the first greedy iteration fits in one scan's budget"
+    );
+    let e1: Vec<_> = first.poisoned.edges().collect();
+    let e2: Vec<_> = second.poisoned.edges().collect();
+    assert_eq!(e1, e2, "budgeted stop must land at the same flip");
+
+    // An unconstrained rerun is unaffected (zero-cost-off) and strictly
+    // stronger than the truncated one.
+    let full = Peega::new(cfg).attack(&g);
+    assert!(!full.truncated);
+    assert!(full.edge_flips + full.feature_flips > 1);
+}
+
+/// Cancellation before the attack starts returns the clean graph, flagged.
+#[test]
+fn cancellation_returns_the_clean_graph() {
+    let _g = locked();
+    let g = DatasetSpec::CoraLike.generate(0.05, 42);
+    bbgnn_supervise::request_cancel();
+    let r = RandomAttack::new(RandomAttackConfig::default()).attack(&g);
+    bbgnn_supervise::shutdown();
+    assert!(r.truncated);
+    assert_eq!(r.edge_flips, 0, "no flip may be committed after a cancel");
+}

@@ -129,5 +129,8 @@ fn main() {
     }
     table_b.emit(&cfg.out_dir, "fig5b_beta_sweep");
     println!("\n{}", harness.summary());
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("paper: feature mods shrink as β grows; GNAT dominates GCN throughout.");
 }

@@ -103,5 +103,8 @@ fn main() {
         table.emit(&cfg.out_dir, &format!("fig6_ptb_sweep_{}", spec.name()));
     }
     println!("\n{}", harness.summary());
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("paper: accuracy falls with r; GNAT (green) stays above Pro-GNN and GCN.");
 }

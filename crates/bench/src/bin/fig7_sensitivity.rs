@@ -137,5 +137,8 @@ fn main() {
     }
     table_b.emit(&cfg.out_dir, "fig7b_layer_sweep");
     println!("\n{}", harness.summary());
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("paper: more accessible nodes = stronger attack; PEEGA_2 is the best depth.");
 }

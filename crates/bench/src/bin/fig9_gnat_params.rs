@@ -78,5 +78,8 @@ fn main() {
         eprintln!("[k_e {k_e} done]");
     }
     t_ke.emit(&cfg.out_dir, "fig9_ke");
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("\npaper: each sweep rises then falls; the default {{2, 15, 10}} is near-optimal.");
 }

@@ -35,5 +35,8 @@ fn main() {
         table.push_row(cells);
     }
     table.emit(&cfg.out_dir, "table7_attack_time");
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("\npaper ordering: PEEGA < PGD < MinMax << Metattack, GF-Attack.");
 }

@@ -65,6 +65,9 @@ fn main() {
     }
     table.emit(&cfg.out_dir, "table8_defense_time");
     println!("\n{}", harness.summary());
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("paper ordering: GCN < GNAT < GCN-Jaccard ≈ RGCN < GAT ≈ SimPGCN");
     println!("< GCN-SVD << Pro-GNN.");
 }

@@ -101,5 +101,8 @@ fn main() {
     }
     table.emit(&cfg.out_dir, "table9_gnat_ablation");
     println!("\n{}", harness.summary());
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("paper: multi-view > single view; multi-view > merged; t+f+e best.");
 }

@@ -94,6 +94,9 @@ fn main() {
         table.emit(&cfg.out_dir, &format!("table_main_{}", spec.name()));
     }
     println!("\n{}", harness.summary());
+    if let Some(stop) = bbgnn_supervise::stop_summary() {
+        println!("{stop}");
+    }
     println!("paper: GNAT holds the highest accuracy on clean and poisoned graphs;");
     println!("Metattack and PEEGA are the strongest attack rows, GF-Attack the weakest.");
 }

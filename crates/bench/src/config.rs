@@ -36,6 +36,15 @@ pub struct ExpConfig {
     /// a cold one — the store only skips recomputation of bit-for-bit
     /// reproducible intermediates (enforced by the CI store job).
     pub store: Option<String>,
+    /// Wall-clock deadline spec (`--deadline 90s` / `BBGNN_DEADLINE`).
+    /// `None` (default) leaves supervision off. On expiry, loops stop at
+    /// their next check site and the run exits cleanly with degraded
+    /// cells; with no deadline the run is byte-identical to pre-supervision
+    /// output (zero-cost-off, enforced by the CI chaos job).
+    pub deadline: Option<String>,
+    /// Resource-budget spec (`--budget epochs=500,queries=2M,mem=1Gi` /
+    /// `BBGNN_BUDGET`). Same degradation semantics as `deadline`.
+    pub budget: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -50,6 +59,8 @@ impl Default for ExpConfig {
             threads: 0,
             trace: None,
             store: None,
+            deadline: None,
+            budget: None,
         }
     }
 }
@@ -111,6 +122,33 @@ impl ExpConfig {
                         std::process::exit(2);
                     }
                 }
+                // Supervision last: environment first (BBGNN_DEADLINE /
+                // BBGNN_BUDGET / BBGNN_FAULTS), then explicit flags
+                // overwrite the knobs they name. Installed before any
+                // long-running loop, so the very first check site already
+                // sees the caps. SIGINT/SIGTERM become cooperative
+                // cancellation from here on.
+                if let Err(e) = bbgnn_supervise::init_from_env() {
+                    eprintln!("error: {e}");
+                    std::process::exit(2);
+                }
+                let mut budget = bbgnn_supervise::RunBudget::default();
+                if let Some(spec) = &cfg.budget {
+                    match bbgnn_supervise::RunBudget::parse_spec(spec) {
+                        Ok(b) => budget = b,
+                        // lint: allow(panic) reason=try_parse already validated the spec; Err is unreachable
+                        Err(e) => panic!("--budget: {e}"),
+                    }
+                }
+                if let Some(spec) = &cfg.deadline {
+                    match bbgnn_supervise::parse_duration(spec) {
+                        Ok(d) => budget.deadline = Some(d),
+                        // lint: allow(panic) reason=try_parse already validated the duration; Err is unreachable
+                        Err(e) => panic!("--deadline: {e}"),
+                    }
+                }
+                bbgnn_supervise::install_budget(&budget);
+                bbgnn_supervise::signal::install();
                 cfg
             }
             Err(e) => {
@@ -196,9 +234,25 @@ impl ExpConfig {
                         .ok_or_else(|| invalid(flag, "requires a value (dir)"))?
                         .to_string()
                 }
+                "--deadline" => {
+                    let spec =
+                        value.ok_or_else(|| invalid(flag, "requires a value (e.g. 90s, 2m)"))?;
+                    bbgnn_supervise::parse_duration(spec).map_err(|e| invalid(flag, e))?;
+                    cfg.deadline = Some(spec.to_string());
+                }
+                "--budget" => {
+                    let spec = value.ok_or_else(|| {
+                        invalid(
+                            flag,
+                            "requires a value (e.g. epochs=500,queries=2M,mem=1Gi)",
+                        )
+                    })?;
+                    bbgnn_supervise::RunBudget::parse_spec(spec).map_err(|e| invalid(flag, e))?;
+                    cfg.budget = Some(spec.to_string());
+                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR --trace PATH --store DIR"
+                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR --trace PATH --store DIR --deadline DUR --budget SPEC"
                     );
                     std::process::exit(0);
                 }
@@ -406,6 +460,35 @@ mod tests {
         // (and vice versa).
         let a = ExpConfig {
             store: Some("cache".to_string()),
+            ..Default::default()
+        };
+        assert_eq!(a.fingerprint("t"), ExpConfig::default().fingerprint("t"));
+    }
+
+    #[test]
+    fn deadline_and_budget_flags_are_validated_and_fingerprint_ignored() {
+        let c = ExpConfig::try_parse(
+            &argv(&["--deadline", "90s", "--budget", "epochs=5,mem=1Gi"]),
+            no_env,
+        )
+        .unwrap();
+        assert_eq!(c.deadline.as_deref(), Some("90s"));
+        assert_eq!(c.budget.as_deref(), Some("epochs=5,mem=1Gi"));
+        // Malformed specs are loud config errors naming the flag.
+        assert!(matches!(
+            ExpConfig::try_parse(&argv(&["--deadline", "soonish"]), no_env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "--deadline"
+        ));
+        assert!(matches!(
+            ExpConfig::try_parse(&argv(&["--budget", "steps=3"]), no_env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "--budget"
+        ));
+        // Supervision only truncates work — completed checkpoint cells stay
+        // valid — so the knobs stay out of the fingerprint and a bounded
+        // run can resume an unbounded one (and vice versa).
+        let a = ExpConfig {
+            deadline: Some("90s".to_string()),
+            budget: Some("epochs=5".to_string()),
             ..Default::default()
         };
         assert_eq!(a.fingerprint("t"), ExpConfig::default().fingerprint("t"));

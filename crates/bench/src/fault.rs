@@ -14,8 +14,16 @@
 //! * `ok` — first attempt succeeded;
 //! * `retried` — a later attempt succeeded after panic/divergence;
 //! * `degraded` — the cell produced a value but on a fallback path (e.g.
-//!   training rolled back through divergence recoveries);
+//!   training rolled back through divergence recoveries, or a budget
+//!   stop truncated it to a partial value);
 //! * `failed` — every attempt failed; the cell renders as `n/a`.
+//!
+//! Supervision stops (`Cancelled` / `BudgetExceeded`, DESIGN.md §11) are
+//! deliberately outside that vocabulary: they are never retried, and a
+//! cell skipped by a stop is **not** checkpointed — a resumed run
+//! recomputes it, which is what keeps an interrupted-then-resumed sweep
+//! byte-identical to an uninterrupted one. Cells that return a partial
+//! value under a budget stop go through the normal `degraded` path.
 
 use crate::checkpoint::{CellRecord, Checkpoint};
 use crate::config::ExpConfig;
@@ -74,12 +82,15 @@ pub struct CellStats {
     pub degraded: usize,
     /// Cells that exhausted their retry budget.
     pub failed: usize,
+    /// Cells skipped by a supervision stop (not checkpointed; a resumed
+    /// run recomputes them).
+    pub skipped: usize,
 }
 
 impl CellStats {
     /// Total cells seen.
     pub fn total(&self) -> usize {
-        self.cached + self.ok + self.retried + self.degraded + self.failed
+        self.cached + self.ok + self.retried + self.degraded + self.failed + self.skipped
     }
 }
 
@@ -88,6 +99,7 @@ pub struct FaultRunner {
     checkpoint: Checkpoint,
     policy: RetryPolicy,
     stats: CellStats,
+    sleeper: fn(std::time::Duration),
 }
 
 impl FaultRunner {
@@ -113,7 +125,16 @@ impl FaultRunner {
             checkpoint,
             policy,
             stats: CellStats::default(),
+            // lint: allow(clock) reason=the one real backoff sleeper; tests inject a virtual clock via with_sleeper
+            sleeper: std::thread::sleep,
         }
+    }
+
+    /// Replaces the backoff sleeper (tests: a recording no-op instead of
+    /// burning wall-clock time).
+    pub fn with_sleeper(mut self, sleeper: fn(std::time::Duration)) -> Self {
+        self.sleeper = sleeper;
+        self
     }
 
     /// Whether `key` already completed (useful to skip expensive shared
@@ -154,6 +175,17 @@ impl FaultRunner {
         bbgnn::store::start_recording();
         let mut last_cause = String::new();
         for attempt in 0..=self.policy.max_retries {
+            // Supervision stop at an attempt boundary: skip without touching
+            // the checkpoint, so a resumed run recomputes this cell. Checked
+            // per attempt, not just at cell entry — a stop arriving mid-cell
+            // can surface as a panic from an infallible numeric façade, and
+            // retrying it would burn the retry budget into a persisted
+            // `failed` cell that a resume could never heal.
+            if bbgnn_supervise::stop_reason("bench/cell").is_some() {
+                self.stats.skipped += 1;
+                bbgnn::store::take_recording();
+                return FAILED_CELL.to_string();
+            }
             let seed = RetryPolicy::seed_for_attempt(base_seed, attempt);
             let _span = bbgnn_obs::span!("bench/cell", key = key, attempt = attempt, seed = seed);
             let outcome = catch_unwind(AssertUnwindSafe(|| f(seed)));
@@ -181,6 +213,15 @@ impl FaultRunner {
                     cause: format!("panic: {}", panic_message(&payload)),
                 },
             };
+            // A supervision stop surfacing as an error is not a failure of
+            // the cell: never retried, never checkpointed — the run is
+            // winding down and a resume will recompute this cell.
+            if error.is_supervision_stop() {
+                eprintln!("cell {key}: skipped ({error})");
+                self.stats.skipped += 1;
+                bbgnn::store::take_recording();
+                return FAILED_CELL.to_string();
+            }
             last_cause = error.to_string();
             let retryable =
                 error.is_retryable() || matches!(error, BbgnnError::ExperimentAborted { .. });
@@ -188,7 +229,7 @@ impl FaultRunner {
                 break;
             }
             if error.wants_backoff() {
-                std::thread::sleep(self.policy.backoff_for_attempt(attempt + 1));
+                (self.sleeper)(self.policy.backoff_for_attempt(attempt + 1));
             }
             eprintln!(
                 "cell {key}: attempt {} failed ({last_cause}); retrying",
@@ -208,17 +249,19 @@ impl FaultRunner {
     }
 
     /// One-line outcome summary for the end of a sweep, e.g.
-    /// `cells: 12 (3 cached, 8 ok, 1 retried, 0 degraded, 0 failed)`.
+    /// `cells: 12 (3 cached, 8 ok, 1 retried, 0 degraded, 0 failed,
+    /// 0 skipped)`.
     pub fn summary(&self) -> String {
         let s = self.stats;
         format!(
-            "cells: {} ({} cached, {} ok, {} retried, {} degraded, {} failed)",
+            "cells: {} ({} cached, {} ok, {} retried, {} degraded, {} failed, {} skipped)",
             s.total(),
             s.cached,
             s.ok,
             s.retried,
             s.degraded,
-            s.failed
+            s.failed,
+            s.skipped
         )
     }
 
@@ -263,6 +306,20 @@ mod tests {
     use super::*;
     use std::time::Duration;
 
+    /// Serializes every test in this module: `cell` consults the
+    /// process-global supervision state, so a test that requests
+    /// cancellation would otherwise skip a concurrently running test's
+    /// cells.
+    static SUPERVISE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let guard = SUPERVISE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        bbgnn_supervise::shutdown();
+        guard
+    }
+
     fn test_cfg(tag: &str) -> ExpConfig {
         let out = std::env::temp_dir().join(format!("bbgnn_fault_{tag}"));
         let _ = std::fs::remove_dir_all(&out);
@@ -282,6 +339,7 @@ mod tests {
 
     #[test]
     fn panicking_cell_is_retried_with_perturbed_seed() {
+        let _guard = locked();
         let cfg = test_cfg("panic");
         let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(2));
         let mut seeds = Vec::new();
@@ -301,6 +359,7 @@ mod tests {
 
     #[test]
     fn exhausted_budget_records_failed_and_continues() {
+        let _guard = locked();
         let cfg = test_cfg("exhaust");
         let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(1));
         let v = r.cell("doomed", 0, |_| -> Result<CellValue, BbgnnError> {
@@ -319,6 +378,7 @@ mod tests {
 
     #[test]
     fn non_retryable_error_fails_without_retry() {
+        let _guard = locked();
         let cfg = test_cfg("nonretry");
         let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(5));
         let mut calls = 0;
@@ -336,6 +396,7 @@ mod tests {
 
     #[test]
     fn resume_replays_checkpointed_cells_without_rerunning() {
+        let _guard = locked();
         let cfg = test_cfg("resume");
         {
             let mut r = FaultRunner::new(&cfg, "t");
@@ -354,12 +415,100 @@ mod tests {
 
     #[test]
     fn degraded_values_are_tagged() {
+        let _guard = locked();
         let cfg = test_cfg("degraded");
         let mut r = FaultRunner::new(&cfg, "t");
         let v = r.cell("d", 0, |_| Ok(CellValue::degraded("0.5")));
         assert_eq!(v, "0.5");
         assert_eq!(r.stats().degraded, 1);
         assert!(r.summary().contains("1 degraded"));
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn cancellation_skips_cells_without_checkpointing_them() {
+        let _guard = locked();
+        let cfg = test_cfg("cancel_skip");
+        {
+            let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(3));
+            bbgnn_supervise::request_cancel();
+            let mut calls = 0;
+            let v = r.cell("late", 0, |_| {
+                calls += 1;
+                Ok(CellValue::clean("0.9"))
+            });
+            assert_eq!(v, FAILED_CELL, "skipped cells render as n/a");
+            assert_eq!(calls, 0, "the closure must not run after a cancel");
+            assert_eq!(r.stats().skipped, 1);
+            assert!(r.summary().contains("1 skipped"));
+        }
+        bbgnn_supervise::shutdown();
+        // Resume without the cancel: the cell was never checkpointed, so it
+        // is recomputed — the resumed sweep matches an uninterrupted one.
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(3));
+        assert!(!r.is_done("late"));
+        let v = r.cell("late", 0, |_| Ok(CellValue::clean("0.9")));
+        assert_eq!(v, "0.9");
+        assert_eq!(r.stats().skipped, 0);
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn supervision_stop_error_is_never_retried() {
+        let _guard = locked();
+        let cfg = test_cfg("stop_noretry");
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(5));
+        let mut calls = 0;
+        let v = r.cell("budgeted", 0, |_| -> Result<CellValue, BbgnnError> {
+            calls += 1;
+            Err(BbgnnError::BudgetExceeded {
+                resource: "queries".into(),
+                limit: 10,
+                at: "attack/peega/perturb".into(),
+            })
+        });
+        assert_eq!(v, FAILED_CELL);
+        assert_eq!(calls, 1, "supervision stops must not burn retry budget");
+        assert_eq!(r.stats().skipped, 1);
+        assert_eq!(r.stats().failed, 0, "a stop is a skip, not a failure");
+        assert!(!r.is_done("budgeted"), "skipped cells are not checkpointed");
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn injected_sleeper_replaces_wall_clock_backoff() {
+        let _guard = locked();
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        static SLEEPS: AtomicUsize = AtomicUsize::new(0);
+        fn counting_sleep(_d: Duration) {
+            SLEEPS.fetch_add(1, Ordering::Relaxed);
+        }
+        let cfg = test_cfg("sleeper");
+        let policy = RetryPolicy {
+            max_retries: 1,
+            backoff_base: Duration::from_secs(3600),
+            backoff_max: Duration::from_secs(3600),
+        };
+        SLEEPS.store(0, Ordering::Relaxed);
+        let mut r = FaultRunner::with_policy(&cfg, "t", policy).with_sleeper(counting_sleep);
+        let mut calls = 0;
+        let v = r.cell("flaky_io", 0, |_| -> Result<CellValue, BbgnnError> {
+            calls += 1;
+            if calls == 1 {
+                Err(BbgnnError::DatasetIo {
+                    path: "/tmp/x".into(),
+                    message: "transient".into(),
+                })
+            } else {
+                Ok(CellValue::clean("ok"))
+            }
+        });
+        assert_eq!(v, "ok");
+        assert_eq!(
+            SLEEPS.load(Ordering::Relaxed),
+            1,
+            "the injected sleeper must absorb the hour-long backoff"
+        );
         let _ = std::fs::remove_dir_all(&cfg.out_dir);
     }
 }

@@ -55,13 +55,17 @@ pub struct EvalHealth {
     /// Runs whose training aborted at the divergence-recovery cap and kept
     /// the last-good parameters.
     pub diverged_runs: usize,
+    /// Runs interrupted by the supervision layer (deadline/budget/cancel):
+    /// the accuracy came from the best-so-far snapshot of a truncated
+    /// training (DESIGN.md §11).
+    pub interrupted_runs: usize,
 }
 
 impl EvalHealth {
     /// Whether any run needed a recovery path (the cell's value stands, but
     /// it should be reported as degraded).
     pub fn is_degraded(&self) -> bool {
-        self.divergence_recoveries > 0 || self.diverged_runs > 0
+        self.divergence_recoveries > 0 || self.diverged_runs > 0 || self.interrupted_runs > 0
     }
 }
 
@@ -91,6 +95,7 @@ pub fn evaluate_defender_checked(
         let report = model.fit(g);
         health.divergence_recoveries += report.divergence_recoveries;
         health.diverged_runs += usize::from(report.diverged);
+        health.interrupted_runs += usize::from(report.interrupted);
         accs.push(model.test_accuracy(g));
     }
     (MeanStd::of(&accs), health)

@@ -46,7 +46,10 @@
 //!   SimPGCN;
 //! * [`bbgnn_store`] — content-addressed artifact cache persisting
 //!   trained surrogates and factor bundles across runs
-//!   (`BBGNN_STORE=<dir>`, see DESIGN.md §10).
+//!   (`BBGNN_STORE=<dir>`, see DESIGN.md §10);
+//! * [`bbgnn_supervise`] — cooperative cancellation, deadlines, resource
+//!   budgets, and the deterministic fault-injection harness
+//!   (`--deadline`/`--budget`/`BBGNN_FAULTS`, see DESIGN.md §11).
 
 #![deny(missing_docs)]
 
@@ -59,6 +62,7 @@ pub use bbgnn_graph as graph;
 pub use bbgnn_linalg as linalg;
 pub use bbgnn_obs as obs;
 pub use bbgnn_store as store;
+pub use bbgnn_supervise as supervise;
 
 pub mod exec;
 pub mod registry;
@@ -102,4 +106,5 @@ pub mod prelude {
     pub use bbgnn_graph::{Graph, Split};
     pub use bbgnn_linalg::kernels::env_threads;
     pub use bbgnn_linalg::{CsrMatrix, DenseMatrix, ExecContext, ThreadPool, Workspace};
+    pub use bbgnn_supervise::{CancelToken, RunBudget};
 }

@@ -197,6 +197,12 @@ impl NodeClassifier for ProGnn {
         let eye = Rc::new(DenseMatrix::identity(n));
 
         for outer in 0..cfg.outer_epochs {
+            // Cooperative stop site (DESIGN.md §11): the final full GCN fit
+            // below still runs on the structure learned so far, so a stop
+            // degrades to fewer alternating rounds, not a missing model.
+            if bbgnn_supervise::stop_reason("prognn/outer").is_some() {
+                break;
+            }
             // (a) Inner GCN fit on the current structure.
             let an = Rc::new(CsrMatrix::from_dense(&s, 1e-4).gcn_normalize());
             last_report = Some(self.gcn.fit_on(g, Rc::clone(&an)));

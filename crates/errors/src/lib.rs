@@ -31,7 +31,11 @@ pub type BbgnnResult<T> = Result<T, BbgnnError>;
 /// * [`DatasetIo`](BbgnnError::DatasetIo) is retryable with backoff
 ///   (transient filesystem conditions);
 /// * [`ExperimentAborted`](BbgnnError::ExperimentAborted) wraps a panic or
-///   exhausted retry budget for one experiment cell.
+///   exhausted retry budget for one experiment cell;
+/// * [`Cancelled`](BbgnnError::Cancelled) and
+///   [`BudgetExceeded`](BbgnnError::BudgetExceeded) come from the
+///   supervision layer (DESIGN.md §11) and are *never* retried — retrying
+///   cannot un-cancel a run or refill a spent budget.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BbgnnError {
     /// A numeric quantity left the finite range (NaN/∞ loss, gradient, or
@@ -82,6 +86,27 @@ pub enum BbgnnError {
         /// The terminal cause, flattened to text.
         cause: String,
     },
+    /// The run was cooperatively cancelled (SIGINT/SIGTERM or an explicit
+    /// `CancelToken::cancel`). Work completed so far is preserved by the
+    /// caller; the error only reports where the cancellation was observed.
+    Cancelled {
+        /// The check site that observed the cancellation (e.g.
+        /// `"train/epoch"`, `"lanczos/restart"`).
+        at: String,
+    },
+    /// A supervision budget (deadline, epoch/iteration cap, query budget,
+    /// memory budget) ran out. Raised only where graceful degradation is
+    /// impossible; loops that can return partial results flag them
+    /// `degraded` instead.
+    BudgetExceeded {
+        /// Which budget ran out (`"deadline"`, `"epochs"`, `"queries"`,
+        /// `"memory"`).
+        resource: String,
+        /// The configured limit, in the resource's native unit.
+        limit: u64,
+        /// The check site that observed the exceedance.
+        at: String,
+    },
     /// A lower-level error wrapped with additional context.
     Context {
         /// What the caller was doing.
@@ -109,12 +134,27 @@ impl BbgnnError {
     }
 
     /// Whether a retry with a perturbed seed could plausibly succeed.
+    /// [`Cancelled`](BbgnnError::Cancelled) and
+    /// [`BudgetExceeded`](BbgnnError::BudgetExceeded) are categorically not
+    /// retryable: a retry would consume time the supervisor already said the
+    /// run does not have.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self.root_cause(),
             BbgnnError::NumericalDivergence { .. }
                 | BbgnnError::ConvergenceFailure { .. }
                 | BbgnnError::DatasetIo { .. }
+        )
+    }
+
+    /// Whether this is a supervision stop ([`Cancelled`](BbgnnError::Cancelled)
+    /// or [`BudgetExceeded`](BbgnnError::BudgetExceeded)) under any context
+    /// wrapping. `FaultRunner` records these as `degraded` cells without
+    /// retrying.
+    pub fn is_supervision_stop(&self) -> bool {
+        matches!(
+            self.root_cause(),
+            BbgnnError::Cancelled { .. } | BbgnnError::BudgetExceeded { .. }
         )
     }
 
@@ -156,6 +196,16 @@ impl fmt::Display for BbgnnError {
             }
             BbgnnError::ExperimentAborted { cell, cause } => {
                 write!(f, "experiment cell {cell} aborted: {cause}")
+            }
+            BbgnnError::Cancelled { at } => {
+                write!(f, "cancelled at {at}")
+            }
+            BbgnnError::BudgetExceeded {
+                resource,
+                limit,
+                at,
+            } => {
+                write!(f, "{resource} budget ({limit}) exceeded at {at}")
             }
             BbgnnError::Context { message, source } => {
                 write!(f, "{message}: {source}")
@@ -260,11 +310,30 @@ impl RetryPolicy {
     /// [`BbgnnError::InvalidGraph`]) abort immediately; IO-class errors
     /// back off exponentially before the next attempt.
     ///
+    /// Backoff sleeps go through `std::thread::sleep`; tests exercising the
+    /// retry path should use [`run_with_sleep`](RetryPolicy::run_with_sleep)
+    /// with a recording no-op sleeper instead of burning wall-clock time.
+    ///
     /// Returns the value together with the number of attempts used.
     pub fn run<T>(
         &self,
         base_seed: u64,
+        op: impl FnMut(usize, u64) -> BbgnnResult<T>,
+    ) -> BbgnnResult<(T, usize)> {
+        // lint: allow(clock) reason=the one real backoff sleeper; tests inject via run_with_sleep
+        self.run_with_sleep(base_seed, op, std::thread::sleep)
+    }
+
+    /// [`run`](RetryPolicy::run) with an injectable backoff clock: `sleep`
+    /// is called with each backoff duration instead of
+    /// `std::thread::sleep`. This is the seam fault-path tests use to
+    /// assert backoff schedules without real sleeping, and the seam a
+    /// supervised runner uses to make backoff waits cancellation-aware.
+    pub fn run_with_sleep<T>(
+        &self,
+        base_seed: u64,
         mut op: impl FnMut(usize, u64) -> BbgnnResult<T>,
+        mut sleep: impl FnMut(Duration),
     ) -> BbgnnResult<(T, usize)> {
         let mut last_err = None;
         for attempt in 0..=self.max_retries {
@@ -276,7 +345,7 @@ impl RetryPolicy {
                         return Err(e);
                     }
                     if e.wants_backoff() {
-                        std::thread::sleep(self.backoff_for_attempt(attempt + 1));
+                        sleep(self.backoff_for_attempt(attempt + 1));
                     }
                     last_err = Some(e);
                 }
@@ -415,6 +484,84 @@ mod tests {
             .unwrap_err();
         assert_eq!(calls, 3);
         assert!(matches!(err, BbgnnError::ConvergenceFailure { .. }));
+    }
+
+    #[test]
+    fn supervision_stops_are_never_retryable() {
+        let c = BbgnnError::Cancelled {
+            at: "train/epoch".into(),
+        };
+        assert!(!c.is_retryable());
+        assert!(c.is_supervision_stop());
+        let b = BbgnnError::BudgetExceeded {
+            resource: "deadline".into(),
+            limit: 1,
+            at: "lanczos/restart".into(),
+        }
+        .context("fitting surrogate");
+        assert!(!b.is_retryable());
+        assert!(b.is_supervision_stop(), "context wrapping must not hide it");
+        assert!(b.to_string().contains("deadline budget (1) exceeded"));
+        assert!(!BbgnnError::DatasetIo {
+            path: "x".into(),
+            message: "y".into()
+        }
+        .is_supervision_stop());
+    }
+
+    #[test]
+    fn run_with_sleep_records_backoff_without_sleeping() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_secs(1),
+        };
+        let mut slept = Vec::new();
+        let err = policy
+            .run_with_sleep(
+                0,
+                |_, _| -> BbgnnResult<()> {
+                    Err(BbgnnError::DatasetIo {
+                        path: "/tmp/x".into(),
+                        message: "flaky".into(),
+                    })
+                },
+                |d| slept.push(d),
+            )
+            .unwrap_err();
+        assert!(matches!(err, BbgnnError::DatasetIo { .. }));
+        // 3 retries → 3 backoffs, exponentially grown, all virtual.
+        assert_eq!(
+            slept,
+            vec![
+                Duration::from_millis(20),
+                Duration::from_millis(40),
+                Duration::from_millis(80),
+            ]
+        );
+    }
+
+    #[test]
+    fn cancelled_mid_retry_aborts_the_loop() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            ..Default::default()
+        };
+        let mut calls = 0;
+        let err = policy
+            .run_with_sleep(
+                0,
+                |_, _| -> BbgnnResult<()> {
+                    calls += 1;
+                    Err(BbgnnError::Cancelled {
+                        at: "bench/cell".into(),
+                    })
+                },
+                |_| {},
+            )
+            .unwrap_err();
+        assert_eq!(calls, 1, "a cancelled run must not burn retries");
+        assert!(err.is_supervision_stop());
     }
 
     #[test]

@@ -123,6 +123,10 @@ pub struct TrainReport {
     /// True when training aborted because the recovery budget ran out; the
     /// parameters are the last snapshot that produced a finite loss.
     pub diverged: bool,
+    /// True when the supervision layer (cancellation, deadline, or epoch
+    /// budget) stopped the run at an epoch boundary. The parameters are
+    /// the best snapshot observed so far — degraded, not failed.
+    pub interrupted: bool,
 }
 
 /// Trains `params` with Adam by repeatedly calling `forward` to build the
@@ -203,7 +207,10 @@ pub fn train_with_regularizer_keyed(
         }
     }
     let report = train_with_regularizer(params, g, cfg, forward);
-    if let Some(key) = &key {
+    // Never cache an interrupted (budget/cancel-degraded) training: a later
+    // unconstrained run with the same key must retrain fully, not inherit a
+    // partially-trained model.
+    if let Some(key) = key.as_ref().filter(|_| !report.interrupted) {
         bbgnn_store::publish(
             key,
             &bbgnn_store::TrainedModel {
@@ -247,6 +254,9 @@ fn report_from_store(r: &bbgnn_store::ModelReport) -> TrainReport {
         seconds: r.seconds,
         divergence_recoveries: r.divergence_recoveries,
         diverged: r.diverged,
+        // Interrupted runs are never published (see the publish gate), so a
+        // store hit is by construction a completed training.
+        interrupted: false,
     }
 }
 
@@ -291,7 +301,15 @@ pub fn train_with_regularizer(
     let mut since_best = 0usize;
     let mut epochs_run = 0usize;
     let mut final_loss = f64::NAN;
+    let mut interrupted = false;
     for epoch in 0..cfg.epochs {
+        // Cooperative stop site (DESIGN.md §11): epoch boundary. A stop
+        // keeps the best-so-far parameters and flags the report degraded;
+        // completed epochs are untouched, preserving bitwise determinism.
+        if bbgnn_supervise::stop_reason("train/epoch").is_some() {
+            interrupted = true;
+            break;
+        }
         epochs_run = epoch + 1;
         let mut tape = Tape::with_context(Rc::clone(&ctx));
         let (logits, ids, extra) = forward(&mut tape, params, Mode::Train { epoch });
@@ -369,6 +387,7 @@ pub fn train_with_regularizer(
             }
         }
         bbgnn_obs::counter("train/epochs", 1);
+        bbgnn_supervise::note_epochs(1);
         bbgnn_obs::event!(
             "train/epoch",
             epoch = epoch,
@@ -393,6 +412,7 @@ pub fn train_with_regularizer(
         seconds: start.elapsed().as_secs_f64(),
         divergence_recoveries,
         diverged,
+        interrupted,
     }
 }
 

@@ -104,6 +104,11 @@ pub fn save(g: &Graph, dir: &Path) -> BbgnnResult<()> {
 /// Loads a graph previously written by [`save`] (or exported externally in
 /// the same format), validating it on the way in.
 pub fn load(dir: &Path) -> BbgnnResult<Graph> {
+    // Deterministic fault site (DESIGN.md §11): lets the chaos suite
+    // exercise the DatasetIo recovery path without a broken file on disk.
+    if bbgnn_supervise::fault_at("fault/dataset_io").is_some() {
+        return Err(io_err(dir, "injected fault (BBGNN_FAULTS)"));
+    }
     let meta_path = dir.join("meta.txt");
     let meta = read_file(&meta_path)?;
     let mut it = meta.split_whitespace();

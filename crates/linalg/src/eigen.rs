@@ -61,6 +61,9 @@ pub fn try_jacobi_eigen(a: &DenseMatrix) -> BbgnnResult<Eigen> {
     let mut converged = false;
     let mut last_off = 0.0_f64;
     for _sweep in 0..max_sweeps {
+        // Cooperative stop site (DESIGN.md §11): a sweep boundary is safe
+        // because no sweep has been partially applied here.
+        bbgnn_supervise::check("jacobi_eigen/sweep")?;
         let mut off = 0.0_f64;
         for p in 0..n {
             for r in (p + 1)..n {
@@ -175,10 +178,13 @@ pub fn try_lanczos_topk(a: &CsrMatrix, k: usize, seed: u64) -> BbgnnResult<Eigen
     let mut best_residual = f64::INFINITY;
     let mut best: Option<Eigen> = None;
     for attempt in 0..LANCZOS_MAX_ATTEMPTS {
+        // Cooperative stop site (DESIGN.md §11): restart boundaries only —
+        // a Krylov build runs to completion once started.
+        bbgnn_supervise::check("lanczos/restart")?;
         // Deterministic restart schedule: new start vector, larger space.
         let attempt_seed = seed.wrapping_add((attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let dim = n.min(base_dim << attempt);
-        let eig = lanczos_once(a, k, attempt_seed, dim);
+        let eig = lanczos_once(a, k, attempt_seed, dim)?;
         let residual = max_ritz_residual(a, &eig);
         if residual <= LANCZOS_RESIDUAL_TOL {
             return Ok(eig);
@@ -223,7 +229,13 @@ fn max_ritz_residual(a: &CsrMatrix, eig: &Eigen) -> f64 {
 }
 
 /// One Lanczos run with Krylov dimension `dim` (no residual validation).
-fn lanczos_once(a: &CsrMatrix, k: usize, seed: u64, dim: usize) -> Eigen {
+///
+/// Fallible only through the tridiagonal solve: a supervision stop (or a
+/// convergence failure) inside [`try_jacobi_eigen`] must propagate as an
+/// error — the Lanczos caller may sit outside any panic boundary (e.g. the
+/// GF-Attack poisoning path), where the infallible façade would turn a
+/// cooperative stop into a crash.
+fn lanczos_once(a: &CsrMatrix, k: usize, seed: u64, dim: usize) -> BbgnnResult<Eigen> {
     let n = a.rows();
     // Build Krylov basis.
     let mut basis: Vec<Vec<f64>> = Vec::with_capacity(dim);
@@ -269,7 +281,7 @@ fn lanczos_once(a: &CsrMatrix, k: usize, seed: u64, dim: usize) -> Eigen {
             t.set(j + 1, j, betas[j]);
         }
     }
-    let tri = jacobi_eigen(&t);
+    let tri = try_jacobi_eigen(&t)?;
     let kk = k.min(m);
     let mut vectors = DenseMatrix::zeros(n, kk);
     // Accumulate each Ritz vector in a contiguous scratch column, then
@@ -289,10 +301,10 @@ fn lanczos_once(a: &CsrMatrix, k: usize, seed: u64, dim: usize) -> Eigen {
     }
     // Re-orthonormalize the Ritz vectors (cheap, kk columns).
     let vectors = thin_qr(&vectors).q;
-    Eigen {
+    Ok(Eigen {
         values: tri.values[..kk].to_vec(),
         vectors,
-    }
+    })
 }
 
 /// Infallible façade over [`try_lanczos_topk`].

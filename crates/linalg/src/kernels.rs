@@ -83,6 +83,20 @@ pub fn env_threads() -> usize {
     })
 }
 
+/// Deterministic `fault/pool_panic` injection site (DESIGN.md §11): run as
+/// the first statement of every spawned pool worker. When the installed
+/// fault plan says this invocation fires, the worker panics — the panic
+/// propagates through `thread::scope` to the calling thread, where the
+/// harness's cell boundary converts it to `ExperimentAborted` (never a
+/// hang). One relaxed load when no fault plan is installed.
+#[inline]
+fn maybe_injected_worker_panic() {
+    if bbgnn_supervise::fault_at("fault/pool_panic").is_some() {
+        // lint: allow(panic) reason=deterministic chaos-test injection site; fires only under an explicit BBGNN_FAULTS plan and must propagate as a worker panic
+        panic!("injected fault: pool worker panic (fault/pool_panic)");
+    }
+}
+
 /// A hand-rolled scoped thread pool.
 ///
 /// Workers are spawned per parallel region with `std::thread::scope`, which
@@ -90,6 +104,13 @@ pub fn env_threads() -> usize {
 /// channels): borrowed inputs flow into worker closures directly. Spawn
 /// cost is a few microseconds per region, negligible against the
 /// megaflop-scale regions gated by the work thresholds.
+///
+/// Pool regions are *accounting* sites for the supervision layer
+/// (fault injection, workspace memory high-water marks), not stop sites:
+/// a region that has started always runs to completion, because stopping
+/// mid-region would change which bits a completing kernel writes and
+/// break the determinism contract. Cancellation and budget checks live at
+/// the loop boundaries *around* kernel calls (epochs, sweeps, restarts).
 #[derive(Clone, Debug)]
 pub struct ThreadPool {
     threads: usize,
@@ -140,6 +161,7 @@ impl ThreadPool {
             for (b, chunk) in out.chunks_mut(band * row_len).enumerate() {
                 let body = &body;
                 scope.spawn(move || {
+                    maybe_injected_worker_panic();
                     let _busy = traced.then(|| bbgnn_obs::kernel_timer("pool/worker_busy"));
                     body(b * band, chunk)
                 });
@@ -217,6 +239,7 @@ impl ThreadPool {
                 .map(|range| {
                     let map = &map;
                     scope.spawn(move || {
+                        maybe_injected_worker_panic();
                         let _busy = traced.then(|| bbgnn_obs::kernel_timer("pool/worker_busy"));
                         map(range)
                     })
@@ -537,6 +560,22 @@ fn saxpy_row_block_impl(
     }
 }
 
+/// Deterministic `fault/kernel_nan` injection site (DESIGN.md §11): when
+/// the installed fault plan fires, one seeded-deterministically-chosen
+/// entry of the kernel output is poisoned to NaN after the kernel
+/// completes, exactly as a numeric overflow would surface. The NaN then
+/// travels the normal divergence-detection path
+/// (`BbgnnError::NumericalDivergence`). One relaxed load when off.
+#[inline]
+fn maybe_poison_kernel_output(out: &mut DenseMatrix) {
+    if let Some(shot) = bbgnn_supervise::fault_at("fault/kernel_nan") {
+        let idx = shot.pick(out.as_slice().len());
+        if let Some(v) = out.as_mut_slice().get_mut(idx) {
+            *v = f64::NAN;
+        }
+    }
+}
+
 /// Blocked, row-partitioned `out = a * b`.
 ///
 /// `out` is fully overwritten (no pre-zeroing needed). Bitwise identical to
@@ -597,6 +636,7 @@ pub fn matmul_into(a: &DenseMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool
             k0 = k1;
         }
     });
+    maybe_poison_kernel_output(out);
 }
 
 /// Row-partitioned `out = a^T * b` without materializing the transpose.
@@ -769,6 +809,7 @@ pub fn spmm_into(s: &CsrMatrix, b: &DenseMatrix, out: &mut DenseMatrix, pool: &T
             }
         }
     });
+    maybe_poison_kernel_output(out);
 }
 
 /// Sequential `out = s^T * b` (backward pass of SpMM).
@@ -822,6 +863,12 @@ const WORKSPACE_CAP_F64: usize = 32 << 20;
 pub struct Workspace {
     pools: HashMap<usize, Vec<Vec<f64>>>,
     held: usize,
+    /// Elements currently lent out (taken or freshly allocated, not yet
+    /// given back). `held + lent` is the arena's total footprint.
+    lent: usize,
+    /// Monotonic high-water mark of `held + lent`, in elements. Survives
+    /// [`clear`](Self::clear) so a run's peak is reportable at shutdown.
+    peak: usize,
     reuse_hits: usize,
 }
 
@@ -836,14 +883,39 @@ impl Workspace {
     pub fn take(&mut self, len: usize) -> Option<Vec<f64>> {
         let buf = self.pools.get_mut(&len)?.pop()?;
         self.held -= len;
+        self.lent += len;
         self.reuse_hits += 1;
         Some(buf)
     }
 
+    /// Records a fresh allocation of `len` elements made on a
+    /// [`take`](Self::take) miss, so the lent total (and peak) covers
+    /// buffers the arena will later receive via [`give`](Self::give).
+    /// This is the only site where the footprint can grow — a `take` hit
+    /// just moves elements from held to lent — so the peak check lives
+    /// here and in the obs/supervise bridge it calls.
+    pub fn note_alloc(&mut self, len: usize) {
+        self.lent += len;
+        let total = self.held + self.lent;
+        if total > self.peak {
+            let delta_bytes = (total - self.peak) * std::mem::size_of::<f64>();
+            self.peak = total;
+            // The counter sums deltas, so its final value is the peak in
+            // bytes; the supervise high-water mark lets a `mem` budget trip
+            // at the next check site. Both are one relaxed load when off.
+            bbgnn_obs::counter("exec/peak_bytes", delta_bytes as u64);
+            if bbgnn_supervise::enabled() {
+                bbgnn_supervise::note_mem(self.peak_bytes() as u64);
+            }
+        }
+    }
+
     /// Returns a buffer to the arena; dropped instead if the retention cap
-    /// would be exceeded or the buffer is empty.
+    /// would be exceeded or the buffer is empty. Either way the buffer is
+    /// no longer lent.
     pub fn give(&mut self, buf: Vec<f64>) {
         let len = buf.len();
+        self.lent = self.lent.saturating_sub(len);
         if len == 0 || self.held + len > WORKSPACE_CAP_F64 {
             return;
         }
@@ -856,12 +928,19 @@ impl Workspace {
         self.held
     }
 
+    /// High-water mark of the arena footprint (retained + lent) in bytes.
+    /// Monotonic for the life of the workspace.
+    pub fn peak_bytes(&self) -> usize {
+        self.peak * std::mem::size_of::<f64>()
+    }
+
     /// Number of allocations served from recycled buffers so far.
     pub fn reuse_hits(&self) -> usize {
         self.reuse_hits
     }
 
-    /// Drops every retained buffer.
+    /// Drops every retained buffer. The peak is deliberately kept: it
+    /// reports the run's high-water mark, not the current footprint.
     pub fn clear(&mut self) {
         self.pools.clear();
         self.held = 0;
@@ -932,13 +1011,21 @@ impl ExecContext {
         self.workspace.borrow().reuse_hits()
     }
 
+    /// High-water mark of this context's workspace footprint in bytes
+    /// (see [`Workspace::peak_bytes`]).
+    pub fn peak_bytes(&self) -> usize {
+        self.workspace.borrow().peak_bytes()
+    }
+
     /// Takes a `len` buffer from the workspace (stale contents) or
     /// allocates a zeroed one.
     fn take_buf(&self, len: usize) -> Vec<f64> {
-        self.workspace
-            .borrow_mut()
-            .take(len)
-            .unwrap_or_else(|| vec![0.0; len])
+        let mut ws = self.workspace.borrow_mut();
+        if let Some(buf) = ws.take(len) {
+            return buf;
+        }
+        ws.note_alloc(len);
+        vec![0.0; len]
     }
 
     /// A `rows × cols` matrix backed by a recycled buffer, zeroed.
@@ -1060,6 +1147,21 @@ mod tests {
         let m2 = ws.alloc_zeroed(4, 5);
         assert_eq!(ws.reuse_hits(), hits_before + 1);
         assert!(m2.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn workspace_tracks_peak_footprint_monotonically() {
+        let cx = ExecContext::new(1);
+        let a = cx.alloc_zeroed(10, 10);
+        assert_eq!(cx.peak_bytes(), 800, "one fresh 100-element buffer");
+        cx.recycle(a);
+        let b = cx.alloc_zeroed(10, 10);
+        assert_eq!(cx.peak_bytes(), 800, "a reuse hit adds no footprint");
+        let c = cx.alloc_zeroed(10, 10);
+        assert_eq!(cx.peak_bytes(), 1600, "two live buffers grow the peak");
+        cx.recycle(b);
+        cx.recycle(c);
+        assert_eq!(cx.peak_bytes(), 1600, "peak is monotonic");
     }
 
     #[test]

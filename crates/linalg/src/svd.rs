@@ -120,6 +120,9 @@ pub fn try_jacobi_svd(a: &DenseMatrix) -> BbgnnResult<Svd> {
     let mut converged = n < 2;
     let mut last_off = 0.0_f64;
     for _sweep in 0..max_sweeps {
+        // Cooperative stop site (DESIGN.md §11): a sweep boundary is safe
+        // because no sweep has been partially applied here.
+        bbgnn_supervise::check("jacobi_svd/sweep")?;
         // Relative off-diagonal magnitude of the worst column pair; a clean
         // sweep (no rotation above the threshold) means convergence.
         let mut off = 0.0_f64;
@@ -241,6 +244,9 @@ pub fn try_randomized_svd(
     check_finite_input(a, "randomized_svd")?;
     match randomized_sketch_svd(a, k, oversample, power_iters, seed) {
         Ok(svd) if svd.is_finite() => Ok(svd),
+        // A supervision stop is not a numerical failure: the run is winding
+        // down, so never escalate to the (more expensive) exact solver.
+        Err(e) if e.is_supervision_stop() => Err(e),
         // Degraded path: the sketch failed (rotation budget or non-finite
         // factors); the exact solver is the last line of defense.
         _ => try_jacobi_svd(a)
@@ -263,6 +269,8 @@ fn randomized_sketch_svd(
     let mut y = a.matmul(&omega); // m × l
     let mut q = thin_qr(&y).q;
     for _ in 0..power_iters {
+        // Cooperative stop site (DESIGN.md §11): power-iteration boundary.
+        bbgnn_supervise::check("randomized_svd/power_iter")?;
         let z = a.matmul_tn(&q); // n × l  (A^T Q)
         let qz = thin_qr(&z).q;
         y = a.matmul(&qz);

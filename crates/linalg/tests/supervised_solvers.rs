@@ -1,0 +1,63 @@
+//! Supervision-layer regression tests for the iterative solvers.
+//!
+//! Own integration-test binary (one process) because these install the
+//! process-global cancel flag; inside the unit-test harness they would
+//! interrupt unrelated solver tests on sibling threads. Within this
+//! binary the tests serialize on `LOCK`.
+
+use bbgnn_linalg::{CsrMatrix, DenseMatrix};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn locked() -> std::sync::MutexGuard<'static, ()> {
+    let guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    bbgnn_supervise::shutdown();
+    guard
+}
+
+fn ring_adjacency(n: usize) -> CsrMatrix {
+    let mut dense = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        let j = (i + 1) % n;
+        dense.set(i, j, 1.0);
+        dense.set(j, i, 1.0);
+    }
+    CsrMatrix::from_dense(&dense, 0.0)
+}
+
+/// A cancelled Lanczos run must surface as a supervision-stop *error*,
+/// never a panic: the GF-Attack poisoning path calls it outside any panic
+/// boundary, where a panicking infallible façade would crash the whole
+/// sweep instead of degrading it (the SIGINT-mid-poison regression).
+#[test]
+fn cancelled_lanczos_is_a_stop_error_not_a_panic() {
+    let _g = locked();
+    let a = ring_adjacency(24);
+    bbgnn_supervise::request_cancel();
+    let err = bbgnn_linalg::eigen::try_lanczos_topk(&a, 4, 7).unwrap_err();
+    assert!(err.is_supervision_stop(), "got: {err}");
+    bbgnn_supervise::shutdown();
+    // Zero-cost-off: the same call succeeds once supervision is reset.
+    let eig = bbgnn_linalg::eigen::try_lanczos_topk(&a, 4, 7).unwrap();
+    assert_eq!(eig.values.len(), 4);
+}
+
+/// A supervision stop inside the randomized-SVD sketch must propagate
+/// directly — escalating to the exact Jacobi fallback would spend *more*
+/// work after the run was told to wind down.
+#[test]
+fn cancelled_randomized_svd_stops_without_exact_fallback() {
+    let _g = locked();
+    let a = DenseMatrix::gaussian(20, 12, 1.0, 3);
+    bbgnn_supervise::request_cancel();
+    let err = bbgnn_linalg::svd::try_randomized_svd(&a, 4, 8, 2, 7).unwrap_err();
+    assert!(err.is_supervision_stop(), "got: {err}");
+    assert!(
+        !err.to_string().contains("exact fallback"),
+        "stop must not be routed through the exact-solver fallback: {err}"
+    );
+    bbgnn_supervise::shutdown();
+    let svd = bbgnn_linalg::svd::try_randomized_svd(&a, 4, 8, 2, 7).unwrap();
+    assert_eq!(svd.sigma.len(), 4);
+}

@@ -190,7 +190,17 @@ impl Store {
         let mut w = format::Writer::new();
         value.encode(&mut w);
         let payload = w.into_bytes();
-        let img = format::frame(A::TAG, key.text(), &payload);
+        let mut img = format::frame(A::TAG, key.text(), &payload);
+        // Deterministic fault sites (DESIGN.md §11): a corrupted image must
+        // degrade to a miss on `get`, a short write models a crash/full
+        // disk mid-put. Both still go through the atomic-rename path.
+        if let Some(shot) = bbgnn_supervise::fault_at("fault/store_corrupt") {
+            let idx = shot.pick(img.len());
+            img[idx] ^= 0xFF;
+        }
+        if let Some(shot) = bbgnn_supervise::fault_at("fault/store_short_write") {
+            img.truncate(shot.pick(img.len().max(1)));
+        }
         let tmp = self.root.join(format!(
             ".tmp-{}-{}",
             std::process::id(),

@@ -1,0 +1,693 @@
+//! Supervision layer: cooperative cancellation, run budgets, and
+//! deterministic fault injection (DESIGN.md §11).
+//!
+//! Every long-running loop in the workspace — training epochs, attacker
+//! perturbation/scan loops, iterative solvers, Pro-GNN's alternating
+//! optimization — polls this crate at *deterministic loop boundaries*
+//! (top of an epoch, top of a sweep, top of a restart) and stops
+//! cooperatively when the run is cancelled or a budget is spent. The
+//! contract mirrors the bitwise-determinism rules of DESIGN.md §7:
+//! supervision may only gate **whether a loop continues**, never what a
+//! completed iteration computes, so any result that runs to completion is
+//! byte-identical with or without a supervisor installed.
+//!
+//! Like `bbgnn-obs` and `bbgnn-store`, the whole layer is off by default
+//! and costs one relaxed atomic load per check when off. It activates only
+//! when a budget is installed (`--deadline` / `--budget` /
+//! `BBGNN_DEADLINE` / `BBGNN_BUDGET`), a fault plan is installed
+//! (`BBGNN_FAULTS`), or cancellation is requested (SIGINT/SIGTERM via
+//! [`signal::install`], or [`request_cancel`]).
+//!
+//! Exceeding a budget degrades gracefully where the caller can hold a
+//! partial result (training returns best-so-far weights flagged
+//! interrupted; attackers return the perturbations accumulated so far) and
+//! errors with [`BbgnnError::BudgetExceeded`] /
+//! [`BbgnnError::Cancelled`] where it cannot (iterative solvers). Neither
+//! error is ever retried.
+
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod fault;
+pub mod signal;
+
+pub use fault::{fault_at, FaultShot, FAULT_SITES};
+
+use bbgnn_errors::{BbgnnError, BbgnnResult};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Global gate
+// ---------------------------------------------------------------------------
+
+/// Master gate: true iff any supervision is configured (budget, fault
+/// plan, or a requested cancellation). One relaxed load — the fast path
+/// every check site takes first.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Process-wide cancellation flag. Set only with atomic stores so the
+/// signal handler may touch it (async-signal-safe).
+static CANCELLED: AtomicBool = AtomicBool::new(false);
+
+/// Sentinel for "no cap configured" in the budget atomics.
+const UNSET: u64 = u64::MAX;
+
+/// Deadline as nanoseconds since [`anchor`]; `UNSET` = no deadline.
+static DEADLINE_NANOS: AtomicU64 = AtomicU64::new(UNSET);
+/// Total-training-epoch cap; `UNSET` = none.
+static EPOCH_CAP: AtomicU64 = AtomicU64::new(UNSET);
+/// Attack query / edge-scan cap; `UNSET` = none.
+static QUERY_CAP: AtomicU64 = AtomicU64::new(UNSET);
+/// Workspace peak-memory cap in bytes; `UNSET` = none.
+static MEM_CAP: AtomicU64 = AtomicU64::new(UNSET);
+
+static EPOCHS_USED: AtomicU64 = AtomicU64::new(0);
+static QUERIES_USED: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Whether a stop has already been announced on the obs stream (the event
+/// is emitted once, at the first check site that observes the stop).
+static STOP_ANNOUNCED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic time origin for the deadline arithmetic. The clock is read
+/// only while a deadline is configured; with supervision off (or with
+/// only epoch/query/memory caps) no check site ever reads a clock, which
+/// is what keeps the off path byte-identical and the `clock` lint story
+/// honest: time gates loop *continuation* here, it never enters numerics.
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Whether any supervision (budget, faults, or cancellation) is active.
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Requests cooperative cancellation of the whole process. Safe to call
+/// from a signal handler (atomic stores only). Idempotent.
+pub fn request_cancel() {
+    CANCELLED.store(true, Ordering::Relaxed);
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Whether process-wide cancellation has been requested.
+pub fn cancel_requested() -> bool {
+    enabled() && CANCELLED.load(Ordering::Relaxed)
+}
+
+/// Resets every global supervision knob (budgets, counters, fault plan,
+/// cancellation). Test-only in spirit; idempotent.
+pub fn shutdown() {
+    CANCELLED.store(false, Ordering::Relaxed);
+    DEADLINE_NANOS.store(UNSET, Ordering::Relaxed);
+    EPOCH_CAP.store(UNSET, Ordering::Relaxed);
+    QUERY_CAP.store(UNSET, Ordering::Relaxed);
+    MEM_CAP.store(UNSET, Ordering::Relaxed);
+    EPOCHS_USED.store(0, Ordering::Relaxed);
+    QUERIES_USED.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
+    STOP_ANNOUNCED.store(false, Ordering::Relaxed);
+    fault::clear();
+    ACTIVE.store(false, Ordering::Relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Budgets
+// ---------------------------------------------------------------------------
+
+/// A run budget: every field is optional; an empty budget installs
+/// nothing and leaves supervision off.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Wall-clock deadline, measured from the moment of installation.
+    pub deadline: Option<Duration>,
+    /// Cap on total training epochs across the process.
+    pub epochs: Option<u64>,
+    /// Cap on attack queries / candidate edge scans across the process.
+    pub queries: Option<u64>,
+    /// Cap on `Workspace` peak memory, in bytes.
+    pub mem_bytes: Option<u64>,
+}
+
+impl RunBudget {
+    /// True iff no cap is configured.
+    pub fn is_empty(&self) -> bool {
+        *self == RunBudget::default()
+    }
+
+    /// Parses a `--budget` spec: comma-separated `key=value` pairs with
+    /// keys `epochs`, `queries`, `mem`. Integer values accept `k`/`M`/`G`
+    /// suffixes (×10³/10⁶/10⁹); `mem` additionally accepts `KiB-style`
+    /// powers via `Ki`/`Mi`/`Gi`. Example: `epochs=500,queries=2M,mem=1Gi`.
+    pub fn parse_spec(spec: &str) -> Result<RunBudget, String> {
+        let mut budget = RunBudget::default();
+        for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("budget item {part:?} is not key=value"))?;
+            let value = parse_scaled_u64(value.trim())
+                .ok_or_else(|| format!("budget value {value:?} is not a count"))?;
+            match key.trim() {
+                "epochs" => budget.epochs = Some(value),
+                "queries" => budget.queries = Some(value),
+                "mem" => budget.mem_bytes = Some(value),
+                other => {
+                    return Err(format!(
+                        "unknown budget key {other:?} (expected epochs/queries/mem)"
+                    ))
+                }
+            }
+        }
+        Ok(budget)
+    }
+}
+
+/// Parses an unsigned count with an optional decimal (`k`/`M`/`G`) or
+/// binary (`Ki`/`Mi`/`Gi`) scale suffix.
+fn parse_scaled_u64(s: &str) -> Option<u64> {
+    let (digits, scale) = match s {
+        _ if s.ends_with("Ki") => (&s[..s.len() - 2], 1u64 << 10),
+        _ if s.ends_with("Mi") => (&s[..s.len() - 2], 1u64 << 20),
+        _ if s.ends_with("Gi") => (&s[..s.len() - 2], 1u64 << 30),
+        _ if s.ends_with('k') => (&s[..s.len() - 1], 1_000),
+        _ if s.ends_with('M') => (&s[..s.len() - 1], 1_000_000),
+        _ if s.ends_with('G') => (&s[..s.len() - 1], 1_000_000_000),
+        _ => (s, 1),
+    };
+    digits.parse::<u64>().ok()?.checked_mul(scale)
+}
+
+/// Parses a `--deadline` duration: a number with unit `ms`, `s`, `m`, or
+/// `h` (bare numbers are seconds). Examples: `1s`, `500ms`, `2m`.
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let s = s.trim();
+    let (digits, unit): (&str, fn(u64) -> Duration) = match s {
+        _ if s.ends_with("ms") => (&s[..s.len() - 2], Duration::from_millis),
+        _ if s.ends_with('s') => (&s[..s.len() - 1], Duration::from_secs),
+        _ if s.ends_with('m') => (&s[..s.len() - 1], |v| Duration::from_secs(v * 60)),
+        _ if s.ends_with('h') => (&s[..s.len() - 1], |v| Duration::from_secs(v * 3600)),
+        _ => (s, Duration::from_secs),
+    };
+    digits
+        .trim()
+        .parse::<u64>()
+        .map(unit)
+        .map_err(|_| format!("malformed duration {s:?} (expected e.g. 90s, 500ms, 2m)"))
+}
+
+/// Installs `budget` process-wide. An empty budget is a no-op (does not
+/// activate supervision). The deadline clock starts now.
+pub fn install_budget(budget: &RunBudget) {
+    if budget.is_empty() {
+        return;
+    }
+    if let Some(d) = budget.deadline {
+        let at = anchor().elapsed() + d;
+        DEADLINE_NANOS.store(
+            u64::try_from(at.as_nanos()).unwrap_or(UNSET - 1),
+            Ordering::Relaxed,
+        );
+    }
+    if let Some(e) = budget.epochs {
+        EPOCH_CAP.store(e, Ordering::Relaxed);
+    }
+    if let Some(q) = budget.queries {
+        QUERY_CAP.store(q, Ordering::Relaxed);
+    }
+    if let Some(m) = budget.mem_bytes {
+        MEM_CAP.store(m, Ordering::Relaxed);
+    }
+    ACTIVE.store(true, Ordering::Relaxed);
+}
+
+/// Installs budget and fault plan from `BBGNN_DEADLINE`, `BBGNN_BUDGET`
+/// and `BBGNN_FAULTS`. Returns whether supervision is now active; a
+/// malformed variable is an error (a silently ignored budget would
+/// un-bound a run the user meant to bound).
+pub fn init_from_env() -> Result<bool, String> {
+    let mut budget = RunBudget::default();
+    if let Ok(spec) = std::env::var("BBGNN_DEADLINE") {
+        if !spec.is_empty() {
+            budget.deadline =
+                Some(parse_duration(&spec).map_err(|e| format!("BBGNN_DEADLINE: {e}"))?);
+        }
+    }
+    if let Ok(spec) = std::env::var("BBGNN_BUDGET") {
+        if !spec.is_empty() {
+            let parsed = RunBudget::parse_spec(&spec).map_err(|e| format!("BBGNN_BUDGET: {e}"))?;
+            budget.epochs = parsed.epochs.or(budget.epochs);
+            budget.queries = parsed.queries.or(budget.queries);
+            budget.mem_bytes = parsed.mem_bytes.or(budget.mem_bytes);
+        }
+    }
+    install_budget(&budget);
+    if let Ok(spec) = std::env::var("BBGNN_FAULTS") {
+        if !spec.is_empty() {
+            fault::install(&spec).map_err(|e| format!("BBGNN_FAULTS: {e}"))?;
+        }
+    }
+    Ok(enabled())
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------------
+
+/// Records `n` completed training epochs (any model). No-op while
+/// supervision is off.
+pub fn note_epochs(n: u64) {
+    if enabled() {
+        EPOCHS_USED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records `n` attack queries / candidate edge scans. No-op while
+/// supervision is off.
+pub fn note_queries(n: u64) {
+    if enabled() {
+        QUERIES_USED.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Records an observed `Workspace` high-water mark in bytes (monotonic
+/// max). Unlike the other accounting hooks this runs even while
+/// supervision is off *if* the caller already computed the value — but
+/// call sites gate on [`enabled`] themselves to stay zero-cost, so this
+/// simply takes the max.
+pub fn note_mem(peak_bytes: u64) {
+    PEAK_BYTES.fetch_max(peak_bytes, Ordering::Relaxed);
+}
+
+/// Training epochs recorded so far.
+pub fn epochs_used() -> u64 {
+    EPOCHS_USED.load(Ordering::Relaxed)
+}
+
+/// Attack queries recorded so far.
+pub fn queries_used() -> u64 {
+    QUERIES_USED.load(Ordering::Relaxed)
+}
+
+/// Largest `Workspace` high-water mark reported so far, in bytes.
+pub fn peak_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Check sites
+// ---------------------------------------------------------------------------
+
+/// Why a supervised loop must stop.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Stop {
+    /// Cooperative cancellation (signal or explicit request).
+    Cancelled,
+    /// A budget ran out.
+    Budget {
+        /// Which budget (`"deadline"`, `"epochs"`, `"queries"`, `"memory"`).
+        resource: &'static str,
+        /// The configured limit in the resource's native unit.
+        limit: u64,
+    },
+}
+
+impl Stop {
+    /// Converts the stop into the matching taxonomy error, naming the
+    /// check site that observed it.
+    pub fn into_error(self, at: &str) -> BbgnnError {
+        match self {
+            Stop::Cancelled => BbgnnError::Cancelled { at: at.to_string() },
+            Stop::Budget { resource, limit } => BbgnnError::BudgetExceeded {
+                resource: resource.to_string(),
+                limit,
+                at: at.to_string(),
+            },
+        }
+    }
+}
+
+/// The cooperative check every supervised loop polls at its deterministic
+/// loop boundary. Returns `None` (one relaxed load) while supervision is
+/// off; otherwise reports the first exhausted budget or a requested
+/// cancellation. `site` names the check site (§11 check-site rules) and
+/// appears in the one-shot `supervise/stop` obs event.
+pub fn stop_reason(site: &str) -> Option<Stop> {
+    if !enabled() {
+        return None;
+    }
+    let stop = stop_reason_slow()?;
+    if !STOP_ANNOUNCED.swap(true, Ordering::Relaxed) {
+        match &stop {
+            Stop::Cancelled => bbgnn_obs::event!("supervise/stop", site = site, why = "cancelled"),
+            Stop::Budget { resource, .. } => {
+                bbgnn_obs::event!("supervise/stop", site = site, why = *resource)
+            }
+        }
+    }
+    Some(stop)
+}
+
+fn stop_reason_slow() -> Option<Stop> {
+    if CANCELLED.load(Ordering::Relaxed) {
+        return Some(Stop::Cancelled);
+    }
+    let deadline = DEADLINE_NANOS.load(Ordering::Relaxed);
+    if deadline != UNSET {
+        let now = u64::try_from(anchor().elapsed().as_nanos()).unwrap_or(u64::MAX);
+        if now >= deadline {
+            return Some(Stop::Budget {
+                resource: "deadline",
+                limit: deadline / 1_000_000_000,
+            });
+        }
+    }
+    let epoch_cap = EPOCH_CAP.load(Ordering::Relaxed);
+    if epoch_cap != UNSET && EPOCHS_USED.load(Ordering::Relaxed) >= epoch_cap {
+        return Some(Stop::Budget {
+            resource: "epochs",
+            limit: epoch_cap,
+        });
+    }
+    let query_cap = QUERY_CAP.load(Ordering::Relaxed);
+    if query_cap != UNSET && QUERIES_USED.load(Ordering::Relaxed) >= query_cap {
+        return Some(Stop::Budget {
+            resource: "queries",
+            limit: query_cap,
+        });
+    }
+    let mem_cap = MEM_CAP.load(Ordering::Relaxed);
+    if mem_cap != UNSET && PEAK_BYTES.load(Ordering::Relaxed) > mem_cap {
+        return Some(Stop::Budget {
+            resource: "memory",
+            limit: mem_cap,
+        });
+    }
+    None
+}
+
+/// [`stop_reason`] as a `Result`: the form iterative solvers use, where no
+/// partial result exists and the stop must surface as a taxonomy error.
+pub fn check(site: &str) -> BbgnnResult<()> {
+    match stop_reason(site) {
+        None => Ok(()),
+        Some(stop) => Err(stop.into_error(site)),
+    }
+}
+
+/// One line describing why (and whether) the run was stopped — the
+/// degraded-summary line binaries print on a supervised exit. `None` when
+/// nothing stopped.
+pub fn stop_summary() -> Option<String> {
+    let stop = if enabled() { stop_reason_slow() } else { None }?;
+    Some(match stop {
+        Stop::Cancelled => "supervise: run cancelled (signal); partial results checkpointed".into(),
+        Stop::Budget { resource, limit } => format!(
+            "supervise: {resource} budget ({limit}) exhausted; degraded cells recorded \
+             (epochs used: {}, queries used: {}, peak workspace: {} bytes)",
+            epochs_used(),
+            queries_used(),
+            peak_bytes()
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// CancelToken
+// ---------------------------------------------------------------------------
+
+struct TokenInner {
+    cancelled: AtomicBool,
+    parent: Option<CancelToken>,
+}
+
+/// A cloneable, hierarchical cancellation token for scoped work (the
+/// admission-control primitive `bbgnn-serve` will hand one per job).
+///
+/// Cancelling a token cancels every descendant; cancelling a child leaves
+/// its parent (and siblings) running. Every token also observes the
+/// process-global cancellation flag, so SIGINT reaches scoped work too.
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CancelToken {
+    /// A fresh root token (observes only itself and the global flag).
+    pub fn new() -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                parent: None,
+            }),
+        }
+    }
+
+    /// A child token: cancelled when either it or any ancestor is.
+    pub fn child(&self) -> Self {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                cancelled: AtomicBool::new(false),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Cancels this token (and so every descendant). Idempotent; atomic
+    /// stores only.
+    pub fn cancel(&self) {
+        self.inner.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this token, any ancestor, or the process-global flag has
+    /// been cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        let mut node = Some(self);
+        while let Some(t) = node {
+            if t.inner.cancelled.load(Ordering::Relaxed) {
+                return true;
+            }
+            node = t.inner.parent.as_ref();
+        }
+        cancel_requested()
+    }
+
+    /// [`is_cancelled`](CancelToken::is_cancelled) as a `Result`, naming
+    /// the check site.
+    pub fn check(&self, site: &str) -> BbgnnResult<()> {
+        if self.is_cancelled() {
+            Err(BbgnnError::Cancelled {
+                at: site.to_string(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+impl std::fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// All supervision state is process-global; serialize the tests.
+    pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        shutdown();
+        guard
+    }
+
+    #[test]
+    fn off_by_default_and_check_is_ok() {
+        let _g = locked();
+        assert!(!enabled());
+        assert!(stop_reason("test/site").is_none());
+        assert!(check("test/site").is_ok());
+        assert!(stop_summary().is_none());
+    }
+
+    #[test]
+    fn cancel_request_stops_checks() {
+        let _g = locked();
+        request_cancel();
+        assert!(enabled());
+        assert_eq!(stop_reason("test/site"), Some(Stop::Cancelled));
+        let err = check("train/epoch").unwrap_err();
+        assert!(matches!(err, BbgnnError::Cancelled { ref at } if at == "train/epoch"));
+        assert!(stop_summary().unwrap().contains("cancelled"));
+        shutdown();
+        assert!(check("train/epoch").is_ok());
+    }
+
+    #[test]
+    fn epoch_budget_trips_after_cap() {
+        let _g = locked();
+        install_budget(&RunBudget {
+            epochs: Some(10),
+            ..Default::default()
+        });
+        assert!(stop_reason("train/epoch").is_none());
+        note_epochs(9);
+        assert!(stop_reason("train/epoch").is_none());
+        note_epochs(1);
+        match stop_reason("train/epoch") {
+            Some(Stop::Budget { resource, limit }) => {
+                assert_eq!(resource, "epochs");
+                assert_eq!(limit, 10);
+            }
+            other => panic!("expected epochs budget stop, got {other:?}"),
+        }
+        assert!(check("train/epoch").unwrap_err().is_supervision_stop());
+        shutdown();
+    }
+
+    #[test]
+    fn query_and_memory_budgets_trip() {
+        let _g = locked();
+        install_budget(&RunBudget {
+            queries: Some(100),
+            mem_bytes: Some(1 << 20),
+            ..Default::default()
+        });
+        note_queries(100);
+        assert!(matches!(
+            stop_reason("attack/scan"),
+            Some(Stop::Budget {
+                resource: "queries",
+                ..
+            })
+        ));
+        shutdown();
+        install_budget(&RunBudget {
+            mem_bytes: Some(1 << 20),
+            ..Default::default()
+        });
+        note_mem(1 << 20); // at the cap: fine
+        assert!(stop_reason("exec/region").is_none());
+        note_mem((1 << 20) + 1);
+        assert!(matches!(
+            stop_reason("exec/region"),
+            Some(Stop::Budget {
+                resource: "memory",
+                ..
+            })
+        ));
+        shutdown();
+    }
+
+    #[test]
+    fn deadline_in_the_past_trips_immediately() {
+        let _g = locked();
+        install_budget(&RunBudget {
+            deadline: Some(Duration::ZERO),
+            ..Default::default()
+        });
+        assert!(matches!(
+            stop_reason("bench/cell"),
+            Some(Stop::Budget {
+                resource: "deadline",
+                ..
+            })
+        ));
+        let summary = stop_summary().unwrap();
+        assert!(summary.contains("deadline"), "summary: {summary}");
+        shutdown();
+    }
+
+    #[test]
+    fn generous_deadline_does_not_trip() {
+        let _g = locked();
+        install_budget(&RunBudget {
+            deadline: Some(Duration::from_secs(3600)),
+            ..Default::default()
+        });
+        assert!(stop_reason("bench/cell").is_none());
+        shutdown();
+    }
+
+    #[test]
+    fn empty_budget_leaves_supervision_off() {
+        let _g = locked();
+        install_budget(&RunBudget::default());
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn budget_spec_parses_scales_and_rejects_junk() {
+        let b = RunBudget::parse_spec("epochs=500,queries=2M,mem=1Gi").unwrap();
+        assert_eq!(b.epochs, Some(500));
+        assert_eq!(b.queries, Some(2_000_000));
+        assert_eq!(b.mem_bytes, Some(1 << 30));
+        assert!(RunBudget::parse_spec("fuel=9").is_err());
+        assert!(RunBudget::parse_spec("epochs").is_err());
+        assert!(RunBudget::parse_spec("epochs=lots").is_err());
+        assert!(RunBudget::parse_spec("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn duration_parsing_units() {
+        assert_eq!(parse_duration("90"), Ok(Duration::from_secs(90)));
+        assert_eq!(parse_duration("1s"), Ok(Duration::from_secs(1)));
+        assert_eq!(parse_duration("500ms"), Ok(Duration::from_millis(500)));
+        assert_eq!(parse_duration("2m"), Ok(Duration::from_secs(120)));
+        assert_eq!(parse_duration("1h"), Ok(Duration::from_secs(3600)));
+        assert!(parse_duration("soon").is_err());
+    }
+
+    #[test]
+    fn token_hierarchy_propagates_downward_only() {
+        let _g = locked();
+        let root = CancelToken::new();
+        let child = root.child();
+        let grandchild = child.child();
+        let sibling = root.child();
+        assert!(!grandchild.is_cancelled());
+        child.cancel();
+        assert!(grandchild.is_cancelled(), "cancel flows to descendants");
+        assert!(child.is_cancelled());
+        assert!(!root.is_cancelled(), "cancel must not flow upward");
+        assert!(!sibling.is_cancelled(), "siblings are unaffected");
+        assert!(grandchild.check("job/step").is_err());
+        assert!(root.check("job/step").is_ok());
+    }
+
+    #[test]
+    fn tokens_observe_global_cancellation() {
+        let _g = locked();
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        request_cancel();
+        assert!(t.is_cancelled(), "SIGINT must reach scoped work");
+        shutdown();
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn env_init_rejects_malformed_and_accepts_good() {
+        let _g = locked();
+        // Direct spec-level checks only (env vars are process-global and
+        // other tests run in parallel; parse paths are exercised above).
+        assert!(RunBudget::parse_spec("epochs=1").is_ok());
+        assert!(parse_duration("1s").is_ok());
+        assert!(fault::install("12:fault/unknown_site").is_err());
+        shutdown();
+    }
+}

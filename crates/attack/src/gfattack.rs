@@ -244,7 +244,12 @@ impl GfAttack {
                             flipped.flip_edge(u, v);
                             // A mid-scan supervision stop drops the
                             // remaining candidates (None) rather than
-                            // scoring them bogusly.
+                            // scoring them bogusly. Query-budget stops are
+                            // all-or-nothing here (accounted above, before
+                            // the region); a timing stop (deadline/cancel)
+                            // truncates at a timing-dependent point — the
+                            // §11 check-site exception, bounded because the
+                            // result is flagged truncated.
                             let energy = self.filter_energy(
                                 &flipped.adjacency_csr(),
                                 g,

@@ -99,10 +99,18 @@ pub struct AttackResult {
 }
 
 /// Cooperative stop poll for attacker perturbation loops (DESIGN.md §11).
-/// Checked only on the orchestrating thread at deterministic loop
-/// boundaries — never inside pool workers — so a query-budget stop lands
-/// at the same perturbation count on every run. One relaxed load when
-/// supervision is off.
+/// Checked on the orchestrating thread at deterministic loop boundaries,
+/// so a query-budget stop lands at the same perturbation count on every
+/// run — query accounting happens before a pool region opens, so the
+/// budget verdict never changes mid-region. The one documented exception
+/// to "never inside pool workers" is GF-Attack's per-candidate rescoring,
+/// which reaches the supervised eigensolvers from worker threads: a
+/// *timing* stop (deadline or SIGINT) arriving mid-scan truncates its
+/// candidate list at a timing-dependent point. The result is flagged
+/// [`AttackResult::truncated`], and the nondeterminism never reaches a
+/// clean checkpoint — downstream cells are skipped under a cancel and
+/// recorded `degraded` under a budget. One relaxed load when supervision
+/// is off.
 pub(crate) fn should_stop(site: &str) -> bool {
     bbgnn_supervise::stop_reason(site).is_some()
 }

@@ -21,9 +21,19 @@
 //! Supervision stops (`Cancelled` / `BudgetExceeded`, DESIGN.md §11) are
 //! deliberately outside that vocabulary: they are never retried, and a
 //! cell skipped by a stop is **not** checkpointed — a resumed run
-//! recomputes it, which is what keeps an interrupted-then-resumed sweep
-//! byte-identical to an uninterrupted one. Cells that return a partial
-//! value under a budget stop go through the normal `degraded` path.
+//! recomputes it. The two stop kinds diverge on *partial values*:
+//!
+//! * a **cancel** (SIGINT/SIGTERM, `request_cancel`) arriving mid-cell
+//!   can surface as an `Ok` value truncated by the stop (training's
+//!   best-so-far snapshot, flagged degraded). That value is discarded
+//!   and the cell counted `skipped`, which is what keeps an
+//!   interrupted-then-resumed sweep byte-identical to an uninterrupted
+//!   one;
+//! * a **budget** stop (deadline/epochs/queries/memory) keeps the
+//!   partial value: a bounded run's degraded cells are its intended
+//!   output, so they persist through the normal `degraded` path — and a
+//!   budget-bounded checkpoint is consequently *not* resume-equivalent
+//!   to an unbounded one.
 
 use crate::checkpoint::{CellRecord, Checkpoint};
 use crate::config::ExpConfig;
@@ -191,6 +201,26 @@ impl FaultRunner {
             let outcome = catch_unwind(AssertUnwindSafe(|| f(seed)));
             let error = match outcome {
                 Ok(Ok(value)) => {
+                    // A cancel landing mid-cell surfaces as an Ok value
+                    // truncated by the stop (training's best-so-far
+                    // snapshot, flagged degraded). Persisting it would make
+                    // a resumed run replay the truncated value verbatim, so
+                    // under a cancel a degraded value is a skip, not a
+                    // result. Budget stops keep it: a bounded run's partial
+                    // cells are its intended output (DESIGN.md §11).
+                    if value.degraded
+                        && matches!(
+                            bbgnn_supervise::stop_reason("bench/cell"),
+                            Some(bbgnn_supervise::Stop::Cancelled)
+                        )
+                    {
+                        eprintln!(
+                            "cell {key}: skipped (cancelled mid-cell; partial value discarded)"
+                        );
+                        self.stats.skipped += 1;
+                        bbgnn::store::take_recording();
+                        return FAILED_CELL.to_string();
+                    }
                     let tag = if value.degraded {
                         self.stats.degraded += 1;
                         "degraded"
@@ -450,6 +480,58 @@ mod tests {
         let v = r.cell("late", 0, |_| Ok(CellValue::clean("0.9")));
         assert_eq!(v, "0.9");
         assert_eq!(r.stats().skipped, 0);
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn cancel_mid_cell_discards_partial_value_and_resume_recomputes() {
+        let _guard = locked();
+        let cfg = test_cfg("cancel_mid");
+        {
+            let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(3));
+            let v = r.cell("cut", 0, |_| {
+                // The cancel lands while the cell is in flight: training
+                // hands back its best-so-far snapshot flagged degraded.
+                bbgnn_supervise::request_cancel();
+                Ok(CellValue::degraded("0.4"))
+            });
+            assert_eq!(v, FAILED_CELL, "a truncated value must not be returned");
+            assert_eq!(r.stats().skipped, 1);
+            assert_eq!(r.stats().degraded, 0);
+            assert!(!r.is_done("cut"), "truncated values are never checkpointed");
+        }
+        bbgnn_supervise::shutdown();
+        // Resume without the cancel: the cell recomputes in full, so the
+        // resumed sweep matches an uninterrupted one.
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(3));
+        let v = r.cell("cut", 0, |_| Ok(CellValue::clean("0.9")));
+        assert_eq!(v, "0.9");
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn budget_stop_mid_cell_keeps_the_degraded_value() {
+        let _guard = locked();
+        let cfg = test_cfg("budget_mid");
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(3));
+        let v = r.cell("bounded", 0, |_| {
+            // The epoch budget trips while the cell is in flight: the
+            // partial value is the bounded run's intended output.
+            bbgnn_supervise::install_budget(&bbgnn_supervise::RunBudget {
+                epochs: Some(1),
+                ..Default::default()
+            });
+            bbgnn_supervise::note_epochs(1);
+            Ok(CellValue::degraded("0.4"))
+        });
+        assert_eq!(v, "0.4");
+        assert_eq!(r.stats().degraded, 1);
+        assert_eq!(r.stats().skipped, 0);
+        assert!(
+            r.is_done("bounded"),
+            "budget-degraded cells are checkpointed"
+        );
+        bbgnn_supervise::shutdown();
         let _ = std::fs::remove_dir_all(&cfg.out_dir);
     }
 

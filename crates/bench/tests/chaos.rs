@@ -310,3 +310,51 @@ fn cancelled_sweep_resumed_without_the_stop_is_byte_identical() {
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
 }
+
+#[test]
+fn cancel_mid_cell_truncated_value_is_discarded_and_resume_matches() {
+    let _g = locked();
+    let keys = ["a", "b", "c"];
+    let full_sweep = |cfg: &ExpConfig| -> Vec<String> {
+        let mut r = FaultRunner::with_policy(cfg, "midcell", fast_policy(1));
+        keys.iter()
+            .map(|key| r.cell(key, 3, |seed| Ok(CellValue::clean(format!("{key}:{seed}")))))
+            .collect()
+    };
+
+    // Reference: one uninterrupted run.
+    let dir_a = tmp_dir("midcell-ref");
+    let full = full_sweep(&test_cfg(&dir_a));
+    let ckpt_a = std::fs::read(dir_a.join("midcell.checkpoint.json")).unwrap();
+
+    // Interrupted: the cancel lands while cell b is in flight (the SIGINT
+    // scenario), so b hands back a truncated best-so-far value flagged
+    // degraded. It must be discarded, not checkpointed — else the resume
+    // below would replay the truncated value verbatim.
+    let dir_b = tmp_dir("midcell-cut");
+    {
+        let cfg = test_cfg(&dir_b);
+        let mut r = FaultRunner::with_policy(&cfg, "midcell", fast_policy(1));
+        let a = r.cell("a", 3, |s| Ok(CellValue::clean(format!("a:{s}"))));
+        assert_eq!(a, full[0]);
+        let b = r.cell("b", 3, |_| {
+            bbgnn_supervise::request_cancel();
+            Ok(CellValue::degraded("b:truncated"))
+        });
+        assert_eq!(b, FAILED_CELL, "the truncated value is discarded");
+        let c = r.cell("c", 3, |s| Ok(CellValue::clean(format!("c:{s}"))));
+        assert_eq!(c, FAILED_CELL, "later cells skip at the entry check");
+        assert_eq!(r.stats().skipped, 2);
+        assert_eq!(r.stats().degraded, 0);
+    }
+    bbgnn_supervise::shutdown();
+
+    // Resume without the stop: b and c recompute in full, and the final
+    // checkpoint is byte-identical to the uninterrupted run's.
+    let resumed = full_sweep(&test_cfg(&dir_b));
+    assert_eq!(resumed, full);
+    let ckpt_b = std::fs::read(dir_b.join("midcell.checkpoint.json")).unwrap();
+    assert_eq!(ckpt_a, ckpt_b, "resumed checkpoint must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir_a);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}

@@ -56,6 +56,11 @@ const UNSET: u64 = u64::MAX;
 
 /// Deadline as nanoseconds since [`anchor`]; `UNSET` = no deadline.
 static DEADLINE_NANOS: AtomicU64 = AtomicU64::new(UNSET);
+/// The *configured* deadline duration in whole seconds — what a deadline
+/// stop reports as its limit ([`DEADLINE_NANOS`] is an absolute instant
+/// relative to an anchor that may predate installation, so it is not a
+/// meaningful limit to show a user).
+static DEADLINE_LIMIT_SECS: AtomicU64 = AtomicU64::new(UNSET);
 /// Total-training-epoch cap; `UNSET` = none.
 static EPOCH_CAP: AtomicU64 = AtomicU64::new(UNSET);
 /// Attack query / edge-scan cap; `UNSET` = none.
@@ -103,6 +108,7 @@ pub fn cancel_requested() -> bool {
 pub fn shutdown() {
     CANCELLED.store(false, Ordering::Relaxed);
     DEADLINE_NANOS.store(UNSET, Ordering::Relaxed);
+    DEADLINE_LIMIT_SECS.store(UNSET, Ordering::Relaxed);
     EPOCH_CAP.store(UNSET, Ordering::Relaxed);
     QUERY_CAP.store(UNSET, Ordering::Relaxed);
     MEM_CAP.store(UNSET, Ordering::Relaxed);
@@ -210,6 +216,7 @@ pub fn install_budget(budget: &RunBudget) {
             u64::try_from(at.as_nanos()).unwrap_or(UNSET - 1),
             Ordering::Relaxed,
         );
+        DEADLINE_LIMIT_SECS.store(d.as_secs(), Ordering::Relaxed);
     }
     if let Some(e) = budget.epochs {
         EPOCH_CAP.store(e, Ordering::Relaxed);
@@ -309,7 +316,8 @@ pub enum Stop {
     Budget {
         /// Which budget (`"deadline"`, `"epochs"`, `"queries"`, `"memory"`).
         resource: &'static str,
-        /// The configured limit in the resource's native unit.
+        /// The configured limit in the resource's native unit (whole
+        /// seconds for `"deadline"`).
         limit: u64,
     },
 }
@@ -360,7 +368,7 @@ fn stop_reason_slow() -> Option<Stop> {
         if now >= deadline {
             return Some(Stop::Budget {
                 resource: "deadline",
-                limit: deadline / 1_000_000_000,
+                limit: DEADLINE_LIMIT_SECS.load(Ordering::Relaxed),
             });
         }
     }
@@ -403,7 +411,9 @@ pub fn check(site: &str) -> BbgnnResult<()> {
 pub fn stop_summary() -> Option<String> {
     let stop = if enabled() { stop_reason_slow() } else { None }?;
     Some(match stop {
-        Stop::Cancelled => "supervise: run cancelled (signal); partial results checkpointed".into(),
+        Stop::Cancelled => "supervise: run cancelled (signal); completed cells checkpointed, \
+                            partial work discarded (a resume recomputes it)"
+            .into(),
         Stop::Budget { resource, limit } => format!(
             "supervise: {resource} budget ({limit}) exhausted; degraded cells recorded \
              (epochs used: {}, queries used: {}, peak workspace: {} bytes)",
@@ -600,13 +610,17 @@ mod tests {
             deadline: Some(Duration::ZERO),
             ..Default::default()
         });
-        assert!(matches!(
-            stop_reason("bench/cell"),
-            Some(Stop::Budget {
-                resource: "deadline",
-                ..
-            })
-        ));
+        match stop_reason("bench/cell") {
+            Some(Stop::Budget { resource, limit }) => {
+                assert_eq!(resource, "deadline");
+                // The reported limit is the *configured* duration, not the
+                // absolute deadline instant relative to the process anchor
+                // (which may predate installation by however long earlier
+                // tests ran).
+                assert_eq!(limit, 0);
+            }
+            other => panic!("expected deadline budget stop, got {other:?}"),
+        }
         let summary = stop_summary().unwrap();
         assert!(summary.contains("deadline"), "summary: {summary}");
         shutdown();

@@ -5,7 +5,7 @@
 //! trained on the Metattack poison graph, GNAT+P is GNAT on the PEEGA
 //! poison graph, and so on.
 //!
-//! Cells are fault-isolated and checkpointed to
+//! Cells are scenario [`Job`]s, fault-isolated and checkpointed to
 //! `results/fig6_ptb_sweep.checkpoint.json`; a killed sweep resumes from
 //! the last completed cell (and skips re-poisoning rates whose cells are
 //! all done), reproducing the uninterrupted output byte for byte.
@@ -14,20 +14,21 @@
 //! on top; PEEGA's curves sit below Metattack's on Citeseer/Polblogs.
 
 use bbgnn::prelude::*;
-use bbgnn_bench::{
-    config::ExpConfig,
-    fault::{CellValue, FaultRunner},
-    report::Table,
-    runner::evaluate_defender_checked,
-};
+use bbgnn::scenario::dataset::paper_specs;
+use bbgnn::scenario::job::{EvalKind, EvalSpec, Job, JobSpec};
+use bbgnn_bench::{config::ExpConfig, fault::FaultRunner, report::Table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("fig6_ptb_sweep"));
-    let specs: Vec<DatasetSpec> = DatasetSpec::paper_datasets()
-        .into_iter()
-        .filter(|s| cfg.dataset.as_deref().map_or(true, |d| d == s.name()))
-        .collect();
+    let specs = match paper_specs(cfg.dataset.as_deref()) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = ExecContext::from_env();
     let mut harness = FaultRunner::new(&cfg, "fig6_ptb_sweep");
 
     for spec in specs {
@@ -85,16 +86,23 @@ fn main() {
             let mut cells = vec![format!("{rate}")];
             for (dname, kind) in &defenders {
                 for (atk, graph) in [("M", &meta_graph), ("P", &peega_graph)] {
-                    cells.push(harness.cell(&key_of(dname, atk), cfg.seed, |seed| {
-                        let (stats, health) =
-                            evaluate_defender_checked(kind, graph, cfg.runs, seed);
-                        let text = stats.to_string();
-                        Ok(if health.is_degraded() {
-                            CellValue::degraded(text)
-                        } else {
-                            CellValue::clean(text)
-                        })
-                    }));
+                    let job_spec = JobSpec {
+                        dataset: spec.name().to_string(),
+                        eval: EvalSpec {
+                            kind: EvalKind::Accuracy,
+                            runs: cfg.runs,
+                            scale: cfg.scale,
+                            rate,
+                        },
+                        seed: cfg.seed,
+                        ..JobSpec::default()
+                    };
+                    // The two poison graphs are shared across the rate's
+                    // six cells, so each job takes the prepared graph; the
+                    // key override preserves the historical checkpoint
+                    // format.
+                    let job = Job::from_parts(key_of(dname, atk), job_spec, None, kind.clone());
+                    cells.push(harness.job(job, &ctx, Some(graph)));
                 }
             }
             eprintln!("[{} r={rate} done]", spec.name());

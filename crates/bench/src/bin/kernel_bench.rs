@@ -138,22 +138,14 @@ impl Row {
 fn main() {
     // `--compare <baseline>` is kernel_bench-specific, so it is peeled off
     // before the shared flag parser sees the argument list.
-    let mut compare_baseline: Option<String> = None;
-    let mut rest: Vec<String> = Vec::new();
-    let mut argv = std::env::args().skip(1);
-    while let Some(arg) = argv.next() {
-        if arg == "--compare" {
-            match argv.next() {
-                Some(path) => compare_baseline = Some(path),
-                None => {
-                    eprintln!("error: --compare requires a baseline JSON path");
-                    std::process::exit(2);
-                }
-            }
-        } else {
-            rest.push(arg);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (compare_baseline, rest) = match bbgnn_bench::cli::extract_flag(&args, "--compare") {
+        Ok(split) => split,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
         }
-    }
+    };
     let cfg = ExpConfig::init_from(&rest);
     println!("{}", cfg.banner("kernel_bench"));
     // The baseline is loaded *before* benchmarking (and before the output

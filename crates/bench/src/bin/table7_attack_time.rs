@@ -1,11 +1,17 @@
 //! Table VII — wall-clock poison-graph generation time (seconds) of every
 //! attacker on the three datasets at perturbation rate 0.1.
 //!
+//! Each cell is a scenario [`Job`] with an `attack_time` evaluation —
+//! the same job `bbgnn-serve` runs for `"eval": {"kind": "attack_time"}`
+//! submissions. Timings are machine-dependent, so this table is not
+//! checkpointed (a re-run re-times).
+//!
 //! Reproduction targets: PEEGA is the fastest (or near-fastest) effective
 //! attacker; GF-Attack and Metattack are the slowest; absolute numbers
 //! differ from the paper's GPU testbed.
 
 use bbgnn::prelude::*;
+use bbgnn::scenario::job::{EvalKind, EvalSpec, Job, JobSpec};
 use bbgnn_bench::{config::ExpConfig, report::Table};
 
 fn main() {
@@ -17,20 +23,33 @@ fn main() {
     headers.extend(specs.iter().map(|s| format!("{} (s)", s.name())));
     let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
 
+    let ctx = ExecContext::from_env();
     let graphs: Vec<Graph> = specs
         .iter()
         .map(|s| s.generate(cfg.scale, cfg.seed))
         .collect();
     for kind in AttackerKind::paper_rows(cfg.rate) {
         let mut cells = vec![kind.name().to_string()];
-        for g in &graphs {
-            let mut secs = Vec::with_capacity(cfg.runs);
-            for _ in 0..cfg.runs {
-                let mut attacker = kind.build();
-                secs.push(attacker.attack(g).elapsed.as_secs_f64());
-            }
-            let stats = MeanStd::of(&secs);
-            cells.push(format!("{:.2}±{:.2}", stats.mean, stats.std));
+        for (spec, g) in specs.iter().zip(&graphs) {
+            let job_spec = JobSpec {
+                dataset: spec.name().to_string(),
+                eval: EvalSpec {
+                    kind: EvalKind::AttackTime,
+                    runs: cfg.runs,
+                    scale: cfg.scale,
+                    rate: cfg.rate,
+                },
+                seed: cfg.seed,
+                ..JobSpec::default()
+            };
+            let job = Job::from_parts(
+                format!("{}/{}", spec.name(), kind.name()),
+                job_spec,
+                Some(kind.clone()),
+                DefenderKind::Gcn,
+            );
+            let res = job.run_with_graph(&ctx, Some(g));
+            cells.push(res.value);
         }
         table.push_row(cells);
     }

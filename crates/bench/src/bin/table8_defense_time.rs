@@ -1,6 +1,7 @@
 //! Table VIII — defender training time (seconds) on the clean graphs.
 //!
-//! Cells run fault-isolated and checkpoint to
+//! Cells are scenario [`Job`]s with a `defense_time` evaluation, run
+//! fault-isolated and checkpointed to
 //! `results/table8_defense_time.checkpoint.json` (timings resume verbatim,
 //! so a resumed table matches the interrupted run byte for byte).
 //!
@@ -9,16 +10,13 @@
 //! everything else by an order of magnitude or more.
 
 use bbgnn::prelude::*;
-use bbgnn_bench::{
-    config::ExpConfig,
-    fault::{CellValue, FaultRunner},
-    report::Table,
-    runner::evaluate_defender_timed,
-};
+use bbgnn::scenario::job::{EvalKind, EvalSpec, Job, JobSpec};
+use bbgnn_bench::{config::ExpConfig, fault::FaultRunner, report::Table};
 
 fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("table8_defense_time"));
+    let ctx = ExecContext::from_env();
     let mut harness = FaultRunner::new(&cfg, "table8_defense_time");
 
     let specs = DatasetSpec::paper_datasets();
@@ -52,14 +50,24 @@ fn main() {
             } else {
                 kind.clone()
             };
-            let key = format!("{}/{}", spec.name(), kind.name());
-            cells.push(harness.cell(&key, cfg.seed, |seed| {
-                let (_, secs) = evaluate_defender_timed(&concrete, g, cfg.runs, seed);
-                Ok(CellValue::clean(format!(
-                    "{:.2}±{:.2}",
-                    secs.mean, secs.std
-                )))
-            }));
+            let job_spec = JobSpec {
+                dataset: spec.name().to_string(),
+                eval: EvalSpec {
+                    kind: EvalKind::DefenseTime,
+                    runs: cfg.runs,
+                    scale: cfg.scale,
+                    rate: cfg.rate,
+                },
+                seed: cfg.seed,
+                ..JobSpec::default()
+            };
+            let job = Job::from_parts(
+                format!("{}/{}", spec.name(), kind.name()),
+                job_spec,
+                None,
+                concrete,
+            );
+            cells.push(harness.job(job, &ctx, Some(g)));
         }
         table.push_row(cells);
     }

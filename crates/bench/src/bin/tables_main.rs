@@ -5,11 +5,12 @@
 //! without the flag. The best model per row is marked `(...)` like the
 //! paper; the strongest attacker per column is implicit in the numbers.
 //!
-//! Every cell runs fault-isolated (panic boundary + deterministic seed
-//! retries) and is checkpointed to `results/tables_main.checkpoint.json`
-//! as soon as it completes: kill this binary mid-sweep and re-invoke it
-//! with the same flags to resume where it stopped, with byte-identical
-//! output.
+//! Every cell is a scenario [`Job`] run through the fault-isolated,
+//! checkpointing harness (panic boundary + deterministic seed retries,
+//! `results/tables_main.checkpoint.json`): kill this binary mid-sweep and
+//! re-invoke it with the same flags to resume where it stopped, with
+//! byte-identical output. The same jobs are reachable over HTTP through
+//! `bbgnn-serve` (DESIGN.md §12).
 //!
 //! Reproduction targets (shape, not absolute numbers):
 //! * every attacker reduces raw-GNN accuracy; GF-Attack barely does;
@@ -17,24 +18,26 @@
 //! * GNAT takes the `(...)` mark on all (or nearly all) rows.
 
 use bbgnn::prelude::*;
+use bbgnn::scenario::dataset::paper_specs;
+use bbgnn::scenario::eval::AttackRow;
+use bbgnn::scenario::job::{EvalKind, EvalSpec, Job, JobSpec};
 use bbgnn_bench::{
     config::ExpConfig,
-    fault::{CellValue, FaultRunner},
+    fault::FaultRunner,
     report::{mark_extreme, Table},
-    runner::{evaluate_defender_checked, AttackRow},
 };
 
 fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("tables_main (IV/V/VI)"));
-    let specs: Vec<DatasetSpec> = DatasetSpec::paper_datasets()
-        .into_iter()
-        .filter(|s| cfg.dataset.as_deref().map_or(true, |d| d == s.name()))
-        .collect();
-    assert!(
-        !specs.is_empty(),
-        "unknown --dataset; use cora|citeseer|polblogs"
-    );
+    let specs = match paper_specs(cfg.dataset.as_deref()) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ctx = ExecContext::from_env();
     let mut harness = FaultRunner::new(&cfg, "tables_main");
 
     for spec in specs {
@@ -75,15 +78,23 @@ fn main() {
             }
             let mut cells = vec![row.name()];
             for (col, key) in columns.iter().zip(&keys) {
-                let value = harness.cell(key, cfg.seed, |seed| {
-                    let (stats, health) = evaluate_defender_checked(col, &poisoned, cfg.runs, seed);
-                    let text = stats.to_string();
-                    Ok(if health.is_degraded() {
-                        CellValue::degraded(text)
-                    } else {
-                        CellValue::clean(text)
-                    })
-                });
+                let job_spec = JobSpec {
+                    dataset: spec.name().to_string(),
+                    eval: EvalSpec {
+                        kind: EvalKind::Accuracy,
+                        runs: cfg.runs,
+                        scale: cfg.scale,
+                        rate: cfg.rate,
+                    },
+                    seed: cfg.seed,
+                    ..JobSpec::default()
+                };
+                // The row's poison is shared across columns, so the job
+                // gets the prepared graph (and no attacker of its own);
+                // the key override preserves the historical checkpoint
+                // format.
+                let job = Job::from_parts(key.as_str(), job_spec, None, col.clone());
+                let value = harness.job(job, &ctx, Some(&poisoned));
                 eprintln!("  {} x {} = {value}", row.name(), col.name());
                 cells.push(value);
             }

@@ -1,0 +1,318 @@
+//! The one flag parser and init sequence every binary shares.
+//!
+//! Before this module, each experiment binary (and `bbgnn-serve`) either
+//! duplicated the infrastructure flag handling or grew its own ad-hoc
+//! peel-off loop. Now the shared surface lives here:
+//!
+//! * [`invalid`] / [`parse_value`] — the error-shaping helpers, so every
+//!   malformed flag or environment variable reports an
+//!   [`InvalidConfig`](BbgnnError::InvalidConfig) naming its source;
+//! * [`InfraFlags`] — the cross-cutting flags (`--threads --trace --store
+//!   --deadline --budget --faults`) with strict parse-time validation;
+//! * [`InfraFlags::init`] — the one correct side-effect order (threads →
+//!   tracing → store → supervision → signals), which used to live inside
+//!   `ExpConfig` and is now callable by anything with an `InfraFlags`;
+//! * [`extract_flag`] — the peel-off helper for binary-specific flags
+//!   (`kernel_bench --compare`, `bbgnn-serve --addr`) so custom flags and
+//!   shared flags can interleave on one command line.
+
+use bbgnn_errors::{BbgnnError, BbgnnResult};
+
+/// `InvalidConfig` naming the flag or environment variable at fault.
+pub fn invalid(what: &str, message: impl Into<String>) -> BbgnnError {
+    BbgnnError::InvalidConfig {
+        what: what.to_string(),
+        message: message.into(),
+    }
+}
+
+/// Parses one value, naming its source (`--scale`, `BBGNN_SCALE`, ...) and
+/// the expected shape on failure.
+pub fn parse_value<T: std::str::FromStr>(
+    value: Option<&str>,
+    what: &str,
+    expected: &str,
+) -> BbgnnResult<T> {
+    let value = value.ok_or_else(|| invalid(what, format!("requires a value ({expected})")))?;
+    value
+        .parse()
+        .map_err(|_| invalid(what, format!("expected {expected}, got {value:?}")))
+}
+
+/// Removes every `flag <value>` pair from `args`, returning the last
+/// value and the remaining arguments. A trailing bare `flag` is an
+/// [`InvalidConfig`](BbgnnError::InvalidConfig).
+pub fn extract_flag(args: &[String], flag: &str) -> BbgnnResult<(Option<String>, Vec<String>)> {
+    let mut value = None;
+    let mut rest = Vec::with_capacity(args.len());
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            match args.get(i + 1) {
+                Some(v) => value = Some(v.clone()),
+                None => return Err(invalid(flag, "requires a value")),
+            }
+            i += 2;
+        } else {
+            rest.push(args[i].clone());
+            i += 1;
+        }
+    }
+    Ok((value, rest))
+}
+
+/// The infrastructure flags every entry point accepts. All of them share
+/// one property: they change *how* a run executes (parallelism, tracing,
+/// caching, bounds, injected faults) but never the bytes a completed cell
+/// produces (DESIGN.md §7) — which is why they are parsed in one place
+/// and uniformly excluded from checkpoint fingerprints.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct InfraFlags {
+    /// Kernel worker threads (`--threads N` / `BBGNN_THREADS`; `0` = the
+    /// machine's available parallelism).
+    pub threads: usize,
+    /// Trace output path (`--trace out.jsonl` / `BBGNN_TRACE`).
+    pub trace: Option<String>,
+    /// Artifact-store root (`--store dir` / `BBGNN_STORE`).
+    pub store: Option<String>,
+    /// Wall-clock deadline spec (`--deadline 90s`; validated here,
+    /// installed by [`init`](Self::init)).
+    pub deadline: Option<String>,
+    /// Resource-budget spec (`--budget epochs=500,queries=2M,mem=1Gi`).
+    pub budget: Option<String>,
+    /// Fault-injection plan (`--faults <seed>:<site>[@n][,...]`), same
+    /// spec language as `BBGNN_FAULTS` and validated against the §11
+    /// site catalog at parse time.
+    pub faults: Option<String>,
+}
+
+impl InfraFlags {
+    /// The usage fragment for `--help` lines.
+    pub const USAGE: &'static str =
+        "--threads N --trace PATH --store DIR --deadline DUR --budget SPEC --faults SPEC";
+
+    /// Reads the environment half of the flags (`BBGNN_THREADS`,
+    /// `BBGNN_TRACE`, `BBGNN_STORE`). Deadline/budget/fault variables are
+    /// deliberately left to `bbgnn_supervise::init_from_env` (the
+    /// supervision layer owns their env semantics); a typo'd
+    /// `BBGNN_THREADS` is a loud error here, not a silent all-cores run.
+    pub fn from_env(env: impl Fn(&str) -> Option<String>) -> BbgnnResult<Self> {
+        let mut flags = Self::default();
+        if let Some(v) = env("BBGNN_THREADS") {
+            flags.threads = parse_value(Some(&v), "BBGNN_THREADS", "an integer (0 = auto)")?;
+        }
+        if let Some(v) = env("BBGNN_TRACE") {
+            flags.trace = Some(v);
+        }
+        if let Some(v) = env("BBGNN_STORE") {
+            flags.store = Some(v);
+        }
+        Ok(flags)
+    }
+
+    /// Consumes one `flag value` pair if it is an infrastructure flag,
+    /// validating the value strictly. Returns whether the flag was
+    /// consumed so callers can fall through to their own flags.
+    pub fn consume(&mut self, flag: &str, value: Option<&str>) -> BbgnnResult<bool> {
+        match flag {
+            "--threads" => self.threads = parse_value(value, flag, "an integer (0 = auto)")?,
+            "--trace" => {
+                self.trace = Some(
+                    value
+                        .ok_or_else(|| invalid(flag, "requires a value (path)"))?
+                        .to_string(),
+                )
+            }
+            "--store" => {
+                self.store = Some(
+                    value
+                        .ok_or_else(|| invalid(flag, "requires a value (dir)"))?
+                        .to_string(),
+                )
+            }
+            "--deadline" => {
+                let spec = value.ok_or_else(|| invalid(flag, "requires a value (e.g. 90s, 2m)"))?;
+                bbgnn_supervise::parse_duration(spec).map_err(|e| invalid(flag, e))?;
+                self.deadline = Some(spec.to_string());
+            }
+            "--budget" => {
+                let spec = value.ok_or_else(|| {
+                    invalid(
+                        flag,
+                        "requires a value (e.g. epochs=500,queries=2M,mem=1Gi)",
+                    )
+                })?;
+                bbgnn_supervise::RunBudget::parse_spec(spec).map_err(|e| invalid(flag, e))?;
+                self.budget = Some(spec.to_string());
+            }
+            "--faults" => {
+                let spec = value
+                    .ok_or_else(|| invalid(flag, "requires a value (<seed>:<site>[@n][,...])"))?;
+                bbgnn_supervise::fault::validate(spec).map_err(|e| invalid(flag, e))?;
+                self.faults = Some(spec.to_string());
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    /// Applies the flags, in the one order that works (each step feeds
+    /// the next): threads before any kernel runs, tracing before any
+    /// span-bearing code, the store before any cache-aware code, then
+    /// supervision — environment first, explicit flags overwriting the
+    /// knobs they name — and signal handlers last. Exits with status 2 on
+    /// failures that strict parsing cannot catch (unwritable trace path,
+    /// unusable store root).
+    pub fn init(&self) {
+        // The kernels read BBGNN_THREADS lazily (once, at first kernel
+        // call — always after this, since flag parsing is the first thing
+        // an entry point does).
+        if self.threads != 0 {
+            std::env::set_var("BBGNN_THREADS", self.threads.to_string());
+        }
+        if let Some(path) = &self.trace {
+            if let Err(e) = bbgnn_obs::init_to_path(path) {
+                eprintln!("error: --trace {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        if let Some(path) = &self.store {
+            if let Err(e) = bbgnn::store::init_to_path(path) {
+                eprintln!("error: --store {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        // Supervision: BBGNN_DEADLINE / BBGNN_BUDGET / BBGNN_FAULTS first,
+        // then explicit flags overwrite the knobs they name. Installed
+        // before any long-running loop, so the very first check site
+        // already sees the caps.
+        if let Err(e) = bbgnn_supervise::init_from_env() {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+        let mut budget = bbgnn_supervise::RunBudget::default();
+        if let Some(spec) = &self.budget {
+            match bbgnn_supervise::RunBudget::parse_spec(spec) {
+                Ok(b) => budget = b,
+                // lint: allow(panic) reason=consume already validated the spec; Err is unreachable
+                Err(e) => panic!("--budget: {e}"),
+            }
+        }
+        if let Some(spec) = &self.deadline {
+            match bbgnn_supervise::parse_duration(spec) {
+                Ok(d) => budget.deadline = Some(d),
+                // lint: allow(panic) reason=consume already validated the duration; Err is unreachable
+                Err(e) => panic!("--deadline: {e}"),
+            }
+        }
+        bbgnn_supervise::install_budget(&budget);
+        if let Some(spec) = &self.faults {
+            match bbgnn_supervise::fault::install(spec) {
+                Ok(()) => {}
+                // lint: allow(panic) reason=consume already validated the plan; Err is unreachable
+                Err(e) => panic!("--faults: {e}"),
+            }
+        }
+        // SIGINT/SIGTERM become cooperative cancellation from here on.
+        bbgnn_supervise::signal::install();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn no_env(_: &str) -> Option<String> {
+        None
+    }
+
+    #[test]
+    fn consume_takes_only_infra_flags() {
+        let mut f = InfraFlags::default();
+        assert!(f.consume("--threads", Some("4")).unwrap());
+        assert!(f.consume("--trace", Some("t.jsonl")).unwrap());
+        assert!(f.consume("--store", Some("cache")).unwrap());
+        assert!(f.consume("--deadline", Some("90s")).unwrap());
+        assert!(f.consume("--budget", Some("epochs=5")).unwrap());
+        assert!(f.consume("--faults", Some("7:fault/kernel_nan@2")).unwrap());
+        assert!(!f.consume("--scale", Some("0.1")).unwrap());
+        assert_eq!(f.threads, 4);
+        assert_eq!(f.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(f.store.as_deref(), Some("cache"));
+        assert_eq!(f.deadline.as_deref(), Some("90s"));
+        assert_eq!(f.budget.as_deref(), Some("epochs=5"));
+        assert_eq!(f.faults.as_deref(), Some("7:fault/kernel_nan@2"));
+    }
+
+    #[test]
+    fn strict_parse_rejects_malformed_values_naming_the_flag() {
+        let mut f = InfraFlags::default();
+        for (flag, value) in [
+            ("--threads", "many"),
+            ("--deadline", "soonish"),
+            ("--budget", "steps=3"),
+            ("--faults", "7:fault/unknown_site"),
+            ("--faults", "noseed"),
+        ] {
+            match f.consume(flag, Some(value)) {
+                Err(BbgnnError::InvalidConfig { what, .. }) => assert_eq!(what, flag),
+                other => panic!("expected InvalidConfig for {flag} {value}, got {other:?}"),
+            }
+        }
+        // Missing values are reported too, naming the flag.
+        for flag in [
+            "--threads",
+            "--trace",
+            "--store",
+            "--deadline",
+            "--budget",
+            "--faults",
+        ] {
+            assert!(matches!(
+                f.consume(flag, None),
+                Err(BbgnnError::InvalidConfig { ref what, .. }) if what == flag
+            ));
+        }
+    }
+
+    #[test]
+    fn env_half_parses_and_validates() {
+        let env = |name: &str| match name {
+            "BBGNN_THREADS" => Some("2".to_string()),
+            "BBGNN_TRACE" => Some("env.jsonl".to_string()),
+            "BBGNN_STORE" => Some("envcache".to_string()),
+            _ => None,
+        };
+        let f = InfraFlags::from_env(env).unwrap();
+        assert_eq!(f.threads, 2);
+        assert_eq!(f.trace.as_deref(), Some("env.jsonl"));
+        assert_eq!(f.store.as_deref(), Some("envcache"));
+        assert_eq!(InfraFlags::from_env(no_env).unwrap(), InfraFlags::default());
+        let env = |name: &str| (name == "BBGNN_THREADS").then(|| "many".to_string());
+        assert!(matches!(
+            InfraFlags::from_env(env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "BBGNN_THREADS"
+        ));
+    }
+
+    #[test]
+    fn extract_flag_peels_pairs_and_keeps_the_rest() {
+        let args: Vec<String> = ["--scale", "0.1", "--compare", "base.json", "--runs", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (value, rest) = extract_flag(&args, "--compare").unwrap();
+        assert_eq!(value.as_deref(), Some("base.json"));
+        assert_eq!(rest, ["--scale", "0.1", "--runs", "2"]);
+        // Absent flag: untouched.
+        let (value, rest) = extract_flag(&rest, "--compare").unwrap();
+        assert_eq!(value, None);
+        assert_eq!(rest.len(), 4);
+        // Trailing bare flag is a loud error.
+        let bare = vec!["--compare".to_string()];
+        assert!(matches!(
+            extract_flag(&bare, "--compare"),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "--compare"
+        ));
+    }
+}

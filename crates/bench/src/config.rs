@@ -1,6 +1,13 @@
 //! Experiment configuration from CLI flags and environment variables.
+//!
+//! The experiment-shaped knobs (`--scale --runs --rate --seed --dataset
+//! --out`) are parsed here; the cross-cutting infrastructure flags
+//! (`--threads --trace --store --deadline --budget --faults`) are
+//! delegated to the shared [`crate::cli`] module, which also owns the
+//! init-time side-effect sequence.
 
-use bbgnn_errors::{BbgnnError, BbgnnResult};
+use crate::cli::{invalid, parse_value, InfraFlags};
+use bbgnn_errors::BbgnnResult;
 
 /// Shared experiment knobs.
 ///
@@ -45,6 +52,10 @@ pub struct ExpConfig {
     /// Resource-budget spec (`--budget epochs=500,queries=2M,mem=1Gi` /
     /// `BBGNN_BUDGET`). Same degradation semantics as `deadline`.
     pub budget: Option<String>,
+    /// Fault-injection plan (`--faults <seed>:<site>[@n][,...]` /
+    /// `BBGNN_FAULTS`). `None` (default) injects nothing; the spec is
+    /// validated against the DESIGN.md §11 site catalog at parse time.
+    pub faults: Option<String>,
 }
 
 impl Default for ExpConfig {
@@ -61,29 +72,9 @@ impl Default for ExpConfig {
             store: None,
             deadline: None,
             budget: None,
+            faults: None,
         }
     }
-}
-
-/// `InvalidConfig` naming the flag or environment variable at fault.
-fn invalid(what: &str, message: impl Into<String>) -> BbgnnError {
-    BbgnnError::InvalidConfig {
-        what: what.to_string(),
-        message: message.into(),
-    }
-}
-
-/// Parses one value, naming its source (`--scale`, `BBGNN_SCALE`, ...) and
-/// the expected shape on failure.
-fn parse_value<T: std::str::FromStr>(
-    value: Option<&str>,
-    what: &str,
-    expected: &str,
-) -> BbgnnResult<T> {
-    let value = value.ok_or_else(|| invalid(what, format!("requires a value ({expected})")))?;
-    value
-        .parse()
-        .map_err(|_| invalid(what, format!("expected {expected}, got {value:?}")))
 }
 
 impl ExpConfig {
@@ -101,54 +92,7 @@ impl ExpConfig {
     pub fn init_from(args: &[String]) -> Self {
         match Self::try_parse(args, |name| std::env::var(name).ok()) {
             Ok(cfg) => {
-                // Propagate an explicit `--threads` to the kernels, which
-                // read BBGNN_THREADS lazily (once, at first kernel call —
-                // always after this, since config parsing is the first
-                // thing an experiment binary does).
-                if cfg.threads != 0 {
-                    std::env::set_var("BBGNN_THREADS", cfg.threads.to_string());
-                }
-                // Turn tracing on before any span-bearing code runs.
-                if let Some(path) = &cfg.trace {
-                    if let Err(e) = bbgnn_obs::init_to_path(path) {
-                        eprintln!("error: --trace {path}: {e}");
-                        std::process::exit(2);
-                    }
-                }
-                // And the artifact store before any cache-aware code runs.
-                if let Some(path) = &cfg.store {
-                    if let Err(e) = bbgnn::store::init_to_path(path) {
-                        eprintln!("error: --store {path}: {e}");
-                        std::process::exit(2);
-                    }
-                }
-                // Supervision last: environment first (BBGNN_DEADLINE /
-                // BBGNN_BUDGET / BBGNN_FAULTS), then explicit flags
-                // overwrite the knobs they name. Installed before any
-                // long-running loop, so the very first check site already
-                // sees the caps. SIGINT/SIGTERM become cooperative
-                // cancellation from here on.
-                if let Err(e) = bbgnn_supervise::init_from_env() {
-                    eprintln!("error: {e}");
-                    std::process::exit(2);
-                }
-                let mut budget = bbgnn_supervise::RunBudget::default();
-                if let Some(spec) = &cfg.budget {
-                    match bbgnn_supervise::RunBudget::parse_spec(spec) {
-                        Ok(b) => budget = b,
-                        // lint: allow(panic) reason=try_parse already validated the spec; Err is unreachable
-                        Err(e) => panic!("--budget: {e}"),
-                    }
-                }
-                if let Some(spec) = &cfg.deadline {
-                    match bbgnn_supervise::parse_duration(spec) {
-                        Ok(d) => budget.deadline = Some(d),
-                        // lint: allow(panic) reason=try_parse already validated the duration; Err is unreachable
-                        Err(e) => panic!("--deadline: {e}"),
-                    }
-                }
-                bbgnn_supervise::install_budget(&budget);
-                bbgnn_supervise::signal::install();
+                cfg.infra().init();
                 cfg
             }
             Err(e) => {
@@ -156,6 +100,19 @@ impl ExpConfig {
                 eprintln!("see --help for usage");
                 std::process::exit(2);
             }
+        }
+    }
+
+    /// The infrastructure half of this config, as the shared
+    /// [`InfraFlags`] the init sequence consumes.
+    pub fn infra(&self) -> InfraFlags {
+        InfraFlags {
+            threads: self.threads,
+            trace: self.trace.clone(),
+            store: self.store.clone(),
+            deadline: self.deadline.clone(),
+            budget: self.budget.clone(),
+            faults: self.faults.clone(),
         }
     }
 
@@ -186,42 +143,20 @@ impl ExpConfig {
         if let Some(v) = env("BBGNN_OUT") {
             cfg.out_dir = v;
         }
-        // The kernels read BBGNN_THREADS themselves (lazily, once per
-        // process); parsing it here too surfaces a typo'd value as a loud
-        // config error instead of a silent fall-back to all cores.
-        if let Some(v) = env("BBGNN_THREADS") {
-            cfg.threads = parse_value(Some(&v), "BBGNN_THREADS", "an integer (0 = auto)")?;
-        }
-        if let Some(v) = env("BBGNN_TRACE") {
-            cfg.trace = Some(v);
-        }
-        if let Some(v) = env("BBGNN_STORE") {
-            cfg.store = Some(v);
-        }
+        let mut infra = InfraFlags::from_env(&env)?;
         let mut i = 0;
         while i < args.len() {
             let flag = args[i].as_str();
             let value = args.get(i + 1).map(String::as_str);
+            if infra.consume(flag, value)? {
+                i += 2;
+                continue;
+            }
             match flag {
                 "--scale" => cfg.scale = parse_value(value, flag, "a float")?,
                 "--runs" => cfg.runs = parse_value(value, flag, "an integer")?,
                 "--rate" => cfg.rate = parse_value(value, flag, "a float")?,
                 "--seed" => cfg.seed = parse_value(value, flag, "an integer")?,
-                "--threads" => cfg.threads = parse_value(value, flag, "an integer (0 = auto)")?,
-                "--trace" => {
-                    cfg.trace = Some(
-                        value
-                            .ok_or_else(|| invalid(flag, "requires a value (path)"))?
-                            .to_string(),
-                    )
-                }
-                "--store" => {
-                    cfg.store = Some(
-                        value
-                            .ok_or_else(|| invalid(flag, "requires a value (dir)"))?
-                            .to_string(),
-                    )
-                }
                 "--dataset" => {
                     cfg.dataset = Some(
                         value
@@ -234,25 +169,10 @@ impl ExpConfig {
                         .ok_or_else(|| invalid(flag, "requires a value (dir)"))?
                         .to_string()
                 }
-                "--deadline" => {
-                    let spec =
-                        value.ok_or_else(|| invalid(flag, "requires a value (e.g. 90s, 2m)"))?;
-                    bbgnn_supervise::parse_duration(spec).map_err(|e| invalid(flag, e))?;
-                    cfg.deadline = Some(spec.to_string());
-                }
-                "--budget" => {
-                    let spec = value.ok_or_else(|| {
-                        invalid(
-                            flag,
-                            "requires a value (e.g. epochs=500,queries=2M,mem=1Gi)",
-                        )
-                    })?;
-                    bbgnn_supervise::RunBudget::parse_spec(spec).map_err(|e| invalid(flag, e))?;
-                    cfg.budget = Some(spec.to_string());
-                }
                 "--help" | "-h" => {
                     eprintln!(
-                        "flags: --scale F --runs N --rate F --seed N --threads N --dataset NAME --out DIR --trace PATH --store DIR --deadline DUR --budget SPEC"
+                        "flags: --scale F --runs N --rate F --seed N --dataset NAME --out DIR {}",
+                        InfraFlags::USAGE
                     );
                     std::process::exit(0);
                 }
@@ -260,6 +180,12 @@ impl ExpConfig {
             }
             i += 2;
         }
+        cfg.threads = infra.threads;
+        cfg.trace = infra.trace;
+        cfg.store = infra.store;
+        cfg.deadline = infra.deadline;
+        cfg.budget = infra.budget;
+        cfg.faults = infra.faults;
         if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
             return Err(invalid(
                 "--scale / BBGNN_SCALE",
@@ -322,6 +248,7 @@ impl ExpConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use bbgnn_errors::BbgnnError;
 
     fn no_env(_: &str) -> Option<String> {
         None
@@ -489,6 +416,23 @@ mod tests {
         let a = ExpConfig {
             deadline: Some("90s".to_string()),
             budget: Some("epochs=5".to_string()),
+            ..Default::default()
+        };
+        assert_eq!(a.fingerprint("t"), ExpConfig::default().fingerprint("t"));
+    }
+
+    #[test]
+    fn faults_flag_is_validated_and_fingerprint_ignored() {
+        let c = ExpConfig::try_parse(&argv(&["--faults", "7:fault/kernel_nan@2"]), no_env).unwrap();
+        assert_eq!(c.faults.as_deref(), Some("7:fault/kernel_nan@2"));
+        assert!(matches!(
+            ExpConfig::try_parse(&argv(&["--faults", "7:fault/nope"]), no_env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "--faults"
+        ));
+        // Injected faults only perturb execution; completed cells are
+        // byte-identical, so the plan stays out of the fingerprint.
+        let a = ExpConfig {
+            faults: Some("7:fault/kernel_nan".to_string()),
             ..Default::default()
         };
         assert_eq!(a.fingerprint("t"), ExpConfig::default().fingerprint("t"));

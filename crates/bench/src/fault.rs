@@ -38,46 +38,12 @@
 use crate::checkpoint::{CellRecord, Checkpoint};
 use crate::config::ExpConfig;
 use bbgnn_errors::{BbgnnError, RetryPolicy};
+use bbgnn_scenario::job::{CellOutcome, Job};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
-/// Placeholder rendered into the report for a cell whose every attempt
-/// failed.
-pub const FAILED_CELL: &str = "n/a";
-
-/// What one cell evaluation produced: the formatted value plus whether a
-/// degraded/fallback path was taken to get it.
-#[derive(Clone, Debug, PartialEq)]
-pub struct CellValue {
-    /// Formatted cell text (goes into the table verbatim).
-    pub text: String,
-    /// True when the value came from a recovery path (e.g. training needed
-    /// divergence rollbacks) and should be flagged in the outcome summary.
-    pub degraded: bool,
-}
-
-impl CellValue {
-    /// A clean (non-degraded) value.
-    pub fn clean(text: impl Into<String>) -> Self {
-        CellValue {
-            text: text.into(),
-            degraded: false,
-        }
-    }
-
-    /// A value obtained via a fallback/recovery path.
-    pub fn degraded(text: impl Into<String>) -> Self {
-        CellValue {
-            text: text.into(),
-            degraded: true,
-        }
-    }
-}
-
-impl From<String> for CellValue {
-    fn from(text: String) -> Self {
-        CellValue::clean(text)
-    }
-}
+// The cell-value vocabulary moved to the scenario layer (PR 7) so jobs
+// and the server share it; re-exported here to keep the historical paths.
+pub use bbgnn_scenario::job::{CellValue, FAILED_CELL};
 
 /// Running outcome counters for one sweep.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -231,7 +197,8 @@ impl FaultRunner {
                         self.stats.ok += 1;
                         "ok"
                     };
-                    self.persist(key, &value.text, tag, attempt + 1, None);
+                    let artifacts = bbgnn::store::take_recording();
+                    self.persist(key, &value.text, tag, attempt + 1, None, artifacts);
                     return value.text;
                 }
                 Ok(Err(e)) => e,
@@ -268,13 +235,79 @@ impl FaultRunner {
         }
         eprintln!("cell {key}: giving up ({last_cause})");
         self.stats.failed += 1;
+        let artifacts = bbgnn::store::take_recording();
         self.persist(
             key,
             FAILED_CELL,
             "failed",
             self.policy.max_retries + 1,
             Some(&last_cause),
+            artifacts,
         );
+        FAILED_CELL.to_string()
+    }
+
+    /// Runs a scenario [`Job`] as one cell of this sweep: checkpoint
+    /// replay first, then [`Job::run_with_graph`] under this runner's
+    /// retry policy and sleeper, then the same outcome accounting and
+    /// persistence as [`cell`](Self::cell) (`Skipped` is never
+    /// persisted, so a resumed run recomputes it).
+    ///
+    /// The job's own key is overridden by `key`-bearing construction
+    /// upstream; this method trusts [`Job::key`]. `prepared` carries a
+    /// shared input graph (e.g. one poisoned graph reused across a whole
+    /// table row).
+    pub fn job(
+        &mut self,
+        job: Job,
+        ctx: &bbgnn::linalg::ExecContext,
+        prepared: Option<&bbgnn::graph::Graph>,
+    ) -> String {
+        if let Some(done) = self.checkpoint.get(job.key()) {
+            self.stats.cached += 1;
+            return done.value.clone();
+        }
+        let job = job
+            .with_policy(self.policy.clone())
+            .with_sleeper(self.sleeper);
+        let res = job.run_with_graph(ctx, prepared);
+        match res.outcome {
+            CellOutcome::Skipped => {
+                if let Some(detail) = &res.detail {
+                    eprintln!("cell {}: skipped ({detail})", res.key);
+                }
+                self.stats.skipped += 1;
+            }
+            CellOutcome::Failed => {
+                let cause = res.detail.as_deref().unwrap_or("unknown");
+                eprintln!("cell {}: giving up ({cause})", res.key);
+                self.stats.failed += 1;
+                self.persist(
+                    &res.key,
+                    FAILED_CELL,
+                    "failed",
+                    res.attempts,
+                    res.detail.as_deref(),
+                    res.artifacts,
+                );
+            }
+            outcome => {
+                match outcome {
+                    CellOutcome::Degraded => self.stats.degraded += 1,
+                    CellOutcome::Retried => self.stats.retried += 1,
+                    _ => self.stats.ok += 1,
+                }
+                self.persist(
+                    &res.key,
+                    &res.value,
+                    outcome.as_str(),
+                    res.attempts,
+                    None,
+                    res.artifacts,
+                );
+                return res.value;
+            }
+        }
         FAILED_CELL.to_string()
     }
 
@@ -302,16 +335,17 @@ impl FaultRunner {
         outcome: &str,
         attempts: usize,
         detail: Option<&str>,
+        // Drained from the cell's store recording; artifacts written on
+        // failed attempts are still pinned, which lets a retry or a
+        // resumed run warm-start from them.
+        artifacts: Vec<String>,
     ) {
         let record = CellRecord {
             value: value.to_string(),
             outcome: outcome.to_string(),
             attempts,
             detail: detail.map(str::to_string),
-            // Drains the recording started in `cell`; artifacts written on
-            // failed attempts are still pinned, which lets a retry or a
-            // resumed run warm-start from them.
-            artifacts: bbgnn::store::take_recording(),
+            artifacts,
         };
         // Checkpointing is best-effort: an unwritable results dir should
         // not kill the sweep, only the ability to resume it.
@@ -554,6 +588,63 @@ mod tests {
         assert_eq!(r.stats().skipped, 1);
         assert_eq!(r.stats().failed, 0, "a stop is a skip, not a failure");
         assert!(!r.is_done("budgeted"), "skipped cells are not checkpointed");
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn job_cells_checkpoint_and_replay() {
+        let _guard = locked();
+        use bbgnn_scenario::job::{EvalSpec, JobSpec};
+        let cfg = test_cfg("job_replay");
+        let ctx = bbgnn::linalg::ExecContext::from_env();
+        let spec = JobSpec {
+            dataset: "cora".to_string(),
+            eval: EvalSpec {
+                runs: 1,
+                scale: 0.05,
+                ..EvalSpec::default()
+            },
+            ..JobSpec::default()
+        };
+        let first = {
+            let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(1));
+            let v = r.job(Job::new(spec.clone()).unwrap(), &ctx, None);
+            assert_eq!(r.stats().ok, 1);
+            v
+        };
+        assert_ne!(first, FAILED_CELL);
+        // Second process: same config, the cell replays from the
+        // checkpoint without recomputing.
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(1));
+        assert!(r.is_done("cora/Clean/GCN"));
+        let v = r.job(Job::new(spec).unwrap(), &ctx, None);
+        assert_eq!(v, first);
+        assert_eq!(r.stats().cached, 1);
+        let _ = std::fs::remove_dir_all(&cfg.out_dir);
+    }
+
+    #[test]
+    fn job_skipped_by_cancel_is_not_checkpointed() {
+        let _guard = locked();
+        use bbgnn_scenario::job::{EvalSpec, JobSpec};
+        let cfg = test_cfg("job_cancel");
+        let ctx = bbgnn::linalg::ExecContext::from_env();
+        let spec = JobSpec {
+            dataset: "cora".to_string(),
+            eval: EvalSpec {
+                runs: 1,
+                scale: 0.05,
+                ..EvalSpec::default()
+            },
+            ..JobSpec::default()
+        };
+        let mut r = FaultRunner::with_policy(&cfg, "t", fast_policy(1));
+        bbgnn_supervise::request_cancel();
+        let v = r.job(Job::new(spec).unwrap(), &ctx, None);
+        assert_eq!(v, FAILED_CELL);
+        assert_eq!(r.stats().skipped, 1);
+        assert!(!r.is_done("cora/Clean/GCN"));
+        bbgnn_supervise::shutdown();
         let _ = std::fs::remove_dir_all(&cfg.out_dir);
     }
 

@@ -4,13 +4,18 @@
 //! in `src/bin/` (see `DESIGN.md` §2 for the full index). The harness
 //! provides the shared pieces:
 //!
+//! * [`cli`] — the shared infrastructure flag parser (`--threads --trace
+//!   --store --deadline --budget --faults`) and the one init-time
+//!   side-effect sequence every entry point runs;
 //! * [`config::ExpConfig`] — scale / runs / rate / seed, from CLI flags or
 //!   `BBGNN_*` environment variables (malformed input surfaces as
 //!   [`InvalidConfig`](bbgnn_errors::BbgnnError::InvalidConfig) naming the
 //!   offending flag);
-//! * [`runner`] — attack generation and repeated-run defender evaluation;
+//! * [`runner`] — attack generation and repeated-run defender evaluation
+//!   (now a shim over [`bbgnn_scenario::eval`]);
 //! * [`fault`] — per-cell panic isolation, deterministic seed-perturbed
-//!   retries, and ok/retried/degraded/failed outcome accounting;
+//!   retries, and ok/retried/degraded/failed outcome accounting, plus the
+//!   checkpointing adapter for [`bbgnn_scenario::job::Job`] cells;
 //! * [`checkpoint`] — crash-safe `results/*.checkpoint.json` cell stores so
 //!   a killed sweep resumes byte-identically;
 //! * [`report`] — fixed-width table printing plus CSV/JSON dumps under
@@ -27,6 +32,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod checkpoint;
+pub mod cli;
 pub mod compare;
 pub mod config;
 pub mod fault;

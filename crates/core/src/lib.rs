@@ -49,7 +49,11 @@
 //!   (`BBGNN_STORE=<dir>`, see DESIGN.md §10);
 //! * [`bbgnn_supervise`] — cooperative cancellation, deadlines, resource
 //!   budgets, and the deterministic fault-injection harness
-//!   (`--deadline`/`--budget`/`BBGNN_FAULTS`, see DESIGN.md §11).
+//!   (`--deadline`/`--budget`/`BBGNN_FAULTS`, see DESIGN.md §11);
+//! * [`bbgnn_scenario`] — the typed scenario layer: attacker/defender
+//!   registry, shared dataset resolution, job specs and the fault-isolated
+//!   [`Job`](bbgnn_scenario::job::Job) executor that binaries and
+//!   `bbgnn-serve` both drive (DESIGN.md §12).
 
 #![deny(missing_docs)]
 
@@ -61,11 +65,12 @@ pub use bbgnn_gnn as gnn;
 pub use bbgnn_graph as graph;
 pub use bbgnn_linalg as linalg;
 pub use bbgnn_obs as obs;
+pub use bbgnn_scenario as scenario;
+pub use bbgnn_scenario::registry;
 pub use bbgnn_store as store;
 pub use bbgnn_supervise as supervise;
 
 pub mod exec;
-pub mod registry;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {

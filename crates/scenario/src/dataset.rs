@@ -1,0 +1,141 @@
+//! The single dataset-resolution path every entry point shares.
+//!
+//! Binaries and the server used to each hand-roll "is this a known name,
+//! else a directory?" logic (or just `assert!` on unknown names). This
+//! module centralizes both steps:
+//!
+//! * [`paper_specs`] — the `--dataset` filter over the paper's three
+//!   calibrated synthetic datasets, with unknown names reported as
+//!   [`InvalidConfig`](BbgnnError::InvalidConfig) instead of a panic;
+//! * [`load_dataset`] — known names generate the synthetic graph;
+//!   anything else is treated as a dataset directory and read through
+//!   [`bbgnn_graph::datasets::io::load`], so a truncated or corrupt dir
+//!   surfaces the same [`DatasetIo`](BbgnnError::DatasetIo) error (path +
+//!   cause) no matter which binary or endpoint asked for it.
+
+use bbgnn_errors::{BbgnnError, BbgnnResult};
+use bbgnn_graph::datasets::DatasetSpec;
+use bbgnn_graph::Graph;
+use std::path::Path;
+
+/// The paper's datasets, optionally filtered by a `--dataset` value.
+/// `None` keeps all three; an unknown filter is an
+/// [`InvalidConfig`](BbgnnError::InvalidConfig) naming `--dataset`.
+pub fn paper_specs(filter: Option<&str>) -> BbgnnResult<Vec<DatasetSpec>> {
+    let specs: Vec<DatasetSpec> = DatasetSpec::paper_datasets()
+        .into_iter()
+        .filter(|s| filter.map_or(true, |d| d == s.name()))
+        .collect();
+    if specs.is_empty() {
+        return Err(BbgnnError::InvalidConfig {
+            what: "--dataset".to_string(),
+            message: format!(
+                "unknown dataset {:?}; use cora|citeseer|polblogs or a dataset directory",
+                filter.unwrap_or("")
+            ),
+        });
+    }
+    Ok(specs)
+}
+
+/// The known-name spec for `source`, if it names a paper dataset.
+pub fn spec_for(source: &str) -> Option<DatasetSpec> {
+    DatasetSpec::paper_datasets()
+        .into_iter()
+        .find(|s| s.name() == source)
+}
+
+/// Resolves `source` to a graph: a paper dataset name
+/// (`cora|citeseer|polblogs`) generates the calibrated synthetic graph at
+/// `scale`/`seed`; anything else is read as a dataset directory, with
+/// malformed or truncated contents reported as
+/// [`DatasetIo`](BbgnnError::DatasetIo) (the PR-1 error path) from every
+/// entry point alike.
+pub fn load_dataset(source: &str, scale: f64, seed: u64) -> BbgnnResult<Graph> {
+    match spec_for(source) {
+        Some(spec) => Ok(spec.generate(scale, seed)),
+        None => bbgnn_graph::datasets::io::load(Path::new(source)),
+    }
+}
+
+/// Whether graphs from `source` use identity features (the Polblogs
+/// convention that drops GCN-Jaccard and GNAT's feature view). Directory
+/// datasets report `false`; their feature encoding is whatever the files
+/// say, and the caller picks defender configs explicitly.
+pub fn identity_features(source: &str) -> bool {
+    spec_for(source).is_some_and(|s| s.identity_features())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_specs_filters_and_rejects_unknown() {
+        assert_eq!(paper_specs(None).unwrap().len(), 3);
+        let one = paper_specs(Some("cora")).unwrap();
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].name(), "cora");
+        match paper_specs(Some("ogbn-arxiv")) {
+            Err(BbgnnError::InvalidConfig { what, message }) => {
+                assert_eq!(what, "--dataset");
+                assert!(message.contains("ogbn-arxiv"));
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn known_names_generate_deterministically() {
+        let a = load_dataset("cora", 0.05, 7).unwrap();
+        let b = load_dataset("cora", 0.05, 7).unwrap();
+        assert_eq!(a.num_nodes(), b.num_nodes());
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert!(a.num_nodes() > 0);
+    }
+
+    #[test]
+    fn directory_round_trips_through_io() {
+        let dir = std::env::temp_dir().join("bbgnn_scenario_ds_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = DatasetSpec::CoraLike.generate(0.05, 3);
+        bbgnn_graph::datasets::io::save(&g, &dir).unwrap();
+        let loaded = load_dataset(&dir.display().to_string(), 0.0, 0).unwrap();
+        assert_eq!(loaded.num_nodes(), g.num_nodes());
+        assert_eq!(loaded.num_edges(), g.num_edges());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_dir_reports_dataset_io_with_path() {
+        // A dataset dir missing everything past meta.txt — the truncated
+        // download / partial copy case. The error must be DatasetIo naming
+        // the missing file, identically from every entry point.
+        let dir = std::env::temp_dir().join("bbgnn_scenario_ds_truncated");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("meta.txt"), "10 2 4\n").unwrap();
+        match load_dataset(&dir.display().to_string(), 0.12, 7) {
+            Err(BbgnnError::DatasetIo { path, .. }) => {
+                assert!(path.contains("edges.txt"), "names the missing file: {path}");
+            }
+            other => panic!("expected DatasetIo, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_dir_reports_dataset_io_not_panic() {
+        match load_dataset("/nonexistent/bbgnn-ds", 0.1, 1) {
+            Err(BbgnnError::DatasetIo { path, .. }) => assert!(path.contains("bbgnn-ds")),
+            other => panic!("expected DatasetIo, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identity_features_follows_the_spec() {
+        assert!(!identity_features("cora"));
+        assert!(identity_features("polblogs"));
+        assert!(!identity_features("/some/dir"));
+    }
+}

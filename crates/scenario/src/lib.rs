@@ -1,0 +1,38 @@
+//! The Scenario/Job layer: everything the experiment binaries used to
+//! re-implement per `main()`, lifted into one typed library so the same
+//! cells can run from a CLI sweep, a test, or the `bbgnn-serve` queue.
+//!
+//! The pieces (DESIGN.md §12):
+//!
+//! * [`registry`] — named factories over every attacker and defender,
+//!   plus by-name resolution ([`registry::attacker_by_name`] /
+//!   [`registry::defender_by_name`]) replacing the per-binary match
+//!   blocks; unknown names are [`InvalidConfig`] errors, never panics;
+//! * [`dataset`] — the single dataset-resolution path
+//!   ([`dataset::load_dataset`]): known names generate the calibrated
+//!   synthetic graphs, anything else is a dataset directory read through
+//!   the PR-1 `DatasetIo` error paths, so a truncated dir reports
+//!   identically from every entry point;
+//! * [`eval`] — attack generation and repeated-run defender evaluation
+//!   (the cell bodies of Tables IV–VIII);
+//! * [`job`] — [`job::JobSpec`] (the JSON wire format `bbgnn-serve`
+//!   accepts) and [`job::Job`], whose [`run`](job::Job::run) drives one
+//!   fault-isolated cell exactly like the bench `FaultRunner`:
+//!   catch_unwind panic boundary, deterministic seed-perturbed retries,
+//!   supervision check sites, store-keyed training, obs spans;
+//! * [`json`] — the workspace's strict, dependency-free JSON subset
+//!   (moved here from the bench crate so the server can parse request
+//!   bodies without depending on the harness).
+//!
+//! [`InvalidConfig`]: bbgnn_errors::BbgnnError::InvalidConfig
+
+#![deny(missing_docs)]
+// This crate is below the fault boundary for both the bench binaries and
+// the server: it must return errors, never crash (tests are exempt).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod dataset;
+pub mod eval;
+pub mod job;
+pub mod json;
+pub mod registry;

@@ -1,13 +1,25 @@
 //! Named factories over every attacker and defender — the registry the
-//! experiment harness and the examples iterate over to produce the paper's
-//! table rows and columns.
+//! experiment harness, the examples, and `bbgnn-serve` resolve against to
+//! produce the paper's table rows and columns.
+//!
+//! Two resolution styles:
+//!
+//! * the paper-ordered collections ([`AttackerKind::paper_rows`],
+//!   [`DefenderKind::paper_columns`]) the table binaries iterate over;
+//! * by-name lookup ([`attacker_by_name`], [`defender_by_name`]) for job
+//!   specs arriving over the wire — unknown names come back as
+//!   [`InvalidConfig`](BbgnnError::InvalidConfig) naming the field, never
+//!   as a panic.
 
+use bbgnn_attack::dice::{Dice, DiceConfig};
 use bbgnn_attack::gfattack::{GfAttack, GfAttackConfig};
 use bbgnn_attack::metattack::{Metattack, MetattackConfig};
 use bbgnn_attack::minmax::{MinMaxAttack, MinMaxConfig};
 use bbgnn_attack::peega::{Peega, PeegaConfig};
+use bbgnn_attack::peega_parallel::{PeegaParallel, PeegaParallelConfig};
 use bbgnn_attack::pgd::{PgdAttack, PgdConfig};
 use bbgnn_attack::random::{RandomAttack, RandomAttackConfig};
+use bbgnn_attack::targeted::{TargetedPeega, TargetedPeegaConfig};
 use bbgnn_attack::Attacker;
 use bbgnn_defense::gnat::{Gnat, GnatConfig};
 use bbgnn_defense::jaccard::{GcnJaccard, GcnJaccardConfig};
@@ -16,12 +28,14 @@ use bbgnn_defense::rgcn::{Rgcn, RgcnConfig};
 use bbgnn_defense::simpgcn::{SimPGcn, SimPGcnConfig};
 use bbgnn_defense::svd_defense::{GcnSvd, GcnSvdConfig};
 use bbgnn_defense::Defender;
+use bbgnn_errors::{BbgnnError, BbgnnResult};
 use bbgnn_gnn::gat::Gat;
 use bbgnn_gnn::gcn::Gcn;
 use bbgnn_gnn::train::TrainConfig;
 
 /// Every attacker of the evaluation section, in the row order of
-/// Tables IV–VI.
+/// Tables IV–VI, plus the controls and variants the sensitivity figures
+/// use.
 #[derive(Clone, Debug)]
 pub enum AttackerKind {
     /// White-box PGD.
@@ -36,6 +50,12 @@ pub enum AttackerKind {
     Peega(PeegaConfig),
     /// Random control (not a paper row).
     Random(RandomAttackConfig),
+    /// DICE heuristic control (disconnect internally, connect externally).
+    Dice(DiceConfig),
+    /// PEEGA's thread-parallel variant (identical output, faster clock).
+    PeegaParallel(PeegaParallelConfig),
+    /// Targeted PEEGA (the Nettack setting of Table I).
+    TargetedPeega(TargetedPeegaConfig),
 }
 
 impl AttackerKind {
@@ -76,6 +96,9 @@ impl AttackerKind {
             AttackerKind::GfAttack(c) => Box::new(GfAttack::new(c)),
             AttackerKind::Peega(c) => Box::new(Peega::new(c)),
             AttackerKind::Random(c) => Box::new(RandomAttack::new(c)),
+            AttackerKind::Dice(c) => Box::new(Dice::new(c)),
+            AttackerKind::PeegaParallel(c) => Box::new(PeegaParallel::new(c)),
+            AttackerKind::TargetedPeega(c) => Box::new(TargetedPeega::new(c)),
         }
     }
 
@@ -88,8 +111,87 @@ impl AttackerKind {
             AttackerKind::GfAttack(_) => "GF-Attack",
             AttackerKind::Peega(_) => "PEEGA",
             AttackerKind::Random(_) => "Random",
+            AttackerKind::Dice(_) => "DICE",
+            AttackerKind::PeegaParallel(_) => "PEEGA-P",
+            AttackerKind::TargetedPeega(_) => "PEEGA-T",
         }
     }
+}
+
+/// Every attacker name [`attacker_by_name`] resolves, in registry order.
+pub const ATTACKER_NAMES: [&str; 9] = [
+    "PGD",
+    "MinMax",
+    "Metattack",
+    "GF-Attack",
+    "PEEGA",
+    "Random",
+    "DICE",
+    "PEEGA-P",
+    "PEEGA-T",
+];
+
+/// Resolves an attacker by its display name at perturbation rate `rate`,
+/// with the same per-attacker tuning as [`AttackerKind::paper_rows`].
+/// `PEEGA-T` resolves with an empty victim set and the Nettack per-victim
+/// degree budget — callers wanting specific victims construct
+/// [`AttackerKind::TargetedPeega`] directly.
+///
+/// Unknown names are [`InvalidConfig`](BbgnnError::InvalidConfig) naming
+/// the `attack` field — a malformed job spec must never panic the server.
+pub fn attacker_by_name(name: &str, rate: f64) -> BbgnnResult<AttackerKind> {
+    let kind = match name {
+        "PGD" => AttackerKind::Pgd(PgdConfig {
+            rate,
+            ..Default::default()
+        }),
+        "MinMax" => AttackerKind::MinMax(MinMaxConfig {
+            rate,
+            ..Default::default()
+        }),
+        "Metattack" => AttackerKind::Metattack(MetattackConfig {
+            rate,
+            retrain_every: 5,
+            ..Default::default()
+        }),
+        "GF-Attack" => AttackerKind::GfAttack(GfAttackConfig {
+            rate,
+            ..Default::default()
+        }),
+        "PEEGA" => AttackerKind::Peega(PeegaConfig {
+            rate,
+            ..Default::default()
+        }),
+        "Random" => AttackerKind::Random(RandomAttackConfig {
+            rate,
+            ..Default::default()
+        }),
+        "DICE" => AttackerKind::Dice(DiceConfig {
+            rate,
+            ..Default::default()
+        }),
+        "PEEGA-P" => AttackerKind::PeegaParallel(PeegaParallelConfig {
+            rate,
+            ..Default::default()
+        }),
+        "PEEGA-T" => AttackerKind::TargetedPeega(TargetedPeegaConfig::degree_budget(
+            Vec::new(),
+            PeegaConfig {
+                rate,
+                ..Default::default()
+            },
+        )),
+        other => {
+            return Err(BbgnnError::InvalidConfig {
+                what: "attack".to_string(),
+                message: format!(
+                    "unknown attacker {other:?}; known: {}",
+                    ATTACKER_NAMES.join(", ")
+                ),
+            })
+        }
+    };
+    Ok(kind)
 }
 
 /// Every model column of Tables IV–VI: the two raw GNNs and the six
@@ -173,6 +275,56 @@ impl DefenderKind {
     }
 }
 
+/// Every model/defender name [`defender_by_name`] resolves, in the paper's
+/// column order.
+pub const DEFENDER_NAMES: [&str; 8] = [
+    "GCN",
+    "GAT",
+    "GCN-Jaccard",
+    "GCN-SVD",
+    "RGCN",
+    "Pro-GNN",
+    "SimPGCN",
+    "GNAT",
+];
+
+/// Resolves a model column by its display name. `identity_features`
+/// applies the Polblogs convention to GNAT (1-hop topology view, no
+/// feature view) exactly like [`DefenderKind::paper_columns`]; the other
+/// columns are their defaults regardless.
+///
+/// Unknown names are [`InvalidConfig`](BbgnnError::InvalidConfig) naming
+/// the `defense` field — a malformed job spec must never panic the server.
+pub fn defender_by_name(name: &str, identity_features: bool) -> BbgnnResult<DefenderKind> {
+    let kind = match name {
+        "GCN" => DefenderKind::Gcn,
+        "GAT" => DefenderKind::Gat,
+        "GCN-Jaccard" => DefenderKind::GcnJaccard(GcnJaccardConfig::default()),
+        "GCN-SVD" => DefenderKind::GcnSvd(GcnSvdConfig::default()),
+        "RGCN" => DefenderKind::Rgcn(RgcnConfig::default()),
+        "Pro-GNN" => DefenderKind::ProGnn(ProGnnConfig::default()),
+        "SimPGCN" => DefenderKind::SimPGcn(SimPGcnConfig::default()),
+        "GNAT" => DefenderKind::Gnat(if identity_features {
+            GnatConfig {
+                k_t: 1,
+                ..GnatConfig::without_feature_view()
+            }
+        } else {
+            GnatConfig::default()
+        }),
+        other => {
+            return Err(BbgnnError::InvalidConfig {
+                what: "defense".to_string(),
+                message: format!(
+                    "unknown model/defender {other:?}; known: {}",
+                    DEFENDER_NAMES.join(", ")
+                ),
+            })
+        }
+    };
+    Ok(kind)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,5 +371,65 @@ mod tests {
         let mut d = DefenderKind::Gcn.build(TrainConfig::fast_test());
         d.fit(&g);
         assert!(d.test_accuracy(&g) > 0.4);
+    }
+
+    #[test]
+    fn every_attacker_resolves_by_name_and_round_trips() {
+        for name in ATTACKER_NAMES {
+            let kind = attacker_by_name(name, 0.1).unwrap();
+            assert_eq!(kind.name(), name);
+            // The built attacker agrees with the registry on its name.
+            assert_eq!(kind.build().name(), name);
+        }
+    }
+
+    #[test]
+    fn every_defender_resolves_by_name_and_round_trips() {
+        for name in DEFENDER_NAMES {
+            let kind = defender_by_name(name, false).unwrap();
+            // GNAT's concrete display name carries its view suffix.
+            if name == "GNAT" {
+                assert!(kind.name().starts_with("GNAT"));
+            } else {
+                assert_eq!(kind.name(), name);
+            }
+            let built = kind.build(TrainConfig::fast_test());
+            assert_eq!(built.name(), kind.name());
+        }
+    }
+
+    #[test]
+    fn by_name_resolution_matches_paper_tuning() {
+        // The by-name path must produce the same configs as paper_rows so
+        // a served job reproduces the CLI tables bit for bit.
+        for row in AttackerKind::paper_rows(0.1) {
+            let by_name = attacker_by_name(row.name(), 0.1).unwrap();
+            assert_eq!(format!("{row:?}"), format!("{by_name:?}"));
+        }
+        for identity in [false, true] {
+            let cols = DefenderKind::paper_columns(identity);
+            let gnat = cols.last().unwrap();
+            let by_name = defender_by_name("GNAT", identity).unwrap();
+            assert_eq!(format!("{gnat:?}"), format!("{by_name:?}"));
+        }
+    }
+
+    #[test]
+    fn unknown_names_are_invalid_config_not_panics() {
+        match attacker_by_name("Nettack", 0.1) {
+            Err(BbgnnError::InvalidConfig { what, message }) => {
+                assert_eq!(what, "attack");
+                assert!(message.contains("Nettack"), "message names it: {message}");
+                assert!(message.contains("PEEGA"), "message lists options");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        match defender_by_name("Jaccard", false) {
+            Err(BbgnnError::InvalidConfig { what, message }) => {
+                assert_eq!(what, "defense");
+                assert!(message.contains("Jaccard"), "message names it: {message}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,209 @@
+//! Hand-rolled HTTP/1.1 subset: exactly what `bbgnn-serve` needs.
+//!
+//! The workspace is dependency-free by design (DESIGN.md §0), so the wire
+//! layer is written against `std::io` directly. Scope is deliberately
+//! narrow — one request per connection (`Connection: close`), JSON bodies
+//! only, no chunked transfer, no keep-alive, no TLS. The server's clients
+//! are `curl` and the CI harness; both speak this subset natively.
+//!
+//! Request reading is bounded everywhere: the header block is capped at
+//! [`MAX_HEAD`] bytes and the body at [`MAX_BODY`] bytes, so a hostile or
+//! broken client cannot balloon server memory. Over-long bodies surface
+//! as [`ReadError::TooLarge`], which the server maps to `413`.
+
+use std::io::{Read, Write};
+
+/// Header-block cap (request line + headers, including the blank line).
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Body cap — a [`JobSpec`](bbgnn_scenario::job::JobSpec) is well under a
+/// kilobyte; anything near a megabyte is not a job submission.
+pub const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request: method, path, and the (possibly empty) body.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Request {
+    /// Request method, uppercase as received (`GET`, `POST`, `DELETE`).
+    pub method: String,
+    /// Request target path (query strings are kept verbatim).
+    pub path: String,
+    /// Request body, decoded per `Content-Length`.
+    pub body: String,
+}
+
+/// Why a request could not be read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadError {
+    /// Syntactically broken request (maps to `400`).
+    Malformed(String),
+    /// Declared body exceeds [`MAX_BODY`] (maps to `413`).
+    TooLarge,
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
+            ReadError::TooLarge => write!(f, "request body exceeds {MAX_BODY} bytes"),
+        }
+    }
+}
+
+fn malformed(m: impl Into<String>) -> ReadError {
+    ReadError::Malformed(m.into())
+}
+
+/// Reads one request from `stream`.
+///
+/// Generic over `Read` so tests can drive it from a byte slice; the
+/// server hands it a `TcpStream` with a read timeout installed (a stalled
+/// client surfaces as an I/O error → `Malformed`, and the connection is
+/// dropped).
+pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ReadError> {
+    // Byte-at-a-time until the blank line. The header block is tiny and
+    // read once per connection; simplicity beats a buffered scanner that
+    // would over-read into the body.
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(malformed("header block too large"));
+        }
+        match stream.read(&mut byte) {
+            Ok(1) => head.push(byte[0]),
+            Ok(_) => return Err(malformed("connection closed mid-header")),
+            Err(e) => return Err(malformed(format!("read: {e}"))),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| malformed("header block is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v), None) if !m.is_empty() && p.starts_with('/') => (m, p, v),
+        _ => return Err(malformed(format!("bad request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(malformed(format!("unsupported version {version:?}")));
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(malformed(format!("bad header line {line:?}")));
+        };
+        if name.trim().eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| malformed(format!("bad content-length {value:?}")))?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(ReadError::TooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream
+        .read_exact(&mut body)
+        .map_err(|e| malformed(format!("body read: {e}")))?;
+    let body = String::from_utf8(body).map_err(|_| malformed("body is not UTF-8"))?;
+    Ok(Request {
+        method: method.to_string(),
+        path: path.to_string(),
+        body,
+    })
+}
+
+/// The reason phrase for the status codes the server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes one complete JSON response and flushes. Best-effort: a peer
+/// that hung up mid-write is its own problem, not the server's.
+pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len()
+    );
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(raw: &str) -> Result<Request, ReadError> {
+        read_request(&mut raw.as_bytes())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let r =
+            req("POST /jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 7\r\n\r\n{\"a\":1}").unwrap();
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/jobs");
+        assert_eq!(r.body, "{\"a\":1}");
+    }
+
+    #[test]
+    fn parses_a_bodyless_get_and_case_insensitive_length() {
+        let r = req("GET /jobs/3 HTTP/1.1\r\ncontent-length: 0\r\n\r\n").unwrap();
+        assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/jobs/3"));
+        assert_eq!(r.body, "");
+    }
+
+    #[test]
+    fn rejects_garbage_loudly() {
+        assert!(matches!(
+            req("nonsense\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("GET /x SPDY/3\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            req("GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        // Truncated body: declared longer than the stream.
+        assert!(matches!(
+            req("POST /jobs HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn caps_oversized_bodies() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY + 1
+        );
+        assert_eq!(req(&raw), Err(ReadError::TooLarge));
+    }
+
+    #[test]
+    fn response_is_well_formed() {
+        let mut out = Vec::new();
+        write_response(&mut out, 429, "{\"error\":\"queue full\"}");
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"queue full\"}"));
+    }
+}

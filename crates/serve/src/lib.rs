@@ -1,0 +1,34 @@
+//! Attack/defense-as-a-service on the existing workspace stack.
+//!
+//! `bbgnn-serve` turns the scenario layer into a long-running service:
+//! clients `POST /jobs` a [`JobSpec`](bbgnn_scenario::job::JobSpec) (the
+//! same typed spec the bench binaries run), poll `GET /jobs/:id` for
+//! progress snapshots built from the obs live mirror and the supervision
+//! accounting, and `DELETE /jobs/:id` to cancel — queued jobs dequeue
+//! instantly, running jobs wind down cooperatively through the same
+//! cancel machinery SIGINT uses. Completed results are shared through the
+//! content-addressed store, so a duplicate submission (same graph,
+//! config, and seed — the spec [`fingerprint`]) replays the recorded
+//! value with zero training work.
+//!
+//! Wire format, queue/admission semantics, and the store-sharing
+//! anti-aliasing rules are specified in DESIGN.md §12; `README.md` has a
+//! curl walkthrough.
+//!
+//! Layering:
+//!
+//! * [`http`] — the hand-rolled, bounded HTTP/1.1 subset (no deps);
+//! * [`state`] — job table, bounded FIFO queue, store-backed records;
+//! * [`server`] — accept loop + the single sequential worker.
+//!
+//! [`fingerprint`]: bbgnn_scenario::job::JobSpec::fingerprint
+
+#![deny(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod http;
+pub mod server;
+pub mod state;
+
+pub use server::Server;
+pub use state::{JobPhase, JobRecord, Refused, ServerState};

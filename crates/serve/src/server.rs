@@ -1,0 +1,477 @@
+//! The `bbgnn-serve` server proper: accept loop, request routing, and the
+//! single sequential worker that runs jobs on the scenario stack.
+//!
+//! ## Threading model
+//!
+//! Two threads, by design:
+//!
+//! * the **accept** thread handles one connection at a time — every
+//!   endpoint is a table lookup or an enqueue, so request handling is
+//!   microseconds and needs no per-connection threads;
+//! * the **worker** thread pops the FIFO queue and runs one [`Job`] at a
+//!   time. Sequential execution is a feature, not a limitation: jobs
+//!   own the process-global supervision state (budgets, cancellation,
+//!   fault plans) while they run, and the kernels already spread each
+//!   job across all cores — two concurrent jobs would fight over both.
+//!
+//! ## Per-job supervision
+//!
+//! The worker gives every job a fresh supervision slate
+//! ([`bbgnn_supervise::shutdown`]), installs the job's own budget, and
+//! runs it. `DELETE /jobs/:id` on the running job cancels its token *and*
+//! raises the process-global cancel (the in-flight training loop only
+//! watches global check sites); after the job winds down the worker
+//! consumes the delete marker and clears the global flag, so a mid-run
+//! cancellation never leaks into the next tenant — and a global cancel
+//! that *wasn't* a delete (SIGINT/SIGTERM via the shared handler) drains
+//! the server instead.
+
+use crate::http::{self, ReadError, Request};
+use crate::state::{JobRecord, Popped, Refused, ServerState};
+use bbgnn_linalg::ExecContext;
+use bbgnn_scenario::job::{CellResult, Job, JobSpec};
+use bbgnn_scenario::json::Json;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the worker waits on the queue before re-checking for
+/// drain/cancel conditions.
+const WORKER_WAIT: Duration = Duration::from_millis(200);
+/// Per-connection read timeout: a stalled client is dropped, the accept
+/// loop moves on.
+const READ_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// A running server: owns the accept and worker threads.
+///
+/// Dropping the handle drains and joins both threads ([`shutdown`]
+/// semantics), so a test that panics still tears the server down.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `127.0.0.1:8787`; port `0` picks a free port —
+    /// read it back from [`addr`](Self::addr)) and starts the accept and
+    /// worker threads. The queue admits at most `capacity` pending jobs.
+    pub fn start(addr: &str, capacity: usize) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState::new(capacity));
+        // Progress snapshots read the obs live mirror; the mirror works
+        // with or without a trace sink.
+        bbgnn_obs::live::enable();
+        let accept_state = Arc::clone(&state);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
+        let worker_state = Arc::clone(&state);
+        let worker = std::thread::spawn(move || worker_loop(&worker_state));
+        Ok(Server {
+            addr,
+            state,
+            accept: Some(accept),
+            worker: Some(worker),
+        })
+    }
+
+    /// The bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Drains and joins: no new submissions, the running job finishes
+    /// (shutdown is graceful, not lossy), queued jobs stay queued forever.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Blocks until the server stops on its own (`POST /shutdown`, or a
+    /// SIGINT/SIGTERM routed through the supervision layer), then joins.
+    pub fn wait(mut self) {
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.state.stop();
+        // The accept thread may be parked in `accept`; a throwaway
+        // connection wakes it so it can observe the drain flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        bbgnn_obs::live::disable();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for conn in listener.incoming() {
+        let Ok(mut stream) = conn else { continue };
+        if state.stopping() {
+            break; // woken by the shutdown self-connect
+        }
+        let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+        handle(&mut stream, state);
+        if state.stopping() {
+            break; // the request just served was POST /shutdown
+        }
+    }
+}
+
+fn handle(stream: &mut TcpStream, state: &Arc<ServerState>) {
+    let request = match http::read_request(stream) {
+        Ok(r) => r,
+        Err(ReadError::TooLarge) => {
+            let e = ReadError::TooLarge.to_string();
+            return http::write_response(stream, 413, &error_body(&e));
+        }
+        Err(e) => return http::write_response(stream, 400, &error_body(&e.to_string())),
+    };
+    let _span = bbgnn_obs::span!(
+        "serve/request",
+        method = request.method.as_str(),
+        path = request.path.as_str()
+    );
+    let (status, body) = route(state, &request);
+    http::write_response(stream, status, &body);
+}
+
+fn error_body(message: &str) -> String {
+    Json::object([("error".to_string(), Json::string(message))]).to_pretty()
+}
+
+/// Routes one request to its handler; returns `(status, json body)`.
+fn route(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/health") => (
+            200,
+            Json::object([
+                ("ok".to_string(), Json::Bool(true)),
+                (
+                    "queue_depth".to_string(),
+                    Json::number_usize(state.queue_depth()),
+                ),
+                ("capacity".to_string(), Json::number_usize(state.capacity())),
+            ])
+            .to_pretty(),
+        ),
+        ("GET", "/jobs") => (200, state.jobs_json().to_pretty()),
+        ("POST", "/jobs") => submit(state, &request.body),
+        ("POST", "/shutdown") => {
+            state.stop();
+            (
+                200,
+                Json::object([("ok".to_string(), Json::Bool(true))]).to_pretty(),
+            )
+        }
+        (method, path) => match (method, path.strip_prefix("/jobs/")) {
+            (_, None) => (404, error_body(&format!("no such endpoint {path}"))),
+            (method, Some(tail)) => match tail.parse::<u64>() {
+                Err(_) => (404, error_body(&format!("bad job id {tail:?}"))),
+                Ok(id) => match method {
+                    "GET" => match state.job_json(id) {
+                        Some(doc) => (200, doc.to_pretty()),
+                        None => (404, error_body(&format!("no job {id}"))),
+                    },
+                    "DELETE" => match state.cancel(id) {
+                        Some(new_state) => (
+                            200,
+                            Json::object([
+                                ("id".to_string(), Json::number_u64(id)),
+                                ("state".to_string(), Json::string(new_state)),
+                            ])
+                            .to_pretty(),
+                        ),
+                        None => (404, error_body(&format!("no job {id}"))),
+                    },
+                    _ => (405, error_body("use GET or DELETE on /jobs/:id")),
+                },
+            },
+        },
+    }
+}
+
+fn submit(state: &Arc<ServerState>, body: &str) -> (u16, String) {
+    let spec = match JobSpec::parse(body) {
+        Ok(spec) => spec,
+        Err(e) => return (400, error_body(&e.to_string())),
+    };
+    match state.submit(spec.clone()) {
+        Ok(id) => (
+            200,
+            Json::object([
+                ("id".to_string(), Json::number_u64(id)),
+                ("key".to_string(), Json::string(spec.cell_key())),
+                ("fingerprint".to_string(), Json::string(spec.fingerprint())),
+            ])
+            .to_pretty(),
+        ),
+        Err(Refused::Invalid(message)) => (400, error_body(&message)),
+        Err(Refused::QueueFull) => {
+            bbgnn_obs::counter("serve/jobs_rejected", 1);
+            (
+                429,
+                error_body(&format!(
+                    "queue full ({} pending); retry after a job finishes",
+                    state.capacity()
+                )),
+            )
+        }
+        Err(Refused::Stopping) => {
+            bbgnn_obs::counter("serve/jobs_rejected", 1);
+            (503, error_body("server is draining"))
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    loop {
+        // A process-global cancel that survives between jobs was not a
+        // DELETE (those are consumed in `run_one`): it is the shared
+        // SIGINT/SIGTERM handler, so drain the server.
+        if bbgnn_supervise::cancel_requested() {
+            state.stop();
+        }
+        match state.next_job(WORKER_WAIT) {
+            Popped::Stop => break,
+            Popped::Idle => continue,
+            Popped::Work(id, job) => run_one(state, id, *job),
+        }
+    }
+}
+
+/// Runs one job: fresh supervision slate, store-warm replay when an
+/// identical completed spec is recorded, otherwise a full [`Job::run`]
+/// with the job's own budget installed.
+fn run_one(state: &ServerState, id: u64, job: Job) {
+    bbgnn_supervise::shutdown();
+    let spec = job.spec().clone();
+    let warm = replay(&spec, &job);
+    let (result, warm) = match warm {
+        Some(result) => (result, true),
+        None => {
+            if let Some(budget) = job.budget() {
+                bbgnn_supervise::install_budget(&budget);
+            }
+            let ctx = ExecContext::with_threads(spec.threads);
+            let result = job.run(&ctx);
+            if let Some(record) = JobRecord::from_result(&result) {
+                bbgnn_store::publish(&JobRecord::key_for(&spec), &record);
+            }
+            (result, false)
+        }
+    };
+    state.finish(id, result, warm);
+    if state.take_delete_request(id) {
+        // The global cancel belonged to this job's DELETE; a fresh slate
+        // keeps it from draining the server or leaking into the next job.
+        bbgnn_supervise::shutdown();
+    }
+    // Push span/counter aggregates to the trace sink (CI greps it) and
+    // fold them into the live mirror for progress snapshots.
+    bbgnn_obs::flush();
+}
+
+/// Store-warm path: a recorded result for this exact fingerprint, if the
+/// replay rules admit it (see [`JobRecord::replayable_for`]).
+fn replay(spec: &JobSpec, job: &Job) -> Option<CellResult> {
+    let record: JobRecord = bbgnn_store::lookup(&JobRecord::key_for(spec))?;
+    if !record.replayable_for(spec) {
+        return None;
+    }
+    Some(CellResult {
+        key: job.key().to_string(),
+        value: record.value.clone(),
+        outcome: record.outcome_enum(),
+        attempts: record.attempts as usize,
+        detail: None,
+        artifacts: record.artifacts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    /// These tests mutate process-global state (supervision slates, the
+    /// store, the obs live mirror); serialize them.
+    static SERVE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let guard = SERVE_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        bbgnn_supervise::shutdown();
+        guard
+    }
+
+    /// Minimal HTTP client: one request, one response.
+    fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        write!(
+            stream,
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap();
+        let status: u16 = raw
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("bad response: {raw:?}"));
+        let body = raw
+            .split_once("\r\n\r\n")
+            .map(|(_, b)| b.to_string())
+            .unwrap_or_default();
+        (status, body)
+    }
+
+    fn get_field<'a>(body: &'a str, field: &str) -> &'a str {
+        let marker = format!("\"{field}\": ");
+        let start = body
+            .find(&marker)
+            .unwrap_or_else(|| panic!("no {field} in {body}"))
+            + marker.len();
+        let rest = &body[start..];
+        let rest = rest.strip_prefix('"').unwrap_or(rest);
+        let end = rest.find(['"', ',', '\n']).unwrap_or(rest.len());
+        &rest[..end]
+    }
+
+    fn poll_until(addr: SocketAddr, id: &str, states: &[&str]) -> String {
+        for _ in 0..2400 {
+            let (status, body) = call(addr, "GET", &format!("/jobs/{id}"), "");
+            assert_eq!(status, 200, "{body}");
+            if states.contains(&get_field(&body, "state")) {
+                return body;
+            }
+            // lint: allow(clock) reason=test poll interval against a live server, not experiment code
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        panic!("job {id} never reached {states:?}");
+    }
+
+    const SMALL: &str =
+        r#"{"dataset": "cora", "eval": {"kind": "accuracy", "runs": 1, "scale": 0.05}}"#;
+
+    #[test]
+    fn end_to_end_submit_poll_warm_replay_and_errors() {
+        let _guard = locked();
+        let store_dir = std::env::temp_dir().join("bbgnn_serve_test_store");
+        let _ = std::fs::remove_dir_all(&store_dir);
+        bbgnn_store::init_to_path(store_dir.to_str().unwrap()).unwrap();
+        let server = Server::start("127.0.0.1:0", 4).unwrap();
+        let addr = server.addr();
+
+        // The CLI-equivalent expected value, computed in-process.
+        let expected = Job::new(JobSpec::parse(SMALL).unwrap())
+            .unwrap()
+            .run(&ExecContext::from_env());
+        assert_eq!(expected.key, "cora/Clean/GCN");
+
+        // Malformed and invalid submissions bounce with named errors.
+        let (status, body) = call(addr, "POST", "/jobs", "{not json");
+        assert_eq!(status, 400, "{body}");
+        let (status, body) = call(
+            addr,
+            "POST",
+            "/jobs",
+            r#"{"dataset": "cora", "defense": "Vaccine"}"#,
+        );
+        assert_eq!(status, 400);
+        assert!(body.contains("defense"), "{body}");
+        let (status, _) = call(addr, "GET", "/jobs/999", "");
+        assert_eq!(status, 404);
+        let (status, _) = call(addr, "PUT", "/jobs/1", "");
+        assert_eq!(status, 405);
+
+        // Cold run over HTTP matches the in-process run byte for byte.
+        let (status, body) = call(addr, "POST", "/jobs", SMALL);
+        assert_eq!(status, 200, "{body}");
+        let id = get_field(&body, "id").to_string();
+        let done = poll_until(addr, &id, &["done"]);
+        assert_eq!(get_field(&done, "value"), expected.value);
+        assert_eq!(get_field(&done, "warm"), "false");
+
+        // Identical resubmission replays from the store: no training run.
+        let (status, body) = call(addr, "POST", "/jobs", SMALL);
+        assert_eq!(status, 200, "{body}");
+        let id2 = get_field(&body, "id").to_string();
+        assert_ne!(id2, id);
+        let done2 = poll_until(addr, &id2, &["done"]);
+        assert_eq!(get_field(&done2, "value"), expected.value);
+        assert_eq!(get_field(&done2, "warm"), "true", "{done2}");
+
+        let (status, body) = call(addr, "GET", "/health", "");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"ok\": true"), "{body}");
+        server.shutdown();
+        bbgnn_store::shutdown();
+        let _ = std::fs::remove_dir_all(&store_dir);
+    }
+
+    #[test]
+    fn delete_cancels_a_running_job_and_the_server_survives() {
+        let _guard = locked();
+        let server = Server::start("127.0.0.1:0", 1).unwrap();
+        let addr = server.addr();
+
+        // A deliberately heavy job so the DELETE lands mid-run.
+        let heavy =
+            r#"{"dataset": "cora", "defense": "Pro-GNN", "eval": {"runs": 3, "scale": 0.3}}"#;
+        let (status, body) = call(addr, "POST", "/jobs", heavy);
+        assert_eq!(status, 200, "{body}");
+        let heavy_id = get_field(&body, "id").to_string();
+        poll_until(addr, &heavy_id, &["running"]);
+
+        // With the worker busy and capacity 1, a second job queues and a
+        // third is refused.
+        let (status, body) = call(addr, "POST", "/jobs", SMALL);
+        assert_eq!(status, 200, "{body}");
+        let queued_id = get_field(&body, "id").to_string();
+        let (status, body) = call(addr, "POST", "/jobs", SMALL);
+        assert_eq!(status, 429, "{body}");
+
+        // DELETE the running job: acknowledged as `cancelling`, resolves
+        // to `cancelled`, and the queued job still runs to completion —
+        // the global cancel the DELETE raised must not leak.
+        let (status, body) = call(addr, "DELETE", &format!("/jobs/{heavy_id}"), "");
+        assert_eq!(status, 200);
+        assert_eq!(get_field(&body, "state"), "cancelling", "{body}");
+        let gone = poll_until(addr, &heavy_id, &["cancelled"]);
+        assert_eq!(get_field(&gone, "value"), bbgnn_scenario::job::FAILED_CELL);
+        let done = poll_until(addr, &queued_id, &["done"]);
+        assert_eq!(get_field(&done, "outcome"), "ok", "{done}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_endpoint_drains() {
+        let _guard = locked();
+        let server = Server::start("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+        let (status, _) = call(addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        server.wait();
+    }
+}

@@ -80,10 +80,27 @@ fn shot_seed(plan_seed: u64, site: &str, invocation: u64) -> u64 {
     splitmix(plan_seed ^ h ^ invocation.wrapping_mul(0x2545_F491_4F6C_DD1D))
 }
 
+/// Validates a `<seed>:<site>[@n][,…]` spec without installing it — the
+/// `--faults` flag parser checks specs up front, then installs them in
+/// the init phase alongside budgets and signal handlers.
+pub fn validate(spec: &str) -> Result<(), String> {
+    parse_plan(spec).map(|_| ())
+}
+
 /// Installs a fault plan from a `<seed>:<site>[@n][,…]` spec, replacing
 /// any previous plan. Unknown site names are rejected against
 /// [`FAULT_SITES`].
 pub fn install(spec: &str) -> Result<(), String> {
+    let plan = parse_plan(spec)?;
+    if let Ok(mut p) = PLAN.write() {
+        *p = Some(plan);
+        FAULTS_ON.store(true, Ordering::Relaxed);
+        super::ACTIVE.store(true, Ordering::Relaxed);
+    }
+    Ok(())
+}
+
+fn parse_plan(spec: &str) -> Result<Plan, String> {
     let (seed_text, sites_text) = spec
         .split_once(':')
         .ok_or_else(|| format!("fault spec {spec:?} is not <seed>:<site>[@n][,...]"))?;
@@ -122,12 +139,7 @@ pub fn install(spec: &str) -> Result<(), String> {
     if sites.is_empty() {
         return Err(format!("fault spec {spec:?} names no sites"));
     }
-    if let Ok(mut p) = PLAN.write() {
-        *p = Some(Plan { seed, sites });
-        FAULTS_ON.store(true, Ordering::Relaxed);
-        super::ACTIVE.store(true, Ordering::Relaxed);
-    }
-    Ok(())
+    Ok(Plan { seed, sites })
 }
 
 /// Removes any installed plan (tests; idempotent). Leaves the master

@@ -259,6 +259,22 @@ mod tests {
     }
 
     #[test]
+    fn builtin_taxonomy_covers_the_incremental_engine_names() {
+        // §13's engine instruments through §8: the doc must admit exactly
+        // the names `bbgnn_linalg::incr` emits, or the obs_name lint and
+        // trace_report would reject an `--incremental` run.
+        let tax = builtin().expect("DESIGN.md §8 must parse");
+        assert!(tax.kernel_ok("incr/update"));
+        assert!(tax.kernel_ok("incr/resync"));
+        assert!(tax.counter_ok("incr/rows_touched"));
+        assert!(!tax.kernel_ok("incr/bogus"));
+        assert!(
+            !tax.counter_ok("incr/update"),
+            "update is a timer, not a counter"
+        );
+    }
+
+    #[test]
     fn builtin_fault_site_catalog_matches_the_supervise_crate() {
         let tax = builtin().expect("DESIGN.md §11 must parse");
         for site in [

@@ -60,6 +60,13 @@ pub struct GfAttackConfig {
     pub attacker_nodes: AttackerNodes,
     /// Seed for the Lanczos start vector and candidate sampling.
     pub seed: u64,
+    /// With [`GfScoring::ExactRecompute`], build each candidate's
+    /// normalized adjacency by patching the clean one in O(deg) per row
+    /// (DESIGN.md §13) instead of clone + flip + renormalize from scratch.
+    /// The patched matrix is bitwise identical, so the Lanczos rescore —
+    /// and the flip sequence — never changes. Also honoured when the
+    /// process-global `--incremental` / `BBGNN_INCR` switch is on.
+    pub incremental: bool,
 }
 
 impl Default for GfAttackConfig {
@@ -72,6 +79,7 @@ impl Default for GfAttackConfig {
             candidate_pool_factor: 10,
             attacker_nodes: AttackerNodes::All,
             seed: 0,
+            incremental: false,
         }
     }
 }
@@ -153,12 +161,24 @@ impl GfAttack {
     /// per-candidate rescoring runs on pool workers (where store recording
     /// is not active) and would write one artifact per flipped edge.
     fn filter_energy(&self, adj: &CsrMatrix, g: &Graph, seed: u64, cache: bool) -> Option<f64> {
-        let an = adj.gcn_normalize();
-        let t = self.config.top_eigens.min(adj.rows());
+        self.filter_energy_normalized(&adj.gcn_normalize(), g, seed, cache)
+    }
+
+    /// [`Self::filter_energy`] on an already-normalized adjacency — the
+    /// entry point for the incremental exact backend, whose per-candidate
+    /// patched `Â_n'` skips the renormalization entirely.
+    fn filter_energy_normalized(
+        &self,
+        an: &CsrMatrix,
+        g: &Graph,
+        seed: u64,
+        cache: bool,
+    ) -> Option<f64> {
+        let t = self.config.top_eigens.min(an.rows());
         let eig = if cache {
-            lanczos_cached(&an, t, seed)?
+            lanczos_cached(an, t, seed)?
         } else {
-            lanczos_or_stop(&an, t, seed)?
+            lanczos_or_stop(an, t, seed)?
         };
         let ut_x = eig.vectors.matmul_tn(&g.features);
         let k = self.config.filter_order as i32;
@@ -225,13 +245,24 @@ impl GfAttack {
         // One scan = one spectrum re-derivation per candidate; accounted on
         // the calling thread before the pool region (DESIGN.md §11).
         bbgnn_supervise::note_queries(candidates.len() as u64);
-        // Each candidate rebuilds the flipped adjacency and re-derives its
-        // spectrum — the per-candidate cost the paper's Table VII reflects.
+        // Each candidate re-derives the spectrum of its flipped normalized
+        // adjacency — the per-candidate cost the paper's Table VII
+        // reflects. The incremental path builds that matrix by patching
+        // the clean graph's neighbor structure in O(deg) per affected row
+        // (bitwise identical bytes, so the same spectrum and the same flip
+        // sequence); the dense path rebuilds it from a full graph clone.
         // The rescoring is embarrassingly parallel, so it fans out over the
         // pool (coarse chunking: one Lanczos run per item dwarfs the spawn
         // cost); per-band vectors concatenate in ascending band order, so
         // the scored list — and the stable sort below — is identical for
         // every worker count.
+        let norm = crate::incremental::active(self.config.incremental).then(|| {
+            bbgnn_linalg::incr::IncrNorm::from_neighbor_lists(
+                (0..g.num_nodes())
+                    .map(|u| g.neighbors(u).collect())
+                    .collect(),
+            )
+        });
         let pool = ThreadPool::default();
         let mut scored: Vec<(f64, usize, usize)> = pool
             .map_fold_coarse(
@@ -240,8 +271,6 @@ impl GfAttack {
                     range
                         .filter_map(|c| {
                             let (u, v) = candidates[c];
-                            let mut flipped = g.clone();
-                            flipped.flip_edge(u, v);
                             // A mid-scan supervision stop drops the
                             // remaining candidates (None) rather than
                             // scoring them bogusly. Query-budget stops are
@@ -250,12 +279,23 @@ impl GfAttack {
                             // truncates at a timing-dependent point — the
                             // §11 check-site exception, bounded because the
                             // result is flagged truncated.
-                            let energy = self.filter_energy(
-                                &flipped.adjacency_csr(),
-                                g,
-                                self.config.seed,
-                                false,
-                            )?;
+                            let energy = if let Some(norm) = &norm {
+                                self.filter_energy_normalized(
+                                    &norm.flipped_normalized_csr(u, v),
+                                    g,
+                                    self.config.seed,
+                                    false,
+                                )?
+                            } else {
+                                let mut flipped = g.clone();
+                                flipped.flip_edge(u, v);
+                                self.filter_energy(
+                                    &flipped.adjacency_csr(),
+                                    g,
+                                    self.config.seed,
+                                    false,
+                                )?
+                            };
                             Some((energy - base_energy, u, v))
                         })
                         .collect()
@@ -266,7 +306,12 @@ impl GfAttack {
                 },
             )
             .unwrap_or_default();
+        // Truncation is judged before the finiteness filter: a dropped
+        // candidate means the supervision layer stopped the scan, while a
+        // non-finite score is a degenerate spectrum (e.g. an isolated
+        // endpoint) that must lose the argsort, not win it as ±inf.
         let truncated = scored.len() < candidates.len();
+        scored.retain(|c| c.0.is_finite());
         scored.sort_by(|a, b| a.0.total_cmp(&b.0));
         let mut poisoned = g.clone();
         for &(_, u, v) in scored.iter().take(budget) {
@@ -304,8 +349,17 @@ impl GfAttack {
                         if v <= u || !self.config.attacker_nodes.edge_allowed(u, v) {
                             continue;
                         }
-                        let dw =
-                            if g.has_edge(u, v) { -1.0 } else { 1.0 } / (deg[u] * deg[v]).sqrt();
+                        // Self-loop degrees keep `deg ≥ 1` for the usual
+                        // GCN normalization, but guard the division anyway:
+                        // a zero or non-finite denominator (isolated node
+                        // under a degree convention without self-loops)
+                        // would otherwise score the flip ±inf and *win* the
+                        // argsort below.
+                        let dd = (deg[u] * deg[v]).sqrt();
+                        if dd == 0.0 || !dd.is_finite() {
+                            continue;
+                        }
+                        let dw = if g.has_edge(u, v) { -1.0 } else { 1.0 } / dd;
                         let mut d_energy = 0.0;
                         for (i, (&lam, &w)) in eig.values.iter().zip(&energies).enumerate() {
                             let uu = eig.vectors.get(u, i);
@@ -314,7 +368,9 @@ impl GfAttack {
                                 dw * (2.0 * uu * uv - lam * (uu * uu / deg[u] + uv * uv / deg[v]));
                             d_energy += (k as f64) * lam.powi(k - 1) * w * d_lambda;
                         }
-                        out.push((d_energy, u, v));
+                        if d_energy.is_finite() {
+                            out.push((d_energy, u, v));
+                        }
                     }
                     out
                 },
@@ -452,6 +508,75 @@ mod tests {
             atk.exact_candidates(&g, budget),
             atk.exact_candidates(&g, budget)
         );
+    }
+
+    #[test]
+    fn incremental_exact_matches_dense_path_bitwise() {
+        let g = DatasetSpec::CoraLike.generate(0.03, 97);
+        let base = GfAttackConfig {
+            rate: 0.1,
+            top_eigens: 8,
+            candidate_pool_factor: 5,
+            ..Default::default()
+        };
+        let run = |cfg: GfAttackConfig| GfAttack::new(cfg).attack(&g);
+        let dense = run(base.clone());
+        let incr = run(GfAttackConfig {
+            incremental: true,
+            ..base
+        });
+        assert_eq!(dense.edge_flips, incr.edge_flips);
+        assert_eq!(
+            dense.poisoned.content_hash(),
+            incr.poisoned.content_hash(),
+            "patched-Â_n rescoring must select the exact dense flip set"
+        );
+    }
+
+    #[test]
+    fn isolated_nodes_never_win_with_garbage_scores() {
+        // Regression (ISSUE 8 satellite): the first-order score divides by
+        // degree-derived quantities; isolated nodes must be scored finitely
+        // (via the self-loop convention) or skipped — never selected off a
+        // ±inf. Nodes 6..10 are isolated by construction.
+        use bbgnn_graph::splits::Split;
+        let n = 10;
+        let edges = vec![(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)];
+        let g = bbgnn_graph::Graph::new(
+            n,
+            &edges,
+            bbgnn_linalg::DenseMatrix::identity(n),
+            vec![0, 0, 0, 1, 1, 1, 0, 1, 0, 1],
+            2,
+            Split::trivial(n),
+        );
+        for cfg in [
+            GfAttackConfig {
+                rate: 0.3,
+                top_eigens: 4,
+                ..GfAttackConfig::fast()
+            },
+            GfAttackConfig {
+                rate: 0.3,
+                top_eigens: 4,
+                candidate_pool_factor: 0,
+                ..Default::default()
+            },
+        ] {
+            let budget = budget_for(&g, cfg.rate);
+            let mut atk = GfAttack::new(cfg.clone());
+            let r = atk.attack(&g);
+            assert!(
+                r.edge_flips <= budget,
+                "budget respected on isolated-node graph"
+            );
+            let mut again = GfAttack::new(cfg);
+            assert_eq!(
+                r.poisoned.content_hash(),
+                again.attack(&g).poisoned.content_hash(),
+                "deterministic on isolated-node graph"
+            );
+        }
     }
 
     #[test]

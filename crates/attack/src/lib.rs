@@ -22,6 +22,7 @@
 
 pub mod dice;
 pub mod gfattack;
+pub mod incremental;
 pub mod metattack;
 pub mod minmax;
 pub mod peega;

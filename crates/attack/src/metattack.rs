@@ -39,6 +39,11 @@ pub struct MetattackConfig {
     pub train: TrainConfig,
     /// Accessible nodes.
     pub attacker_nodes: AttackerNodes,
+    /// Maintain the surrogate propagation incrementally across flips
+    /// (DESIGN.md §13) instead of recomputing it inside every retrain.
+    /// Byte-identical flip sequences either way; also honoured when the
+    /// process-global `--incremental` / `BBGNN_INCR` switch is on.
+    pub incremental: bool,
 }
 
 impl Default for MetattackConfig {
@@ -54,6 +59,7 @@ impl Default for MetattackConfig {
                 ..Default::default()
             },
             attacker_nodes: AttackerNodes::All,
+            incremental: false,
         }
     }
 }
@@ -96,6 +102,11 @@ impl Attacker for Metattack {
         // Shared kernels + workspace for every outer step's gradient tape;
         // the candidate scan fans out over the same pool.
         let ctx = ExecContext::shared_from_env();
+        // Incrementally maintained H = Â_n^L X over the poisoned graph;
+        // bitwise-equal to `poisoned.propagate(hops)` at every step, so the
+        // retrains below see the exact bytes the dense path would.
+        let mut engine = crate::incremental::active(cfg.incremental)
+            .then(|| crate::incremental::engine_for(g, cfg.hops));
 
         let mut truncated = false;
         for step in 0..budget {
@@ -109,8 +120,13 @@ impl Attacker for Metattack {
             if step % cfg.retrain_every == 0 || surrogate_w.is_none() {
                 bbgnn_obs::counter("attack/surrogate_retrains", 1);
                 let mut lin = LinearGcn::new(cfg.hops, cfg.train.clone());
-                lin.fit(&poisoned);
-                let preds = lin.predict(&poisoned);
+                let preds = if let Some(eng) = engine.as_ref() {
+                    lin.fit_with_propagation(&poisoned, eng.propagated());
+                    lin.predict_from_propagation(eng.propagated())
+                } else {
+                    lin.fit(&poisoned);
+                    lin.predict(&poisoned)
+                };
                 self_labels = g.labels.clone();
                 let in_train: std::collections::HashSet<usize> =
                     g.split.train.iter().copied().collect();
@@ -155,6 +171,9 @@ impl Attacker for Metattack {
             });
             let Some((score, u, v)) = best else { break };
             poisoned.flip_edge(u, v);
+            if let Some(eng) = engine.as_mut() {
+                crate::incremental::commit_edge_flip(eng, u, v);
+            }
             let new_val = 1.0 - a_hat.get(u, v);
             a_hat.set(u, v, new_val);
             a_hat.set(v, u, new_val);
@@ -217,6 +236,28 @@ mod tests {
         assert!(
             atk_acc < clean_acc - 0.02,
             "Metattack must degrade accuracy: {clean_acc} -> {atk_acc}"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_dense_path_bitwise() {
+        let g = DatasetSpec::CoraLike.generate(0.04, 64);
+        let base = MetattackConfig {
+            rate: 0.1,
+            retrain_every: 3,
+            ..Default::default()
+        };
+        let dense = Metattack::new(base.clone()).attack(&g);
+        let incr = Metattack::new(MetattackConfig {
+            incremental: true,
+            ..base
+        })
+        .attack(&g);
+        assert_eq!(dense.edge_flips, incr.edge_flips);
+        assert_eq!(
+            dense.poisoned.content_hash(),
+            incr.poisoned.content_hash(),
+            "incremental Metattack must commit the exact dense flip sequence"
         );
     }
 

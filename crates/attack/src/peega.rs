@@ -78,6 +78,13 @@ pub struct PeegaConfig {
     /// scans (`0` = defer to `BBGNN_THREADS` / available parallelism). The
     /// result is bitwise-identical for every value.
     pub threads: usize,
+    /// Maintain the surrogate propagation `A_n^l X` incrementally across
+    /// committed flips (DESIGN.md §13): the clean propagation is served
+    /// from the engine and the poisoned-graph state stays checkpointable
+    /// in the artifact store at resync boundaries. Byte-identical flip
+    /// sequences either way; also honoured when the process-global
+    /// `--incremental` / `BBGNN_INCR` switch is on.
+    pub incremental: bool,
 }
 
 impl Default for PeegaConfig {
@@ -92,6 +99,7 @@ impl Default for PeegaConfig {
             attacker_nodes: AttackerNodes::All,
             objective_nodes: ObjectiveNodes::Train,
             threads: 0,
+            incremental: false,
         }
     }
 }
@@ -219,7 +227,16 @@ impl Attacker for Peega {
             budget = budget,
             hops = cfg.hops
         );
-        let clean_prop = Rc::new(propagate_cached(g, cfg.hops));
+        // Incrementally maintained propagation over the poisoned graph:
+        // serves the clean H = A_n^l X below (bitwise-equal to
+        // `propagate`) and keeps a store-checkpointable state as flips
+        // commit (DESIGN.md §13).
+        let mut engine = crate::incremental::active(cfg.incremental)
+            .then(|| crate::incremental::engine_for(g, cfg.hops));
+        let clean_prop = Rc::new(match &engine {
+            Some(eng) => eng.propagated().clone(),
+            None => propagate_cached(g, cfg.hops),
+        });
         let eye = Rc::new(DenseMatrix::identity(n));
         // Objective-node restriction (Sec. V-A3).
         let obj_nodes = self.objective_node_set(g);
@@ -274,8 +291,11 @@ impl Attacker for Peega {
                 truncated = true;
                 break;
             }
-            // Affordability of each move class (a flip that reverts a prior
-            // perturbation refunds budget, so cost deltas are signed).
+            // Affordability of each move class. Every commit is final
+            // (`touched_*` forbids revisits, see above), so costs are
+            // strictly additive — `spent` only grows, by 1 per edge flip
+            // and β per feature flip, and a full-budget run exhausts the
+            // budget exactly: `edge_flips + β·feature_flips == δ`.
             let can_edge = allow_topology && spent + 1.0 <= budget + 1e-9;
             let can_feat = allow_features && spent + cfg.beta <= budget + 1e-9;
             if !can_edge && !can_feat {
@@ -344,6 +364,9 @@ impl Attacker for Peega {
                     let new_val = if existed_now { 0.0 } else { 1.0 };
                     a_hat.set(u, v, new_val);
                     a_hat.set(v, u, new_val);
+                    if let Some(eng) = engine.as_mut() {
+                        crate::incremental::commit_edge_flip(eng, u, v);
+                    }
                     spent += 1.0;
                     bbgnn_obs::counter("attack/edge_flips", 1);
                     bbgnn_obs::event!(
@@ -361,6 +384,9 @@ impl Attacker for Peega {
                     touched_features.insert((v, i));
                     let new_val = poisoned.flip_feature(v, i);
                     x_hat.set(v, i, new_val);
+                    if let Some(eng) = engine.as_mut() {
+                        crate::incremental::commit_feature_flip(eng, v, i, new_val);
+                    }
                     spent += cfg.beta;
                     bbgnn_obs::counter("attack/feature_flips", 1);
                     bbgnn_obs::event!(
@@ -418,6 +444,54 @@ mod tests {
         assert!(
             r.edge_flips + r.feature_flips > 0,
             "attack must do something"
+        );
+    }
+
+    /// Pin for the commit-once budget accounting (ISSUE 8 satellite):
+    /// `spent` only ever grows — by 1 per edge flip and β per feature
+    /// flip, no refunds — so a full-budget run exhausts the budget
+    /// *exactly*: `edge_flips + β·feature_flips == δ`. The candidate space
+    /// (n² pairs, commit-once) vastly exceeds the budget, so the loop can
+    /// only terminate by exhaustion.
+    #[test]
+    fn full_budget_run_exhausts_budget_exactly() {
+        let g = small_graph();
+        for beta in [1.0, 2.0] {
+            let mut atk = Peega::new(PeegaConfig {
+                rate: 0.1,
+                beta,
+                ..Default::default()
+            });
+            let r = atk.attack(&g);
+            let budget = budget_for(&g, 0.1) as f64;
+            let spent = r.edge_flips as f64 + beta * r.feature_flips as f64;
+            assert_eq!(
+                spent, budget,
+                "β={beta}: spent {} + {beta}·{} must equal δ={budget}",
+                r.edge_flips, r.feature_flips
+            );
+        }
+    }
+
+    #[test]
+    fn incremental_matches_dense_path_bitwise() {
+        let g = small_graph();
+        let base = PeegaConfig {
+            rate: 0.08,
+            ..Default::default()
+        };
+        let dense = Peega::new(base.clone()).attack(&g);
+        let incr = Peega::new(PeegaConfig {
+            incremental: true,
+            ..base
+        })
+        .attack(&g);
+        assert_eq!(dense.edge_flips, incr.edge_flips);
+        assert_eq!(dense.feature_flips, incr.feature_flips);
+        assert_eq!(
+            dense.poisoned.content_hash(),
+            incr.poisoned.content_hash(),
+            "incremental PEEGA must commit the exact dense flip sequence"
         );
     }
 

@@ -39,8 +39,10 @@ fn unflatten_pair(k: usize, n: usize) -> (usize, usize) {
 
 /// Parallel first-max over undirected pairs `(u, v)` with `u < v`.
 ///
-/// `score(u, v)` returns `None` to skip a candidate; `NaN` scores are
-/// skipped the same way (a NaN can never be the argmax). The result is
+/// `score(u, v)` returns `None` to skip a candidate; non-finite scores
+/// are skipped the same way (a NaN can never be a meaningful argmax, and a
+/// `+inf` — e.g. from an unguarded division by a zero degree — would
+/// otherwise *win* it and select a garbage flip). The result is
 /// bitwise-identical to the ascending sequential double loop for every
 /// worker count. Returns `None` when the candidate space is empty or every
 /// score is skipped.
@@ -64,10 +66,11 @@ where
             let (mut u, mut v) = unflatten_pair(range.start, n);
             for _ in range {
                 if let Some(s) = score(u, v) {
-                    // NaN scores are skipped entirely: `s > b` is false for
-                    // NaN, but `best.map_or(true, …)` would otherwise admit
-                    // a NaN as the *first* candidate and then beat nothing.
-                    if !s.is_nan() && best.map_or(true, |(b, _)| s > b) {
+                    // Non-finite scores are skipped entirely: a NaN would be
+                    // admitted as the *first* candidate by `map_or(true, …)`
+                    // and then beat nothing (NaN comparisons are all false),
+                    // and a +inf would win the argmax outright.
+                    if s.is_finite() && best.map_or(true, |(b, _)| s > b) {
                         best = Some((s, (u, v)));
                     }
                 }
@@ -108,8 +111,8 @@ where
             for k in range {
                 let (r, c) = (k / cols, k % cols);
                 if let Some(s) = score(r, c) {
-                    // Same NaN guard as the edge scan above.
-                    if !s.is_nan() && best.map_or(true, |(b, _)| s > b) {
+                    // Same non-finite guard as the edge scan above.
+                    if s.is_finite() && best.map_or(true, |(b, _)| s > b) {
                         best = Some((s, (r, c)));
                     }
                 }
@@ -185,6 +188,33 @@ mod tests {
         let pool = ThreadPool::new(4);
         assert_eq!(best_edge_flip(&pool, 10, all_nan), None);
         assert_eq!(best_entry_flip(&pool, 4, 4, all_nan), None);
+    }
+
+    /// Infinite scores must never be selected: unlike NaN, a `+inf` passed
+    /// the pre-fix `!s.is_nan()` guard and *won* the argmax (the ISSUE 8
+    /// GF-Attack degree-division symptom). Finite scores must beat it, and
+    /// an all-inf space selects nothing.
+    #[test]
+    fn infinite_scores_are_never_selected() {
+        let inf_first =
+            |u: usize, v: usize| Some(if u == 0 && v <= 1 { f64::INFINITY } else { 1.0 });
+        for threads in [1, 4] {
+            let pool = ThreadPool::new(threads);
+            assert_eq!(
+                best_edge_flip(&pool, 20, inf_first),
+                Some((1.0, 0, 2)),
+                "+inf leaked past the edge scan"
+            );
+            assert_eq!(best_entry_flip(&pool, 20, 20, inf_first), Some((1.0, 0, 2)));
+        }
+        // All-inf space (every candidate degenerate): nothing selectable.
+        let all_inf = |_: usize, _: usize| Some(f64::INFINITY);
+        let neg_inf = |_: usize, _: usize| Some(f64::NEG_INFINITY);
+        let pool = ThreadPool::new(4);
+        assert_eq!(best_edge_flip(&pool, 10, all_inf), None);
+        assert_eq!(best_entry_flip(&pool, 4, 4, all_inf), None);
+        assert_eq!(best_edge_flip(&pool, 10, neg_inf), None);
+        assert_eq!(best_entry_flip(&pool, 4, 4, neg_inf), None);
     }
 
     #[test]

@@ -295,6 +295,80 @@ fn main() {
         }
     }
 
+    // --- incremental rescore vs full rescore (DESIGN.md §13) --------------
+    // One committed edge flip on a Cora-shaped graph: the incremental
+    // engine repairs the L-hop touched rows of H = Â_n^L X in O(L·deg·d);
+    // the naive reference is what every greedy attacker paid per commit
+    // before the engine existed — rebuild Â_n and recompute the full
+    // L-hop propagation. Same bytes either way (the §13 contract), so the
+    // speedup column is a pure wall-clock ratio. The repair is serial by
+    // construction, hence the single threads=1 row.
+    {
+        use bbgnn::linalg::incr::{IncrConfig, IncrNorm, IncrProp};
+        // Deterministic Cora-scale random graph (~2 edges per node).
+        let mut edges: Vec<(usize, usize)> = Vec::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        while edges.len() < 2 * CORA_N {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 33) as usize % CORA_N;
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (state >> 33) as usize % CORA_N;
+            if u != v {
+                edges.push((u.min(v), u.max(v)));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        let hops = 2;
+        let xg = DenseMatrix::uniform(CORA_N, CORA_D, 1.0, 5);
+        let mut icfg = IncrConfig::new(hops);
+        icfg.resync_stride = 0; // time pure updates, no periodic resync
+        icfg.threads = 1;
+        let mut engine = IncrProp::from_edges(CORA_N, &edges, xg.clone(), &icfg);
+        let mut mirror = IncrNorm::from_edges(CORA_N, &edges);
+        let nnz = mirror.normalized_csr().nnz();
+        let incr_flops = (2 * nnz * CORA_D * hops) as f64;
+        let incr_shape = format!("{CORA_N}x{CORA_N}({nnz}nnz) x{CORA_D} L={hops}");
+        let (fu, fv) = (17usize, 1000usize); // toggled add/remove each round
+        let xref = &xg;
+        let mut ops: Vec<Box<dyn FnMut() + '_>> = Vec::new();
+        ops.push(Box::new(move || {
+            // Full rescore exactly as Graph::propagate does it after a
+            // commit: renormalize, then the L-hop SpMM chain.
+            mirror.flip_edge(fu, fv);
+            let an = mirror.normalized_csr();
+            let mut h = an.spmm(xref);
+            for _ in 1..hops {
+                h = an.spmm(&h);
+            }
+            drop(h);
+        }));
+        ops.push(Box::new(move || {
+            engine.flip_edge(fu, fv);
+        }));
+        let secs = time_group(reps, &mut ops);
+        rows.push(Row {
+            kernel: "incr_update_naive",
+            shape: incr_shape.clone(),
+            threads: 1,
+            flops: incr_flops,
+            timing: secs[0],
+            naive: secs[0],
+        });
+        rows.push(Row {
+            kernel: "incr_update",
+            shape: incr_shape,
+            threads: 1,
+            flops: incr_flops,
+            timing: secs[1],
+            naive: secs[0],
+        });
+    }
+
     // --- report ------------------------------------------------------------
     let mut table = Table::new(&["kernel", "shape", "threads", "GFLOP/s", "speedup"]);
     for r in &rows {
@@ -328,6 +402,18 @@ fn main() {
     }
 
     if let Some((baseline_path, baseline)) = baseline {
+        // Absolute §13 gate, in addition to the relative baseline gate
+        // below: the incremental per-candidate rescore must beat the full
+        // rescore by ≥3× median on the gating box, or the engine has lost
+        // its reason to exist.
+        for r in rows.iter().filter(|r| r.kernel == "incr_update") {
+            let s = r.median_speedup();
+            if s < 3.0 {
+                eprintln!("perf gate: FAIL — incr_update median speedup {s:.2}x < 3x full rescore");
+                std::process::exit(1);
+            }
+            println!("incr gate: incr_update median speedup {s:.2}x (>= 3x) PASS");
+        }
         match compare::compare_docs(&baseline, &doc, compare::DEFAULT_MIN_RATIO) {
             Ok(report) => {
                 print!("\n{}", report.render());

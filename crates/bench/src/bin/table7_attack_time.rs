@@ -11,6 +11,7 @@
 //! differ from the paper's GPU testbed.
 
 use bbgnn::prelude::*;
+use bbgnn::scenario::dataset::paper_specs;
 use bbgnn::scenario::job::{EvalKind, EvalSpec, Job, JobSpec};
 use bbgnn_bench::{config::ExpConfig, report::Table};
 
@@ -18,7 +19,13 @@ fn main() {
     let cfg = ExpConfig::from_args();
     println!("{}", cfg.banner("table7_attack_time"));
 
-    let specs = DatasetSpec::paper_datasets();
+    let specs = match paper_specs(cfg.dataset.as_deref()) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut headers = vec!["Attacker".to_string()];
     headers.extend(specs.iter().map(|s| format!("{} (s)", s.name())));
     let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());

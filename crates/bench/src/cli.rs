@@ -84,17 +84,24 @@ pub struct InfraFlags {
     /// spec language as `BBGNN_FAULTS` and validated against the §11
     /// site catalog at parse time.
     pub faults: Option<String>,
+    /// Incremental rescoring for the greedy attackers (`--incremental` /
+    /// `BBGNN_INCR=1`): maintain the surrogate propagation across flips
+    /// (DESIGN.md §13) instead of recomputing from scratch. Like every
+    /// infra flag, the committed flip sequences — and therefore every
+    /// table/figure byte — are identical either way (enforced by the CI
+    /// incremental-parity step); only Table VII wall-clock changes.
+    pub incremental: bool,
 }
 
 impl InfraFlags {
     /// The usage fragment for `--help` lines.
     pub const USAGE: &'static str =
-        "--threads N --trace PATH --store DIR --deadline DUR --budget SPEC --faults SPEC";
+        "--threads N --trace PATH --store DIR --deadline DUR --budget SPEC --faults SPEC --incremental";
 
     /// Reads the environment half of the flags (`BBGNN_THREADS`,
-    /// `BBGNN_TRACE`, `BBGNN_STORE`). Deadline/budget/fault variables are
-    /// deliberately left to `bbgnn_supervise::init_from_env` (the
-    /// supervision layer owns their env semantics); a typo'd
+    /// `BBGNN_TRACE`, `BBGNN_STORE`, `BBGNN_INCR`). Deadline/budget/fault
+    /// variables are deliberately left to `bbgnn_supervise::init_from_env`
+    /// (the supervision layer owns their env semantics); a typo'd
     /// `BBGNN_THREADS` is a loud error here, not a silent all-cores run.
     pub fn from_env(env: impl Fn(&str) -> Option<String>) -> BbgnnResult<Self> {
         let mut flags = Self::default();
@@ -107,14 +114,32 @@ impl InfraFlags {
         if let Some(v) = env("BBGNN_STORE") {
             flags.store = Some(v);
         }
+        if let Some(v) = env("BBGNN_INCR") {
+            flags.incremental = match v.as_str() {
+                "1" | "true" => true,
+                "0" | "false" => false,
+                other => {
+                    return Err(invalid(
+                        "BBGNN_INCR",
+                        format!("expected 0/1/true/false, got {other:?}"),
+                    ))
+                }
+            };
+        }
         Ok(flags)
     }
 
-    /// Consumes one `flag value` pair if it is an infrastructure flag,
-    /// validating the value strictly. Returns whether the flag was
-    /// consumed so callers can fall through to their own flags.
-    pub fn consume(&mut self, flag: &str, value: Option<&str>) -> BbgnnResult<bool> {
+    /// Consumes one infrastructure flag (with its value, if it takes one),
+    /// validating strictly. Returns how many argv tokens were consumed —
+    /// `0` (not an infra flag; fall through to the caller's own flags),
+    /// `1` (valueless flag like `--incremental`), or `2` (`flag value`
+    /// pair) — so callers advance their cursor by exactly that much.
+    pub fn consume(&mut self, flag: &str, value: Option<&str>) -> BbgnnResult<usize> {
         match flag {
+            "--incremental" => {
+                self.incremental = true;
+                return Ok(1);
+            }
             "--threads" => self.threads = parse_value(value, flag, "an integer (0 = auto)")?,
             "--trace" => {
                 self.trace = Some(
@@ -151,9 +176,9 @@ impl InfraFlags {
                 bbgnn_supervise::fault::validate(spec).map_err(|e| invalid(flag, e))?;
                 self.faults = Some(spec.to_string());
             }
-            _ => return Ok(false),
+            _ => return Ok(0),
         }
-        Ok(true)
+        Ok(2)
     }
 
     /// Applies the flags, in the one order that works (each step feeds
@@ -170,6 +195,10 @@ impl InfraFlags {
         if self.threads != 0 {
             std::env::set_var("BBGNN_THREADS", self.threads.to_string());
         }
+        // The process-global incremental switch, before any attack loop
+        // consults it. Purely a wall-clock knob: flip sequences are
+        // byte-identical either way (DESIGN.md §13).
+        bbgnn::linalg::incr::set_enabled(self.incremental);
         if let Some(path) = &self.trace {
             if let Err(e) = bbgnn_obs::init_to_path(path) {
                 eprintln!("error: --trace {path}: {e}");
@@ -229,19 +258,52 @@ mod tests {
     #[test]
     fn consume_takes_only_infra_flags() {
         let mut f = InfraFlags::default();
-        assert!(f.consume("--threads", Some("4")).unwrap());
-        assert!(f.consume("--trace", Some("t.jsonl")).unwrap());
-        assert!(f.consume("--store", Some("cache")).unwrap());
-        assert!(f.consume("--deadline", Some("90s")).unwrap());
-        assert!(f.consume("--budget", Some("epochs=5")).unwrap());
-        assert!(f.consume("--faults", Some("7:fault/kernel_nan@2")).unwrap());
-        assert!(!f.consume("--scale", Some("0.1")).unwrap());
+        assert_eq!(f.consume("--threads", Some("4")).unwrap(), 2);
+        assert_eq!(f.consume("--trace", Some("t.jsonl")).unwrap(), 2);
+        assert_eq!(f.consume("--store", Some("cache")).unwrap(), 2);
+        assert_eq!(f.consume("--deadline", Some("90s")).unwrap(), 2);
+        assert_eq!(f.consume("--budget", Some("epochs=5")).unwrap(), 2);
+        assert_eq!(
+            f.consume("--faults", Some("7:fault/kernel_nan@2")).unwrap(),
+            2
+        );
+        assert_eq!(f.consume("--scale", Some("0.1")).unwrap(), 0);
         assert_eq!(f.threads, 4);
         assert_eq!(f.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(f.store.as_deref(), Some("cache"));
         assert_eq!(f.deadline.as_deref(), Some("90s"));
         assert_eq!(f.budget.as_deref(), Some("epochs=5"));
         assert_eq!(f.faults.as_deref(), Some("7:fault/kernel_nan@2"));
+    }
+
+    /// `--incremental` is valueless: it must consume exactly one token,
+    /// leaving whatever follows for the caller's own flag handling.
+    #[test]
+    fn incremental_is_a_one_token_flag() {
+        let mut f = InfraFlags::default();
+        assert!(!f.incremental);
+        // The "value" here is the NEXT flag on a real command line; a
+        // two-token consume would swallow it.
+        assert_eq!(f.consume("--incremental", Some("--scale")).unwrap(), 1);
+        assert!(f.incremental);
+        assert_eq!(f.consume("--incremental", None).unwrap(), 1);
+    }
+
+    #[test]
+    fn incr_env_is_strict() {
+        for (v, want) in [("1", true), ("true", true), ("0", false), ("false", false)] {
+            let env = |name: &str| (name == "BBGNN_INCR").then(|| v.to_string());
+            assert_eq!(
+                InfraFlags::from_env(env).unwrap().incremental,
+                want,
+                "BBGNN_INCR={v}"
+            );
+        }
+        let env = |name: &str| (name == "BBGNN_INCR").then(|| "yes".to_string());
+        assert!(matches!(
+            InfraFlags::from_env(env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "BBGNN_INCR"
+        ));
     }
 
     #[test]

@@ -56,6 +56,11 @@ pub struct ExpConfig {
     /// `BBGNN_FAULTS`). `None` (default) injects nothing; the spec is
     /// validated against the DESIGN.md §11 site catalog at parse time.
     pub faults: Option<String>,
+    /// Incremental attack rescoring (`--incremental` / `BBGNN_INCR=1`).
+    /// `false` (default) keeps the dense from-scratch rescore. Flip
+    /// sequences — and every table/figure byte — are identical either way
+    /// (DESIGN.md §13); the flag only changes Table VII wall-clock.
+    pub incremental: bool,
 }
 
 impl Default for ExpConfig {
@@ -73,6 +78,7 @@ impl Default for ExpConfig {
             deadline: None,
             budget: None,
             faults: None,
+            incremental: false,
         }
     }
 }
@@ -113,6 +119,7 @@ impl ExpConfig {
             deadline: self.deadline.clone(),
             budget: self.budget.clone(),
             faults: self.faults.clone(),
+            incremental: self.incremental,
         }
     }
 
@@ -148,8 +155,9 @@ impl ExpConfig {
         while i < args.len() {
             let flag = args[i].as_str();
             let value = args.get(i + 1).map(String::as_str);
-            if infra.consume(flag, value)? {
-                i += 2;
+            let consumed = infra.consume(flag, value)?;
+            if consumed > 0 {
+                i += consumed;
                 continue;
             }
             match flag {
@@ -186,6 +194,7 @@ impl ExpConfig {
         cfg.deadline = infra.deadline;
         cfg.budget = infra.budget;
         cfg.faults = infra.faults;
+        cfg.incremental = infra.incremental;
         if !(cfg.scale > 0.0 && cfg.scale <= 1.0) {
             return Err(invalid(
                 "--scale / BBGNN_SCALE",
@@ -433,6 +442,32 @@ mod tests {
         // byte-identical, so the plan stays out of the fingerprint.
         let a = ExpConfig {
             faults: Some("7:fault/kernel_nan".to_string()),
+            ..Default::default()
+        };
+        assert_eq!(a.fingerprint("t"), ExpConfig::default().fingerprint("t"));
+    }
+
+    #[test]
+    fn incremental_flag_and_env_are_parsed_and_fingerprint_ignored() {
+        // Valueless flag: must not swallow the following argument.
+        let c = ExpConfig::try_parse(&argv(&["--incremental", "--runs", "5"]), no_env).unwrap();
+        assert!(c.incremental);
+        assert_eq!(c.runs, 5);
+        let env = |name: &str| (name == "BBGNN_INCR").then(|| "1".to_string());
+        assert!(ExpConfig::try_parse(&[], env).unwrap().incremental);
+        assert!(!ExpConfig::try_parse(&[], no_env).unwrap().incremental);
+        // Malformed env is a loud error naming the variable.
+        let env = |name: &str| (name == "BBGNN_INCR").then(|| "maybe".to_string());
+        assert!(matches!(
+            ExpConfig::try_parse(&[], env),
+            Err(BbgnnError::InvalidConfig { ref what, .. }) if what == "BBGNN_INCR"
+        ));
+        // Incremental runs commit byte-identical flip sequences, so a
+        // checkpoint from a dense run must be resumable under
+        // --incremental (and vice versa) — the knob stays out of the
+        // fingerprint like every other infra flag.
+        let a = ExpConfig {
+            incremental: true,
             ..Default::default()
         };
         assert_eq!(a.fingerprint("t"), ExpConfig::default().fingerprint("t"));

@@ -36,15 +36,32 @@ impl LinearGcn {
 
     /// Logits on graph `g` with the trained weight.
     pub fn logits(&self, g: &Graph) -> DenseMatrix {
+        self.logits_from_propagation(&g.propagate(self.hops))
+    }
+
+    /// Logits from an externally supplied propagation `h = A_nᴸ X` (e.g.
+    /// the incrementally maintained state of `bbgnn_linalg::incr`).
+    /// Byte-identical to [`Self::logits`] when `h` matches
+    /// `g.propagate(self.hops)` bitwise.
+    pub fn logits_from_propagation(&self, h: &DenseMatrix) -> DenseMatrix {
         // lint: allow(panic) reason=documented precondition — callers must fit() first, and weight() exposes a fallible probe
         let w = self.weight.as_ref().expect("model is not trained");
-        g.propagate(self.hops).matmul(w)
+        h.matmul(w)
     }
-}
 
-impl NodeClassifier for LinearGcn {
-    fn fit(&mut self, g: &Graph) -> TrainReport {
-        let h = g.propagate(self.hops);
+    /// Predicted labels from an externally supplied propagation; the
+    /// propagation-injected counterpart of [`NodeClassifier::predict`].
+    pub fn predict_from_propagation(&self, h: &DenseMatrix) -> Vec<usize> {
+        self.logits_from_propagation(h).row_argmax()
+    }
+
+    /// Fits the classifier using an externally supplied propagation
+    /// `h = A_nᴸ X` instead of recomputing it from `g`. Labels, splits,
+    /// and the store salt still come from `g`; byte-identical to
+    /// [`NodeClassifier::fit`] when `h` matches `g.propagate(self.hops)`
+    /// bitwise.
+    pub fn fit_with_propagation(&mut self, g: &Graph, h: &DenseMatrix) -> TrainReport {
+        let h = h.clone();
         let mut params = vec![DenseMatrix::glorot(
             g.feature_dim(),
             g.num_classes,
@@ -61,6 +78,12 @@ impl NodeClassifier for LinearGcn {
         // lint: allow(panic) reason=params is constructed three lines up with exactly one weight matrix
         self.weight = Some(params.pop().expect("one parameter"));
         report
+    }
+}
+
+impl NodeClassifier for LinearGcn {
+    fn fit(&mut self, g: &Graph) -> TrainReport {
+        self.fit_with_propagation(g, &g.propagate(self.hops))
     }
 
     fn predict(&self, g: &Graph) -> Vec<usize> {

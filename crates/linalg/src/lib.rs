@@ -32,6 +32,7 @@
 pub mod content_hash;
 pub mod dense;
 pub mod eigen;
+pub mod incr;
 pub mod kernels;
 pub mod qr;
 pub mod sparse;

@@ -59,11 +59,11 @@ fn main() {
     while i < rest.len() {
         let value = rest.get(i + 1).map(String::as_str);
         match infra.consume(&rest[i], value) {
-            Ok(true) => i += 2,
-            Ok(false) => {
+            Ok(0) => {
                 eprintln!("error: unknown flag {:?} (try --help)", rest[i]);
                 std::process::exit(2);
             }
+            Ok(consumed) => i += consumed,
             Err(e) => {
                 eprintln!("error: {e}");
                 std::process::exit(2);

@@ -1,23 +1,73 @@
 //! `bbgnn-lint` — the workspace invariant checker (DESIGN.md §9).
 //!
 //! Walks every governed `.rs` file and enforces the determinism, unsafe-
-//! hygiene, panic-path, and obs-taxonomy rules. Report mode only (no
-//! `--fix`): output is `file:line: [rule] message`, one finding per line,
-//! and the exit code is the contract CI consumes.
+//! hygiene, panic-path, obs-taxonomy, and flow-contract rules. Report
+//! mode only (no `--fix`): output is `file:line: [rule] message`, one
+//! finding per line (or a JSON array with `--format json`), and the exit
+//! code is the contract CI consumes.
 //!
 //! ```text
 //! cargo run -p bbgnn_analysis --bin bbgnn-lint            # lint the cwd workspace
 //! cargo run -p bbgnn_analysis --bin bbgnn-lint -- --root /path/to/checkout
+//! cargo run -p bbgnn_analysis --bin bbgnn-lint -- --files crates/gnn/src/gcn.rs
+//! cargo run -p bbgnn_analysis --bin bbgnn-lint -- --format json
 //! ```
+//!
+//! `--files` restricts the *report* to the listed paths; the analysis
+//! still covers the whole workspace so cross-file rules (`check_site`,
+//! `key_fields`) see the full call graph. `--format json` emits an array
+//! of `{"file","line","rule","msg"}` records on stdout (the human
+//! summary moves to stderr) for CI artifacts and editor integrations.
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
 
+use bbgnn_analysis::rules::Violation;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+}
+
+/// Minimal JSON string escaping — the report vocabulary is ASCII paths
+/// and rule prose, but quotes and backslashes in messages must not
+/// corrupt the records.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_record(v: &Violation) -> String {
+    format!(
+        "{{\"file\":{},\"line\":{},\"rule\":{},\"msg\":{}}}",
+        json_str(&v.file),
+        v.line,
+        json_str(v.rule.name()),
+        json_str(&v.msg)
+    )
+}
+
 fn run() -> Result<bool, String> {
     let mut root = PathBuf::from(".");
-    let mut args = std::env::args().skip(1);
+    let mut format = Format::Text;
+    let mut only_files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--root" => {
@@ -26,12 +76,36 @@ fn run() -> Result<bool, String> {
                         .ok_or_else(|| "--root requires a path".to_string())?,
                 );
             }
+            "--format" => {
+                let f = args
+                    .next()
+                    .ok_or_else(|| "--format requires text or json".to_string())?;
+                format = match f.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format {other:?} (text or json)")),
+                };
+            }
+            "--files" => {
+                // Consume every following path up to the next flag.
+                while let Some(next) = args.peek() {
+                    if next.starts_with("--") {
+                        break;
+                    }
+                    only_files.push(args.next().expect("peeked"));
+                }
+                if only_files.is_empty() {
+                    return Err("--files requires at least one path".to_string());
+                }
+            }
             "--help" | "-h" => {
                 println!(
                     "bbgnn-lint: workspace invariant checker (DESIGN.md \u{a7}9)\n\
-                     usage: bbgnn-lint [--root DIR]\n\
-                     rules: fma, hash_iter, clock, unsafe, panic, obs_name, fault_site\n\
-                     waiver: // lint: allow(<rule>) reason=<why>"
+                     usage: bbgnn-lint [--root DIR] [--files PATH...] [--format text|json]\n\
+                     rules: fma, hash_iter, clock, unsafe, panic, obs_name, fault_site,\n\
+                     \x20       check_site, key_fields, dead_taxonomy, hot_alloc\n\
+                     waiver: // lint: allow(<rule>) reason=<why>\n\
+                     \x20       // lint: key_fields exclude(<fields...>) reason=<why>"
                 );
                 return Ok(true);
             }
@@ -39,24 +113,51 @@ fn run() -> Result<bool, String> {
         }
     }
     let tax = bbgnn_analysis::taxonomy::builtin()?;
-    let report = bbgnn_analysis::lint_workspace(&root, &tax)?;
-    for v in &report.violations {
-        println!("{}", v.render());
-    }
-    if report.violations.is_empty() {
-        println!(
-            "bbgnn-lint: clean — {} files scanned, {} allow directive(s) in effect",
-            report.files_scanned, report.allows_used
-        );
-        Ok(true)
+    let report = if only_files.is_empty() {
+        bbgnn_analysis::lint_workspace(&root, &tax)?
     } else {
-        println!(
-            "bbgnn-lint: {} violation(s) across {} files scanned",
-            report.violations.len(),
-            report.files_scanned
-        );
-        Ok(false)
+        bbgnn_analysis::walk::lint_files(&root, &tax, &only_files)?
+    };
+    match format {
+        Format::Text => {
+            for v in &report.violations {
+                println!("{}", v.render());
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "bbgnn-lint: clean — {} files scanned, {} allow directive(s) in effect",
+                    report.files_scanned, report.allows_used
+                );
+            } else {
+                println!(
+                    "bbgnn-lint: {} violation(s) across {} files scanned",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+            }
+        }
+        Format::Json => {
+            // Stdout is pure JSON (one record per line inside the array,
+            // so reports diff cleanly); the human summary goes to stderr.
+            println!("[");
+            for (i, v) in report.violations.iter().enumerate() {
+                let comma = if i + 1 < report.violations.len() {
+                    ","
+                } else {
+                    ""
+                };
+                println!("  {}{}", json_record(v), comma);
+            }
+            println!("]");
+            eprintln!(
+                "bbgnn-lint: {} violation(s), {} files scanned, {} allow directive(s) in effect",
+                report.violations.len(),
+                report.files_scanned,
+                report.allows_used
+            );
+        }
     }
+    Ok(report.violations.is_empty())
 }
 
 fn main() -> ExitCode {

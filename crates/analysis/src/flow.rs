@@ -1,0 +1,858 @@
+//! The flow pass: cross-file rules over the workspace symbol graph.
+//!
+//! Where [`crate::rules`] checks what one file *writes*, this pass checks
+//! what the workspace *wires together* — the contracts that live between
+//! files and used to be enforced only by review:
+//!
+//! | rule | contract | fires on |
+//! |---|---|---|
+//! | `check_site` | §11 supervision | a fn whose loop transitively reaches kernel/eigensolver/training work through a path with no supervision check |
+//! | `key_fields` | §10/§12 anti-aliasing | a key-construction fn that never references a field of its config struct and does not exclude it explicitly |
+//! | `dead_taxonomy` | §8 taxonomy closure | a §8 name no workspace literal can emit |
+//! | `hot_alloc` | §6 arena contract | an allocation inside a `kernels.rs` loop body or a `for_each_row_band` closure |
+//!
+//! All judgements ride the approximate call graph of [`crate::symbols`],
+//! so they inherit its over-approximation: a spurious edge can produce a
+//! spurious `check_site` finding (waive it with
+//! `// lint: allow(check_site) reason=…`), but a real unsupervised loop
+//! cannot hide behind failed resolution. Known approximations are
+//! documented in DESIGN.md §9.
+
+use crate::allow::{apply_allows, parse_allows};
+use crate::lexer::{Lexed, TokKind};
+use crate::parse::test_token_mask;
+use crate::rules::{FileKind, Rule, Violation};
+use crate::symbols::Model;
+use crate::taxonomy::{Pattern, Taxonomy};
+use std::collections::BTreeMap;
+
+/// The linalg files whose fns are `check_site` **sinks** — the expensive
+/// work a supervised loop must be able to interrupt (§11). They are also
+/// excluded as subjects: linalg sits *below* the supervision boundary, so
+/// its internal loops are the interruptible unit, not the check site.
+pub const SINK_FILES: [&str; 3] = [
+    "crates/linalg/src/kernels.rs",
+    "crates/linalg/src/svd.rs",
+    "crates/linalg/src/eigen.rs",
+];
+
+/// Crates whose library fns are `check_site` subjects: everything that
+/// orchestrates loops above the linalg boundary.
+pub const CHECK_SITE_CRATES: [&str; 7] = [
+    "autodiff", "gnn", "attack", "defense", "bench", "scenario", "serve",
+];
+
+/// Structs whose names end in one of these are key-able configs for
+/// `key_fields` (the workspace convention: `ExpConfig`, `TrainConfig`,
+/// `JobSpec`).
+const KEYABLE_SUFFIXES: [&str; 2] = ["Config", "Spec"];
+
+/// Result of the flow pass.
+#[derive(Debug, Default)]
+pub struct FlowReport {
+    pub violations: Vec<Violation>,
+    pub allows_used: usize,
+}
+
+/// Runs all four graph rules. `files` must be the slice the model was
+/// built from (indices align); `tax` supplies the §8 patterns for
+/// `dead_taxonomy`.
+pub fn analyze(model: &Model, files: &[(String, Lexed)], tax: &Taxonomy) -> FlowReport {
+    debug_assert_eq!(model.files.len(), files.len());
+    // Violations anchored in workspace files (waivable) vs. DESIGN.md
+    // (not waivable — the doc is the source of truth, fix doc or code).
+    let mut in_files: Vec<Violation> = Vec::new();
+    let mut direct: Vec<Violation> = Vec::new();
+
+    check_site(model, &mut in_files);
+    key_fields(model, files, &mut in_files, &mut direct);
+    dead_taxonomy(model, files, tax, &mut direct);
+    for (rel, lx) in files {
+        scan_hot_alloc(rel, lx, &mut in_files);
+    }
+
+    // Apply `// lint: allow(<rule>)` waivers to the file-anchored set.
+    let by_rel: BTreeMap<&str, &Lexed> = files.iter().map(|(rel, lx)| (rel.as_str(), lx)).collect();
+    let mut report = FlowReport::default();
+    let mut grouped: BTreeMap<String, Vec<Violation>> = BTreeMap::new();
+    for v in in_files {
+        grouped.entry(v.file.clone()).or_default().push(v);
+    }
+    for (rel, vs) in grouped {
+        let Some(lx) = by_rel.get(rel.as_str()) else {
+            report.violations.extend(vs);
+            continue;
+        };
+        // Malformed directives were already reported by the per-file pass.
+        let (mut allows, _bad) = parse_allows(&rel, lx);
+        let (kept, used) = apply_allows(vs, &mut allows);
+        report.allows_used += used;
+        report.violations.extend(kept);
+    }
+    report.violations.extend(direct);
+    report
+        .violations
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    report
+}
+
+// ---------------------------------------------------------------------------
+// check_site
+// ---------------------------------------------------------------------------
+
+/// A sink is the expensive, must-be-interruptible work itself: a
+/// **looping** fn in a sink file (kernels iterate rows; accessors like
+/// `Workspace::threads` don't loop and aren't work), or a free `train_*`
+/// entry point in the gnn crate (`Mode::train_epoch` is an accessor, not
+/// training).
+fn is_sink(model: &Model, i: usize) -> bool {
+    let f = &model.fns[i];
+    if f.item.in_test {
+        return false;
+    }
+    let file = &model.files[f.file];
+    (SINK_FILES.contains(&file.rel.as_str()) && f.item.has_loop)
+        || (file.info.krate.as_deref() == Some("gnn")
+            && f.item.name.starts_with("train_")
+            && f.item.impl_type.is_none())
+}
+
+/// Memoized "an unchecked path from fn `i` reaches a sink" query.
+/// Colors: 0 unvisited, 1 on the DFS stack (cycle — cut, report false),
+/// 2 reaches, 3 does not reach.
+fn reaches_sink_unchecked(model: &Model, i: usize, color: &mut [u8]) -> bool {
+    match color[i] {
+        1 | 3 => return false,
+        2 => return true,
+        _ => {}
+    }
+    color[i] = 1;
+    let f = &model.fns[i];
+    let res = if f.has_check {
+        // A check on the path makes everything below it supervised.
+        false
+    } else if is_sink(model, i) {
+        true
+    } else {
+        f.item.calls.iter().any(|c| {
+            model
+                .resolve_strict(i, c)
+                .into_iter()
+                .any(|j| j != i && reaches_sink_unchecked(model, j, color))
+        })
+    };
+    color[i] = if res { 2 } else { 3 };
+    res
+}
+
+fn check_site(model: &Model, out: &mut Vec<Violation>) {
+    let mut color = vec![0u8; model.fns.len()];
+    for (i, f) in model.fns.iter().enumerate() {
+        let file = &model.files[f.file];
+        if f.item.in_test
+            || file.info.kind != FileKind::Lib
+            || SINK_FILES.contains(&file.rel.as_str())
+            || !f.item.has_loop
+            || f.has_check
+        {
+            continue;
+        }
+        let Some(k) = file.info.krate.as_deref() else {
+            continue;
+        };
+        if !CHECK_SITE_CRATES.contains(&k) {
+            continue;
+        }
+        // First in-loop call with an unchecked path to a sink, if any.
+        let hit = f.item.calls.iter().find(|c| {
+            c.in_loop
+                && model
+                    .resolve_strict(i, c)
+                    .into_iter()
+                    .any(|j| j != i && reaches_sink_unchecked(model, j, &mut color))
+        });
+        if let Some(c) = hit {
+            out.push(Violation::new(
+                &file.rel,
+                c.line,
+                Rule::CheckSite,
+                format!(
+                    "fn `{}` loops over `{}`, which reaches kernel/eigensolver/training \
+                     work with no supervision check on the path — check stop_reason/\
+                     should_stop at the loop boundary (§11) or waive with \
+                     lint: allow(check_site) if a caller owns the check",
+                    f.item.qual, c.name
+                ),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// key_fields
+// ---------------------------------------------------------------------------
+
+fn is_key_fn_name(name: &str) -> bool {
+    name == "fingerprint" || name.ends_with("_key") || name.starts_with("key_")
+}
+
+/// One parsed exclusion directive:
+/// `// lint: key_fields exclude(<fields…>) reason=<why>`.
+struct Exclude {
+    file: usize,
+    line: u32,
+    fields: Vec<String>,
+}
+
+/// Parses the exclusion directives of one file's comments. Malformed
+/// directives (no fields, missing reason) become `lint_allow` violations.
+fn parse_excludes(
+    file_idx: usize,
+    rel: &str,
+    lx: &Lexed,
+    bad: &mut Vec<Violation>,
+) -> Vec<Exclude> {
+    let mut out = Vec::new();
+    for c in &lx.comments {
+        let mut rest = c.text.as_str();
+        while let Some(pos) = rest.find("key_fields exclude(") {
+            let after = &rest[pos + "key_fields exclude(".len()..];
+            let Some(close) = after.find(')') else {
+                bad.push(Violation::new(
+                    rel,
+                    c.line,
+                    Rule::LintAllow,
+                    "unterminated key_fields exclude( directive".to_string(),
+                ));
+                break;
+            };
+            let fields: Vec<String> = after[..close]
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            let tail = &after[close + 1..];
+            rest = tail;
+            // Prose *about* the syntax (`exclude(<fields…>)`) is not a
+            // directive: only identifier-shaped field lists are parsed,
+            // mirroring the allow-directive guard.
+            if fields
+                .iter()
+                .any(|f| !f.chars().all(|ch| ch.is_ascii_alphanumeric() || ch == '_'))
+            {
+                continue;
+            }
+            if fields.is_empty() {
+                bad.push(Violation::new(
+                    rel,
+                    c.line,
+                    Rule::LintAllow,
+                    "key_fields exclude() names no fields".to_string(),
+                ));
+                continue;
+            }
+            let reason = tail
+                .find("reason=")
+                .map(|r| tail[r + "reason=".len()..].trim())
+                .unwrap_or("");
+            if reason.is_empty() {
+                bad.push(Violation::new(
+                    rel,
+                    c.line,
+                    Rule::LintAllow,
+                    "key_fields exclude(...) without a non-empty reason=... — say why \
+                     omitting the field cannot alias two distinct results"
+                        .to_string(),
+                ));
+                continue;
+            }
+            out.push(Exclude {
+                file: file_idx,
+                line: c.line,
+                fields,
+            });
+        }
+    }
+    out
+}
+
+fn key_fields(
+    model: &Model,
+    files: &[(String, Lexed)],
+    out: &mut Vec<Violation>,
+    direct: &mut Vec<Violation>,
+) {
+    // Key-able structs by name (shipped code only).
+    let keyable: BTreeMap<&str, usize> = model
+        .structs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| {
+            !s.item.in_test
+                && KEYABLE_SUFFIXES
+                    .iter()
+                    .any(|suf| s.item.name.ends_with(suf))
+        })
+        .map(|(i, s)| (s.item.name.as_str(), i))
+        .collect();
+
+    // Key fns with their associated struct: impl type first, then the
+    // first key-able struct named in the signature.
+    let mut key_fns: Vec<(usize, usize)> = Vec::new(); // (fn, struct)
+    for (i, f) in model.fns.iter().enumerate() {
+        if f.item.in_test || !is_key_fn_name(&f.item.name) {
+            continue;
+        }
+        if model.files[f.file].info.kind == FileKind::TestLike {
+            continue;
+        }
+        let assoc = f
+            .item
+            .impl_type
+            .as_deref()
+            .and_then(|t| keyable.get(t).copied())
+            .or_else(|| {
+                f.item
+                    .sig_idents
+                    .iter()
+                    .find_map(|id| keyable.get(id.as_str()).copied())
+            });
+        if let Some(s) = assoc {
+            key_fns.push((i, s));
+        }
+    }
+
+    // Exclusion directives, parsed once per file.
+    let mut excludes: Vec<Exclude> = Vec::new();
+    for (idx, (rel, lx)) in files.iter().enumerate() {
+        excludes.extend(parse_excludes(idx, rel, lx, direct));
+    }
+    let mut exclude_attached = vec![false; excludes.len()];
+
+    for &(fi, si) in &key_fns {
+        let st = &model.structs[si];
+        // Closure over same-struct methods reachable from the key fn —
+        // a key may delegate part of itself (`self.column_name()`).
+        let mut members = vec![fi];
+        let mut cursor = 0;
+        while cursor < members.len() {
+            let cur = members[cursor];
+            cursor += 1;
+            for c in &model.fns[cur].item.calls {
+                for j in model.resolve(cur, c) {
+                    if model.fns[j].item.impl_type.as_deref() == Some(st.item.name.as_str())
+                        && !members.contains(&j)
+                    {
+                        members.push(j);
+                    }
+                }
+            }
+        }
+        // Union of referenced idents and attached excludes.
+        let mut excluded: Vec<&str> = Vec::new();
+        for (ei, e) in excludes.iter().enumerate() {
+            let near_member = members.iter().any(|&m| {
+                let f = &model.fns[m];
+                f.file == e.file && e.line + 5 >= f.item.line && e.line <= f.item.end_line + 1
+            });
+            if near_member {
+                exclude_attached[ei] = true;
+                for fld in &e.fields {
+                    excluded.push(fld);
+                    if !st.item.fields.iter().any(|(name, _)| name == fld) {
+                        direct.push(Violation::new(
+                            &model.files[e.file].rel,
+                            e.line,
+                            Rule::LintAllow,
+                            format!(
+                                "key_fields exclude names `{fld}`, which is not a field of \
+                                 `{}` — stale directive?",
+                                st.item.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        let kf = &model.fns[fi];
+        let file = &model.files[kf.file];
+        for (field, _fline) in &st.item.fields {
+            let referenced = members.iter().any(|&m| model.fns[m].item.mentions(field));
+            if !referenced && !excluded.contains(&field.as_str()) {
+                out.push(Violation::new(
+                    &file.rel,
+                    kf.item.line,
+                    Rule::KeyFields,
+                    format!(
+                        "`{}` builds a key for `{}` but never references field `{field}` — \
+                         two configs differing only in `{field}` would alias one store entry \
+                         (§10); include it or add \
+                         `// lint: key_fields exclude({field}) reason=…`",
+                        kf.item.qual, st.item.name
+                    ),
+                ));
+            }
+        }
+    }
+
+    for (ei, e) in excludes.iter().enumerate() {
+        if !exclude_attached[ei] {
+            direct.push(Violation::new(
+                &model.files[e.file].rel,
+                e.line,
+                Rule::LintAllow,
+                "key_fields exclude directive is not adjacent to any key-construction fn \
+                 (fingerprint / *_key / key_*) with a known Config/Spec struct"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// dead_taxonomy
+// ---------------------------------------------------------------------------
+
+fn dead_taxonomy(
+    model: &Model,
+    files: &[(String, Lexed)],
+    tax: &Taxonomy,
+    out: &mut Vec<Violation>,
+) {
+    // Every string literal shipped (non-test) library/binary code could
+    // pass to an emission call. Liveness is over-approximate by design:
+    // a literal used for anything (even a format template — `attack/{}`
+    // matches `attack/<name>`) keeps the pattern alive.
+    let mut lits: Vec<String> = Vec::new();
+    for (idx, (_rel, lx)) in files.iter().enumerate() {
+        if !matches!(model.files[idx].info.kind, FileKind::Lib | FileKind::Bin) {
+            continue;
+        }
+        let mask = test_token_mask(&lx.toks);
+        for (i, t) in lx.toks.iter().enumerate() {
+            if !mask[i] && t.kind == TokKind::Str && t.text.contains('/') {
+                lits.push(t.text.clone());
+            }
+        }
+    }
+    let mut flag = |kind: &str, pats: &[Pattern]| {
+        for p in pats {
+            if p.line == 0 {
+                continue; // not anchored in the doc (test-constructed)
+            }
+            if !lits.iter().any(|l| p.matches(l)) {
+                out.push(Violation::new(
+                    "DESIGN.md",
+                    p.line,
+                    Rule::DeadTaxonomy,
+                    format!(
+                        "§8 declares {kind} `{}` but no string literal in shipped workspace \
+                         code can emit it — instrument the code or delete the bullet \
+                         (the taxonomy is closed in both directions)",
+                        p.text
+                    ),
+                ));
+            }
+        }
+    };
+    flag("span", &tax.spans);
+    flag("event", &tax.events);
+    flag("counter", &tax.counters);
+    flag("kernel timer", &tax.kernels);
+}
+
+// ---------------------------------------------------------------------------
+// hot_alloc
+// ---------------------------------------------------------------------------
+
+/// The file whose loop bodies carry the arena contract.
+const KERNELS_FILE: &str = "crates/linalg/src/kernels.rs";
+
+const ALLOC_TYPES: [&str; 6] = ["Vec", "String", "Box", "VecDeque", "BTreeMap", "BTreeSet"];
+const ALLOC_CTORS: [&str; 3] = ["new", "with_capacity", "from"];
+const ALLOC_METHODS: [&str; 5] = ["to_vec", "to_owned", "to_string", "clone", "collect"];
+
+/// Flags allocations in hot regions: loop bodies of `kernels.rs` and the
+/// argument range (closure) of any `for_each_row_band` call. Kernel inner
+/// loops must draw scratch from the `Workspace` arena (§6) — a per-row
+/// allocation is a silent O(rows) malloc storm the benches can't see.
+fn scan_hot_alloc(rel: &str, lx: &Lexed, out: &mut Vec<Violation>) {
+    let is_kernels = rel == KERNELS_FILE;
+    let toks = &lx.toks;
+    // Fast path: files that neither are kernels.rs nor mention the band
+    // iterator have no hot regions.
+    if !is_kernels && !toks.iter().any(|t| t.text == "for_each_row_band") {
+        return;
+    }
+    let mask = test_token_mask(toks);
+    let mut brace_hot: Vec<bool> = Vec::new();
+    let mut pending_loop = false;
+    let mut paren_depth = 0isize;
+    let mut ferb_entry: Option<isize> = None;
+    let mut ferb_pending = false;
+
+    let ident = |i: usize| {
+        toks.get(i)
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+    };
+    let punct = |i: usize| {
+        toks.get(i)
+            .filter(|t| t.kind == TokKind::Punct)
+            .and_then(|t| t.text.chars().next())
+    };
+
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Punct {
+            match t.text.chars().next() {
+                Some('{') => {
+                    let hot = pending_loop || brace_hot.last().copied().unwrap_or(false);
+                    brace_hot.push(hot);
+                    pending_loop = false;
+                }
+                Some('}') => {
+                    brace_hot.pop();
+                }
+                Some('(') => {
+                    paren_depth += 1;
+                    if ferb_pending {
+                        ferb_entry = Some(paren_depth - 1);
+                        ferb_pending = false;
+                    }
+                }
+                Some(')') => {
+                    paren_depth -= 1;
+                    if ferb_entry == Some(paren_depth) {
+                        ferb_entry = None;
+                    }
+                }
+                _ => {}
+            }
+            continue;
+        }
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        match t.text.as_str() {
+            // `for PAT in EXPR {` — but not `impl Trait for Type {`,
+            // which has no `in` before its brace.
+            "for" => {
+                let cap = (i + 80).min(toks.len());
+                for j in i + 1..cap {
+                    match punct(j) {
+                        Some('{') | Some(';') => break,
+                        _ => {}
+                    }
+                    if ident(j) == Some("in") {
+                        pending_loop = true;
+                        break;
+                    }
+                }
+            }
+            "while" | "loop" => pending_loop = true,
+            "for_each_row_band" if punct(i + 1) == Some('(') => {
+                ferb_pending = true;
+            }
+            _ => {}
+        }
+
+        let hot =
+            (is_kernels && brace_hot.last().copied().unwrap_or(false)) || ferb_entry.is_some();
+        if !hot || mask[i] {
+            continue;
+        }
+        let region = if ferb_entry.is_some() {
+            "a for_each_row_band closure"
+        } else {
+            "a kernels.rs loop body"
+        };
+        // Type::ctor allocations.
+        if ALLOC_TYPES.contains(&t.text.as_str())
+            && punct(i + 1) == Some(':')
+            && punct(i + 2) == Some(':')
+        {
+            if let Some(ctor) = ident(i + 3) {
+                if ALLOC_CTORS.contains(&ctor) {
+                    out.push(Violation::new(
+                        rel,
+                        t.line,
+                        Rule::HotAlloc,
+                        format!(
+                            "`{}::{ctor}` allocates inside {region} — draw scratch from the \
+                             Workspace arena instead (§6 hot paths must not allocate)",
+                            t.text
+                        ),
+                    ));
+                }
+            }
+        }
+        // Allocating macros.
+        if (t.text == "vec" || t.text == "format") && punct(i + 1) == Some('!') {
+            out.push(Violation::new(
+                rel,
+                t.line,
+                Rule::HotAlloc,
+                format!(
+                    "`{}!` allocates inside {region} — draw scratch from the Workspace \
+                     arena instead (§6 hot paths must not allocate)",
+                    t.text
+                ),
+            ));
+        }
+        // Allocating methods: `.to_vec()`, `.clone()`, `.collect::<..>()`.
+        if ALLOC_METHODS.contains(&t.text.as_str())
+            && punct(i.wrapping_sub(1)) == Some('.')
+            && (punct(i + 1) == Some('(')
+                || (punct(i + 1) == Some(':') && punct(i + 2) == Some(':')))
+        {
+            out.push(Violation::new(
+                rel,
+                t.line,
+                Rule::HotAlloc,
+                format!(
+                    "`.{}(...)` allocates inside {region} — borrow the slice or reuse an \
+                     arena buffer (§6 hot paths must not allocate)",
+                    t.text
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::symbols::Model;
+    use crate::taxonomy::parse_taxonomy;
+
+    fn run(files: &[(&str, &str)]) -> FlowReport {
+        let files: Vec<(String, Lexed)> = files
+            .iter()
+            .map(|(rel, src)| (rel.to_string(), lex(src)))
+            .collect();
+        let model = Model::build(&files);
+        let tax = Taxonomy::default();
+        analyze(&model, &files, &tax)
+    }
+
+    fn rules_of(r: &FlowReport) -> Vec<&'static str> {
+        r.violations.iter().map(|v| v.rule.name()).collect()
+    }
+
+    const KERNEL: (&str, &str) = (
+        "crates/linalg/src/kernels.rs",
+        "pub fn matmul_into(ws: &mut W) { for r in 0..ws.rows { ws.touch(r); } }",
+    );
+
+    #[test]
+    fn check_site_fires_on_unchecked_loop_and_respects_checked_path() {
+        let r = run(&[
+            KERNEL,
+            (
+                "crates/attack/src/peega.rs",
+                "pub fn sweep(ws: &mut W) { for _ in 0..4 { step(ws); } }\n\
+                 fn step(ws: &mut W) { matmul_into(ws); }",
+            ),
+        ]);
+        assert_eq!(rules_of(&r), ["check_site"]);
+        assert!(r.violations[0].msg.contains("sweep"));
+
+        // Same shape, but the loop checks: clean.
+        let r = run(&[
+            KERNEL,
+            (
+                "crates/attack/src/peega.rs",
+                "pub fn sweep(h: &H, ws: &mut W) { for _ in 0..4 { \
+                   if h.should_stop() { break; } step(ws); } }\n\
+                 fn step(ws: &mut W) { matmul_into(ws); }",
+            ),
+        ]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+
+        // A check *below* the loop (in the callee) also supervises the path.
+        let r = run(&[
+            KERNEL,
+            (
+                "crates/attack/src/peega.rs",
+                "pub fn sweep(h: &H, ws: &mut W) { for _ in 0..4 { step(h, ws); } }\n\
+                 fn step(h: &H, ws: &mut W) { if h.should_stop() { return; } matmul_into(ws); }",
+            ),
+        ]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn check_site_waiver_suppresses() {
+        let r = run(&[
+            KERNEL,
+            (
+                "crates/attack/src/peega.rs",
+                "pub fn sweep(ws: &mut W) { for _ in 0..4 {\n\
+                   // lint: allow(check_site) reason=caller checks per §11\n\
+                   step(ws);\n\
+                 } }\n\
+                 fn step(ws: &mut W) { matmul_into(ws); }",
+            ),
+        ]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+        assert_eq!(r.allows_used, 1);
+    }
+
+    #[test]
+    fn check_site_ignores_loops_that_never_reach_a_sink() {
+        let r = run(&[
+            KERNEL,
+            (
+                "crates/bench/src/report.rs",
+                "pub fn render(rows: &[Row]) { for r in rows { fmt_row(r); } }\n\
+                 fn fmt_row(_: &Row) {}",
+            ),
+        ]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn key_fields_fires_on_missing_field_and_accepts_excludes() {
+        let cfg = "pub struct RunConfig { pub seed: u64, pub scale: f64, pub threads: usize }\n";
+        let bad = format!(
+            "{cfg}impl RunConfig {{ pub fn fingerprint(&self) -> String {{ \
+             format!(\"s={{}}\", self.seed) }} }}"
+        );
+        let r = run(&[("crates/bench/src/config.rs", bad.as_str())]);
+        let rules = rules_of(&r);
+        assert_eq!(rules, ["key_fields", "key_fields"], "{:?}", r.violations);
+        assert!(r.violations.iter().any(|v| v.msg.contains("`scale`")));
+        assert!(r.violations.iter().any(|v| v.msg.contains("`threads`")));
+
+        let good = format!(
+            "{cfg}impl RunConfig {{\n\
+             // lint: key_fields exclude(threads) reason=§7 results are thread-invariant\n\
+             pub fn fingerprint(&self) -> String {{ \
+             format!(\"s={{}} x={{}}\", self.seed, self.scale) }} }}"
+        );
+        let r = run(&[("crates/bench/src/config.rs", good.as_str())]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn key_fields_sees_fields_through_same_struct_helpers() {
+        let src = "pub struct JobSpec { pub model: String, pub seed: u64 }\n\
+             impl JobSpec {\n\
+               fn column(&self) -> &str { &self.model }\n\
+               pub fn fingerprint(&self) -> String { \
+                 format!(\"{}|{}\", self.column(), self.seed) }\n\
+             }";
+        let r = run(&[("crates/scenario/src/job.rs", src)]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+    }
+
+    #[test]
+    fn key_fields_malformed_or_orphaned_excludes_are_reported() {
+        let src = "pub struct XConfig { pub a: u64 }\n\
+             // lint: key_fields exclude(a) reason=orphaned, no key fn nearby\n\
+             pub fn unrelated() {}";
+        let r = run(&[("crates/bench/src/config.rs", src)]);
+        assert_eq!(rules_of(&r), ["lint_allow"], "{:?}", r.violations);
+
+        let src = "pub struct XConfig { pub a: u64, pub b: u64 }\n\
+             impl XConfig {\n\
+               // lint: key_fields exclude(b, ghost) reason=b is derived\n\
+               pub fn fingerprint(&self) -> String { format!(\"{}\", self.a) }\n\
+             }";
+        let r = run(&[("crates/bench/src/config.rs", src)]);
+        assert_eq!(rules_of(&r), ["lint_allow"], "{:?}", r.violations);
+        assert!(r.violations[0].msg.contains("ghost"));
+    }
+
+    #[test]
+    fn dead_taxonomy_flags_unemitted_names_only() {
+        let md = "\
+**Span & counter taxonomy.**
+
+* spans: `alive/one`, `dead/one`, `wild/<name>`;
+* counters: `c/one`;
+* kernel timers: `k/one`.
+
+**Overhead contract.**";
+        let tax = parse_taxonomy(md).unwrap();
+        let files: Vec<(String, Lexed)> = vec![(
+            "crates/obs/src/lib.rs".to_string(),
+            lex("pub fn f() { span(\"alive/one\"); g(\"wild/anything\"); \
+                     c(\"c/one\"); k(\"k/one\"); }\n\
+                     #[cfg(test)] mod t { fn t() { s(\"dead/one\"); } }"),
+        )];
+        let model = Model::build(&files);
+        let r = analyze(&model, &files, &tax);
+        assert_eq!(rules_of(&r), ["dead_taxonomy"], "{:?}", r.violations);
+        let v = &r.violations[0];
+        assert_eq!(v.file, "DESIGN.md");
+        assert!(v.msg.contains("dead/one"), "test literals are not liveness");
+    }
+
+    #[test]
+    fn hot_alloc_fires_in_kernel_loops_and_band_closures_only() {
+        let src = "\
+pub fn spmm(ws: &mut W) {
+    let cold = Vec::with_capacity(8); // setup, outside any loop: fine
+    for i in 0..ws.rows {
+        let row = ws.b.row(i).to_vec();
+        let extra = vec![0.0; 4];
+        consume(&row, &extra);
+    }
+    drop(cold);
+}
+pub fn banded(ws: &mut W) {
+    for_each_row_band(ws, |band| {
+        let copy = band.clone();
+        use_it(copy);
+    });
+}";
+        let r = run(&[("crates/linalg/src/kernels.rs", src)]);
+        let rules = rules_of(&r);
+        assert_eq!(
+            rules,
+            ["hot_alloc", "hot_alloc", "hot_alloc"],
+            "{:?}",
+            r.violations
+        );
+        assert!(r.violations[0].msg.contains("to_vec"));
+        assert!(r.violations[1].msg.contains("vec!"));
+        assert!(r.violations[2].msg.contains("clone"));
+
+        // Loops in other files are not governed…
+        let r = run(&[(
+            "crates/linalg/src/dense.rs",
+            "pub fn f() { for _ in 0..3 { let v = Vec::new(); drop(v); } }",
+        )]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+        // …but for_each_row_band closures are, wherever they appear.
+        let r = run(&[(
+            "crates/linalg/src/dense.rs",
+            "pub fn f(ws: &mut W) { for_each_row_band(ws, |b| { let v = b.to_vec(); drop(v); }) }",
+        )]);
+        assert_eq!(rules_of(&r), ["hot_alloc"], "{:?}", r.violations);
+    }
+
+    #[test]
+    fn hot_alloc_is_waivable_and_skips_impl_for_headers() {
+        let r = run(&[(
+            "crates/linalg/src/kernels.rs",
+            "pub fn f(ws: &mut W) { for i in 0..ws.rows {\n\
+               // lint: allow(hot_alloc) reason=amortized: grows once then reused\n\
+               let v = Vec::new();\n\
+               drop(v);\n\
+             } }",
+        )]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+        assert_eq!(r.allows_used, 1);
+
+        // `impl Trait for Type` must not open a phantom loop region.
+        let r = run(&[(
+            "crates/linalg/src/kernels.rs",
+            "impl Default for Ws { fn default() -> Self { Ws { buf: Vec::new() } } }",
+        )]);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+    }
+}

@@ -16,23 +16,40 @@
 //! covered dynamically by the Miri and ThreadSanitizer CI jobs this crate
 //! ships alongside (DESIGN.md §9).
 //!
+//! The analysis runs in **two passes**. Pass one is per-file and
+//! token-level. Pass two — new in lint v2 — parses items out of the same
+//! token streams ([`parse`]), assembles a workspace **symbol graph**
+//! ([`symbols`]: fns, structs + fields, impl blocks, an approximate
+//! name-resolved call graph), and runs the **flow rules** ([`flow`]) over
+//! it: `check_site` (§11 supervised loops), `key_fields` (§10/§12 store
+//! anti-aliasing), `dead_taxonomy` (§8 closure in the doc→code
+//! direction), and `hot_alloc` (§6 arena contract in kernel hot regions).
+//!
 //! Library layout:
 //!
 //! * [`lexer`] — comment- and string-aware Rust tokenizer;
-//! * [`rules`] — the rule engine ([`rules::lint_source`] lints one file);
+//! * [`parse`] — recursive-descent item parser (fns, structs, calls);
+//! * [`symbols`] — the workspace symbol graph and call-edge resolution;
+//! * [`rules`] — the per-file rule engine ([`rules::lint_source`]);
+//! * [`flow`] — the cross-file graph rules ([`flow::analyze`]);
 //! * [`allow`] — the `// lint: allow(<rule>) reason=...` waiver syntax;
 //! * [`taxonomy`] — the DESIGN.md §8 span/counter name taxonomy, parsed
 //!   from the embedded document (also consumed by `bbgnn_bench::trace`);
-//! * [`walk`] — deterministic workspace traversal.
+//! * [`walk`] — deterministic workspace traversal driving both passes.
 
 #![forbid(unsafe_code)]
 
 pub mod allow;
+pub mod flow;
 pub mod lexer;
+pub mod parse;
 pub mod rules;
+pub mod symbols;
 pub mod taxonomy;
 pub mod walk;
 
-pub use rules::{classify, lint_source, FileKind, FileReport, Rule, Violation};
+pub use flow::{analyze, FlowReport};
+pub use rules::{classify, lint_lexed, lint_source, FileKind, FileReport, Rule, Violation};
+pub use symbols::Model;
 pub use taxonomy::{parse_taxonomy, Taxonomy};
 pub use walk::{lint_workspace, WorkspaceReport};

@@ -1,0 +1,851 @@
+//! A hand-rolled recursive-descent **item parser** over the token stream.
+//!
+//! The per-file rules of [`crate::rules`] are pure token scans; the
+//! cross-file rules of [`crate::flow`] need more shape: which functions a
+//! file defines, what they call, whether the call happens inside a loop,
+//! which structs exist and what their fields are. This module recovers
+//! exactly that much structure — items, not expressions — from the
+//! [`crate::lexer`] output, keeping the workspace's no-`syn`,
+//! zero-dependency rule.
+//!
+//! The parser is a single forward pass with an explicit scope stack:
+//! `mod`/`impl`/`fn` headers open named scopes at their `{`, everything
+//! else opens an anonymous block. It is *approximate by design* — the
+//! documented misses (DESIGN.md §9):
+//!
+//! * a closure in a `for`-loop *header* (`for x in v.iter().map(|y| {…})`)
+//!   attaches the loop-body flag to the closure instead of the body — the
+//!   closure still runs once per iteration, so in-loop call attribution
+//!   stays semantically right, but the body's own calls read as
+//!   out-of-loop;
+//! * type-level trickery (`fn` pointers, associated types, macros that
+//!   *generate* items) is invisible;
+//! * field detection reads `ident:` pairs at struct-brace depth 1, so a
+//!   field whose type embeds a bare `ident:` (unheard of in this
+//!   workspace) would over-report.
+
+use crate::lexer::{Lexed, Tok, TokKind};
+
+/// One call expression found inside a function body: `name(...)`,
+/// `path::name(...)`, or `recv.name(...)`.
+#[derive(Clone, Debug)]
+pub struct Call {
+    /// The called identifier (last path segment).
+    pub name: String,
+    /// The path segment directly before `::name`, if the call was
+    /// path-qualified (`kernels::matmul_into` → `Some("kernels")`).
+    pub qualifier: Option<String>,
+    /// True for `recv.name(...)` method syntax.
+    pub is_method: bool,
+    /// True for `name!(...)` / `name![...]` / `name!{...}` macro
+    /// invocations — most rules skip these; `hot_alloc` wants `vec!`.
+    pub is_macro: bool,
+    /// 1-based source line of the call.
+    pub line: u32,
+    /// True when the call sits inside a `for`/`while`/`loop` body of the
+    /// enclosing function.
+    pub in_loop: bool,
+}
+
+/// One `fn` item (free function, impl method, or nested fn).
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type, when the fn is a method.
+    pub impl_type: Option<String>,
+    /// `Type::name` for methods, `name` otherwise (module path omitted —
+    /// resolution is by name, DESIGN.md §9).
+    pub qual: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Last line of the body (the closing `}`); `line` for bodyless fns.
+    pub end_line: u32,
+    /// Every identifier in the signature (parameter names *and* types) —
+    /// consumers filter these against known struct names.
+    pub sig_idents: Vec<String>,
+    /// Calls made in the body, in source order.
+    pub calls: Vec<Call>,
+    /// Sorted, deduplicated identifiers appearing in the body.
+    pub body_idents: Vec<String>,
+    /// True if the body contains a `for`/`while`/`loop`.
+    pub has_loop: bool,
+    /// True if the fn sits under `#[test]` / `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+impl FnItem {
+    /// True if `ident` appears in the body.
+    pub fn mentions(&self, ident: &str) -> bool {
+        self.body_idents
+            .binary_search_by(|s| s.as_str().cmp(ident))
+            .is_ok()
+    }
+}
+
+/// One `struct` item with named fields (tuple and unit structs are
+/// recorded with an empty field list).
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    pub name: String,
+    /// Field names with their 1-based lines, in declaration order.
+    pub fields: Vec<(String, u32)>,
+    /// 1-based line of the `struct` keyword.
+    pub line: u32,
+    /// True if declared under `#[cfg(test)]`.
+    pub in_test: bool,
+}
+
+/// Everything the item parser recovers from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    pub fns: Vec<FnItem>,
+    pub structs: Vec<StructItem>,
+}
+
+fn ident_at(toks: &[Tok], i: usize) -> Option<&str> {
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.as_str())
+}
+
+fn punct_at(toks: &[Tok], i: usize) -> Option<char> {
+    toks.get(i)
+        .filter(|t| t.kind == TokKind::Punct)
+        .and_then(|t| t.text.chars().next())
+}
+
+/// Marks every token that belongs to a `#[test]` function or a
+/// `#[cfg(test)]` (or `#[cfg(all(test, ...))]`) item, so rules that only
+/// govern shipped code can skip test modules. `cfg(not(test))` and
+/// `cfg_attr(...)` attributes do **not** mark a region.
+pub(crate) fn test_token_mask(toks: &[Tok]) -> Vec<bool> {
+    let mut mask = vec![false; toks.len()];
+
+    // Consumes an attribute starting at its `[`; returns (index after the
+    // matching `]`, idents inside).
+    fn scan_attr(toks: &[Tok], open: usize) -> (usize, Vec<String>) {
+        let mut depth = 0usize;
+        let mut idents = Vec::new();
+        let mut i = open;
+        while i < toks.len() {
+            match punct_at(toks, i) {
+                Some('[') => depth += 1,
+                Some(']') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return (i + 1, idents);
+                    }
+                }
+                _ => {
+                    if let Some(id) = ident_at(toks, i) {
+                        idents.push(id.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+        (i, idents)
+    }
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        if !(punct_at(toks, i) == Some('#') && punct_at(toks, i + 1) == Some('[')) {
+            i += 1;
+            continue;
+        }
+        let (after_attr, idents) = scan_attr(toks, i + 1);
+        let first = idents.first().map(String::as_str);
+        let is_test_attr = match first {
+            Some("test") => idents.len() == 1,
+            Some("cfg") => idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not"),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = after_attr;
+            continue;
+        }
+        // Skip any further attributes stacked on the same item.
+        let mut j = after_attr;
+        while punct_at(toks, j) == Some('#') && punct_at(toks, j + 1) == Some('[') {
+            j = scan_attr(toks, j + 1).0;
+        }
+        // The item extends to its body's matching `}` or, for bodyless
+        // items, the terminating `;` at bracket depth 0.
+        let mut depth = 0isize;
+        let mut end = j;
+        while end < toks.len() {
+            match punct_at(toks, end) {
+                Some('(') | Some('[') => depth += 1,
+                Some(')') | Some(']') => depth -= 1,
+                Some(';') if depth == 0 => break,
+                Some('{') => {
+                    let mut braces = 0isize;
+                    while end < toks.len() {
+                        match punct_at(toks, end) {
+                            Some('{') => braces += 1,
+                            Some('}') => {
+                                braces -= 1;
+                                if braces == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        end += 1;
+                    }
+                    break;
+                }
+                _ => {}
+            }
+            end += 1;
+        }
+        for m in mask.iter_mut().take((end + 1).min(toks.len())).skip(i) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+/// Rust keywords that look like calls when followed by `(`.
+const CALLISH_KEYWORDS: [&str; 8] = [
+    "if", "while", "for", "match", "loop", "return", "fn", "move",
+];
+
+/// One entry of the brace-scope stack.
+#[derive(Clone, Debug)]
+enum Scope {
+    /// `mod name { ... }`
+    Mod,
+    /// `impl [Trait for] Type { ... }` — carries the self type name.
+    Impl(String),
+    /// A fn body — carries the index into `ParsedFile::fns`.
+    Fn(usize),
+    /// A `for`/`while`/`loop` body.
+    Loop,
+    /// Any other `{ ... }` (blocks, match bodies, struct literals, ...).
+    Block,
+}
+
+/// What kind of scope the *next* `{` should open.
+#[derive(Clone, Debug)]
+enum Pending {
+    Mod,
+    Impl(String),
+    Fn(usize),
+    Loop,
+}
+
+/// Parses one lexed file into its items. Never fails — unparseable
+/// stretches degrade to anonymous blocks, which is the forgiving behavior
+/// an analyzer wants on in-progress code.
+pub fn parse_file(lx: &Lexed) -> ParsedFile {
+    let toks = &lx.toks;
+    let mask = test_token_mask(toks);
+    let mut out = ParsedFile::default();
+    let mut scopes: Vec<Scope> = Vec::new();
+    let mut pending: Option<Pending> = None;
+    let mut i = 0usize;
+
+    // Innermost enclosing fn index on the scope stack, if any.
+    fn current_fn(scopes: &[Scope]) -> Option<usize> {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Fn(idx) => Some(*idx),
+            _ => None,
+        })
+    }
+    fn current_impl(scopes: &[Scope]) -> Option<&str> {
+        scopes.iter().rev().find_map(|s| match s {
+            Scope::Impl(t) => Some(t.as_str()),
+            _ => None,
+        })
+    }
+    // True if there is a Loop scope above the innermost Fn scope.
+    fn in_loop(scopes: &[Scope]) -> bool {
+        for s in scopes.iter().rev() {
+            match s {
+                Scope::Loop => return true,
+                Scope::Fn(_) => return false,
+                _ => {}
+            }
+        }
+        false
+    }
+
+    while i < toks.len() {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Punct => {
+                match t.text.as_bytes().first() {
+                    Some(b'{') => {
+                        scopes.push(match pending.take() {
+                            Some(Pending::Mod) => Scope::Mod,
+                            Some(Pending::Impl(ty)) => Scope::Impl(ty),
+                            Some(Pending::Fn(idx)) => Scope::Fn(idx),
+                            Some(Pending::Loop) => Scope::Loop,
+                            None => Scope::Block,
+                        });
+                    }
+                    Some(b'}') => {
+                        if let Some(Scope::Fn(idx)) = scopes.last() {
+                            out.fns[*idx].end_line = t.line;
+                        }
+                        scopes.pop();
+                    }
+                    // A bodyless item header (trait method, `mod x;`,
+                    // tuple struct) never gets its `{`.
+                    Some(b';') if !matches!(pending, Some(Pending::Loop)) => {
+                        pending = None;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            TokKind::Ident => {
+                let in_fn = current_fn(&scopes);
+                match t.text.as_str() {
+                    "mod" if in_fn.is_none() && ident_at(toks, i + 1).is_some() => {
+                        pending = Some(Pending::Mod);
+                        i += 2;
+                    }
+                    "impl" if in_fn.is_none() => {
+                        let (after, ty) = parse_impl_header(toks, i + 1);
+                        pending = Some(Pending::Impl(ty));
+                        i = after;
+                    }
+                    "struct" if in_fn.is_none() => {
+                        let (after, item) = parse_struct(toks, i, mask[i]);
+                        if let Some(item) = item {
+                            out.structs.push(item);
+                        }
+                        i = after;
+                    }
+                    "fn" => {
+                        // `fn(` is a fn-pointer type, not an item.
+                        let Some(name) = ident_at(toks, i + 1) else {
+                            i += 1;
+                            continue;
+                        };
+                        let impl_type = current_impl(&scopes).map(str::to_string);
+                        let qual = match &impl_type {
+                            Some(ty) => format!("{ty}::{name}"),
+                            None => name.to_string(),
+                        };
+                        let (after, sig_idents, has_body) = parse_fn_signature(toks, i + 2);
+                        let item = FnItem {
+                            name: name.to_string(),
+                            impl_type,
+                            qual,
+                            line: t.line,
+                            end_line: t.line,
+                            sig_idents,
+                            calls: Vec::new(),
+                            body_idents: Vec::new(),
+                            has_loop: false,
+                            in_test: mask[i],
+                        };
+                        let idx = out.fns.len();
+                        out.fns.push(item);
+                        if has_body {
+                            pending = Some(Pending::Fn(idx));
+                        }
+                        i = after;
+                    }
+                    "for" | "while" | "loop" if in_fn.is_some() => {
+                        if let Some(idx) = in_fn {
+                            out.fns[idx].has_loop = true;
+                            out.fns[idx].body_idents.push(t.text.clone());
+                        }
+                        pending = Some(Pending::Loop);
+                        i += 1;
+                    }
+                    name => {
+                        if let Some(idx) = in_fn {
+                            out.fns[idx].body_idents.push(name.to_string());
+                            // A call — `name(` — or a macro invocation
+                            // (`name!(..)` / `name![..]` / `name!{..}`),
+                            // but not a keyword or a nested-fn header.
+                            let is_call = punct_at(toks, i + 1) == Some('(');
+                            let is_macro = punct_at(toks, i + 1) == Some('!')
+                                && matches!(
+                                    punct_at(toks, i + 2),
+                                    Some('(') | Some('[') | Some('{')
+                                );
+                            if (is_call || is_macro)
+                                && !CALLISH_KEYWORDS.contains(&name)
+                                && ident_at(toks, i.wrapping_sub(1)) != Some("fn")
+                            {
+                                let is_method = punct_at(toks, i.wrapping_sub(1)) == Some('.');
+                                let qualifier = if punct_at(toks, i.wrapping_sub(1)) == Some(':')
+                                    && punct_at(toks, i.wrapping_sub(2)) == Some(':')
+                                {
+                                    ident_at(toks, i.wrapping_sub(3)).map(str::to_string)
+                                } else {
+                                    None
+                                };
+                                out.fns[idx].calls.push(Call {
+                                    name: name.to_string(),
+                                    qualifier,
+                                    is_method,
+                                    is_macro,
+                                    line: t.line,
+                                    in_loop: in_loop(&scopes),
+                                });
+                            }
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            _ => i += 1,
+        }
+    }
+
+    for f in &mut out.fns {
+        f.body_idents.sort();
+        f.body_idents.dedup();
+    }
+    out
+}
+
+/// Parses an `impl` header starting just after the `impl` keyword.
+/// Returns (index of the `{` or `;` that ends the header, self type name).
+fn parse_impl_header(toks: &[Tok], mut i: usize) -> (usize, String) {
+    // Skip the generic parameter list, if any.
+    if punct_at(toks, i) == Some('<') {
+        let mut depth = 0isize;
+        while i < toks.len() {
+            match punct_at(toks, i) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // Collect path segments until `{`, `;`, or `where`; a `for` restarts
+    // the collection (the self type is the path after it). Angle-bracket
+    // groups are skipped wholesale so `Holder<T>` keeps `Holder`, not `T`.
+    let mut ty = String::new();
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some('{') | Some(';') => break,
+            Some('<') => {
+                let mut depth = 0isize;
+                while i < toks.len() {
+                    match punct_at(toks, i) {
+                        Some('<') => depth += 1,
+                        Some('>') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        match ident_at(toks, i) {
+            Some("for") => ty.clear(),
+            Some("where") => {
+                // Skip the where clause entirely.
+                while i < toks.len() && punct_at(toks, i) != Some('{') {
+                    i += 1;
+                }
+                break;
+            }
+            Some("dyn") | Some("mut") => {}
+            // Keep the *last* path segment seen: `bbgnn_store::Key` → Key.
+            Some(id) => ty = id.to_string(),
+            None => {}
+        }
+        i += 1;
+    }
+    (i, ty)
+}
+
+/// Parses a fn signature starting at the `(` (or wherever generics begin).
+/// Returns (index after the signature — at the body `{` if there is one,
+/// else after the `;`), the signature idents, and whether a body follows.
+fn parse_fn_signature(toks: &[Tok], mut i: usize) -> (usize, Vec<String>, bool) {
+    let mut idents = Vec::new();
+    // Generic parameter list before the parens.
+    if punct_at(toks, i) == Some('<') {
+        let mut depth = 0isize;
+        while i < toks.len() {
+            match punct_at(toks, i) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {
+                    if let Some(id) = ident_at(toks, i) {
+                        idents.push(id.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    // Parameter list.
+    if punct_at(toks, i) == Some('(') {
+        let mut depth = 0isize;
+        while i < toks.len() {
+            match punct_at(toks, i) {
+                Some('(') => depth += 1,
+                Some(')') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {
+                    if let Some(id) = ident_at(toks, i) {
+                        idents.push(id.to_string());
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    // Return type / where clause, up to the body `{` or the `;`.
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some('{') => return (i, idents, true),
+            Some(';') => return (i + 1, idents, false),
+            _ => {}
+        }
+        if let Some(id) = ident_at(toks, i) {
+            idents.push(id.to_string());
+        }
+        i += 1;
+    }
+    (i, idents, false)
+}
+
+/// Parses a `struct` item starting at the `struct` keyword. Returns
+/// (index after the item, the parsed item). Tuple and unit structs are
+/// recorded with no fields.
+fn parse_struct(toks: &[Tok], start: usize, in_test: bool) -> (usize, Option<StructItem>) {
+    let line = toks[start].line;
+    let Some(name) = ident_at(toks, start + 1) else {
+        return (start + 1, None);
+    };
+    let mut i = start + 2;
+    // Generics.
+    if punct_at(toks, i) == Some('<') {
+        let mut depth = 0isize;
+        while i < toks.len() {
+            match punct_at(toks, i) {
+                Some('<') => depth += 1,
+                Some('>') => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // `where` clause before the brace.
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some('{') => break,
+            // Tuple (`struct X(...)`) or unit (`struct X;`) struct.
+            Some('(') | Some(';') => {
+                let mut j = i;
+                let mut depth = 0isize;
+                while j < toks.len() {
+                    match punct_at(toks, j) {
+                        Some('(') => depth += 1,
+                        Some(')') => depth -= 1,
+                        Some(';') if depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                return (
+                    j,
+                    Some(StructItem {
+                        name: name.to_string(),
+                        fields: Vec::new(),
+                        line,
+                        in_test,
+                    }),
+                );
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    // Named-field body: `ident :` pairs at brace depth 1, each expected at
+    // the start of a field (after `{`, `,`, an attribute, or visibility).
+    let mut fields = Vec::new();
+    let mut depth = 0isize;
+    let mut expecting_field = false;
+    while i < toks.len() {
+        match punct_at(toks, i) {
+            Some('{') => {
+                depth += 1;
+                if depth == 1 {
+                    expecting_field = true;
+                }
+            }
+            Some('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (
+                        i + 1,
+                        Some(StructItem {
+                            name: name.to_string(),
+                            fields,
+                            line,
+                            in_test,
+                        }),
+                    );
+                }
+            }
+            Some(',') if depth == 1 => expecting_field = true,
+            Some('#') if depth == 1 => {
+                // Skip a field attribute `#[...]`.
+                if punct_at(toks, i + 1) == Some('[') {
+                    let mut d = 0isize;
+                    i += 1;
+                    while i < toks.len() {
+                        match punct_at(toks, i) {
+                            Some('[') => d += 1,
+                            Some(']') => {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            Some('(') if depth == 1 => {
+                // `pub(crate)` visibility — skip the parens.
+                let mut d = 0isize;
+                while i < toks.len() {
+                    match punct_at(toks, i) {
+                        Some('(') => d += 1,
+                        Some(')') => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            _ => {
+                if depth == 1 && expecting_field {
+                    match ident_at(toks, i) {
+                        Some("pub") => {}
+                        Some(id)
+                            if punct_at(toks, i + 1) == Some(':')
+                                && punct_at(toks, i + 2) != Some(':') =>
+                        {
+                            fields.push((id.to_string(), toks[i].line));
+                            expecting_field = false;
+                        }
+                        _ => expecting_field = false,
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    (
+        i,
+        Some(StructItem {
+            name: name.to_string(),
+            fields,
+            line,
+            in_test,
+        }),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_methods_and_struct_fields() {
+        let src = r#"
+            pub struct SimConfig {
+                pub gamma: f64,
+                pub(crate) steps: usize,
+                seed: u64,
+            }
+            impl SimConfig {
+                pub fn scaled(&self) -> f64 { self.gamma * 2.0 }
+            }
+            pub fn leaf(x: f64) -> f64 { x + 1.0 }
+        "#;
+        let p = parsed(src);
+        assert_eq!(p.structs.len(), 1);
+        let fields: Vec<&str> = p.structs[0]
+            .fields
+            .iter()
+            .map(|(f, _)| f.as_str())
+            .collect();
+        assert_eq!(fields, ["gamma", "steps", "seed"]);
+        let quals: Vec<&str> = p.fns.iter().map(|f| f.qual.as_str()).collect();
+        assert_eq!(quals, ["SimConfig::scaled", "leaf"]);
+        assert_eq!(p.fns[0].impl_type.as_deref(), Some("SimConfig"));
+        assert!(p.fns[0].mentions("gamma"));
+    }
+
+    #[test]
+    fn calls_and_loop_attribution() {
+        let src = r#"
+            fn driver(cfg: &SimConfig) -> f64 {
+                let mut acc = setup();
+                for _ in 0..cfg.steps {
+                    acc += helper(cfg.gamma);
+                }
+                finish(acc)
+            }
+        "#;
+        let p = parsed(src);
+        let f = &p.fns[0];
+        assert!(f.has_loop);
+        let calls: Vec<(&str, bool)> = f
+            .calls
+            .iter()
+            .map(|c| (c.name.as_str(), c.in_loop))
+            .collect();
+        assert_eq!(
+            calls,
+            [("setup", false), ("helper", true), ("finish", false)]
+        );
+        assert!(f.sig_idents.iter().any(|s| s == "SimConfig"));
+    }
+
+    #[test]
+    fn qualified_and_method_calls() {
+        let src = r#"
+            fn go(m: &M) {
+                kernels::matmul_into(m);
+                bbgnn_supervise::check("site");
+                m.fit(3);
+                macro_like!(x);
+            }
+        "#;
+        let p = parsed(src);
+        let f = &p.fns[0];
+        assert_eq!(f.calls.len(), 4, "{:?}", f.calls);
+        assert_eq!(f.calls[0].qualifier.as_deref(), Some("kernels"));
+        assert_eq!(f.calls[1].qualifier.as_deref(), Some("bbgnn_supervise"));
+        assert!(f.calls[2].is_method);
+        assert!(f.calls[3].is_macro && f.calls[3].name == "macro_like");
+        assert!(!f.calls[..3].iter().any(|c| c.is_macro));
+    }
+
+    #[test]
+    fn impl_trait_for_type_resolves_the_self_type() {
+        let src = r#"
+            impl fmt::Display for bbgnn_store::Key {
+                fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result { write!(f, "k") }
+            }
+            impl<T: Clone> Holder<T> {
+                fn get(&self) -> T { self.v.clone() }
+            }
+        "#;
+        let p = parsed(src);
+        assert_eq!(p.fns[0].qual, "Key::fmt");
+        assert_eq!(p.fns[1].qual, "Holder::get");
+    }
+
+    #[test]
+    fn while_and_nested_loops_mark_in_loop_calls() {
+        let src = r#"
+            fn a() {
+                while cond() {
+                    if x { inner(); }
+                }
+                after();
+            }
+            fn b() { loop { tick(); break; } }
+        "#;
+        let p = parsed(src);
+        let a = &p.fns[0];
+        // `cond()` sits in the while *header* (before the `{`): out-of-loop.
+        let by_name = |f: &FnItem, n: &str| f.calls.iter().find(|c| c.name == n).map(|c| c.in_loop);
+        assert_eq!(by_name(a, "inner"), Some(true));
+        assert_eq!(by_name(a, "after"), Some(false));
+        assert_eq!(by_name(&p.fns[1], "tick"), Some(true));
+    }
+
+    #[test]
+    fn test_fns_are_marked_and_bodyless_fns_survive() {
+        let src = r#"
+            trait T { fn required(&self); }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn check_it() { assert!(true); }
+            }
+            fn real() {}
+        "#;
+        let p = parsed(src);
+        let names: Vec<(&str, bool)> = p.fns.iter().map(|f| (f.name.as_str(), f.in_test)).collect();
+        assert_eq!(
+            names,
+            [("required", false), ("check_it", true), ("real", false)]
+        );
+    }
+
+    #[test]
+    fn tuple_structs_and_generics_do_not_confuse_fields() {
+        let src = r#"
+            pub struct Wrap(pub f64);
+            pub struct Keyed<K: Ord> {
+                pub index: Vec<K>,
+                pub cap: usize,
+            }
+        "#;
+        let p = parsed(src);
+        assert_eq!(p.structs.len(), 2);
+        assert!(p.structs[0].fields.is_empty());
+        let fields: Vec<&str> = p.structs[1]
+            .fields
+            .iter()
+            .map(|(f, _)| f.as_str())
+            .collect();
+        assert_eq!(fields, ["index", "cap"]);
+    }
+}

@@ -22,6 +22,7 @@
 
 use crate::allow::{apply_allows, parse_allows};
 use crate::lexer::{lex, Lexed, Tok, TokKind};
+use crate::parse::test_token_mask;
 use crate::taxonomy::Taxonomy;
 
 /// Crates whose library code carries the bitwise-determinism contract
@@ -47,13 +48,21 @@ pub enum Rule {
     Panic,
     ObsName,
     FaultSite,
+    /// Graph rule (see [`crate::flow`]): unsupervised loop over kernel work.
+    CheckSite,
+    /// Graph rule: store key missing a config field.
+    KeyFields,
+    /// Graph rule: §8 taxonomy name no workspace code can emit.
+    DeadTaxonomy,
+    /// Graph rule: allocation in a kernel hot region.
+    HotAlloc,
     /// Meta-rule: a malformed `lint: allow(...)` directive.
     LintAllow,
 }
 
 impl Rule {
     /// Rule names as written in `lint: allow(<name>)`.
-    pub const KNOWN: [&'static str; 7] = [
+    pub const KNOWN: [&'static str; 11] = [
         "fma",
         "hash_iter",
         "clock",
@@ -61,6 +70,10 @@ impl Rule {
         "panic",
         "obs_name",
         "fault_site",
+        "check_site",
+        "key_fields",
+        "dead_taxonomy",
+        "hot_alloc",
     ];
 
     pub fn name(self) -> &'static str {
@@ -72,6 +85,10 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::ObsName => "obs_name",
             Rule::FaultSite => "fault_site",
+            Rule::CheckSite => "check_site",
+            Rule::KeyFields => "key_fields",
+            Rule::DeadTaxonomy => "dead_taxonomy",
+            Rule::HotAlloc => "hot_alloc",
             Rule::LintAllow => "lint_allow",
         }
     }
@@ -85,6 +102,10 @@ impl Rule {
             "panic" => Some(Rule::Panic),
             "obs_name" => Some(Rule::ObsName),
             "fault_site" => Some(Rule::FaultSite),
+            "check_site" => Some(Rule::CheckSite),
+            "key_fields" => Some(Rule::KeyFields),
+            "dead_taxonomy" => Some(Rule::DeadTaxonomy),
+            "hot_alloc" => Some(Rule::HotAlloc),
             _ => None,
         }
     }
@@ -187,99 +208,6 @@ fn is_punct(toks: &[Tok], i: usize, c: char) -> bool {
     punct_at(toks, i) == Some(c)
 }
 
-/// Marks every token that belongs to a `#[test]` function or a
-/// `#[cfg(test)]` (or `#[cfg(all(test, ...))]`) item, so rules that only
-/// govern shipped code can skip test modules. `cfg(not(test))` and
-/// `cfg_attr(...)` attributes do **not** mark a region.
-fn test_token_mask(toks: &[Tok]) -> Vec<bool> {
-    let mut mask = vec![false; toks.len()];
-
-    // Consumes an attribute starting at its `[`; returns (index after the
-    // matching `]`, idents inside).
-    fn scan_attr(toks: &[Tok], open: usize) -> (usize, Vec<String>) {
-        let mut depth = 0usize;
-        let mut idents = Vec::new();
-        let mut i = open;
-        while i < toks.len() {
-            match punct_at(toks, i) {
-                Some('[') => depth += 1,
-                Some(']') => {
-                    depth -= 1;
-                    if depth == 0 {
-                        return (i + 1, idents);
-                    }
-                }
-                _ => {
-                    if let Some(id) = ident_at(toks, i) {
-                        idents.push(id.to_string());
-                    }
-                }
-            }
-            i += 1;
-        }
-        (i, idents)
-    }
-
-    let mut i = 0usize;
-    while i < toks.len() {
-        if !(is_punct(toks, i, '#') && is_punct(toks, i + 1, '[')) {
-            i += 1;
-            continue;
-        }
-        let (after_attr, idents) = scan_attr(toks, i + 1);
-        let first = idents.first().map(String::as_str);
-        let is_test_attr = match first {
-            Some("test") => idents.len() == 1,
-            Some("cfg") => idents.iter().any(|s| s == "test") && !idents.iter().any(|s| s == "not"),
-            _ => false,
-        };
-        if !is_test_attr {
-            i = after_attr;
-            continue;
-        }
-        // Skip any further attributes stacked on the same item.
-        let mut j = after_attr;
-        while is_punct(toks, j, '#') && is_punct(toks, j + 1, '[') {
-            j = scan_attr(toks, j + 1).0;
-        }
-        // The item extends to its body's matching `}` or, for bodyless
-        // items, the terminating `;` at bracket depth 0.
-        let mut depth = 0isize;
-        let mut end = j;
-        while end < toks.len() {
-            match punct_at(toks, end) {
-                Some('(') | Some('[') => depth += 1,
-                Some(')') | Some(']') => depth -= 1,
-                Some(';') if depth == 0 => break,
-                Some('{') => {
-                    let mut braces = 0isize;
-                    while end < toks.len() {
-                        match punct_at(toks, end) {
-                            Some('{') => braces += 1,
-                            Some('}') => {
-                                braces -= 1;
-                                if braces == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        end += 1;
-                    }
-                    break;
-                }
-                _ => {}
-            }
-            end += 1;
-        }
-        for m in mask.iter_mut().take((end + 1).min(toks.len())).skip(i) {
-            *m = true;
-        }
-        i = end + 1;
-    }
-    mask
-}
-
 /// Identifiers bound (via `let` / `let mut`) to a statement mentioning
 /// `HashMap` or `HashSet` anywhere — type annotation, `::new()`,
 /// `::with_capacity`, or a turbofished `collect`.
@@ -345,7 +273,13 @@ const ITERATING_METHODS: [&str; 8] = [
 /// Lints one file. `rel_path` must be workspace-relative with forward
 /// slashes; `tax` is the parsed DESIGN.md §8 taxonomy.
 pub fn lint_source(rel_path: &str, src: &str, tax: &Taxonomy) -> FileReport {
-    let lx = lex(src);
+    lint_lexed(rel_path, &lex(src), tax)
+}
+
+/// Lints an already-lexed file — the workspace walk lexes each file once
+/// and feeds the same token stream to this per-file pass and to the
+/// symbol-graph builder ([`crate::symbols::Model::build`]).
+pub fn lint_lexed(rel_path: &str, lx: &Lexed, tax: &Taxonomy) -> FileReport {
     let info = classify(rel_path);
     let toks = &lx.toks;
     let mask = test_token_mask(toks);
@@ -526,7 +460,7 @@ pub fn lint_source(rel_path: &str, src: &str, tax: &Taxonomy) -> FileReport {
                     UNSAFE_ALLOWED_FILES.join(" and ")
                 ),
             ));
-        } else if !has_safety_comment(&lx, t.line) {
+        } else if !has_safety_comment(lx, t.line) {
             v.push(Violation::new(
                 rel_path,
                 t.line,
@@ -640,7 +574,7 @@ pub fn lint_source(rel_path: &str, src: &str, tax: &Taxonomy) -> FileReport {
     }
 
     // --- apply allowlist -------------------------------------------------
-    let (mut allows, mut bad_allows) = parse_allows(rel_path, &lx);
+    let (mut allows, mut bad_allows) = parse_allows(rel_path, lx);
     let (mut kept, allows_used) = apply_allows(v, &mut allows);
     kept.append(&mut bad_allows);
     kept.sort_by_key(|x| x.line);

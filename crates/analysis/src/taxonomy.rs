@@ -23,10 +23,25 @@
 /// The DESIGN.md source this build was compiled against.
 pub const DESIGN_MD: &str = include_str!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../DESIGN.md"));
 
-/// One `/`-separated name pattern.
-#[derive(Clone, Debug, PartialEq, Eq)]
+/// One `/`-separated name pattern. Carries its source text and DESIGN.md
+/// line so the `dead_taxonomy` flow rule can anchor "declared but never
+/// emitted" findings at the declaration site.
+#[derive(Clone, Debug, Eq)]
 pub struct Pattern {
     segs: Vec<Seg>,
+    /// The item as written in the doc (post brace-expansion).
+    pub text: String,
+    /// 1-based DESIGN.md line the item was parsed from (0 for patterns
+    /// built outside the doc, e.g. in tests).
+    pub line: u32,
+}
+
+/// Equality is by shape only — the same name declared twice (e.g. once
+/// per brace alternation) deduplicates regardless of source line.
+impl PartialEq for Pattern {
+    fn eq(&self, other: &Self) -> bool {
+        self.segs == other.segs
+    }
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,7 +51,7 @@ enum Seg {
 }
 
 impl Pattern {
-    fn parse(item: &str) -> Self {
+    fn parse_at(item: &str, line: u32) -> Self {
         let segs = item
             .split('/')
             .map(|s| {
@@ -47,7 +62,11 @@ impl Pattern {
                 }
             })
             .collect();
-        Pattern { segs }
+        Pattern {
+            segs,
+            text: item.to_string(),
+            line,
+        }
     }
 
     /// True if `name` has the same number of segments and every literal
@@ -137,7 +156,8 @@ pub fn parse_taxonomy(md: &str) -> Result<Taxonomy, String> {
     let mut tax = Taxonomy::default();
     let mut in_block = false;
     let mut current: Option<usize> = None; // 0 spans, 1 events, 2 counters, 3 kernels
-    for line in md.lines() {
+    for (lineno, line) in md.lines().enumerate() {
+        let lineno = lineno as u32 + 1;
         if !in_block {
             if line.contains("Span & counter taxonomy") {
                 in_block = true;
@@ -171,7 +191,7 @@ pub fn parse_taxonomy(md: &str) -> Result<Taxonomy, String> {
                 if !name.contains('/') {
                     continue;
                 }
-                let pat = Pattern::parse(&name);
+                let pat = Pattern::parse_at(&name, lineno);
                 let list = match cat {
                     0 => &mut tax.spans,
                     1 => &mut tax.events,

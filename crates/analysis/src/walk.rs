@@ -10,7 +10,10 @@
 //! * any directory named `fixtures/` — lint-rule test fixtures are
 //!   *deliberately* bad code and must not fail the workspace run.
 
-use crate::rules::{lint_source, FileReport, Violation};
+use crate::flow;
+use crate::lexer::{lex, Lexed};
+use crate::rules::{lint_lexed, FileReport, Violation};
+use crate::symbols::Model;
 use crate::taxonomy::Taxonomy;
 use std::path::{Path, PathBuf};
 
@@ -56,6 +59,9 @@ pub fn lint_workspace(root: &Path, tax: &Taxonomy) -> Result<WorkspaceReport, St
     let mut files = Vec::new();
     collect_rs_files(root, &mut files)?;
     let mut report = WorkspaceReport::default();
+    // Each file is lexed once; the same token stream feeds the per-file
+    // pass here and the symbol-graph build below.
+    let mut lexed: Vec<(String, Lexed)> = Vec::with_capacity(files.len());
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -63,16 +69,56 @@ pub fn lint_workspace(root: &Path, tax: &Taxonomy) -> Result<WorkspaceReport, St
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        lexed.push((rel, lex(&src)));
+    }
+    for (rel, lx) in &lexed {
         let FileReport {
             mut violations,
             allows_used,
-        } = lint_source(&rel, &src, tax);
+        } = lint_lexed(rel, lx, tax);
         report.files_scanned += 1;
         report.allows_used += allows_used;
         report.violations.append(&mut violations);
     }
+    // Pass two: the flow rules over the workspace symbol graph.
+    let model = Model::build(&lexed);
+    let mut flow_report = flow::analyze(&model, &lexed, tax);
+    report.allows_used += flow_report.allows_used;
+    report.violations.append(&mut flow_report.violations);
     report
         .violations
         .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+fn normalize_rel(root: &Path, f: &str) -> String {
+    let p = Path::new(f);
+    let p = p.strip_prefix(root).unwrap_or(p);
+    let s = p.to_string_lossy().replace('\\', "/");
+    s.trim_start_matches("./").to_string()
+}
+
+/// Lints the whole workspace but reports only violations in `files`
+/// (workspace-relative paths, or absolute paths under `root`). The symbol
+/// graph is still built from *every* governed file — `check_site` needs
+/// the full call graph even when only a slice of the report is wanted —
+/// so this is a focused view of the workspace run, not a shallower
+/// analysis. A listed path that doesn't exist under `root` is an error
+/// (it would otherwise silently report clean).
+pub fn lint_files(
+    root: &Path,
+    tax: &Taxonomy,
+    files: &[String],
+) -> Result<WorkspaceReport, String> {
+    let want: Vec<String> = files.iter().map(|f| normalize_rel(root, f)).collect();
+    for rel in &want {
+        if !root.join(rel).is_file() {
+            return Err(format!("--files: {rel} not found under {}", root.display()));
+        }
+    }
+    let mut report = lint_workspace(root, tax)?;
+    report
+        .violations
+        .retain(|v| want.iter().any(|w| w == &v.file));
     Ok(report)
 }

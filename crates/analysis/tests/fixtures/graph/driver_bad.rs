@@ -1,0 +1,23 @@
+//! Fixture: an attack driver whose loop transitively reaches kernel work
+//! with no supervision check anywhere on the path — `check_site` must
+//! fire on the in-loop call in `sweep`.
+
+pub struct Driver {
+    pub iters: usize,
+}
+
+impl Driver {
+    pub fn sweep(&self, ws: &mut Ws) {
+        for _ in 0..self.iters {
+            self.step(ws);
+        }
+    }
+
+    fn step(&self, ws: &mut Ws) {
+        matmul_into(ws);
+    }
+
+    pub fn idle(&self) -> usize {
+        self.iters
+    }
+}

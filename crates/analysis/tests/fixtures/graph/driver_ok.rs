@@ -1,0 +1,21 @@
+//! Fixture: the same driver shape, but the loop consults the stop handle
+//! before each step — supervised per §11, so `check_site` stays quiet.
+
+pub struct Driver {
+    pub iters: usize,
+}
+
+impl Driver {
+    pub fn sweep(&self, h: &Handle, ws: &mut Ws) {
+        for _ in 0..self.iters {
+            if h.should_stop() {
+                break;
+            }
+            self.step(ws);
+        }
+    }
+
+    fn step(&self, ws: &mut Ws) {
+        matmul_into(ws);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: an allocation inside a `for_each_row_band` closure — hot
+//! everywhere, not just in kernels.rs.
+
+pub fn band_sum(ws: &mut Ws) -> f64 {
+    let mut acc = 0.0;
+    for_each_row_band(ws, |band| {
+        let copied = band.to_vec();
+        acc += copied.iter().sum::<f64>();
+    });
+    acc
+}

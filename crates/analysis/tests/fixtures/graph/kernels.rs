@@ -1,0 +1,21 @@
+//! Fixture sink file: stands in for `crates/linalg/src/kernels.rs` in the
+//! graph tests. `matmul_into` loops (a real sink); `threads` is a
+//! non-looping accessor and must NOT count as one.
+
+pub struct Ws {
+    pub rows: usize,
+}
+
+impl Ws {
+    pub fn threads(&self) -> usize {
+        1
+    }
+}
+
+pub fn matmul_into(ws: &mut Ws) {
+    for r in 0..ws.rows {
+        touch(ws, r);
+    }
+}
+
+fn touch(_: &mut Ws, _: usize) {}

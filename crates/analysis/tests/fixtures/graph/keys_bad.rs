@@ -1,0 +1,14 @@
+//! Fixture: a key-construction fn that forgets a field of its config
+//! struct — `key_fields` must name the missing `threads`.
+
+pub struct SweepConfig {
+    pub dataset: String,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    pub fn store_key(&self) -> String {
+        format!("{}|{}", self.dataset, self.seed)
+    }
+}

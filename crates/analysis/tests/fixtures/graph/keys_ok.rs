@@ -1,0 +1,15 @@
+//! Fixture: the same key, but the omission is declared and justified —
+//! the exclusion directive clears the finding.
+
+pub struct SweepConfig {
+    pub dataset: String,
+    pub seed: u64,
+    pub threads: usize,
+}
+
+impl SweepConfig {
+    // lint: key_fields exclude(threads) reason=results are thread-invariant per §7
+    pub fn store_key(&self) -> String {
+        format!("{}|{}", self.dataset, self.seed)
+    }
+}

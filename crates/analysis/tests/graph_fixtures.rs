@@ -1,0 +1,244 @@
+//! Integration tests for the v2 graph rules: a fixture mini-workspace
+//! with known call edges, one workspace-stays-clean test per rule, and
+//! the `lint_files` focused-report mode against a real on-disk tree.
+//!
+//! Fixtures live under `tests/fixtures/graph/` (skipped by the walker)
+//! and are linted in-memory under synthetic workspace paths that select
+//! the scope under test — the same pattern as `rule_fixtures.rs`, one
+//! level up: whole mini-workspaces instead of single files.
+
+use bbgnn_analysis::lexer::{lex, Lexed};
+use bbgnn_analysis::{analyze, FlowReport, Model, Taxonomy};
+use std::path::Path;
+
+const KERNELS: &str = "crates/linalg/src/kernels.rs";
+const DRIVER: &str = "crates/attack/src/driver.rs";
+
+fn workspace(files: &[(&str, &str)]) -> (Model, Vec<(String, Lexed)>) {
+    let files: Vec<(String, Lexed)> = files
+        .iter()
+        .map(|(rel, src)| (rel.to_string(), lex(src)))
+        .collect();
+    (Model::build(&files), files)
+}
+
+fn flow(files: &[(&str, &str)]) -> FlowReport {
+    let (model, files) = workspace(files);
+    // An empty taxonomy keeps `dead_taxonomy` inert: fixture workspaces
+    // legitimately emit none of the real DESIGN.md §8 names.
+    analyze(&model, &files, &Taxonomy::default())
+}
+
+fn rules_of(r: &FlowReport) -> Vec<&'static str> {
+    r.violations.iter().map(|v| v.rule.name()).collect()
+}
+
+// --- the symbol graph recovers the known call edges -----------------------
+
+#[test]
+fn symbol_graph_recovers_known_call_edges() {
+    let (m, _) = workspace(&[
+        (KERNELS, include_str!("fixtures/graph/kernels.rs")),
+        (DRIVER, include_str!("fixtures/graph/driver_bad.rs")),
+    ]);
+
+    // sweep --(method, in-loop)--> Driver::step
+    let sweep = m.fns_named("sweep")[0];
+    let step_call = m.fns[sweep]
+        .item
+        .calls
+        .iter()
+        .find(|c| c.name == "step")
+        .expect("sweep calls step");
+    assert!(step_call.in_loop, "the step call sits inside sweep's loop");
+    let step_edge = m.resolve(sweep, step_call);
+    assert_eq!(step_edge.len(), 1);
+    assert_eq!(m.fns[step_edge[0]].item.qual, "Driver::step");
+
+    // Driver::step --(bare)--> the kernels.rs free fn, and nothing else.
+    let step = step_edge[0];
+    let mm_call = m.fns[step]
+        .item
+        .calls
+        .iter()
+        .find(|c| c.name == "matmul_into")
+        .expect("step calls matmul_into");
+    let mm_edge = m.resolve(step, mm_call);
+    assert_eq!(mm_edge.len(), 1);
+    assert_eq!(
+        (
+            m.files[m.fns[mm_edge[0]].file].rel.as_str(),
+            m.fns[mm_edge[0]].item.has_loop,
+        ),
+        (KERNELS, true),
+        "the sink edge lands on the looping kernels fn"
+    );
+
+    // `idle` touches only its own field — no workspace call edges at all.
+    let idle = m.fns_named("idle")[0];
+    assert!(
+        m.fns[idle]
+            .item
+            .calls
+            .iter()
+            .all(|c| m.resolve(idle, c).is_empty()),
+        "idle has no resolvable calls"
+    );
+}
+
+#[test]
+fn strict_resolution_demands_visible_types() {
+    // `w.threads()` from a file that never names `Ws`: the permissive
+    // resolver offers the accessor, the strict one refuses the edge.
+    let (m, _) = workspace(&[
+        (KERNELS, include_str!("fixtures/graph/kernels.rs")),
+        (
+            "crates/bench/src/report.rs",
+            "pub fn width(w: &Unrelated) -> usize { w.threads() }",
+        ),
+    ]);
+    let width = m.fns_named("width")[0];
+    let call = &m.fns[width].item.calls[0];
+    assert_eq!(
+        m.resolve(width, call).len(),
+        1,
+        "permissive: offers Ws::threads"
+    );
+    assert!(
+        m.resolve_strict(width, call).is_empty(),
+        "strict: Ws is not visible at the caller, so no edge"
+    );
+}
+
+// --- the flow rules over the fixture mini-workspace -----------------------
+
+#[test]
+fn check_site_fires_across_fixture_files_and_checked_variant_is_clean() {
+    let r = flow(&[
+        (KERNELS, include_str!("fixtures/graph/kernels.rs")),
+        (DRIVER, include_str!("fixtures/graph/driver_bad.rs")),
+    ]);
+    assert_eq!(rules_of(&r), ["check_site"], "{:?}", r.violations);
+    let v = &r.violations[0];
+    assert_eq!(v.file, DRIVER);
+    assert!(v.msg.contains("Driver::sweep"), "{}", v.msg);
+    assert!(v.msg.contains("step"), "{}", v.msg);
+
+    let r = flow(&[
+        (KERNELS, include_str!("fixtures/graph/kernels.rs")),
+        (DRIVER, include_str!("fixtures/graph/driver_ok.rs")),
+    ]);
+    assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn key_fields_fires_on_fixture_and_exclusion_clears_it() {
+    let path = "crates/bench/src/config.rs";
+    let r = flow(&[(path, include_str!("fixtures/graph/keys_bad.rs"))]);
+    assert_eq!(rules_of(&r), ["key_fields"], "{:?}", r.violations);
+    assert!(
+        r.violations[0].msg.contains("`threads`"),
+        "{}",
+        r.violations[0].msg
+    );
+
+    let r = flow(&[(path, include_str!("fixtures/graph/keys_ok.rs"))]);
+    assert!(rules_of(&r).is_empty(), "{:?}", r.violations);
+}
+
+#[test]
+fn hot_alloc_fires_in_band_closure_fixture() {
+    // The band-iterator contract holds outside kernels.rs too.
+    let r = flow(&[(
+        "crates/linalg/src/dense.rs",
+        include_str!("fixtures/graph/hot_band.rs"),
+    )]);
+    assert_eq!(rules_of(&r), ["hot_alloc"], "{:?}", r.violations);
+    assert!(
+        r.violations[0].msg.contains("to_vec"),
+        "{}",
+        r.violations[0].msg
+    );
+}
+
+// --- the workspace itself stays clean, per rule ---------------------------
+
+fn workspace_violations_of(rule: &str) -> Vec<String> {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let tax = bbgnn_analysis::taxonomy::builtin().expect("DESIGN.md §8 taxonomy parses");
+    let report =
+        bbgnn_analysis::lint_workspace(Path::new(root), &tax).expect("workspace walk succeeds");
+    report
+        .violations
+        .iter()
+        .filter(|v| v.rule.name() == rule)
+        .map(|v| v.render())
+        .collect()
+}
+
+#[test]
+fn workspace_is_check_site_clean() {
+    let vs = workspace_violations_of("check_site");
+    assert!(vs.is_empty(), "{}", vs.join("\n"));
+}
+
+#[test]
+fn workspace_is_key_fields_clean() {
+    let vs = workspace_violations_of("key_fields");
+    assert!(vs.is_empty(), "{}", vs.join("\n"));
+}
+
+#[test]
+fn workspace_is_dead_taxonomy_clean() {
+    let vs = workspace_violations_of("dead_taxonomy");
+    assert!(vs.is_empty(), "{}", vs.join("\n"));
+}
+
+#[test]
+fn workspace_is_hot_alloc_clean() {
+    let vs = workspace_violations_of("hot_alloc");
+    assert!(vs.is_empty(), "{}", vs.join("\n"));
+}
+
+// --- lint_files: focused reports over a real tree -------------------------
+
+#[test]
+fn lint_files_focuses_the_report_and_rejects_unknown_paths() {
+    // A throwaway on-disk workspace: one dirty kernels.rs, one clean file.
+    let root = std::env::temp_dir().join(format!("bbgnn_lint_files_{}", std::process::id()));
+    let src_dir = root.join("crates/linalg/src");
+    std::fs::create_dir_all(&src_dir).unwrap();
+    std::fs::write(root.join("Cargo.toml"), "[workspace]\n").unwrap();
+    std::fs::write(
+        src_dir.join("kernels.rs"),
+        "pub fn f(n: usize) { for _ in 0..n { let v = vec![0u8; 4]; drop(v); } }\n",
+    )
+    .unwrap();
+    std::fs::write(src_dir.join("dense.rs"), "pub fn g() {}\n").unwrap();
+
+    let tax = Taxonomy::default();
+    // Focusing on the clean file filters the kernels finding out…
+    let r =
+        bbgnn_analysis::walk::lint_files(&root, &tax, &["crates/linalg/src/dense.rs".to_string()])
+            .unwrap();
+    assert!(r.violations.is_empty(), "{:?}", r.violations);
+    assert_eq!(r.files_scanned, 2, "the analysis still covers the tree");
+    // …while focusing on kernels.rs keeps it.
+    let r = bbgnn_analysis::walk::lint_files(
+        &root,
+        &tax,
+        &["crates/linalg/src/kernels.rs".to_string()],
+    )
+    .unwrap();
+    assert_eq!(rules_of_ws(&r), ["hot_alloc"], "{:?}", r.violations);
+
+    // A typo'd path is a loud error, not a silently-clean report.
+    let err = bbgnn_analysis::walk::lint_files(&root, &tax, &["crates/nope.rs".to_string()]);
+    assert!(err.is_err(), "{err:?}");
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+fn rules_of_ws(r: &bbgnn_analysis::WorkspaceReport) -> Vec<&'static str> {
+    r.violations.iter().map(|v| v.rule.name()).collect()
+}

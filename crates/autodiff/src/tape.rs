@@ -517,6 +517,7 @@ impl Tape {
             let Some(grad) = self.grads[idx].take() else {
                 continue;
             };
+            // lint: allow(check_site) reason=backward is one uninterruptible unit of work; the §11 check sits at the epoch boundary in the train loop
             self.propagate(idx, &grad);
             self.grads[idx] = Some(grad);
         }

@@ -289,6 +289,65 @@ mod tests {
         assert_eq!(f.consume("--incremental", None).unwrap(), 1);
     }
 
+    /// Drives `consume` the way entry points do: a cursor loop over argv,
+    /// advancing by the returned token count and keeping unconsumed
+    /// tokens for the caller.
+    fn drive(args: &[&str]) -> BbgnnResult<(InfraFlags, Vec<String>)> {
+        let mut f = InfraFlags::default();
+        let mut rest = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let used = f.consume(args[i], args.get(i + 1).copied())?;
+            if used == 0 {
+                rest.push(args[i].to_string());
+                i += 1;
+            } else {
+                i += used;
+            }
+        }
+        Ok((f, rest))
+    }
+
+    #[test]
+    fn consume_token_counts_hold_over_a_full_argv() {
+        // Valueless flag directly before a positional argument: consume
+        // sees the positional as its would-be value and must not swallow
+        // it — a two-token return here would eat the dataset name.
+        let (f, rest) = drive(&["--incremental", "cora", "--threads", "2"]).unwrap();
+        assert!(f.incremental);
+        assert_eq!(f.threads, 2);
+        assert_eq!(rest, ["cora"]);
+
+        // Repeated flags: the last occurrence wins, silently — matching
+        // extract_flag and letting wrapper scripts append overrides.
+        let (f, rest) = drive(&[
+            "--threads",
+            "2",
+            "--trace",
+            "a.jsonl",
+            "--threads",
+            "8",
+            "--trace",
+            "b.jsonl",
+        ])
+        .unwrap();
+        assert_eq!(f.threads, 8);
+        assert_eq!(f.trace.as_deref(), Some("b.jsonl"));
+        assert!(rest.is_empty());
+
+        // `--incremental` as the final argv token: consume is called with
+        // value=None (nothing follows) and must still take exactly one
+        // token rather than erroring like the value-taking flags do.
+        let (f, rest) = drive(&["--scale", "0.1", "--incremental"]).unwrap();
+        assert!(f.incremental);
+        assert_eq!(rest, ["--scale", "0.1"]);
+
+        // Repeating a valueless flag is idempotent, not an error.
+        let (f, rest) = drive(&["--incremental", "--incremental"]).unwrap();
+        assert!(f.incremental);
+        assert!(rest.is_empty());
+    }
+
     #[test]
     fn incr_env_is_strict() {
         for (v, want) in [("1", true), ("true", true), ("0", false), ("false", false)] {

@@ -242,6 +242,15 @@ impl ExpConfig {
     /// Checkpoint fingerprint: a resumed run must have identical knobs, or
     /// the old checkpoint is discarded (see
     /// [`Checkpoint`](crate::checkpoint::Checkpoint)).
+    ///
+    /// Infra knobs are deliberately omitted: §7 guarantees results are
+    /// invariant to thread count and tracing, the store/out_dir only say
+    /// *where* results land, deadline/budget/faults truncate or perturb a
+    /// run in ways a resume is designed to heal, and `--incremental` is an
+    /// execution strategy with bitwise-identical output (§13). Folding any
+    /// of them in would make `--threads 1` checkpoints unusable under
+    /// `--threads 8`.
+    // lint: key_fields exclude(out_dir, threads, trace, store, deadline, budget, faults, incremental) reason=infra knobs; §7/§13 results are invariant to them and a resume must survive changing them
     pub fn fingerprint(&self, experiment: &str) -> String {
         format!(
             "{experiment}|scale={}|runs={}|rate={}|seed={}|dataset={}",

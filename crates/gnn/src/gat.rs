@@ -132,6 +132,7 @@ impl Gat {
         let mut head_outputs = Vec::with_capacity(self.heads);
         for hd in 0..self.heads {
             let out =
+                // lint: allow(check_site) reason=forward builds one epoch's graph; the §11 check sits at the epoch boundary in the train loop
                 self.attention_head(tape, h, ids[3 * hd], ids[3 * hd + 1], ids[3 * hd + 2], mask);
             head_outputs.push(tape.relu(out));
         }

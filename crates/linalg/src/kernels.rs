@@ -833,10 +833,10 @@ pub fn spmm_t_into(s: &CsrMatrix, b: &DenseMatrix, out: &mut DenseMatrix) {
     }
     let rows = s.rows();
     for i in 0..rows {
-        let b_row = b.row(i).to_vec();
+        let b_row = b.row(i);
         for (c, v) in s.row_iter(i) {
             let out_row = out.row_mut(c);
-            for (o, &bv) in out_row.iter_mut().zip(&b_row) {
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
                 *o += v * bv;
             }
         }

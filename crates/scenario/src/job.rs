@@ -340,6 +340,7 @@ impl JobSpec {
 
     /// Canonical cell key, matching the `tables_main` checkpoint format:
     /// `{dataset}/{attack-or-Clean}/{column}`.
+    // lint: allow(key_fields) reason=table cell coordinate, not a result identity; the store key is fingerprint() below
     pub fn cell_key(&self) -> String {
         format!(
             "{}/{}/{}",
@@ -356,6 +357,7 @@ impl JobSpec {
     /// gets, not what a completed run computes — but a *degraded* result
     /// must not be replayed for an unbounded spec, which the server checks
     /// via the recorded outcome).
+    // lint: key_fields exclude(threads, budget) reason=threads is results-invariant (§7); budget bounds progress, not values — degraded replay is gated on the recorded outcome
     pub fn fingerprint(&self) -> String {
         format!(
             "dataset={}|attack={}|column={}|eval={}|runs={}|scale={}|rate={}|seed={}",

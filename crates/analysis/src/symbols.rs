@@ -20,7 +20,8 @@ use std::collections::BTreeMap;
 
 /// The identifiers that count as a supervision check (DESIGN.md §11):
 /// the `StopHandle` queries, the `Job::stop_now` wrapper, plus
-/// `supervise::check` / `bbgnn_supervise::check`.
+/// `supervise::check` / `bbgnn_supervise::check` and the scoped form
+/// `scope.check(..)` on a [`SupervisionScope`] handle.
 pub const CHECK_CALL_IDENTS: [&str; 4] =
     ["stop_reason", "should_stop", "cancel_requested", "stop_now"];
 
@@ -68,7 +69,7 @@ pub fn is_check_call(c: &Call) -> bool {
         "stop_reason" | "should_stop" | "cancel_requested" | "stop_now" => true,
         "check" => matches!(
             c.qualifier.as_deref(),
-            Some("supervise") | Some("bbgnn_supervise")
+            Some("supervise") | Some("bbgnn_supervise") | Some("scope")
         ),
         _ => false,
     }

@@ -10,6 +10,7 @@
 //! everything else by an order of magnitude or more.
 
 use bbgnn::prelude::*;
+use bbgnn::scenario::dataset::paper_specs;
 use bbgnn::scenario::job::{EvalKind, EvalSpec, Job, JobSpec};
 use bbgnn_bench::{config::ExpConfig, fault::FaultRunner, report::Table};
 
@@ -19,7 +20,13 @@ fn main() {
     let ctx = ExecContext::from_env();
     let mut harness = FaultRunner::new(&cfg, "table8_defense_time");
 
-    let specs = DatasetSpec::paper_datasets();
+    let specs = match paper_specs(cfg.dataset.as_deref()) {
+        Ok(specs) => specs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let mut headers = vec!["Model".to_string()];
     headers.extend(specs.iter().map(|s| format!("{} (s)", s.name())));
     let mut table = Table::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());

@@ -156,12 +156,18 @@ impl ThreadPool {
         // utilization = busy_ns / (region_ns * threads).
         let traced = bbgnn_obs::enabled();
         let region = bbgnn_obs::kernel_timer("pool/region");
+        // Pool workers inherit the submitting thread's supervision scope,
+        // so check sites reached from inside a region (the GF-Attack
+        // eigensolver exception, §11) observe the right tenant.
+        let supervision = bbgnn_supervise::current_scope();
         let band = rows.div_ceil(workers);
         std::thread::scope(|scope| {
             for (b, chunk) in out.chunks_mut(band * row_len).enumerate() {
                 let body = &body;
+                let supervision = supervision.as_ref();
                 scope.spawn(move || {
                     maybe_injected_worker_panic();
+                    let _scope = supervision.map(bbgnn_supervise::enter);
                     let _busy = traced.then(|| bbgnn_obs::kernel_timer("pool/worker_busy"));
                     body(b * band, chunk)
                 });
@@ -233,13 +239,18 @@ impl ThreadPool {
         }
         let traced = bbgnn_obs::enabled();
         let _region = bbgnn_obs::kernel_timer("pool/region");
+        // Same scope propagation as `for_each_row_band`: map closures may
+        // reach supervised check sites (GF-Attack rescoring, §11).
+        let supervision = bbgnn_supervise::current_scope();
         let parts: Vec<T> = std::thread::scope(|scope| {
             let handles: Vec<_> = bounds
                 .into_iter()
                 .map(|range| {
                     let map = &map;
+                    let supervision = supervision.as_ref();
                     scope.spawn(move || {
                         maybe_injected_worker_panic();
+                        let _scope = supervision.map(bbgnn_supervise::enter);
                         let _busy = traced.then(|| bbgnn_obs::kernel_timer("pool/worker_busy"));
                         map(range)
                     })
@@ -1200,5 +1211,45 @@ mod tests {
             )
             .flatten();
         assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn pool_workers_inherit_the_submitting_threads_supervision_scope() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+        let scope = bbgnn_supervise::SupervisionScope::new();
+        scope.activate();
+        let _entered = bbgnn_supervise::enter(&scope);
+        let pool = ThreadPool::new(4);
+
+        // for_each_row_band: every worker must see the entered scope.
+        let seen = AtomicUsize::new(0);
+        let mut out = vec![0.0; 64];
+        pool.for_each_row_band(&mut out, 8, true, |_, band| {
+            if bbgnn_supervise::current_scope().is_some_and(|s| Arc::ptr_eq(&s, &scope)) {
+                seen.fetch_add(1, Ordering::Relaxed);
+            }
+            for v in band {
+                *v = 1.0;
+            }
+        });
+        assert!(seen.load(Ordering::Relaxed) >= 1, "no worker saw the scope");
+
+        // map_fold_coarse: scoped accounting from inside workers lands in
+        // the scope (the GF-Attack rescoring shape).
+        let total = pool.map_fold_coarse(
+            16,
+            |range| {
+                bbgnn_supervise::note_queries(range.len() as u64);
+                range.len()
+            },
+            |a, b| a + b,
+        );
+        assert_eq!(total, Some(16));
+        assert_eq!(
+            scope.queries_used(),
+            16,
+            "scoped accounting lost in workers"
+        );
     }
 }

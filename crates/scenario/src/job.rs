@@ -29,8 +29,9 @@ use bbgnn_errors::{BbgnnError, BbgnnResult, RetryPolicy};
 use bbgnn_gnn::eval::MeanStd;
 use bbgnn_graph::Graph;
 use bbgnn_linalg::ExecContext;
-use bbgnn_supervise::{CancelToken, RunBudget, Stop};
+use bbgnn_supervise::{CancelToken, RunBudget, Stop, SupervisionScope};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Placeholder rendered for a cell whose every attempt failed (or that a
 /// stop skipped).
@@ -425,13 +426,15 @@ pub struct CellResult {
 }
 
 /// A resolved, runnable job: validated names, a private [`CancelToken`],
-/// and the retry policy its cell runs under.
+/// its own [`SupervisionScope`], and the retry policy its cell runs
+/// under.
 pub struct Job {
     key: String,
     spec: JobSpec,
     attack: Option<AttackerKind>,
     column: DefenderKind,
     cancel: CancelToken,
+    scope: Arc<SupervisionScope>,
     policy: RetryPolicy,
     sleeper: fn(std::time::Duration),
 }
@@ -455,6 +458,7 @@ impl Job {
             attack,
             column,
             cancel: CancelToken::new(),
+            scope: SupervisionScope::new(),
             policy: RetryPolicy::default(),
             sleeper: default_sleeper(),
         })
@@ -476,6 +480,7 @@ impl Job {
             attack,
             column,
             cancel: CancelToken::new(),
+            scope: SupervisionScope::new(),
             policy: RetryPolicy::default(),
             sleeper: default_sleeper(),
         }
@@ -510,19 +515,30 @@ impl Job {
         RunBudget::parse_spec(spec).ok()
     }
 
-    /// A handle that cancels this job (observed at the next attempt
-    /// boundary; pair it with a global
-    /// [`request_cancel`](bbgnn_supervise::request_cancel) to also stop
-    /// the in-flight training loop).
+    /// A handle that cancels this job at the next attempt boundary.
+    /// Unlike [`scope`](Self::scope)'s cancel, the token does not reach
+    /// the supervised loops *inside* an attempt — prefer cancelling the
+    /// scope.
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// This job's own supervision scope. [`run`](Self::run) enters it for
+    /// the duration of the cell, so every check site the cell reaches —
+    /// training epochs, attacker scans, eigensolver sweeps — observes it.
+    /// Cancelling it stops this job and only this job; its counters
+    /// describe this job and only this job.
+    pub fn scope(&self) -> Arc<SupervisionScope> {
+        Arc::clone(&self.scope)
     }
 
     fn stop_now(&self) -> Option<Stop> {
         if self.cancel.is_cancelled() {
             return Some(Stop::Cancelled);
         }
-        bbgnn_supervise::stop_reason("job/run")
+        // The scoped check covers the process-default domain too (SIGINT,
+        // `--deadline`/`--budget`), then this job's own cancel/budget.
+        self.scope.stop_reason("job/run")
     }
 
     /// Runs the cell to completion: load (or reuse) the input graph,
@@ -539,6 +555,15 @@ impl Job {
     /// re-applied), except for `attack_time` evaluations, which measure
     /// the attack against it.
     pub fn run_with_graph(&self, ctx: &ExecContext, prepared: Option<&Graph>) -> CellResult {
+        // The cell runs inside this job's supervision scope: check sites
+        // it reaches consult the scope (plus the process-default domain),
+        // and the job's own budget — if the spec set one — bounds this
+        // job alone. With an inactive scope and no spec budget (the CLI
+        // path) this changes nothing observable.
+        let _scope = bbgnn_supervise::enter(&self.scope);
+        if let Some(budget) = self.budget() {
+            self.scope.install_budget(&budget);
+        }
         // Record which store artifacts this cell touches (hits and writes
         // alike) so the caller can pin them against `bbgnn-store gc`.
         // Recording is thread-local: the cell runs on this thread, pool

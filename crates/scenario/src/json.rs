@@ -113,6 +113,49 @@ impl Json {
         out
     }
 
+    /// Serializes on a single line with no whitespace — the form wire
+    /// protocols that frame messages by line need (`bbgnn-serve`'s SSE
+    /// `data:` lines). Deterministic for a given value; no trailing
+    /// newline.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Number(n) => out.push_str(n),
+            Json::String(s) => write_escaped(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         let pad = "  ".repeat(indent);
         let pad_in = "  ".repeat(indent + 1);
@@ -371,6 +414,31 @@ mod tests {
         let doc = Json::object([("k\"ey\n".to_string(), Json::string("a\\b\tc\u{1}"))]);
         let parsed = Json::parse(&doc.to_pretty()).unwrap();
         assert_eq!(parsed, doc);
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_roundtrips() {
+        let doc = Json::object([
+            ("id".to_string(), Json::number_u64(3)),
+            ("state".to_string(), Json::string("running")),
+            (
+                "vals".to_string(),
+                Json::Array(vec![Json::number_usize(1), Json::Null]),
+            ),
+            ("note".to_string(), Json::string("line\nbreak")),
+            ("empty".to_string(), Json::object([])),
+        ]);
+        let compact = doc.to_compact();
+        assert!(
+            !compact.contains('\n'),
+            "compact must be single-line: {compact}"
+        );
+        // Keys serialize sorted (BTreeMap), same as `to_pretty`.
+        assert_eq!(
+            compact,
+            r#"{"empty":{},"id":3,"note":"line\nbreak","state":"running","vals":[1,null]}"#
+        );
+        assert_eq!(Json::parse(&compact).unwrap(), doc);
     }
 
     #[test]

@@ -2,14 +2,17 @@
 //!
 //! The workspace is dependency-free by design (DESIGN.md §0), so the wire
 //! layer is written against `std::io` directly. Scope is deliberately
-//! narrow — one request per connection (`Connection: close`), JSON bodies
-//! only, no chunked transfer, no keep-alive, no TLS. The server's clients
-//! are `curl` and the CI harness; both speak this subset natively.
+//! narrow — HTTP/1.1 keep-alive with `Content-Length` framing, JSON
+//! bodies, and a server-sent-events (SSE) stream for job progress; no
+//! chunked transfer, no TLS. The server's clients are `curl` and the CI
+//! harness; both speak this subset natively.
 //!
 //! Request reading is bounded everywhere: the header block is capped at
 //! [`MAX_HEAD`] bytes and the body at [`MAX_BODY`] bytes, so a hostile or
 //! broken client cannot balloon server memory. Over-long bodies surface
-//! as [`ReadError::TooLarge`], which the server maps to `413`.
+//! as [`ReadError::TooLarge`], which the server maps to `413`. A client
+//! that closes (or idles out) between keep-alive requests surfaces as
+//! [`ReadError::Closed`], which ends the connection silently.
 
 use std::io::{Read, Write};
 
@@ -19,7 +22,7 @@ pub const MAX_HEAD: usize = 16 * 1024;
 /// kilobyte; anything near a megabyte is not a job submission.
 pub const MAX_BODY: usize = 1024 * 1024;
 
-/// One parsed request: method, path, and the (possibly empty) body.
+/// One parsed request: method, path, body, and connection intent.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Request {
     /// Request method, uppercase as received (`GET`, `POST`, `DELETE`).
@@ -28,11 +31,18 @@ pub struct Request {
     pub path: String,
     /// Request body, decoded per `Content-Length`.
     pub body: String,
+    /// The client asked to close after this response (`Connection: close`,
+    /// or HTTP/1.0 without `keep-alive`).
+    pub close: bool,
 }
 
 /// Why a request could not be read.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ReadError {
+    /// The connection ended cleanly before a request line arrived — the
+    /// normal end of a keep-alive connection (or an idle timeout). Not an
+    /// error to report; just drop the connection.
+    Closed,
     /// Syntactically broken request (maps to `400`).
     Malformed(String),
     /// Declared body exceeds [`MAX_BODY`] (maps to `413`).
@@ -42,6 +52,7 @@ pub enum ReadError {
 impl std::fmt::Display for ReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            ReadError::Closed => write!(f, "connection closed"),
             ReadError::Malformed(m) => write!(f, "malformed request: {m}"),
             ReadError::TooLarge => write!(f, "request body exceeds {MAX_BODY} bytes"),
         }
@@ -55,13 +66,14 @@ fn malformed(m: impl Into<String>) -> ReadError {
 /// Reads one request from `stream`.
 ///
 /// Generic over `Read` so tests can drive it from a byte slice; the
-/// server hands it a `TcpStream` with a read timeout installed (a stalled
-/// client surfaces as an I/O error → `Malformed`, and the connection is
-/// dropped).
+/// server hands it a `TcpStream` with a read timeout installed. A close
+/// or timeout *before any request bytes* is [`ReadError::Closed`] (the
+/// connection is done); the same mid-header is `Malformed` (the
+/// connection is broken).
 pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ReadError> {
     // Byte-at-a-time until the blank line. The header block is tiny and
-    // read once per connection; simplicity beats a buffered scanner that
-    // would over-read into the body.
+    // read once per request; simplicity beats a buffered scanner that
+    // would over-read into the body (or the next pipelined request).
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     while !head.ends_with(b"\r\n\r\n") {
@@ -70,7 +82,9 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ReadError> {
         }
         match stream.read(&mut byte) {
             Ok(1) => head.push(byte[0]),
+            Ok(_) if head.is_empty() => return Err(ReadError::Closed),
             Ok(_) => return Err(malformed("connection closed mid-header")),
+            Err(_) if head.is_empty() => return Err(ReadError::Closed),
             Err(e) => return Err(malformed(format!("read: {e}"))),
         }
     }
@@ -86,6 +100,7 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ReadError> {
         return Err(malformed(format!("unsupported version {version:?}")));
     }
     let mut content_length = 0usize;
+    let mut connection: Option<String> = None;
     for line in lines {
         if line.is_empty() {
             continue;
@@ -93,13 +108,21 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ReadError> {
         let Some((name, value)) = line.split_once(':') else {
             return Err(malformed(format!("bad header line {line:?}")));
         };
-        if name.trim().eq_ignore_ascii_case("content-length") {
+        let name = name.trim();
+        if name.eq_ignore_ascii_case("content-length") {
             content_length = value
                 .trim()
                 .parse()
                 .map_err(|_| malformed(format!("bad content-length {value:?}")))?;
+        } else if name.eq_ignore_ascii_case("connection") {
+            connection = Some(value.trim().to_ascii_lowercase());
         }
     }
+    let close = match connection.as_deref() {
+        Some(tokens) => tokens.split(',').any(|t| t.trim() == "close"),
+        // HTTP/1.0 defaults to close; 1.1 defaults to keep-alive.
+        None => version == "HTTP/1.0",
+    };
     if content_length > MAX_BODY {
         return Err(ReadError::TooLarge);
     }
@@ -112,6 +135,7 @@ pub fn read_request<R: Read>(stream: &mut R) -> Result<Request, ReadError> {
         method: method.to_string(),
         path: path.to_string(),
         body,
+        close,
     })
 }
 
@@ -130,17 +154,40 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes one complete JSON response and flushes. Best-effort: a peer
-/// that hung up mid-write is its own problem, not the server's.
-pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str) {
+/// Writes one complete JSON response and flushes. `keep_alive` selects
+/// the `Connection` header; the caller closes the stream when it said
+/// `close`. Best-effort: a peer that hung up mid-write is its own
+/// problem, not the server's.
+pub fn write_response<W: Write>(stream: &mut W, status: u16, body: &str, keep_alive: bool) {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len()
     );
     let _ = stream.write_all(head.as_bytes());
     let _ = stream.write_all(body.as_bytes());
     let _ = stream.flush();
+}
+
+/// Starts an SSE response: status line and headers only, no body framing
+/// (the stream is terminated by connection close — SSE needs neither
+/// `Content-Length` nor chunking for `curl -N` and `EventSource`).
+/// Errors propagate so the caller can abandon a hung-up client.
+pub fn write_sse_header<W: Write>(stream: &mut W) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: text/event-stream\r\nCache-Control: no-cache\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Writes one SSE event (`event:` + `data:` + blank line) and flushes.
+/// `data` must be a single line — the server feeds it compact JSON.
+/// Errors propagate so the caller can stop streaming to a gone client.
+pub fn write_sse_event<W: Write>(stream: &mut W, event: &str, data: &str) -> std::io::Result<()> {
+    debug_assert!(!data.contains('\n'), "SSE data must be single-line");
+    stream.write_all(format!("event: {event}\ndata: {data}\n\n").as_bytes())?;
+    stream.flush()
 }
 
 #[cfg(test)]
@@ -158,6 +205,7 @@ mod tests {
         assert_eq!(r.method, "POST");
         assert_eq!(r.path, "/jobs");
         assert_eq!(r.body, "{\"a\":1}");
+        assert!(!r.close, "HTTP/1.1 defaults to keep-alive");
     }
 
     #[test]
@@ -165,6 +213,25 @@ mod tests {
         let r = req("GET /jobs/3 HTTP/1.1\r\ncontent-length: 0\r\n\r\n").unwrap();
         assert_eq!((r.method.as_str(), r.path.as_str()), ("GET", "/jobs/3"));
         assert_eq!(r.body, "");
+    }
+
+    #[test]
+    fn connection_intent_is_parsed() {
+        let r = req("GET /health HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        assert!(r.close);
+        let r = req("GET /health HTTP/1.1\r\nconnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(!r.close);
+        let r = req("GET /health HTTP/1.0\r\n\r\n").unwrap();
+        assert!(r.close, "HTTP/1.0 defaults to close");
+        let r = req("GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap();
+        assert!(!r.close);
+    }
+
+    #[test]
+    fn clean_close_before_a_request_is_not_an_error() {
+        assert_eq!(req(""), Err(ReadError::Closed));
+        // Mid-header truncation is still loud.
+        assert!(matches!(req("GET /x HT"), Err(ReadError::Malformed(_))));
     }
 
     #[test]
@@ -200,10 +267,42 @@ mod tests {
     #[test]
     fn response_is_well_formed() {
         let mut out = Vec::new();
-        write_response(&mut out, 429, "{\"error\":\"queue full\"}");
+        write_response(&mut out, 429, "{\"error\":\"queue full\"}", false);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
         assert!(text.contains("Content-Length: 22\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{\"error\":\"queue full\"}"));
+
+        let mut out = Vec::new();
+        write_response(&mut out, 200, "{}", true);
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
+    }
+
+    #[test]
+    fn two_keepalive_requests_read_back_to_back() {
+        let raw = "GET /health HTTP/1.1\r\n\r\nGET /jobs HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let mut stream = raw.as_bytes();
+        let first = read_request(&mut stream).unwrap();
+        assert_eq!(first.path, "/health");
+        assert!(!first.close);
+        let second = read_request(&mut stream).unwrap();
+        assert_eq!(second.path, "/jobs");
+        assert!(second.close);
+        assert_eq!(read_request(&mut stream), Err(ReadError::Closed));
+    }
+
+    #[test]
+    fn sse_framing_is_spec_shaped() {
+        let mut out = Vec::new();
+        write_sse_header(&mut out).unwrap();
+        write_sse_event(&mut out, "progress", "{\"id\":1}").unwrap();
+        write_sse_event(&mut out, "done", "{\"id\":1,\"state\":\"done\"}").unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Type: text/event-stream\r\n"));
+        assert!(text.contains("\r\n\r\nevent: progress\ndata: {\"id\":1}\n\n"));
+        assert!(text.ends_with("event: done\ndata: {\"id\":1,\"state\":\"done\"}\n\n"));
     }
 }

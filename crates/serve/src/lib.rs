@@ -3,13 +3,17 @@
 //! `bbgnn-serve` turns the scenario layer into a long-running service:
 //! clients `POST /jobs` a [`JobSpec`](bbgnn_scenario::job::JobSpec) (the
 //! same typed spec the bench binaries run), poll `GET /jobs/:id` for
-//! progress snapshots built from the obs live mirror and the supervision
-//! accounting, and `DELETE /jobs/:id` to cancel — queued jobs dequeue
-//! instantly, running jobs wind down cooperatively through the same
-//! cancel machinery SIGINT uses. Completed results are shared through the
-//! content-addressed store, so a duplicate submission (same graph,
-//! config, and seed — the spec [`fingerprint`]) replays the recorded
-//! value with zero training work.
+//! progress snapshots — or subscribe to `GET /jobs/:id/events` for a live
+//! SSE stream of them — and `DELETE /jobs/:id` to cancel. A pool of
+//! `--workers N` job runners executes submissions concurrently; each job
+//! runs under its own supervision scope, so a cancel, deadline, or
+//! exhausted budget stops exactly that job and never a co-tenant (SIGINT
+//! still drains everything — it lives in the process-default domain).
+//! Queued jobs dequeue instantly on DELETE; running jobs wind down
+//! cooperatively at the same check sites SIGINT uses. Completed results
+//! are shared through the content-addressed store, so a duplicate
+//! submission (same graph, config, and seed — the spec [`fingerprint`])
+//! replays the recorded value with zero training work.
 //!
 //! Wire format, queue/admission semantics, and the store-sharing
 //! anti-aliasing rules are specified in DESIGN.md §12; `README.md` has a
@@ -17,9 +21,10 @@
 //!
 //! Layering:
 //!
-//! * [`http`] — the hand-rolled, bounded HTTP/1.1 subset (no deps);
+//! * [`http`] — the hand-rolled, bounded HTTP/1.1 subset with keep-alive
+//!   and SSE framing (no deps);
 //! * [`state`] — job table, bounded FIFO queue, store-backed records;
-//! * [`server`] — accept loop + the single sequential worker.
+//! * [`server`] — accept loop, per-connection threads, the worker pool.
 //!
 //! [`fingerprint`]: bbgnn_scenario::job::JobSpec::fingerprint
 

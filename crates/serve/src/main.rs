@@ -1,17 +1,19 @@
 //! `bbgnn-serve` — attack/defense evaluation as a service.
 //!
 //! ```text
-//! bbgnn-serve [--addr HOST:PORT] [--queue N] [infra flags]
+//! bbgnn-serve [--addr HOST:PORT] [--queue N] [--workers N] [infra flags]
 //!   --addr     bind address (default 127.0.0.1:8787; port 0 = pick free)
 //!   --queue    pending-job admission bound (default 16)
+//!   --workers  concurrent job runners (default 1); the core budget is
+//!              split evenly across the pool
 //!   plus the shared infra flags: --threads --trace --store --deadline
 //!   --budget --faults (see bbgnn_bench::cli::InfraFlags)
 //! ```
 //!
 //! The actual bound address is printed on startup (load-bearing with
 //! `--addr 127.0.0.1:0`: tests and scripts parse it). The server drains
-//! on `POST /shutdown` or SIGINT/SIGTERM and exits once the in-flight
-//! job has wound down.
+//! on `POST /shutdown` or SIGINT/SIGTERM and exits once in-flight jobs
+//! have wound down.
 
 use bbgnn_bench::cli::{extract_flag, parse_value, InfraFlags};
 use bbgnn_serve::Server;
@@ -20,15 +22,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help") {
         println!(
-            "usage: bbgnn-serve --addr HOST:PORT --queue N {}",
+            "usage: bbgnn-serve --addr HOST:PORT --queue N --workers N {}",
             InfraFlags::USAGE
         );
         return;
     }
     let parsed = extract_flag(&args, "--addr").and_then(|(addr, rest)| {
-        extract_flag(&rest, "--queue").map(|(queue, rest)| (addr, queue, rest))
+        extract_flag(&rest, "--queue").and_then(|(queue, rest)| {
+            extract_flag(&rest, "--workers").map(|(workers, rest)| (addr, queue, workers, rest))
+        })
     });
-    let (addr, queue, rest) = match parsed {
+    let (addr, queue, workers, rest) = match parsed {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}");
@@ -41,6 +45,16 @@ fn main() {
         Some(q) => match parse_value(Some(&q), "--queue", "an integer ≥ 1") {
             Ok(0) | Err(_) => {
                 eprintln!("error: --queue expects an integer ≥ 1, got {q:?}");
+                std::process::exit(2);
+            }
+            Ok(n) => n,
+        },
+    };
+    let workers: usize = match workers {
+        None => 1,
+        Some(w) => match parse_value(Some(&w), "--workers", "an integer ≥ 1") {
+            Ok(0) | Err(_) => {
+                eprintln!("error: --workers expects an integer ≥ 1, got {w:?}");
                 std::process::exit(2);
             }
             Ok(n) => n,
@@ -72,7 +86,7 @@ fn main() {
     }
     infra.init();
 
-    let server = match Server::start(&addr, capacity) {
+    let server = match Server::start_with(&addr, capacity, workers) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: bind {addr}: {e}");
@@ -80,7 +94,7 @@ fn main() {
         }
     };
     println!("bbgnn-serve listening on http://{}", server.addr());
-    println!("queue capacity: {capacity} pending jobs");
+    println!("queue capacity: {capacity} pending jobs, {workers} worker(s)");
     server.wait();
     println!("bbgnn-serve: drained, exiting");
     bbgnn_obs::shutdown();

@@ -1,33 +1,36 @@
-//! The `bbgnn-serve` server proper: accept loop, request routing, and the
-//! single sequential worker that runs jobs on the scenario stack.
+//! The `bbgnn-serve` server proper: accept loop, per-connection request
+//! threads, and the worker pool that runs jobs on the scenario stack.
 //!
 //! ## Threading model
 //!
-//! Two threads, by design:
+//! * the **accept** thread hands each connection to its own short-lived
+//!   connection thread, so a slow reader (or a long-lived SSE stream)
+//!   never blocks other clients;
+//! * each **connection** thread serves HTTP/1.1 requests back-to-back on
+//!   one socket (keep-alive) until the client sends `Connection: close`,
+//!   goes quiet past the read timeout, or the server drains;
+//! * a **worker pool** of `--workers N` threads pops the FIFO queue and
+//!   runs jobs concurrently. The machine's core budget ([`env_threads`],
+//!   i.e. `BBGNN_THREADS` or available parallelism) is partitioned evenly
+//!   across the pool, so two concurrent jobs don't oversubscribe the
+//!   cores a sequential pair would have used; a spec with an explicit
+//!   `threads` count still pins its own.
 //!
-//! * the **accept** thread handles one connection at a time — every
-//!   endpoint is a table lookup or an enqueue, so request handling is
-//!   microseconds and needs no per-connection threads;
-//! * the **worker** thread pops the FIFO queue and runs one [`Job`] at a
-//!   time. Sequential execution is a feature, not a limitation: jobs
-//!   own the process-global supervision state (budgets, cancellation,
-//!   fault plans) while they run, and the kernels already spread each
-//!   job across all cores — two concurrent jobs would fight over both.
+//! [`env_threads`]: bbgnn_linalg::kernels::env_threads
 //!
 //! ## Per-job supervision
 //!
-//! The worker gives every job a fresh supervision slate
-//! ([`bbgnn_supervise::shutdown`]), installs the job's own budget, and
-//! runs it. `DELETE /jobs/:id` on the running job cancels its token *and*
-//! raises the process-global cancel (the in-flight training loop only
-//! watches global check sites); after the job winds down the worker
-//! consumes the delete marker and clears the global flag, so a mid-run
-//! cancellation never leaks into the next tenant — and a global cancel
-//! that *wasn't* a delete (SIGINT/SIGTERM via the shared handler) drains
-//! the server instead.
+//! Concurrency is safe because supervision is **scoped**: every job runs
+//! inside its own [`SupervisionScope`](bbgnn_supervise::SupervisionScope)
+//! (entered by `Job::run`, which also installs the spec's budget into
+//! it), so `DELETE /jobs/:id`, a deadline, or an exhausted budget stops
+//! exactly one job. The process-default supervision domain is left alone
+//! — a SIGINT/SIGTERM through the shared handler still reaches every
+//! running job and drains the whole server.
 
 use crate::http::{self, ReadError, Request};
-use crate::state::{JobRecord, Popped, Refused, ServerState};
+use crate::state::{JobPhase, JobRecord, Popped, Refused, ServerState};
+use bbgnn_linalg::kernels::env_threads;
 use bbgnn_linalg::ExecContext;
 use bbgnn_scenario::job::{CellResult, Job, JobSpec};
 use bbgnn_scenario::json::Json;
@@ -36,44 +39,59 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long the worker waits on the queue before re-checking for
+/// How long a worker waits on the queue before re-checking for
 /// drain/cancel conditions.
 const WORKER_WAIT: Duration = Duration::from_millis(200);
-/// Per-connection read timeout: a stalled client is dropped, the accept
-/// loop moves on.
+/// Per-connection read timeout: a stalled client is dropped, the
+/// connection thread exits. Doubles as the keep-alive idle timeout.
 const READ_TIMEOUT: Duration = Duration::from_secs(10);
+/// SSE tick: how often `/jobs/:id/events` re-snapshots the job.
+const SSE_TICK: Duration = Duration::from_millis(150);
 
-/// A running server: owns the accept and worker threads.
+/// A running server: owns the accept thread and the worker pool.
 ///
-/// Dropping the handle drains and joins both threads ([`shutdown`]
+/// Dropping the handle drains and joins the threads ([`shutdown`]
 /// semantics), so a test that panics still tears the server down.
 pub struct Server {
     addr: SocketAddr,
     state: Arc<ServerState>,
     accept: Option<JoinHandle<()>>,
-    worker: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `127.0.0.1:8787`; port `0` picks a free port —
-    /// read it back from [`addr`](Self::addr)) and starts the accept and
-    /// worker threads. The queue admits at most `capacity` pending jobs.
+    /// read it back from [`addr`](Self::addr)) with a single worker. The
+    /// queue admits at most `capacity` pending jobs.
     pub fn start(addr: &str, capacity: usize) -> std::io::Result<Server> {
+        Self::start_with(addr, capacity, 1)
+    }
+
+    /// [`start`](Self::start) with a pool of `workers` job runners
+    /// (clamped to ≥ 1). Each worker's kernels get an even share of the
+    /// process core budget, at least one core each.
+    pub fn start_with(addr: &str, capacity: usize, workers: usize) -> std::io::Result<Server> {
+        let workers = workers.max(1);
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState::new(capacity));
+        let state = Arc::new(ServerState::new(capacity, workers));
         // Progress snapshots read the obs live mirror; the mirror works
         // with or without a trace sink.
         bbgnn_obs::live::enable();
+        let worker_threads = (env_threads() / workers).max(1);
+        let pool = (0..workers)
+            .map(|_| {
+                let state = Arc::clone(&state);
+                std::thread::spawn(move || worker_loop(&state, worker_threads))
+            })
+            .collect();
         let accept_state = Arc::clone(&state);
         let accept = std::thread::spawn(move || accept_loop(&listener, &accept_state));
-        let worker_state = Arc::clone(&state);
-        let worker = std::thread::spawn(move || worker_loop(&worker_state));
         Ok(Server {
             addr,
             state,
             accept: Some(accept),
-            worker: Some(worker),
+            workers: pool,
         })
     }
 
@@ -82,7 +100,7 @@ impl Server {
         self.addr
     }
 
-    /// Drains and joins: no new submissions, the running job finishes
+    /// Drains and joins: no new submissions, running jobs finish
     /// (shutdown is graceful, not lossy), queued jobs stay queued forever.
     pub fn shutdown(mut self) {
         self.stop_and_join();
@@ -91,7 +109,7 @@ impl Server {
     /// Blocks until the server stops on its own (`POST /shutdown`, or a
     /// SIGINT/SIGTERM routed through the supervision layer), then joins.
     pub fn wait(mut self) {
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         self.stop_and_join();
@@ -105,7 +123,7 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        if let Some(worker) = self.worker.take() {
+        for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
         bbgnn_obs::live::disable();
@@ -120,34 +138,99 @@ impl Drop for Server {
 
 fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
     for conn in listener.incoming() {
-        let Ok(mut stream) = conn else { continue };
+        let Ok(stream) = conn else { continue };
         if state.stopping() {
             break; // woken by the shutdown self-connect
         }
         let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
-        handle(&mut stream, state);
-        if state.stopping() {
-            break; // the request just served was POST /shutdown
+        let state = Arc::clone(state);
+        // Detached: the thread exits with its connection (bounded by the
+        // read timeout), and on drain every keep-alive loop closes after
+        // the in-flight response.
+        std::thread::spawn(move || serve_connection(stream, &state));
+    }
+}
+
+/// Serves one socket until it closes: requests are answered in order on
+/// the same connection (HTTP/1.1 keep-alive) unless the client asked to
+/// close, the request was malformed, or the server is draining. An SSE
+/// subscription takes the connection over and ends it.
+fn serve_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    loop {
+        let request = match http::read_request(&mut stream) {
+            Ok(r) => r,
+            Err(ReadError::Closed) => return,
+            Err(e @ ReadError::TooLarge) => {
+                return http::write_response(&mut stream, 413, &error_body(&e.to_string()), false);
+            }
+            Err(e) => {
+                return http::write_response(&mut stream, 400, &error_body(&e.to_string()), false);
+            }
+        };
+        let _span = bbgnn_obs::span!(
+            "serve/request",
+            method = request.method.as_str(),
+            path = request.path.as_str()
+        );
+        let keep = !request.close && !state.stopping();
+        if let Some(id) = sse_target(&request) {
+            if state.job_phase(id).is_some() {
+                drop(_span);
+                return stream_events(&mut stream, state, id);
+            }
+            http::write_response(&mut stream, 404, &error_body(&format!("no job {id}")), keep);
+        } else {
+            let (status, body) = route(state, &request);
+            http::write_response(&mut stream, status, &body, keep);
+        }
+        if !keep {
+            return;
         }
     }
 }
 
-fn handle(stream: &mut TcpStream, state: &Arc<ServerState>) {
-    let request = match http::read_request(stream) {
-        Ok(r) => r,
-        Err(ReadError::TooLarge) => {
-            let e = ReadError::TooLarge.to_string();
-            return http::write_response(stream, 413, &error_body(&e));
+/// `GET /jobs/:id/events` → the job id, anything else → `None`.
+fn sse_target(request: &Request) -> Option<u64> {
+    if request.method != "GET" {
+        return None;
+    }
+    request
+        .path
+        .strip_prefix("/jobs/")?
+        .strip_suffix("/events")?
+        .parse()
+        .ok()
+}
+
+/// Streams a job's lifecycle as Server-Sent Events: one event per tick
+/// named after the phase (`queued`/`progress`/`done`/`cancelled`), with
+/// the `GET /jobs/:id` snapshot as compact-JSON data. The stream ends —
+/// by connection close, as SSE specifies — after the terminal event, on
+/// server drain, or when the client goes away.
+fn stream_events(stream: &mut TcpStream, state: &ServerState, id: u64) {
+    bbgnn_obs::counter("serve/sse_streams", 1);
+    if http::write_sse_header(stream).is_err() {
+        return;
+    }
+    loop {
+        let Some((phase, doc)) = state.job_event(id) else {
+            return;
+        };
+        let name = match phase {
+            JobPhase::Queued => "queued",
+            JobPhase::Running => "progress",
+            JobPhase::Done => "done",
+            JobPhase::Cancelled => "cancelled",
+        };
+        if http::write_sse_event(stream, name, &doc.to_compact()).is_err() {
+            return; // client went away
         }
-        Err(e) => return http::write_response(stream, 400, &error_body(&e.to_string())),
-    };
-    let _span = bbgnn_obs::span!(
-        "serve/request",
-        method = request.method.as_str(),
-        path = request.path.as_str()
-    );
-    let (status, body) = route(state, &request);
-    http::write_response(stream, status, &body);
+        if matches!(phase, JobPhase::Done | JobPhase::Cancelled) || state.stopping() {
+            return;
+        }
+        // lint: allow(clock) reason=SSE poll interval for live progress streaming, not experiment code
+        std::thread::sleep(SSE_TICK);
+    }
 }
 
 fn error_body(message: &str) -> String {
@@ -166,6 +249,8 @@ fn route(state: &Arc<ServerState>, request: &Request) -> (u16, String) {
                     Json::number_usize(state.queue_depth()),
                 ),
                 ("capacity".to_string(), Json::number_usize(state.capacity())),
+                ("workers".to_string(), Json::number_usize(state.workers())),
+                ("running".to_string(), Json::number_usize(state.running())),
             ])
             .to_pretty(),
         ),
@@ -238,10 +323,10 @@ fn submit(state: &Arc<ServerState>, body: &str) -> (u16, String) {
     }
 }
 
-fn worker_loop(state: &Arc<ServerState>) {
+fn worker_loop(state: &Arc<ServerState>, worker_threads: usize) {
     loop {
-        // A process-global cancel that survives between jobs was not a
-        // DELETE (those are consumed in `run_one`): it is the shared
+        // A process-global cancel is never raised by a DELETE any more
+        // (those cancel the job's own scope): it is the shared
         // SIGINT/SIGTERM handler, so drain the server.
         if bbgnn_supervise::cancel_requested() {
             state.stop();
@@ -249,25 +334,29 @@ fn worker_loop(state: &Arc<ServerState>) {
         match state.next_job(WORKER_WAIT) {
             Popped::Stop => break,
             Popped::Idle => continue,
-            Popped::Work(id, job) => run_one(state, id, *job),
+            Popped::Work(id, job) => run_one(state, id, *job, worker_threads),
         }
     }
 }
 
-/// Runs one job: fresh supervision slate, store-warm replay when an
-/// identical completed spec is recorded, otherwise a full [`Job::run`]
-/// with the job's own budget installed.
-fn run_one(state: &ServerState, id: u64, job: Job) {
-    bbgnn_supervise::shutdown();
+/// Runs one job: store-warm replay when an identical completed spec is
+/// recorded, otherwise a full [`Job::run`] — which enters the job's own
+/// supervision scope and installs its budget there, so nothing global
+/// needs resetting between tenants.
+fn run_one(state: &ServerState, id: u64, job: Job, worker_threads: usize) {
     let spec = job.spec().clone();
     let warm = replay(&spec, &job);
     let (result, warm) = match warm {
         Some(result) => (result, true),
         None => {
-            if let Some(budget) = job.budget() {
-                bbgnn_supervise::install_budget(&budget);
-            }
-            let ctx = ExecContext::with_threads(spec.threads);
+            // An explicit per-spec thread count wins; otherwise the job
+            // gets this worker's even share of the core budget.
+            let threads = if spec.threads > 0 {
+                spec.threads
+            } else {
+                worker_threads
+            };
+            let ctx = ExecContext::with_threads(threads);
             let result = job.run(&ctx);
             if let Some(record) = JobRecord::from_result(&result) {
                 bbgnn_store::publish(&JobRecord::key_for(&spec), &record);
@@ -276,11 +365,6 @@ fn run_one(state: &ServerState, id: u64, job: Job) {
         }
     };
     state.finish(id, result, warm);
-    if state.take_delete_request(id) {
-        // The global cancel belonged to this job's DELETE; a fresh slate
-        // keeps it from draining the server or leaking into the next job.
-        bbgnn_supervise::shutdown();
-    }
     // Push span/counter aggregates to the trace sink (CI greps it) and
     // fold them into the live mirror for progress snapshots.
     bbgnn_obs::flush();
@@ -306,7 +390,7 @@ fn replay(spec: &JobSpec, job: &Job) -> Option<CellResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::{Read, Write};
+    use std::io::{BufRead, BufReader, Read, Write};
 
     /// These tests mutate process-global state (supervision slates, the
     /// store, the obs live mirror); serialize them.
@@ -320,7 +404,9 @@ mod tests {
         guard
     }
 
-    /// Minimal HTTP client: one request, one response.
+    /// Minimal HTTP client: one request, one response, connection closed
+    /// (the server honors `Connection: close`, so `read_to_string` sees
+    /// EOF instead of waiting out the keep-alive idle timeout).
     fn call(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
         let mut stream = TcpStream::connect(addr).unwrap();
         stream
@@ -328,7 +414,7 @@ mod tests {
             .unwrap();
         write!(
             stream,
-            "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
             body.len()
         )
         .unwrap();
@@ -454,7 +540,8 @@ mod tests {
 
         // DELETE the running job: acknowledged as `cancelling`, resolves
         // to `cancelled`, and the queued job still runs to completion —
-        // the global cancel the DELETE raised must not leak.
+        // the cancel lives in the deleted job's own scope and must not
+        // leak into its successor.
         let (status, body) = call(addr, "DELETE", &format!("/jobs/{heavy_id}"), "");
         assert_eq!(status, 200);
         assert_eq!(get_field(&body, "state"), "cancelling", "{body}");
@@ -473,5 +560,191 @@ mod tests {
         let (status, _) = call(addr, "POST", "/shutdown", "");
         assert_eq!(status, 200);
         server.wait();
+    }
+
+    #[test]
+    fn keepalive_serves_sequential_requests_on_one_socket() {
+        let _guard = locked();
+        let server = Server::start("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        for i in 0..3 {
+            write!(
+                reader.get_mut(),
+                "GET /health HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+            )
+            .unwrap();
+            let (status, headers) = read_head(&mut reader);
+            assert_eq!(status, 200, "request {i}");
+            let len: usize = header_value(&headers, "content-length").parse().unwrap();
+            let mut body = vec![0u8; len];
+            reader.read_exact(&mut body).unwrap();
+            assert!(String::from_utf8(body).unwrap().contains("\"ok\": true"));
+            assert!(
+                header_value(&headers, "connection").contains("keep-alive"),
+                "request {i}: {headers}"
+            );
+        }
+        // An explicit close is honored: the server answers and hangs up.
+        write!(
+            reader.get_mut(),
+            "GET /health HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut rest = String::new();
+        reader.read_to_string(&mut rest).unwrap(); // EOF = server closed
+        assert!(rest.starts_with("HTTP/1.1 200"), "{rest}");
+        server.shutdown();
+    }
+
+    /// Reads one response head off a keep-alive socket: `(status, headers)`.
+    fn read_head(reader: &mut BufReader<TcpStream>) -> (u16, String) {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let status: u16 = line.split(' ').nth(1).unwrap().parse().unwrap();
+        let mut headers = String::new();
+        loop {
+            let mut h = String::new();
+            reader.read_line(&mut h).unwrap();
+            if h == "\r\n" {
+                return (status, headers);
+            }
+            headers.push_str(&h);
+        }
+    }
+
+    fn header_value(headers: &str, name: &str) -> String {
+        headers
+            .lines()
+            .find_map(|l| {
+                let (k, v) = l.split_once(':')?;
+                k.eq_ignore_ascii_case(name).then(|| v.trim().to_string())
+            })
+            .unwrap_or_default()
+    }
+
+    #[test]
+    fn two_workers_run_concurrent_jobs_byte_identical_to_sequential() {
+        let _guard = locked();
+        let server = Server::start_with("127.0.0.1:0", 4, 2).unwrap();
+        let addr = server.addr();
+
+        // Two different specs, expected values computed sequentially
+        // in-process. Byte-identity is the §2 determinism contract: the
+        // pool partitions cores, and thread count never changes results.
+        let spec_a = SMALL;
+        let spec_b =
+            r#"{"dataset": "cora", "eval": {"kind": "accuracy", "runs": 1, "scale": 0.1}}"#;
+        let expected_a = Job::new(JobSpec::parse(spec_a).unwrap())
+            .unwrap()
+            .run(&ExecContext::from_env());
+        let expected_b = Job::new(JobSpec::parse(spec_b).unwrap())
+            .unwrap()
+            .run(&ExecContext::from_env());
+        assert_ne!(expected_a.value, expected_b.value);
+
+        let (status, body) = call(addr, "POST", "/jobs", spec_a);
+        assert_eq!(status, 200, "{body}");
+        let id_a = get_field(&body, "id").to_string();
+        let (status, body) = call(addr, "POST", "/jobs", spec_b);
+        assert_eq!(status, 200, "{body}");
+        let id_b = get_field(&body, "id").to_string();
+
+        let done_a = poll_until(addr, &id_a, &["done"]);
+        let done_b = poll_until(addr, &id_b, &["done"]);
+        assert_eq!(get_field(&done_a, "value"), expected_a.value);
+        assert_eq!(get_field(&done_b, "value"), expected_b.value);
+        server.shutdown();
+    }
+
+    #[test]
+    fn deleting_one_concurrent_job_leaves_its_sibling_running() {
+        let _guard = locked();
+        let server = Server::start_with("127.0.0.1:0", 4, 2).unwrap();
+        let addr = server.addr();
+
+        // Two heavy jobs so both are mid-run when the DELETE lands.
+        let heavy =
+            r#"{"dataset": "cora", "defense": "Pro-GNN", "eval": {"runs": 3, "scale": 0.3}}"#;
+        let heavy2 =
+            r#"{"dataset": "cora", "defense": "Pro-GNN", "eval": {"runs": 3, "scale": 0.25}}"#;
+        let (status, body) = call(addr, "POST", "/jobs", heavy);
+        assert_eq!(status, 200, "{body}");
+        let victim = get_field(&body, "id").to_string();
+        let (status, body) = call(addr, "POST", "/jobs", heavy2);
+        assert_eq!(status, 200, "{body}");
+        let survivor = get_field(&body, "id").to_string();
+        poll_until(addr, &victim, &["running"]);
+        poll_until(addr, &survivor, &["running"]);
+
+        // Cancel the first: only its own scope stops. The sibling — and
+        // the server — keep going to a clean result.
+        let (status, body) = call(addr, "DELETE", &format!("/jobs/{victim}"), "");
+        assert_eq!(status, 200);
+        assert_eq!(get_field(&body, "state"), "cancelling", "{body}");
+        let gone = poll_until(addr, &victim, &["cancelled"]);
+        assert_eq!(get_field(&gone, "value"), bbgnn_scenario::job::FAILED_CELL);
+        let done = poll_until(addr, &survivor, &["done"]);
+        assert_eq!(get_field(&done, "outcome"), "ok", "{done}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn sse_stream_follows_a_job_to_its_terminal_event() {
+        let _guard = locked();
+        let server = Server::start("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr();
+
+        // Unknown job: plain 404, not a stream.
+        let (status, _) = call(addr, "GET", "/jobs/999/events", "");
+        assert_eq!(status, 404);
+
+        let (status, body) = call(addr, "POST", "/jobs", SMALL);
+        assert_eq!(status, 200, "{body}");
+        let id = get_field(&body, "id").to_string();
+
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(120)))
+            .unwrap();
+        write!(
+            stream,
+            "GET /jobs/{id}/events HTTP/1.1\r\nHost: t\r\nContent-Length: 0\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).unwrap(); // server closes after terminal event
+        let (head, frames) = raw.split_once("\r\n\r\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/event-stream"), "{head}");
+
+        // Every frame is `event:` + single-line `data:` + blank line, and
+        // the stream ends with exactly one terminal event.
+        let events: Vec<(&str, &str)> = frames
+            .split("\n\n")
+            .filter(|f| !f.trim().is_empty())
+            .map(|f| {
+                let mut lines = f.lines();
+                let event = lines.next().unwrap().strip_prefix("event: ").unwrap();
+                let data = lines.next().unwrap().strip_prefix("data: ").unwrap();
+                assert_eq!(lines.next(), None, "multi-line frame: {f:?}");
+                (event, data)
+            })
+            .collect();
+        assert!(!events.is_empty());
+        let (last_event, last_data) = events[events.len() - 1];
+        assert_eq!(last_event, "done", "{events:?}");
+        assert!(last_data.contains("\"state\":\"done\""), "{last_data}");
+        assert!(
+            events[..events.len() - 1]
+                .iter()
+                .all(|(e, _)| matches!(*e, "queued" | "progress")),
+            "{events:?}"
+        );
+        server.shutdown();
     }
 }

@@ -1,12 +1,21 @@
 //! Shared server state: the job table, the bounded FIFO queue, and the
 //! store-backed result cache.
 //!
-//! One `Mutex<Inner>` + `Condvar` pair coordinates the HTTP threads
-//! (submit / snapshot / cancel) with the single worker thread (pop /
+//! One `Mutex<Inner>` + `Condvar` pair coordinates the HTTP connection
+//! threads (submit / snapshot / cancel / SSE) with the worker pool (pop /
 //! finish). Locks are held only for table mutation — never across a job
 //! run or an I/O call — and every acquisition goes through
 //! [`PoisonError::into_inner`]: a panic while holding the lock must not
 //! wedge the whole server.
+//!
+//! ## Per-job supervision
+//!
+//! Every entry holds its job's [`SupervisionScope`]: `DELETE /jobs/:id`
+//! cancels that scope and nothing else, progress snapshots read that
+//! scope's counters and nothing else. Nothing here touches the
+//! process-default supervision domain, so concurrent jobs cannot stop or
+//! account for one another, and a SIGINT (which *is* the default domain)
+//! still drains the whole server.
 //!
 //! ## Admission
 //!
@@ -31,9 +40,9 @@ use bbgnn_scenario::job::{CellResult, Job, JobSpec};
 use bbgnn_scenario::json::Json;
 use bbgnn_store::format::{Artifact, Reader, Writer};
 use bbgnn_store::Key;
-use bbgnn_supervise::CancelToken;
+use bbgnn_supervise::SupervisionScope;
 use std::collections::{BTreeMap, VecDeque};
-use std::sync::{Condvar, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Where a submitted job is in its lifecycle.
@@ -68,13 +77,12 @@ struct JobEntry {
     key: String,
     fingerprint: String,
     phase: JobPhase,
-    /// The resolved job, parked here until the worker takes it.
+    /// The resolved job, parked here until a worker takes it.
     job: Option<Job>,
-    /// Cancels the parked/running job (shared with [`Job`]'s own token).
-    cancel: CancelToken,
-    /// `DELETE` was issued while the job ran; the worker clears the
-    /// process-global cancel it implied once the job has wound down.
-    delete_requested: bool,
+    /// The job's own supervision scope (shared with the [`Job`]):
+    /// `DELETE` cancels it, progress snapshots read its counters. Scoped,
+    /// so neither ever touches a sibling job.
+    scope: Arc<SupervisionScope>,
     /// Result, once finished (also set for mid-run cancellations, whose
     /// outcome is `skipped`).
     result: Option<CellResult>,
@@ -115,15 +123,87 @@ pub struct ServerState {
     inner: Mutex<Inner>,
     work: Condvar,
     capacity: usize,
+    workers: usize,
 }
 
 fn lock(m: &Mutex<Inner>) -> std::sync::MutexGuard<'_, Inner> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
+fn running_count(inner: &Inner) -> usize {
+    inner
+        .jobs
+        .values()
+        .filter(|e| e.phase == JobPhase::Running)
+        .count()
+}
+
+fn job_json_locked(inner: &Inner, id: u64) -> Option<Json> {
+    let entry = inner.jobs.get(&id)?;
+    let mut pairs = vec![
+        ("id".to_string(), Json::number_u64(id)),
+        ("state".to_string(), Json::string(entry.phase.as_str())),
+        ("key".to_string(), Json::string(&entry.key)),
+        ("fingerprint".to_string(), Json::string(&entry.fingerprint)),
+        ("spec".to_string(), entry.spec.to_json()),
+    ];
+    if entry.phase == JobPhase::Queued {
+        let position = inner.queue.iter().position(|&q| q == id);
+        if let Some(p) = position {
+            pairs.push(("queue_position".to_string(), Json::number_usize(p)));
+        }
+    }
+    if let Some(result) = &entry.result {
+        let mut r = vec![
+            ("value".to_string(), Json::string(&result.value)),
+            ("outcome".to_string(), Json::string(result.outcome.as_str())),
+            ("attempts".to_string(), Json::number_usize(result.attempts)),
+            ("warm".to_string(), Json::Bool(entry.warm)),
+            (
+                "artifacts".to_string(),
+                Json::Array(result.artifacts.iter().map(Json::string).collect()),
+            ),
+        ];
+        if let Some(detail) = &result.detail {
+            r.push(("detail".to_string(), Json::string(detail)));
+        }
+        pairs.push(("result".to_string(), Json::object(r)));
+    }
+    if entry.phase == JobPhase::Running {
+        let counters = bbgnn_obs::live::snapshot();
+        pairs.push((
+            "progress".to_string(),
+            Json::object([
+                (
+                    "epochs".to_string(),
+                    Json::number_u64(entry.scope.epochs_used()),
+                ),
+                (
+                    "queries".to_string(),
+                    Json::number_u64(entry.scope.queries_used()),
+                ),
+                (
+                    "peak_bytes".to_string(),
+                    Json::number_u64(entry.scope.peak_bytes()),
+                ),
+                (
+                    "counters".to_string(),
+                    Json::object(
+                        counters
+                            .into_iter()
+                            .map(|(k, v)| (k.to_string(), Json::number_u64(v))),
+                    ),
+                ),
+            ]),
+        ));
+    }
+    Some(Json::object(pairs))
+}
+
 impl ServerState {
-    /// Fresh state with a queue bounded at `capacity` pending jobs.
-    pub fn new(capacity: usize) -> ServerState {
+    /// Fresh state with a queue bounded at `capacity` pending jobs,
+    /// serviced by a pool of `workers` worker threads.
+    pub fn new(capacity: usize, workers: usize) -> ServerState {
         ServerState {
             inner: Mutex::new(Inner {
                 next_id: 1,
@@ -133,12 +213,23 @@ impl ServerState {
             }),
             work: Condvar::new(),
             capacity,
+            workers: workers.max(1),
         }
     }
 
     /// The queue bound.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The worker pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Jobs currently in the `running` phase (≤ the pool size).
+    pub fn running(&self) -> usize {
+        running_count(&lock(&self.inner))
     }
 
     /// Pending (queued, not yet running) jobs.
@@ -159,14 +250,18 @@ impl ServerState {
         }
         let id = inner.next_id;
         inner.next_id += 1;
+        let scope = job.scope();
+        // Activate accounting up front: progress counters populate even
+        // for an unbudgeted job (there is nothing to trip — activation
+        // installs no cap).
+        scope.activate();
         let entry = JobEntry {
             key: job.key().to_string(),
             fingerprint: spec.fingerprint(),
             spec,
             phase: JobPhase::Queued,
-            cancel: job.cancel_token(),
+            scope,
             job: Some(job),
-            delete_requested: false,
             result: None,
             warm: false,
         };
@@ -200,8 +295,10 @@ impl ServerState {
                 let Some(job) = entry.job.take() else {
                     continue;
                 };
+                let busy = running_count(&inner);
                 drop(inner);
                 bbgnn_obs::event!("serve/job_state", id = id, state = "running");
+                bbgnn_obs::event!("serve/workers_busy", busy = busy, workers = self.workers);
                 return Popped::Work(id, Box::new(job));
             }
             let (guard, timeout) = self
@@ -231,6 +328,7 @@ impl ServerState {
         entry.result = Some(result);
         entry.warm = warm;
         let state = entry.phase.as_str();
+        let busy = running_count(&inner);
         drop(inner);
         let ctr = if cancelled {
             "serve/jobs_cancelled"
@@ -239,34 +337,21 @@ impl ServerState {
         };
         bbgnn_obs::counter(ctr, 1);
         bbgnn_obs::event!("serve/job_state", id = id, state = state);
-    }
-
-    /// Worker side: whether `DELETE` hit this job mid-run — and if so,
-    /// acknowledges it, so the worker knows the process-global cancel was
-    /// this job's and clears it before the next one.
-    pub fn take_delete_request(&self, id: u64) -> bool {
-        let mut inner = lock(&self.inner);
-        match inner.jobs.get_mut(&id) {
-            Some(entry) if entry.delete_requested => {
-                entry.delete_requested = false;
-                true
-            }
-            _ => false,
-        }
+        bbgnn_obs::event!("serve/workers_busy", busy = busy, workers = self.workers);
     }
 
     /// `DELETE /jobs/:id`. Queued jobs flip straight to `cancelled`;
-    /// running jobs get their token cancelled *and* a process-global
-    /// cancel (the in-flight training loop only watches global check
-    /// sites), and report `cancelling` until the worker winds them down.
-    /// Returns the resulting state name, or `None` for an unknown id.
+    /// running jobs get their *scope* cancelled — which every check site
+    /// the job reaches observes, and no sibling job does — and report
+    /// `cancelling` until their worker winds them down. Returns the
+    /// resulting state name, or `None` for an unknown id.
     pub fn cancel(&self, id: u64) -> Option<&'static str> {
         let mut inner = lock(&self.inner);
         let entry = inner.jobs.get_mut(&id)?;
         match entry.phase {
             JobPhase::Queued => {
                 entry.phase = JobPhase::Cancelled;
-                entry.cancel.cancel();
+                entry.scope.cancel();
                 entry.job = None;
                 drop(inner);
                 bbgnn_obs::counter("serve/jobs_cancelled", 1);
@@ -274,12 +359,8 @@ impl ServerState {
                 Some("cancelled")
             }
             JobPhase::Running => {
-                entry.delete_requested = true;
-                entry.cancel.cancel();
+                entry.scope.cancel();
                 drop(inner);
-                // The token only gates attempt boundaries; the global flag
-                // reaches the supervised loops inside the attempt.
-                bbgnn_supervise::request_cancel();
                 bbgnn_obs::event!("serve/job_state", id = id, state = "cancelling");
                 Some("cancelling")
             }
@@ -300,71 +381,27 @@ impl ServerState {
         lock(&self.inner).stopping
     }
 
-    /// The `GET /jobs/:id` snapshot. Progress numbers (supervision
-    /// accounting + live counters) describe the process-wide run — with
-    /// the single sequential worker that is exactly the running job.
+    /// The `GET /jobs/:id` snapshot. Progress numbers come from the
+    /// job's own [`SupervisionScope`] — isolated per job even with a
+    /// concurrent worker pool — plus the obs live-mirror counters (which
+    /// are process-wide and so describe the whole pool).
     pub fn job_json(&self, id: u64) -> Option<Json> {
         let inner = lock(&self.inner);
-        let entry = inner.jobs.get(&id)?;
-        let mut pairs = vec![
-            ("id".to_string(), Json::number_u64(id)),
-            ("state".to_string(), Json::string(entry.phase.as_str())),
-            ("key".to_string(), Json::string(&entry.key)),
-            ("fingerprint".to_string(), Json::string(&entry.fingerprint)),
-            ("spec".to_string(), entry.spec.to_json()),
-        ];
-        if entry.phase == JobPhase::Queued {
-            let position = inner.queue.iter().position(|&q| q == id);
-            if let Some(p) = position {
-                pairs.push(("queue_position".to_string(), Json::number_usize(p)));
-            }
-        }
-        if let Some(result) = &entry.result {
-            let mut r = vec![
-                ("value".to_string(), Json::string(&result.value)),
-                ("outcome".to_string(), Json::string(result.outcome.as_str())),
-                ("attempts".to_string(), Json::number_usize(result.attempts)),
-                ("warm".to_string(), Json::Bool(entry.warm)),
-                (
-                    "artifacts".to_string(),
-                    Json::Array(result.artifacts.iter().map(Json::string).collect()),
-                ),
-            ];
-            if let Some(detail) = &result.detail {
-                r.push(("detail".to_string(), Json::string(detail)));
-            }
-            pairs.push(("result".to_string(), Json::object(r)));
-        }
-        if entry.phase == JobPhase::Running {
-            let counters = bbgnn_obs::live::snapshot();
-            pairs.push((
-                "progress".to_string(),
-                Json::object([
-                    (
-                        "epochs".to_string(),
-                        Json::number_u64(bbgnn_supervise::epochs_used()),
-                    ),
-                    (
-                        "queries".to_string(),
-                        Json::number_u64(bbgnn_supervise::queries_used()),
-                    ),
-                    (
-                        "peak_bytes".to_string(),
-                        Json::number_u64(bbgnn_supervise::peak_bytes()),
-                    ),
-                    (
-                        "counters".to_string(),
-                        Json::object(
-                            counters
-                                .into_iter()
-                                .map(|(k, v)| (k.to_string(), Json::number_u64(v))),
-                        ),
-                    ),
-                ]),
-            ));
-        }
-        drop(inner);
-        Some(Json::object(pairs))
+        job_json_locked(&inner, id)
+    }
+
+    /// The phase of a job, or `None` for an unknown id.
+    pub fn job_phase(&self, id: u64) -> Option<JobPhase> {
+        lock(&self.inner).jobs.get(&id).map(|e| e.phase)
+    }
+
+    /// One SSE tick's view of a job: its phase and its snapshot document,
+    /// read under a single lock so they cannot disagree.
+    pub fn job_event(&self, id: u64) -> Option<(JobPhase, Json)> {
+        let inner = lock(&self.inner);
+        let phase = inner.jobs.get(&id)?.phase;
+        let doc = job_json_locked(&inner, id)?;
+        Some((phase, doc))
     }
 
     /// The `GET /jobs` index: id, state, and key per job, in id order.
@@ -502,7 +539,7 @@ mod tests {
 
     #[test]
     fn submit_is_fifo_and_bounded() {
-        let state = ServerState::new(2);
+        let state = ServerState::new(2, 1);
         let a = state.submit(spec()).unwrap();
         let b = state.submit(spec()).unwrap();
         assert_eq!(state.submit(spec()), Err(Refused::QueueFull));
@@ -521,7 +558,7 @@ mod tests {
 
     #[test]
     fn unknown_names_bounce_at_submission() {
-        let state = ServerState::new(4);
+        let state = ServerState::new(4, 1);
         let mut bad = spec();
         bad.defense = Some("Vaccine".to_string());
         match state.submit(bad) {
@@ -532,7 +569,7 @@ mod tests {
 
     #[test]
     fn queued_cancel_skips_the_worker_entirely() {
-        let state = ServerState::new(4);
+        let state = ServerState::new(4, 1);
         let id = state.submit(spec()).unwrap();
         assert_eq!(state.cancel(id), Some("cancelled"));
         assert!(matches!(
@@ -547,7 +584,7 @@ mod tests {
 
     #[test]
     fn finish_classifies_and_snapshots_report_results() {
-        let state = ServerState::new(4);
+        let state = ServerState::new(4, 1);
         let id = state.submit(spec()).unwrap();
         let Popped::Work(wid, job) = state.next_job(Duration::from_millis(1)) else {
             panic!("expected work");
@@ -573,7 +610,7 @@ mod tests {
 
     #[test]
     fn stopping_refuses_submissions_and_stops_the_worker() {
-        let state = ServerState::new(4);
+        let state = ServerState::new(4, 1);
         state.stop();
         assert_eq!(state.submit(spec()), Err(Refused::Stopping));
         assert!(matches!(

@@ -12,11 +12,22 @@
 //! byte-identical with or without a supervisor installed.
 //!
 //! Like `bbgnn-obs` and `bbgnn-store`, the whole layer is off by default
-//! and costs one relaxed atomic load per check when off. It activates only
-//! when a budget is installed (`--deadline` / `--budget` /
-//! `BBGNN_DEADLINE` / `BBGNN_BUDGET`), a fault plan is installed
-//! (`BBGNN_FAULTS`), or cancellation is requested (SIGINT/SIGTERM via
-//! [`signal::install`], or [`request_cancel`]).
+//! and costs one relaxed atomic load plus one thread-local probe per
+//! check when off. It activates only when a budget is installed
+//! (`--deadline` / `--budget` / `BBGNN_DEADLINE` / `BBGNN_BUDGET`), a
+//! fault plan is installed (`BBGNN_FAULTS`), cancellation is requested
+//! (SIGINT/SIGTERM via [`signal::install`], or [`request_cancel`]), or
+//! the calling thread has entered an active [`SupervisionScope`].
+//!
+//! ## Two domains: process-default and scoped
+//!
+//! The globals in this module are the **process-default domain** — what
+//! the CLI binaries, the signal handler, and `InfraFlags` configure.
+//! Multi-tenant callers (`bbgnn-serve`) give each job its own
+//! [`SupervisionScope`] instead (see [`scope`]): per-scope cancel,
+//! deadline, and budget accounting that never leaks to a sibling job.
+//! The default domain always applies on top — SIGINT and a process-wide
+//! budget bound scoped work too — while a scope's stop never escapes it.
 //!
 //! Exceeding a budget degrades gracefully where the caller can hold a
 //! partial result (training returns best-so-far weights flagged
@@ -29,9 +40,11 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod fault;
+pub mod scope;
 pub mod signal;
 
 pub use fault::{fault_at, FaultShot, FAULT_SITES};
+pub use scope::{current_scope, enter, ScopeGuard, SupervisionScope};
 
 use bbgnn_errors::{BbgnnError, BbgnnResult};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -52,7 +65,7 @@ static ACTIVE: AtomicBool = AtomicBool::new(false);
 static CANCELLED: AtomicBool = AtomicBool::new(false);
 
 /// Sentinel for "no cap configured" in the budget atomics.
-const UNSET: u64 = u64::MAX;
+pub(crate) const UNSET: u64 = u64::MAX;
 
 /// Deadline as nanoseconds since [`anchor`]; `UNSET` = no deadline.
 static DEADLINE_NANOS: AtomicU64 = AtomicU64::new(UNSET);
@@ -81,13 +94,21 @@ static STOP_ANNOUNCED: AtomicBool = AtomicBool::new(false);
 /// only epoch/query/memory caps) no check site ever reads a clock, which
 /// is what keeps the off path byte-identical and the `clock` lint story
 /// honest: time gates loop *continuation* here, it never enters numerics.
-fn anchor() -> Instant {
+pub(crate) fn anchor() -> Instant {
     static ANCHOR: OnceLock<Instant> = OnceLock::new();
     *ANCHOR.get_or_init(Instant::now)
 }
 
-/// Whether any supervision (budget, faults, or cancellation) is active.
+/// Whether any supervision is active for the *current thread*: the
+/// process-default domain (budget, faults, or cancellation — one relaxed
+/// load), or an active [`SupervisionScope`] this thread has entered (one
+/// thread-local probe).
 pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) || scope::current_is_active()
+}
+
+/// Whether the process-default domain is active (scope state ignored).
+pub(crate) fn global_active() -> bool {
     ACTIVE.load(Ordering::Relaxed)
 }
 
@@ -264,18 +285,22 @@ pub fn init_from_env() -> Result<bool, String> {
 // ---------------------------------------------------------------------------
 
 /// Records `n` completed training epochs (any model). No-op while
-/// supervision is off.
+/// supervision is off. Counts land in the process-default counters *and*
+/// in the scope the calling thread has entered, if any.
 pub fn note_epochs(n: u64) {
     if enabled() {
         EPOCHS_USED.fetch_add(n, Ordering::Relaxed);
+        scope::with_current(|s| s.add_epochs(n));
     }
 }
 
 /// Records `n` attack queries / candidate edge scans. No-op while
-/// supervision is off.
+/// supervision is off. Counts land in the process-default counters *and*
+/// in the scope the calling thread has entered, if any.
 pub fn note_queries(n: u64) {
     if enabled() {
         QUERIES_USED.fetch_add(n, Ordering::Relaxed);
+        scope::with_current(|s| s.add_queries(n));
     }
 }
 
@@ -283,9 +308,11 @@ pub fn note_queries(n: u64) {
 /// max). Unlike the other accounting hooks this runs even while
 /// supervision is off *if* the caller already computed the value — but
 /// call sites gate on [`enabled`] themselves to stay zero-cost, so this
-/// simply takes the max.
+/// simply takes the max (into the default counters and the entered
+/// scope, if any).
 pub fn note_mem(peak_bytes: u64) {
     PEAK_BYTES.fetch_max(peak_bytes, Ordering::Relaxed);
+    scope::with_current(|s| s.max_mem(peak_bytes));
 }
 
 /// Training epochs recorded so far.
@@ -346,16 +373,40 @@ pub fn stop_reason(site: &str) -> Option<Stop> {
     if !enabled() {
         return None;
     }
-    let stop = stop_reason_slow()?;
-    if !STOP_ANNOUNCED.swap(true, Ordering::Relaxed) {
-        match &stop {
+    if global_active() {
+        if let Some(stop) = stop_reason_slow() {
+            announce_once(&STOP_ANNOUNCED, site, &stop);
+            return Some(stop);
+        }
+    }
+    let scope = scope::current_scope().filter(|s| s.is_active())?;
+    let stop = scope.local_stop()?;
+    announce_once(scope.announce_flag(), site, &stop);
+    Some(stop)
+}
+
+/// Emits the one-shot `supervise/stop` obs event guarded by `flag` — once
+/// per stop domain (the process-default domain or one scope), at the
+/// first check site that observes the stop.
+pub(crate) fn announce_once(flag: &AtomicBool, site: &str, stop: &Stop) {
+    if !flag.swap(true, Ordering::Relaxed) {
+        match stop {
             Stop::Cancelled => bbgnn_obs::event!("supervise/stop", site = site, why = "cancelled"),
             Stop::Budget { resource, .. } => {
                 bbgnn_obs::event!("supervise/stop", site = site, why = *resource)
             }
         }
     }
-    Some(stop)
+}
+
+/// The announce flag for the process-default domain.
+pub(crate) fn global_announce_flag() -> &'static AtomicBool {
+    &STOP_ANNOUNCED
+}
+
+/// The process-default domain's stop state (no scopes, no announce).
+pub(crate) fn global_stop_slow() -> Option<Stop> {
+    stop_reason_slow()
 }
 
 fn stop_reason_slow() -> Option<Stop> {

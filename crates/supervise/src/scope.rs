@@ -1,0 +1,402 @@
+//! Scoped supervision: per-scope cancellation, deadlines, and budget
+//! accounting (DESIGN.md §11) — the multi-tenant form of the
+//! process-global knobs in the crate root.
+//!
+//! A [`SupervisionScope`] carries exactly the state the globals do
+//! (cancel flag, deadline, epoch/query/memory caps and their used
+//! counters), but owned by one logical run instead of the process. A
+//! thread **enters** a scope ([`enter`]); while entered, every free
+//! function in the crate root ([`stop_reason`](crate::stop_reason),
+//! [`check`](crate::check), the `note_*` accounting hooks) consults the
+//! entered scope *in addition to* the process-default domain. The
+//! process-default domain — the globals the CLI binaries and the signal
+//! handler use — always takes precedence, so:
+//!
+//! * with no scope entered, behavior is byte-identical to the
+//!   pre-scope crate: one global domain, period;
+//! * SIGINT/SIGTERM ([`request_cancel`](crate::request_cancel)) reaches
+//!   every scope — a scoped job cannot outlive the process's will to die;
+//! * a process-wide budget (`--deadline` / `--budget`) bounds scoped
+//!   work too, while a *scope's* budget or cancel never leaks to a
+//!   sibling scope or to the default domain.
+//!
+//! Scope entry is thread-local. Kernel regions propagate the submitting
+//! thread's scope into their pool workers (see
+//! `ThreadPool::for_each_row_band`), so check sites reached from inside
+//! a parallel region — the GF-Attack eigensolver exception of §11 —
+//! observe the same scope as the thread that launched the region.
+
+use crate::{RunBudget, Stop, UNSET};
+use bbgnn_errors::BbgnnResult;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Per-scope supervision state: one logical run's cancel flag, budget
+/// caps, and accounting counters.
+///
+/// Constructed with [`SupervisionScope::new`] (an `Arc`, because the
+/// scope is shared between the thread running the work and whoever may
+/// cancel or observe it — in `bbgnn-serve`, the HTTP threads). All
+/// operations are atomic loads/stores; a scope is safe to poke from any
+/// thread.
+pub struct SupervisionScope {
+    /// Scope gate: accounting and stop checks are live. Set by
+    /// [`activate`](Self::activate), [`install_budget`](Self::install_budget),
+    /// and [`cancel`](Self::cancel).
+    active: AtomicBool,
+    cancelled: AtomicBool,
+    /// Deadline as nanoseconds since the process [`anchor`](crate::anchor);
+    /// `UNSET` = none.
+    deadline_nanos: AtomicU64,
+    deadline_limit_secs: AtomicU64,
+    epoch_cap: AtomicU64,
+    query_cap: AtomicU64,
+    mem_cap: AtomicU64,
+    epochs_used: AtomicU64,
+    queries_used: AtomicU64,
+    peak_bytes: AtomicU64,
+    stop_announced: AtomicBool,
+}
+
+impl SupervisionScope {
+    /// A fresh, inactive scope. Until it is activated, cancelled, or
+    /// given a budget, entering it changes nothing observable.
+    pub fn new() -> Arc<SupervisionScope> {
+        Arc::new(SupervisionScope {
+            active: AtomicBool::new(false),
+            cancelled: AtomicBool::new(false),
+            deadline_nanos: AtomicU64::new(UNSET),
+            deadline_limit_secs: AtomicU64::new(UNSET),
+            epoch_cap: AtomicU64::new(UNSET),
+            query_cap: AtomicU64::new(UNSET),
+            mem_cap: AtomicU64::new(UNSET),
+            epochs_used: AtomicU64::new(0),
+            queries_used: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+            stop_announced: AtomicBool::new(false),
+        })
+    }
+
+    /// Turns accounting on without installing any cap: the `note_*`
+    /// hooks record into this scope from here on, so progress counters
+    /// (`bbgnn-serve`'s `GET /jobs/:id` and SSE snapshots) are populated
+    /// even for an unbudgeted job. Stop checks stay vacuous (nothing to
+    /// trip).
+    pub fn activate(&self) {
+        self.active.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this scope participates in checks/accounting at all.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// Requests cooperative cancellation of this scope only. Siblings
+    /// and the process-default domain are untouched. Idempotent; atomic
+    /// stores only.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+        self.active.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether this scope (or the whole process) was cancelled.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed) || crate::cancel_requested()
+    }
+
+    /// Installs `budget` into this scope. An empty budget is a no-op.
+    /// The deadline clock starts now. Mirrors
+    /// [`install_budget`](crate::install_budget), scoped.
+    pub fn install_budget(&self, budget: &RunBudget) {
+        if budget.is_empty() {
+            return;
+        }
+        if let Some(d) = budget.deadline {
+            let at = crate::anchor().elapsed() + d;
+            self.deadline_nanos.store(
+                u64::try_from(at.as_nanos()).unwrap_or(UNSET - 1),
+                Ordering::Relaxed,
+            );
+            self.deadline_limit_secs
+                .store(d.as_secs(), Ordering::Relaxed);
+        }
+        if let Some(e) = budget.epochs {
+            self.epoch_cap.store(e, Ordering::Relaxed);
+        }
+        if let Some(q) = budget.queries {
+            self.query_cap.store(q, Ordering::Relaxed);
+        }
+        if let Some(m) = budget.mem_bytes {
+            self.mem_cap.store(m, Ordering::Relaxed);
+        }
+        self.active.store(true, Ordering::Relaxed);
+    }
+
+    /// The scoped check: first the process-default domain (global
+    /// cancel *and* global budget — SIGINT and `--deadline` bound scoped
+    /// work too), then this scope's own cancel/budget state. Announces
+    /// the stop once per domain on the obs stream, exactly like
+    /// [`stop_reason`](crate::stop_reason).
+    pub fn stop_reason(&self, site: &str) -> Option<Stop> {
+        if crate::global_active() {
+            if let Some(stop) = crate::global_stop_slow() {
+                crate::announce_once(crate::global_announce_flag(), site, &stop);
+                return Some(stop);
+            }
+        }
+        if !self.is_active() {
+            return None;
+        }
+        let stop = self.local_stop()?;
+        crate::announce_once(&self.stop_announced, site, &stop);
+        Some(stop)
+    }
+
+    /// [`stop_reason`](Self::stop_reason) as a `Result`, naming the
+    /// check site.
+    pub fn check(&self, site: &str) -> BbgnnResult<()> {
+        match self.stop_reason(site) {
+            None => Ok(()),
+            Some(stop) => Err(stop.into_error(site)),
+        }
+    }
+
+    /// This scope's own stop state (no global domain, no announce):
+    /// cancel first, then each cap against this scope's counters.
+    pub(crate) fn local_stop(&self) -> Option<Stop> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Some(Stop::Cancelled);
+        }
+        let deadline = self.deadline_nanos.load(Ordering::Relaxed);
+        if deadline != UNSET {
+            let now = u64::try_from(crate::anchor().elapsed().as_nanos()).unwrap_or(u64::MAX);
+            if now >= deadline {
+                return Some(Stop::Budget {
+                    resource: "deadline",
+                    limit: self.deadline_limit_secs.load(Ordering::Relaxed),
+                });
+            }
+        }
+        let epoch_cap = self.epoch_cap.load(Ordering::Relaxed);
+        if epoch_cap != UNSET && self.epochs_used.load(Ordering::Relaxed) >= epoch_cap {
+            return Some(Stop::Budget {
+                resource: "epochs",
+                limit: epoch_cap,
+            });
+        }
+        let query_cap = self.query_cap.load(Ordering::Relaxed);
+        if query_cap != UNSET && self.queries_used.load(Ordering::Relaxed) >= query_cap {
+            return Some(Stop::Budget {
+                resource: "queries",
+                limit: query_cap,
+            });
+        }
+        let mem_cap = self.mem_cap.load(Ordering::Relaxed);
+        if mem_cap != UNSET && self.peak_bytes.load(Ordering::Relaxed) > mem_cap {
+            return Some(Stop::Budget {
+                resource: "memory",
+                limit: mem_cap,
+            });
+        }
+        None
+    }
+
+    pub(crate) fn announce_flag(&self) -> &AtomicBool {
+        &self.stop_announced
+    }
+
+    pub(crate) fn add_epochs(&self, n: u64) {
+        self.epochs_used.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_queries(&self, n: u64) {
+        self.queries_used.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn max_mem(&self, peak: u64) {
+        self.peak_bytes.fetch_max(peak, Ordering::Relaxed);
+    }
+
+    /// Training epochs recorded into this scope.
+    pub fn epochs_used(&self) -> u64 {
+        self.epochs_used.load(Ordering::Relaxed)
+    }
+
+    /// Attack queries recorded into this scope.
+    pub fn queries_used(&self) -> u64 {
+        self.queries_used.load(Ordering::Relaxed)
+    }
+
+    /// Largest `Workspace` high-water mark recorded into this scope.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for SupervisionScope {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SupervisionScope")
+            .field("active", &self.is_active())
+            .field("cancelled", &self.cancelled.load(Ordering::Relaxed))
+            .field("epochs_used", &self.epochs_used())
+            .field("queries_used", &self.queries_used())
+            .finish()
+    }
+}
+
+thread_local! {
+    /// The scope the current thread has entered, if any.
+    static CURRENT: RefCell<Option<Arc<SupervisionScope>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously-entered scope (or none) on drop.
+#[must_use = "the scope is exited when the guard drops; bind it (`let _scope = ...`)"]
+pub struct ScopeGuard {
+    prev: Option<Arc<SupervisionScope>>,
+    restored: bool,
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        if self.restored {
+            return;
+        }
+        self.restored = true;
+        let prev = self.prev.take();
+        let _ = CURRENT.try_with(|c| *c.borrow_mut() = prev);
+    }
+}
+
+/// Enters `scope` on the current thread until the returned guard drops.
+/// Nested entries restore the outer scope on exit.
+pub fn enter(scope: &Arc<SupervisionScope>) -> ScopeGuard {
+    let prev = CURRENT.with(|c| c.borrow_mut().replace(Arc::clone(scope)));
+    ScopeGuard {
+        prev,
+        restored: false,
+    }
+}
+
+/// The scope the current thread has entered, if any. Kernel regions use
+/// this to propagate the submitting thread's scope into pool workers.
+pub fn current_scope() -> Option<Arc<SupervisionScope>> {
+    CURRENT.try_with(|c| c.borrow().clone()).ok().flatten()
+}
+
+/// Whether the current thread's entered scope (if any) is active — the
+/// scoped half of [`enabled`](crate::enabled).
+pub(crate) fn current_is_active() -> bool {
+    CURRENT
+        .try_with(|c| c.borrow().as_ref().is_some_and(|s| s.is_active()))
+        .unwrap_or(false)
+}
+
+/// Runs `f` against the current thread's entered scope, if any.
+pub(crate) fn with_current<F: FnOnce(&SupervisionScope)>(f: F) {
+    let _ = CURRENT.try_with(|c| {
+        if let Some(scope) = c.borrow().as_ref() {
+            f(scope);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tests::TEST_LOCK;
+    use crate::{check, note_epochs, request_cancel, shutdown, stop_reason};
+
+    fn locked() -> std::sync::MutexGuard<'static, ()> {
+        let guard = TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        shutdown();
+        guard
+    }
+
+    #[test]
+    fn inactive_scope_changes_nothing() {
+        let _g = locked();
+        let scope = SupervisionScope::new();
+        let _e = enter(&scope);
+        assert!(!crate::enabled());
+        assert!(stop_reason("test/site").is_none());
+        assert!(check("test/site").is_ok());
+    }
+
+    #[test]
+    fn scope_cancel_stops_only_the_entered_scope() {
+        let _g = locked();
+        let a = SupervisionScope::new();
+        let b = SupervisionScope::new();
+        a.cancel();
+        {
+            let _e = enter(&a);
+            assert_eq!(stop_reason("test/site"), Some(Stop::Cancelled));
+        }
+        {
+            let _e = enter(&b);
+            assert!(stop_reason("test/site").is_none(), "sibling unaffected");
+        }
+        // No scope entered: the default domain never saw the cancel.
+        assert!(stop_reason("test/site").is_none());
+        assert!(!crate::cancel_requested());
+    }
+
+    #[test]
+    fn scope_budget_counts_only_scoped_work() {
+        let _g = locked();
+        let scope = SupervisionScope::new();
+        scope.install_budget(&RunBudget {
+            epochs: Some(5),
+            ..Default::default()
+        });
+        {
+            let _e = enter(&scope);
+            note_epochs(5);
+            assert!(matches!(
+                stop_reason("train/epoch"),
+                Some(Stop::Budget {
+                    resource: "epochs",
+                    ..
+                })
+            ));
+        }
+        assert_eq!(scope.epochs_used(), 5);
+        // Outside the scope the default domain has no cap to trip.
+        assert!(stop_reason("train/epoch").is_none());
+    }
+
+    #[test]
+    fn global_cancel_reaches_entered_scopes() {
+        let _g = locked();
+        let scope = SupervisionScope::new();
+        let _e = enter(&scope);
+        request_cancel();
+        assert_eq!(stop_reason("test/site"), Some(Stop::Cancelled));
+        assert!(scope.is_cancelled(), "SIGINT must reach scoped work");
+        shutdown();
+    }
+
+    #[test]
+    fn nested_enter_restores_the_outer_scope() {
+        let _g = locked();
+        let outer = SupervisionScope::new();
+        let inner = SupervisionScope::new();
+        let _o = enter(&outer);
+        {
+            let _i = enter(&inner);
+            assert!(Arc::ptr_eq(&current_scope().unwrap(), &inner));
+        }
+        assert!(Arc::ptr_eq(&current_scope().unwrap(), &outer));
+    }
+
+    #[test]
+    fn scoped_check_surfaces_taxonomy_errors() {
+        let _g = locked();
+        let scope = SupervisionScope::new();
+        scope.cancel();
+        let err = scope.check("job/run").unwrap_err();
+        assert!(err.is_supervision_stop());
+        assert!(scope.stop_reason("job/run").is_some());
+    }
+}
